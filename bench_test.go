@@ -1,0 +1,275 @@
+// Benchmarks: one per table and figure of the paper's evaluation, plus the
+// ablations from DESIGN.md §7. Each runs its experiment at a reduced scale
+// per iteration and reports the headline quantity via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates (small versions of) every result. cmd/dvibench produces the
+// full-scale tables recorded in EXPERIMENTS.md.
+package dvi_test
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dvi"
+	"dvi/internal/core"
+	"dvi/internal/emu"
+	"dvi/internal/harness"
+	"dvi/internal/ooo"
+	"dvi/internal/workload"
+)
+
+// benchOpts are per-iteration experiment sizes: large enough for stable
+// shapes, small enough for tolerable -bench runtimes.
+func benchOpts() harness.Options {
+	return harness.Options{Scale: 1, MaxInsts: 60_000, SweepMaxInsts: 25_000}
+}
+
+func firstPct(b *testing.B, s string) float64 {
+	b.Helper()
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("bad percent %q", s)
+	}
+	return v
+}
+
+// BenchmarkFig02MachineConfig renders the machine configuration table.
+func BenchmarkFig02MachineConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(harness.Fig2MachineConfig().Rows) == 0 {
+			b.Fatal("empty config")
+		}
+	}
+}
+
+// BenchmarkFig03Characterization regenerates the benchmark
+// characterization table (functional runs of all seven programs).
+func BenchmarkFig03Characterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig3Characterization(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 7 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFig05RegfileIPC sweeps register file sizes across the three DVI
+// levels (reduced grid) and reports the IPC recovered by DVI at the
+// smallest file.
+func BenchmarkFig05RegfileIPC(b *testing.B) {
+	saved := harness.Fig5Sizes
+	harness.Fig5Sizes = []int{34, 50, 64, 96}
+	defer func() { harness.Fig5Sizes = saved }()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		_, points, err := harness.Fig5RegfileIPC(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var none34, full34 float64
+		for _, p := range points {
+			if p.Regs == 34 && p.Level == core.None {
+				none34 = p.IPC
+			}
+			if p.Regs == 34 && p.Level == core.Full {
+				full34 = p.IPC
+			}
+		}
+		gain = full34/none34 - 1
+	}
+	b.ReportMetric(100*gain, "%IPC-gain@34regs")
+}
+
+// BenchmarkFig06RegfilePerformance runs the reduced sweep and reports the
+// peak register file size with DVI (the paper's 64 -> 50 headline).
+func BenchmarkFig06RegfilePerformance(b *testing.B) {
+	saved := harness.Fig5Sizes
+	harness.Fig5Sizes = []int{34, 42, 50, 58, 64, 72, 96}
+	defer func() { harness.Fig5Sizes = saved }()
+	var peakNote string
+	for i := 0; i < b.N; i++ {
+		_, points, err := harness.Fig5RegfileIPC(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		t, err := harness.Fig6Performance(benchOpts(), points)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peakNote = t.Notes[0]
+	}
+	b.Logf("fig6: %s", peakNote)
+}
+
+// BenchmarkFig09Eliminated regenerates the save/restore elimination table
+// and reports the suite-average LVM-Stack elimination percentage (the
+// paper's 46.5%).
+func BenchmarkFig09Eliminated(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig9Eliminated(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = firstPct(b, t.Rows[len(t.Rows)-1][2])
+	}
+	b.ReportMetric(avg, "%s/r-eliminated")
+}
+
+// BenchmarkFig10IPCSpeedup regenerates the elimination speedup table and
+// reports the best per-benchmark LVM-Stack gain (the paper's "up to 5%").
+func BenchmarkFig10IPCSpeedup(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig10Speedups(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = 0
+		for _, row := range t.Rows {
+			if v := firstPct(b, row[3]); v > best {
+				best = v
+			}
+		}
+	}
+	b.ReportMetric(best, "%best-speedup")
+}
+
+// BenchmarkFig11PortSensitivity regenerates the cache bandwidth
+// sensitivity table.
+func BenchmarkFig11PortSensitivity(b *testing.B) {
+	var onePort float64
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig11PortSensitivity(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		onePort = firstPct(b, t.Rows[0][2]) // gcc, 4-way, 1 port
+	}
+	b.ReportMetric(onePort, "%gcc-4w-1port")
+}
+
+// BenchmarkFig12ContextSwitch regenerates the context switch table and
+// reports the full-DVI average reduction (the paper's 51%).
+func BenchmarkFig12ContextSwitch(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig12ContextSwitch(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = firstPct(b, t.Rows[len(t.Rows)-1][2])
+	}
+	b.ReportMetric(avg, "%switch-reduction")
+}
+
+// BenchmarkFig13EDVIOverhead regenerates the annotation overhead table and
+// reports the worst dynamic instruction overhead.
+func BenchmarkFig13EDVIOverhead(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig13EDVIOverhead(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, row := range t.Rows {
+			if v := firstPct(b, row[1]); v > worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "%worst-dyn-overhead")
+}
+
+// BenchmarkAblationStackDepth sweeps the LVM-Stack depth.
+func BenchmarkAblationStackDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationStackDepth(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationKillPlacement compares E-DVI encoding densities.
+func BenchmarkAblationKillPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationKillPlacement(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWrongPath measures wrong-path fetch modelling cost.
+func BenchmarkAblationWrongPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationWrongPath(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed in simulated
+// instructions per second (the reproduction's own engineering metric).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, _ := workload.ByName("gcc")
+	pr, img, err := workload.CompileSpec(w, 50, workload.BuildOptions{EDVI: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		cfg := ooo.DefaultConfig()
+		cfg.MaxInsts = 500_000
+		m := ooo.New(pr, img, cfg)
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += st.Committed
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkEmulatorThroughput measures the functional emulator.
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	w, _ := workload.ByName("compress")
+	pr, img, err := workload.CompileSpec(w, 50, workload.BuildOptions{EDVI: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		e := emu.New(pr, img, emu.Config{DVI: core.DefaultConfig(), Scheme: emu.ElimLVMStack})
+		if err := e.Run(1_000_000); err != nil && err != emu.ErrBudget {
+			b.Fatal(err)
+		}
+		total += e.Stats.Total
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkFullReport regenerates the complete report (what cmd/dvibench
+// does), discarding the output.
+func BenchmarkFullReport(b *testing.B) {
+	saved := harness.Fig5Sizes
+	harness.Fig5Sizes = []int{34, 64, 96}
+	defer func() { harness.Fig5Sizes = saved }()
+	opt := harness.Options{Scale: 1, MaxInsts: 25_000, SweepMaxInsts: 12_000}
+	for i := 0; i < b.N; i++ {
+		if err := dvi.RunAllExperiments(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

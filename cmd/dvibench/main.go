@@ -1,0 +1,112 @@
+// dvibench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dvibench                         # everything, default scale
+//	dvibench -experiment fig9        # one experiment
+//	dvibench -scale 2 -maxinsts 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dvi/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "all", "fig2|fig3|fig5|fig6|fig9|fig10|fig11|fig12|fig13|ablations|all")
+		scale = flag.Int("scale", 1, "workload scale factor")
+		max   = flag.Uint64("maxinsts", 400_000, "instruction budget per timing run")
+		sweep = flag.Uint64("sweepinsts", 150_000, "instruction budget per sweep point (fig5)")
+	)
+	flag.Parse()
+
+	opt := harness.Options{Scale: *scale, MaxInsts: *max, SweepMaxInsts: *sweep}
+	out := os.Stdout
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dvibench:", err)
+		os.Exit(1)
+	}
+
+	switch *exp {
+	case "all":
+		if err := harness.RunAll(opt, out); err != nil {
+			fail(err)
+		}
+		for _, f := range []func(harness.Options) (harness.Table, error){
+			harness.AblationStackDepth, harness.AblationKillPlacement, harness.AblationWrongPath,
+		} {
+			t, err := f(opt)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintln(out, t)
+		}
+	case "fig2":
+		fmt.Fprintln(out, harness.Fig2MachineConfig())
+	case "fig3":
+		t, err := harness.Fig3Characterization(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out, t)
+	case "fig5", "fig6":
+		t5, points, err := harness.Fig5RegfileIPC(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out, t5)
+		t6, err := harness.Fig6Performance(opt, points)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out, t6)
+	case "fig9":
+		t, err := harness.Fig9Eliminated(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out, t)
+	case "fig10":
+		t, err := harness.Fig10Speedups(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out, t)
+	case "fig11":
+		t, err := harness.Fig11PortSensitivity(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out, t)
+	case "fig12":
+		t, err := harness.Fig12ContextSwitch(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out, t)
+	case "fig13":
+		t, err := harness.Fig13EDVIOverhead(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out, t)
+	case "ablations":
+		for _, f := range []func(harness.Options) (harness.Table, error){
+			harness.AblationStackDepth, harness.AblationKillPlacement, harness.AblationWrongPath,
+		} {
+			t, err := f(opt)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintln(out, t)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,100 @@
+// dvisim runs one benchmark on the out-of-order simulator and prints
+// timing and DVI statistics.
+//
+// Usage:
+//
+//	dvisim -bench perl -scale 2 -dvi full -scheme stack -regs 96 -ports 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dvi/internal/core"
+	"dvi/internal/emu"
+	"dvi/internal/isa"
+	"dvi/internal/ooo"
+	"dvi/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "gcc", "benchmark: compress|go|ijpeg|li|vortex|perl|gcc")
+		scale  = flag.Int("scale", 1, "workload scale factor")
+		level  = flag.String("dvi", "full", "DVI level: none|idvi|full")
+		scheme = flag.String("scheme", "stack", "elimination scheme: off|lvm|stack")
+		regs   = flag.Int("regs", 96, "physical register file size")
+		ports  = flag.Int("ports", 2, "cache ports")
+		width  = flag.Int("width", 4, "issue width")
+		max    = flag.Uint64("maxinsts", 0, "instruction budget (0 = to completion)")
+		wrong  = flag.Bool("wrongpath", true, "model wrong-path fetch")
+	)
+	flag.Parse()
+
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; have %v\n", *bench, workload.Names())
+		os.Exit(2)
+	}
+
+	cfg := ooo.DefaultConfig()
+	cfg.PhysRegs = *regs
+	cfg.CachePorts = *ports
+	cfg.IssueWidth = *width
+	cfg.MaxInsts = *max
+	cfg.WrongPathFetch = *wrong
+
+	edvi := false
+	switch *level {
+	case "none":
+		cfg.Emu.DVI = core.Config{Level: core.None}
+	case "idvi":
+		cfg.Emu.DVI = core.Config{Level: core.IDVI, ABI: isa.DefaultABI()}
+	case "full":
+		cfg.Emu.DVI = core.DefaultConfig()
+		edvi = true
+	default:
+		fmt.Fprintf(os.Stderr, "bad -dvi %q\n", *level)
+		os.Exit(2)
+	}
+	switch *scheme {
+	case "off":
+		cfg.Emu.Scheme = emu.ElimOff
+	case "lvm":
+		cfg.Emu.Scheme = emu.ElimLVM
+	case "stack":
+		cfg.Emu.Scheme = emu.ElimLVMStack
+	default:
+		fmt.Fprintf(os.Stderr, "bad -scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	pr, img, err := workload.CompileSpec(spec, *scale, workload.BuildOptions{EDVI: edvi})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := ooo.New(pr, img, cfg)
+	st, err := m.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark        %s (scale %d, %s, scheme %s)\n", spec.Name, *scale, cfg.Emu.DVI.Level, cfg.Emu.Scheme)
+	fmt.Printf("cycles           %d\n", st.Cycles)
+	fmt.Printf("insts committed  %d (IPC %.3f)\n", st.Committed, st.IPC())
+	fmt.Printf("kills committed  %d\n", st.KillsSeen)
+	fmt.Printf("saves/restores   eliminated %d/%d\n", st.ElimSaves, st.ElimRests)
+	fmt.Printf("early reclaims   %d physical registers\n", st.EarlyReclaimed)
+	fmt.Printf("mispredicts      %d (wrong-path insts %d)\n", st.Mispredicts, st.WrongPath)
+	fmt.Printf("stall cycles     rename %d, window %d, ports %d\n",
+		st.RenameStallCycles, st.WindowFullCycles, st.PortStallCycles)
+	fmt.Printf("phys regs in use max %d of %d\n", st.MaxPhysInUse, cfg.PhysRegs)
+	h := m.Hierarchy()
+	fmt.Printf("caches           il1 %.2f%% miss, dl1 %.2f%% miss, l2 %.2f%% miss\n",
+		100*h.L1I.Stats.MissRate(), 100*h.L1D.Stats.MissRate(), 100*h.L2.Stats.MissRate())
+	fmt.Printf("branch predictor %.2f%% mispredict\n", 100*m.Predictor().MispredictRate())
+	fmt.Printf("checksum         %#x\n", m.Emu().Checksum)
+}

@@ -1,0 +1,212 @@
+// Package dvi is a reproduction of "Exploiting Dead Value Information"
+// (Milo M. Martin, Amir Roth, Charles N. Fischer; MICRO-30, 1997).
+//
+// Dead Value Information (DVI) consists of compiler assertions that
+// certain register values are dead — they will be overwritten before they
+// are read again. The paper shows a processor can exploit DVI three ways:
+// reclaiming physical registers early so the renaming file can shrink
+// (§4), dynamically eliminating dead callee-saved save and restore
+// instructions at procedure calls (§5), and eliminating dead register
+// traffic at context switches (§6).
+//
+// This package is the public face of the reproduction. It bundles:
+//
+//   - a complete out-of-order timing simulator (4-wide, 64-entry window,
+//     MIPS R10000-style renaming over an explicit physical register file,
+//     two-level caches, combining branch predictor) with the paper's DVI
+//     hardware: the Live Value Mask, the 16-entry LVM-Stack, live-load and
+//     live-store instructions, explicit kill instructions, and implicit
+//     DVI at calls and returns;
+//   - a functional reference emulator with a dead-value soundness checker;
+//   - a compiler (mini-IR → machine code) and a binary rewriting pass that
+//     computes liveness and inserts kill annotations;
+//   - seven synthetic SPEC95int-like workloads;
+//   - the experiment harness that regenerates every table and figure in
+//     the paper's evaluation (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	w, _ := dvi.WorkloadByName("perl")
+//	stats, _ := dvi.Simulate(w, 1, dvi.DefaultMachineConfig())
+//	fmt.Printf("IPC %.2f, eliminated %d saves and %d restores\n",
+//	    stats.IPC(), stats.ElimSaves, stats.ElimRests)
+package dvi
+
+import (
+	"io"
+
+	"dvi/internal/cacti"
+	"dvi/internal/core"
+	"dvi/internal/ctxswitch"
+	"dvi/internal/emu"
+	"dvi/internal/harness"
+	"dvi/internal/ooo"
+	"dvi/internal/prog"
+	"dvi/internal/rewrite"
+	"dvi/internal/workload"
+)
+
+// Re-exported types. The facade is intentionally thin: each alias is the
+// real implementation type, so the full API of the internal packages is
+// available through values obtained here.
+type (
+	// MachineConfig parameterizes the out-of-order machine (Figure 2).
+	MachineConfig = ooo.Config
+	// MachineStats are the timing results of one simulation.
+	MachineStats = ooo.Stats
+	// Machine is the out-of-order simulator instance.
+	Machine = ooo.Machine
+
+	// DVIConfig selects the DVI hardware behaviour.
+	DVIConfig = core.Config
+	// DVILevel selects which DVI sources are honoured.
+	DVILevel = core.Level
+	// Tracker is the LVM + LVM-Stack hardware state.
+	Tracker = core.Tracker
+
+	// Scheme selects the save/restore elimination scheme.
+	Scheme = emu.Scheme
+	// EmulatorConfig parameterizes the functional emulator.
+	EmulatorConfig = emu.Config
+	// Emulator is the functional reference implementation.
+	Emulator = emu.Emulator
+
+	// Workload is one of the seven benchmark programs.
+	Workload = workload.Spec
+	// BuildOptions selects the binary flavour (with or without E-DVI).
+	BuildOptions = workload.BuildOptions
+
+	// Program is a symbolic (pre-link) program.
+	Program = prog.Program
+	// Image is a linked executable image.
+	Image = prog.Image
+
+	// RewriteOptions configures the binary rewriting DVI inserter.
+	RewriteOptions = rewrite.Options
+
+	// ExperimentOptions scales the paper experiments.
+	ExperimentOptions = harness.Options
+	// ExperimentTable is one regenerated table or figure.
+	ExperimentTable = harness.Table
+
+	// SwitchResult is a context-switch liveness measurement (§6).
+	SwitchResult = ctxswitch.Result
+	// SwitchStats counts scheduler save/restore traffic.
+	SwitchStats = ctxswitch.SwitchStats
+	// ThreadScheduler runs emulators round-robin with preemptive switches
+	// whose save/restore sequences honour DVI (§6.1).
+	ThreadScheduler = ctxswitch.Scheduler
+
+	// RegfileTiming is the CACTI-derived register file access time model
+	// used by Figure 6.
+	RegfileTiming = cacti.Model
+)
+
+// DVI levels (paper Figure 5's three configurations).
+const (
+	DVINone = core.None
+	DVIIDVI = core.IDVI
+	DVIFull = core.Full
+)
+
+// Save/restore elimination schemes (paper §5.2).
+const (
+	ElimOff      = emu.ElimOff
+	ElimLVM      = emu.ElimLVM
+	ElimLVMStack = emu.ElimLVMStack
+)
+
+// Kill placement policies for the binary rewriter.
+const (
+	KillsBeforeCalls = rewrite.KillsBeforeCalls
+	KillsAtDeath     = rewrite.KillsAtDeath
+)
+
+// DefaultMachineConfig returns the paper's machine (Figure 2) with full
+// DVI hardware enabled.
+func DefaultMachineConfig() MachineConfig { return ooo.DefaultConfig() }
+
+// DefaultDVIConfig returns full DVI with the standard ABI and a 16-entry
+// LVM-Stack.
+func DefaultDVIConfig() DVIConfig { return core.DefaultConfig() }
+
+// Workloads returns the seven SPEC95int-like benchmarks.
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadByName finds a benchmark ("compress", "go", "ijpeg", "li",
+// "vortex", "perl", "gcc").
+func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// Build compiles and links one workload. With edvi true the binary carries
+// kill annotations (the paper's DVI-annotated executable).
+func Build(w Workload, scale int, edvi bool) (*Program, *Image, error) {
+	return workload.CompileSpec(w, scale, workload.BuildOptions{EDVI: edvi})
+}
+
+// Simulate builds a workload (with E-DVI annotations when the machine's
+// DVI level honours them) and runs it on the timing simulator.
+func Simulate(w Workload, scale int, cfg MachineConfig) (MachineStats, error) {
+	edvi := cfg.Emu.DVI.Level == core.Full
+	pr, img, err := workload.CompileSpec(w, scale, workload.BuildOptions{EDVI: edvi})
+	if err != nil {
+		return MachineStats{}, err
+	}
+	m := ooo.New(pr, img, cfg)
+	return m.Run()
+}
+
+// NewMachine builds a simulator over an already-linked program.
+func NewMachine(pr *Program, img *Image, cfg MachineConfig) *Machine {
+	return ooo.New(pr, img, cfg)
+}
+
+// Emulate runs a workload on the functional reference emulator and returns
+// it for inspection (checksum, statistics, DVI tracker).
+func Emulate(w Workload, scale int, cfg EmulatorConfig) (*Emulator, error) {
+	pr, img, err := workload.CompileSpec(w, scale, workload.BuildOptions{EDVI: cfg.DVI.Level == core.Full})
+	if err != nil {
+		return nil, err
+	}
+	e := emu.New(pr, img, cfg)
+	err = e.Run(0)
+	return e, err
+}
+
+// InsertKills runs the binary rewriting DVI inserter over a program
+// (paper §2's "simple binary rewriting tool"). Call before linking.
+func InsertKills(pr *Program, opt RewriteOptions) (int, error) {
+	return rewrite.InsertKills(pr, opt)
+}
+
+// MeasureContextSwitch samples live-register counts at preemption points
+// (paper §6.2's Figure 12 methodology).
+func MeasureContextSwitch(pr *Program, img *Image, cfg EmulatorConfig, interval, maxInsts uint64) (SwitchResult, error) {
+	return ctxswitch.Measure(pr, img, cfg, interval, maxInsts)
+}
+
+// NewEmulator builds a functional emulator over a linked program.
+func NewEmulator(pr *Program, img *Image, cfg EmulatorConfig) *Emulator {
+	return emu.New(pr, img, cfg)
+}
+
+// NewThreadScheduler builds a preemptive round-robin scheduler over
+// emulated threads. With useDVI true the switch sequences use
+// live-stores/live-loads and lvm-save/lvm-load, eliminating dead-register
+// traffic; eliminated restores are poisoned so unsound liveness would
+// corrupt results.
+func NewThreadScheduler(quantum uint64, useDVI bool, threads ...*Emulator) *ThreadScheduler {
+	return ctxswitch.NewScheduler(quantum, useDVI, threads...)
+}
+
+// DefaultRegfileTiming returns the calibrated register file access time
+// model (linear in registers, quadratic in ports; §4.2).
+func DefaultRegfileTiming() RegfileTiming { return cacti.Default() }
+
+// DefaultExperimentOptions sizes the experiments to finish in minutes.
+func DefaultExperimentOptions() ExperimentOptions { return harness.DefaultOptions() }
+
+// RunAllExperiments regenerates every table and figure, writing the report
+// to w. See cmd/dvibench for the command-line entry point.
+func RunAllExperiments(opt ExperimentOptions, w io.Writer) error {
+	return harness.RunAll(opt, w)
+}

@@ -1,0 +1,111 @@
+package dvi_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvi"
+)
+
+func TestFacadeSimulate(t *testing.T) {
+	w, ok := dvi.WorkloadByName("gcc")
+	if !ok {
+		t.Fatal("gcc workload missing")
+	}
+	cfg := dvi.DefaultMachineConfig()
+	cfg.MaxInsts = 100_000
+	stats, err := dvi.Simulate(w, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IPC() <= 0.3 {
+		t.Errorf("IPC = %.2f", stats.IPC())
+	}
+	if stats.ElimSaves == 0 {
+		t.Error("full-DVI machine eliminated no saves on gcc")
+	}
+}
+
+func TestFacadeEmulate(t *testing.T) {
+	w, _ := dvi.WorkloadByName("compress")
+	e, err := dvi.Emulate(w, 1, dvi.EmulatorConfig{DVI: dvi.DefaultDVIConfig(), Scheme: dvi.ElimLVMStack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Checksum == 0 {
+		t.Error("no checksum")
+	}
+}
+
+func TestFacadeBuildAndRewrite(t *testing.T) {
+	w, _ := dvi.WorkloadByName("li")
+	pr, img, err := dvi.Build(w, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.TextWords() == 0 {
+		t.Fatal("empty image")
+	}
+	n, err := dvi.InsertKills(pr, dvi.RewriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("rewriter inserted nothing")
+	}
+	img2, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img2.TextWords() != img.TextWords()+n {
+		t.Errorf("code grew by %d, want %d", img2.TextWords()-img.TextWords(), n)
+	}
+}
+
+func TestFacadeContextSwitch(t *testing.T) {
+	w, _ := dvi.WorkloadByName("perl")
+	pr, img, err := dvi.Build(w, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dvi.MeasureContextSwitch(pr, img, dvi.EmulatorConfig{DVI: dvi.DefaultDVIConfig()}, 997, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reduction <= 0.1 {
+		t.Errorf("reduction = %.2f", res.Reduction)
+	}
+}
+
+func TestWorkloadsComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, w := range dvi.Workloads() {
+		names[w.Name] = true
+	}
+	for _, want := range []string{"compress", "go", "ijpeg", "li", "vortex", "perl", "gcc"} {
+		if !names[want] {
+			t.Errorf("workload %s missing", want)
+		}
+	}
+}
+
+func TestExperimentReportSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in -short mode")
+	}
+	var buf bytes.Buffer
+	opt := dvi.ExperimentOptions{Scale: 1, MaxInsts: 30_000, SweepMaxInsts: 15_000}
+	// Run only the cheap pieces through the full-report path by patching
+	// down the sweep via options; the full RunAll is exercised by
+	// cmd/dvibench and the benchmarks.
+	if err := dvi.RunAllExperiments(opt, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig2", "fig3", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+		if !strings.Contains(out, "=== "+want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+}

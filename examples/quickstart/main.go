@@ -1,0 +1,43 @@
+// Quickstart: run one benchmark with and without Dead Value Information
+// and print what the DVI hardware bought.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvi"
+)
+
+func main() {
+	w, ok := dvi.WorkloadByName("perl")
+	if !ok {
+		log.Fatal("perl workload missing")
+	}
+
+	// Baseline: no DVI hardware, plain binary.
+	base := dvi.DefaultMachineConfig()
+	base.Emu.DVI = dvi.DVIConfig{Level: dvi.DVINone}
+	base.Emu.Scheme = dvi.ElimOff
+	baseStats, err := dvi.Simulate(w, 1, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Full DVI: kill-annotated binary, LVM + LVM-Stack hardware.
+	full := dvi.DefaultMachineConfig()
+	fullStats, err := dvi.Simulate(w, 1, full)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("benchmark: perl (bytecode interpreter)")
+	fmt.Printf("  no DVI:   %8d cycles, IPC %.3f\n", baseStats.Cycles, baseStats.IPC())
+	fmt.Printf("  full DVI: %8d cycles, IPC %.3f (%+.1f%%)\n",
+		fullStats.Cycles, fullStats.IPC(), 100*(fullStats.IPC()/baseStats.IPC()-1))
+	fmt.Printf("  saves eliminated:    %d\n", fullStats.ElimSaves)
+	fmt.Printf("  restores eliminated: %d\n", fullStats.ElimRests)
+	fmt.Printf("  physical registers reclaimed early: %d\n", fullStats.EarlyReclaimed)
+	fmt.Printf("  peak physical registers in use: %d (no DVI: %d)\n",
+		fullStats.MaxPhysInUse, baseStats.MaxPhysInUse)
+}

@@ -1,0 +1,73 @@
+// Regfile reproduces the paper's §4 study in miniature: IPC as a function
+// of physical register file size with and without DVI, converted to
+// overall performance with the CACTI access-time model (Figures 5 and 6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvi"
+)
+
+func main() {
+	sizes := []int{34, 40, 48, 56, 64, 80, 96}
+	suite := []string{"gcc", "li", "perl"}
+	model := dvi.DefaultRegfileTiming()
+
+	meanIPC := func(level dvi.DVILevel, regs int) float64 {
+		var sum float64
+		for _, name := range suite {
+			w, _ := dvi.WorkloadByName(name)
+			cfg := dvi.DefaultMachineConfig()
+			cfg.MaxInsts = 150_000
+			cfg.PhysRegs = regs
+			cfg.Emu.Scheme = dvi.ElimOff // isolate the reclamation effect
+			if level == dvi.DVINone {
+				cfg.Emu.DVI = dvi.DVIConfig{Level: dvi.DVINone}
+			}
+			st, err := dvi.Simulate(w, 1, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += st.IPC()
+		}
+		return sum / float64(len(suite))
+	}
+
+	fmt.Println("IPC and performance (IPC / register file access time) vs file size")
+	fmt.Printf("%6s  %18s  %18s\n", "", "------ IPC ------", "-- performance --")
+	fmt.Printf("%6s  %8s %9s  %8s %9s\n", "regs", "no DVI", "full DVI", "no DVI", "full DVI")
+
+	type point struct{ perfNone, perfFull float64 }
+	best := map[string]struct {
+		regs int
+		perf float64
+	}{}
+	for _, regs := range sizes {
+		ipcNone := meanIPC(dvi.DVINone, regs)
+		ipcFull := meanIPC(dvi.DVIFull, regs)
+		pNone := model.RelativePerformance(ipcNone, regs, 4)
+		pFull := model.RelativePerformance(ipcFull, regs, 4)
+		fmt.Printf("%6d  %8.3f %9.3f  %8.3f %9.3f\n", regs, ipcNone, ipcFull, pNone, pFull)
+		if b := best["none"]; pNone > b.perf {
+			best["none"] = struct {
+				regs int
+				perf float64
+			}{regs, pNone}
+		}
+		if b := best["full"]; pFull > b.perf {
+			best["full"] = struct {
+				regs int
+				perf float64
+			}{regs, pFull}
+		}
+		_ = point{}
+	}
+	fmt.Println()
+	fmt.Printf("peak performance: no DVI at %d registers, full DVI at %d registers\n",
+		best["none"].regs, best["full"].regs)
+	fmt.Printf("DVI lets the design point shrink by %d registers (%+.1f%% performance)\n",
+		best["none"].regs-best["full"].regs,
+		100*(best["full"].perf/best["none"].perf-1))
+}

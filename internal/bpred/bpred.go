@@ -1,0 +1,310 @@
+// Package bpred implements the branch prediction hardware of the simulated
+// machine (paper Figure 2): a combining predictor choosing between a
+// bimodal table and a gshare table with 16-bit global history, a
+// set-associative branch target buffer for indirect jumps, and a return
+// address stack.
+//
+// History is updated speculatively at prediction time; the pipeline
+// checkpoints the history register (and the RAS) per control instruction
+// and restores both on misprediction recovery. Pattern tables are updated
+// non-speculatively at branch resolution.
+package bpred
+
+// Config sizes the predictor.
+type Config struct {
+	BimodBits  uint // log2 entries of the bimodal table
+	GshareBits uint // log2 entries of the gshare table; also history length cap
+	ChoiceBits uint // log2 entries of the chooser table
+	HistBits   uint // global history length (paper: 16)
+	BTBSets    int
+	BTBAssoc   int
+	RASDepth   int
+}
+
+// DefaultConfig mirrors the paper's configuration: 16-bit history
+// gshare/bimod combining predictor with a BTB and an 8-entry RAS.
+func DefaultConfig() Config {
+	return Config{
+		BimodBits:  13,
+		GshareBits: 16,
+		ChoiceBits: 13,
+		HistBits:   16,
+		BTBSets:    512,
+		BTBAssoc:   4,
+		RASDepth:   16,
+	}
+}
+
+// counter is a 2-bit saturating counter; taken >= 2.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Info carries the prediction-time state a branch needs for its
+// non-speculative table update at resolution.
+type Info struct {
+	Hist   uint32 // history register value used for the gshare index
+	Bimod  bool   // bimodal component's prediction
+	Gshare bool   // gshare component's prediction
+	Pred   bool   // chosen overall prediction
+}
+
+// Predictor is the direction predictor with speculative global history.
+type Predictor struct {
+	cfg    Config
+	bimod  []counter
+	gshare []counter
+	choice []counter
+	hist   uint32
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// New builds a predictor with weakly-taken initial counters.
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:    cfg,
+		bimod:  make([]counter, 1<<cfg.BimodBits),
+		gshare: make([]counter, 1<<cfg.GshareBits),
+		choice: make([]counter, 1<<cfg.ChoiceBits),
+	}
+	for i := range p.bimod {
+		p.bimod[i] = 2
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.choice {
+		p.choice[i] = 2 // weakly prefer gshare
+	}
+	return p
+}
+
+func (p *Predictor) bimodIdx(pc uint64) uint64 {
+	return (pc >> 2) & (uint64(len(p.bimod)) - 1)
+}
+
+func (p *Predictor) gshareIdx(pc uint64, hist uint32) uint64 {
+	return ((pc >> 2) ^ uint64(hist)) & (uint64(len(p.gshare)) - 1)
+}
+
+func (p *Predictor) choiceIdx(pc uint64) uint64 {
+	return (pc >> 2) & (uint64(len(p.choice)) - 1)
+}
+
+// Predict returns the direction prediction for the conditional branch at pc
+// and speculatively shifts the predicted outcome into the history register.
+func (p *Predictor) Predict(pc uint64) (bool, Info) {
+	p.Lookups++
+	info := Info{Hist: p.hist}
+	info.Bimod = p.bimod[p.bimodIdx(pc)].taken()
+	info.Gshare = p.gshare[p.gshareIdx(pc, p.hist)].taken()
+	if p.choice[p.choiceIdx(pc)].taken() {
+		info.Pred = info.Gshare
+	} else {
+		info.Pred = info.Bimod
+	}
+	p.shiftHist(info.Pred)
+	return info.Pred, info
+}
+
+func (p *Predictor) shiftHist(taken bool) {
+	p.hist <<= 1
+	if taken {
+		p.hist |= 1
+	}
+	p.hist &= (1 << p.cfg.HistBits) - 1
+}
+
+// Resolve performs the non-speculative update for a branch whose actual
+// outcome is known: both component tables train, and the chooser trains
+// toward whichever component was right when they disagreed.
+func (p *Predictor) Resolve(pc uint64, taken bool, info Info) {
+	if info.Pred != taken {
+		p.Mispredicts++
+	}
+	bi := p.bimodIdx(pc)
+	p.bimod[bi] = p.bimod[bi].update(taken)
+	gi := p.gshareIdx(pc, info.Hist)
+	p.gshare[gi] = p.gshare[gi].update(taken)
+	if info.Bimod != info.Gshare {
+		ci := p.choiceIdx(pc)
+		p.choice[ci] = p.choice[ci].update(info.Gshare == taken)
+	}
+}
+
+// History returns the speculative history register (checkpointed per
+// fetched control instruction).
+func (p *Predictor) History() uint32 { return p.hist }
+
+// RestoreHistory reinstates a checkpointed history register after a
+// conditional-branch misprediction, then shifts in the now-known actual
+// outcome.
+func (p *Predictor) RestoreHistory(hist uint32, actual bool) {
+	p.hist = hist
+	p.shiftHist(actual)
+}
+
+// SetHistory reinstates a checkpointed history register verbatim (used
+// when recovering from a target misprediction of an unconditional
+// transfer, which never shifted history itself).
+func (p *Predictor) SetHistory(hist uint32) { p.hist = hist }
+
+// MispredictRate returns mispredicts/lookups.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}
+
+// --- BTB ---
+
+type btbEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+	used   uint64
+}
+
+// BTB is a set-associative branch target buffer used for indirect jumps.
+type BTB struct {
+	sets  [][]btbEntry
+	tick  uint64
+	nsets uint64
+
+	Lookups uint64
+	Hits    uint64
+}
+
+// NewBTB builds a BTB with the given geometry (sets must be a power of 2).
+func NewBTB(nSets, assoc int) *BTB {
+	if nSets <= 0 || nSets&(nSets-1) != 0 {
+		panic("bpred: BTB sets must be a power of two")
+	}
+	b := &BTB{nsets: uint64(nSets)}
+	backing := make([]btbEntry, nSets*assoc)
+	b.sets = make([][]btbEntry, nSets)
+	for i := range b.sets {
+		b.sets[i] = backing[i*assoc : (i+1)*assoc]
+	}
+	return b
+}
+
+// Lookup returns the predicted target for the control instruction at pc.
+func (b *BTB) Lookup(pc uint64) (uint64, bool) {
+	b.Lookups++
+	set := b.sets[(pc>>2)&(b.nsets-1)]
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			b.tick++
+			set[i].used = b.tick
+			b.Hits++
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc.
+func (b *BTB) Update(pc, target uint64) {
+	b.tick++
+	set := b.sets[(pc>>2)&(b.nsets-1)]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			set[i].target = target
+			set[i].used = b.tick
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{tag: pc, target: target, valid: true, used: b.tick}
+}
+
+// --- RAS ---
+
+// MaxRASDepth bounds the return address stack so snapshots can be plain
+// values (the pipeline checkpoints the RAS at every fetched control
+// instruction; snapshots must not allocate).
+const MaxRASDepth = 32
+
+// RAS is the return address stack. It is a circular buffer: overflow
+// overwrites the oldest entry, underflow returns no prediction.
+type RAS struct {
+	entries [MaxRASDepth]uint64
+	depth   int
+	sp      int
+	count   int
+}
+
+// NewRAS builds a return address stack of the given depth.
+func NewRAS(depth int) *RAS {
+	if depth <= 0 || depth > MaxRASDepth {
+		panic("bpred: RAS depth out of range")
+	}
+	return &RAS{depth: depth}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.entries[r.sp] = addr
+	r.sp = (r.sp + 1) % r.depth
+	if r.count < r.depth {
+		r.count++
+	}
+}
+
+// Pop predicts the target of a return.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	r.count--
+	r.sp--
+	if r.sp < 0 {
+		r.sp = r.depth - 1
+	}
+	return r.entries[r.sp], true
+}
+
+// RASSnapshot captures the full RAS state (checkpointed per fetched
+// control instruction so recovery is exact). It is a plain value: copying
+// it does not allocate.
+type RASSnapshot struct {
+	entries [MaxRASDepth]uint64
+	sp      int
+	count   int
+}
+
+// Snapshot copies the current state.
+func (r *RAS) Snapshot() RASSnapshot {
+	return RASSnapshot{entries: r.entries, sp: r.sp, count: r.count}
+}
+
+// Restore reinstates a snapshot.
+func (r *RAS) Restore(s RASSnapshot) {
+	r.entries = s.entries
+	r.sp = s.sp
+	r.count = s.count
+}

@@ -1,0 +1,266 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter saturated at %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter floored at %d", c)
+	}
+	if counter(2).taken() != true || counter(1).taken() != false {
+		t.Error("threshold wrong")
+	}
+}
+
+// train performs the full pipeline protocol for one branch instance:
+// predict, resolve, and repair the speculative history on a mispredict
+// (the pipeline restores the checkpointed history at recovery).
+func train(p *Predictor, pc uint64, taken bool) (pred bool) {
+	pred, info := p.Predict(pc)
+	p.Resolve(pc, taken, info)
+	if pred != taken {
+		p.RestoreHistory(info.Hist, taken)
+	}
+	return pred
+}
+
+func TestAlwaysTakenBranchLearns(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x4000)
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		if !train(p, pc, true) {
+			wrong++
+		}
+	}
+	if wrong > 2 {
+		t.Errorf("always-taken branch mispredicted %d/100", wrong)
+	}
+}
+
+func TestAlternatingBranchGshareLearns(t *testing.T) {
+	// A strict alternation is history-predictable: gshare should converge
+	// and the chooser should select it.
+	p := New(DefaultConfig())
+	pc := uint64(0x4000)
+	taken := false
+	wrong := 0
+	for i := 0; i < 400; i++ {
+		if train(p, pc, taken) != taken {
+			wrong++
+		}
+		taken = !taken
+	}
+	if wrong > 60 { // generous warm-up allowance
+		t.Errorf("alternating branch mispredicted %d/400", wrong)
+	}
+}
+
+func TestLoopBranchAccuracy(t *testing.T) {
+	// 7-iteration loop: 16-bit history covers two full periods; accuracy
+	// should approach 7/8+ after warm-up.
+	p := New(DefaultConfig())
+	pc := uint64(0x8000)
+	wrong := 0
+	n := 0
+	for iter := 0; iter < 300; iter++ {
+		for i := 0; i < 8; i++ {
+			taken := i < 7
+			pred := train(p, pc, taken)
+			if iter >= 50 {
+				n++
+				if pred != taken {
+					wrong++
+				}
+			}
+		}
+	}
+	if rate := float64(wrong) / float64(n); rate > 0.10 {
+		t.Errorf("loop branch mispredict rate = %.3f", rate)
+	}
+}
+
+func TestHistoryCheckpointRestore(t *testing.T) {
+	p := New(DefaultConfig())
+	// Predict a few branches, checkpoint, predict more (wrong path), then
+	// restore with the actual outcome.
+	for i := 0; i < 5; i++ {
+		p.Predict(uint64(0x100 + 4*i))
+	}
+	h := p.History()
+	pred, _ := p.Predict(0x200) // the mispredicted branch: shifts pred
+	for i := 0; i < 7; i++ {
+		p.Predict(uint64(0x300 + 4*i)) // wrong-path pollution
+	}
+	p.RestoreHistory(h, !pred)
+	want := (h<<1 | boolBit(!pred)) & 0xFFFF
+	if p.History() != want {
+		t.Errorf("history after restore = %#x, want %#x", p.History(), want)
+	}
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestMispredictRateAccounting(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x40)
+	for i := 0; i < 10; i++ {
+		_, info := p.Predict(pc)
+		p.Resolve(pc, i%2 == 0, info)
+	}
+	if p.Lookups != 10 {
+		t.Errorf("lookups = %d", p.Lookups)
+	}
+	if p.Mispredicts == 0 || p.Mispredicts > 10 {
+		t.Errorf("mispredicts = %d", p.Mispredicts)
+	}
+	if p.MispredictRate() != float64(p.Mispredicts)/10 {
+		t.Error("rate arithmetic wrong")
+	}
+}
+
+func TestChooserAdapts(t *testing.T) {
+	// Branch A: direction correlates with history (alternating); branch B:
+	// heavily biased. After training, overall accuracy must be high, which
+	// requires the chooser to route A to gshare and B to either.
+	p := New(DefaultConfig())
+	wrong, n := 0, 0
+	taken := false
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		predA := train(p, 0x1000, taken)
+		if i > 500 {
+			n++
+			if predA != taken {
+				wrong++
+			}
+		}
+		taken = !taken
+
+		bTaken := r.Intn(10) != 0
+		predB := train(p, 0x2000, bTaken)
+		if i > 500 {
+			n++
+			if predB != bTaken {
+				wrong++
+			}
+		}
+	}
+	if rate := float64(wrong) / float64(n); rate > 0.2 {
+		t.Errorf("combined mispredict rate = %.3f", rate)
+	}
+}
+
+func TestBTBBasics(t *testing.T) {
+	b := NewBTB(16, 2)
+	if _, ok := b.Lookup(0x100); ok {
+		t.Error("empty BTB hit")
+	}
+	b.Update(0x100, 0x5000)
+	if tgt, ok := b.Lookup(0x100); !ok || tgt != 0x5000 {
+		t.Errorf("lookup = %#x,%v", tgt, ok)
+	}
+	b.Update(0x100, 0x6000) // refresh target
+	if tgt, _ := b.Lookup(0x100); tgt != 0x6000 {
+		t.Errorf("updated target = %#x", tgt)
+	}
+	if b.Lookups != 3 || b.Hits != 2 {
+		t.Errorf("stats: %d lookups %d hits", b.Lookups, b.Hits)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	b := NewBTB(16, 2)
+	// Same set: pc increments of 16*4 bytes.
+	pcs := []uint64{0x100, 0x100 + 64, 0x100 + 128}
+	for i, pc := range pcs {
+		b.Update(pc, uint64(0x1000*(i+1)))
+	}
+	hits := 0
+	for _, pc := range pcs {
+		if _, ok := b.Lookup(pc); ok {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Errorf("2-way set retained %d of 3 conflicting entries", hits)
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(0x100)
+	r.Push(0x200)
+	if a, ok := r.Pop(); !ok || a != 0x200 {
+		t.Errorf("pop = %#x,%v", a, ok)
+	}
+	if a, ok := r.Pop(); !ok || a != 0x100 {
+		t.Errorf("pop = %#x,%v", a, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("underflow returned a prediction")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if a, _ := r.Pop(); a != 3 {
+		t.Errorf("pop = %d", a)
+	}
+	if a, _ := r.Pop(); a != 2 {
+		t.Errorf("pop = %d", a)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("entry 1 should have been overwritten")
+	}
+}
+
+func TestRASSnapshotRestore(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(0xA)
+	r.Push(0xB)
+	snap := r.Snapshot()
+	r.Pop()
+	r.Push(0xC)
+	r.Push(0xD)
+	r.Restore(snap)
+	if a, _ := r.Pop(); a != 0xB {
+		t.Errorf("after restore pop = %#x, want 0xB", a)
+	}
+	if a, _ := r.Pop(); a != 0xA {
+		t.Errorf("after restore pop = %#x, want 0xA", a)
+	}
+}
+
+func TestDeepCallChainWithinDepth(t *testing.T) {
+	r := NewRAS(16)
+	for i := 0; i < 16; i++ {
+		r.Push(uint64(i))
+	}
+	for i := 15; i >= 0; i-- {
+		a, ok := r.Pop()
+		if !ok || a != uint64(i) {
+			t.Fatalf("pop %d = %d,%v", i, a, ok)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package cache models the memory hierarchy of the simulated machine:
+// set-associative L1 instruction and data caches backed by a unified L2 and
+// a fixed-latency main memory (paper Figure 2). Caches return access
+// latencies and keep hit/miss statistics; port arbitration is performed by
+// the pipeline (ports are a per-cycle resource, not cache state).
+package cache
+
+import "fmt"
+
+// Level is anything that can service an access and report its latency.
+type Level interface {
+	// Access services a read or write of the line containing addr and
+	// returns the total latency in cycles.
+	Access(addr uint64, write bool) int
+	// Probe reports whether addr currently hits without disturbing state.
+	Probe(addr uint64) bool
+}
+
+// MainMemory is the terminal level: fixed latency, always hits.
+type MainMemory struct {
+	Latency  int
+	Accesses uint64
+}
+
+// Access counts the access and returns the fixed latency.
+func (m *MainMemory) Access(addr uint64, write bool) int {
+	m.Accesses++
+	return m.Latency
+}
+
+// Probe always hits.
+func (m *MainMemory) Probe(addr uint64) bool { return true }
+
+// Config describes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Assoc      int
+	LineBytes  int
+	HitLatency int
+}
+
+// Stats counts accesses at one level.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+	Writes   uint64
+}
+
+// MissRate returns misses/accesses, 0 for an idle cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative, write-allocate cache with true-LRU
+// replacement. Write-back traffic is not charged (documented in DESIGN.md);
+// the experiments depend on load/store port pressure and miss latency.
+type Cache struct {
+	cfg   Config
+	next  Level
+	sets  [][]line
+	tick  uint64
+	shift uint // log2(LineBytes)
+	mask  uint64
+
+	Stats Stats
+}
+
+// New builds a cache in front of next. Size, associativity and line size
+// must be powers of two with Size = sets*Assoc*LineBytes.
+func New(cfg Config, next Level) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineBytes))
+	}
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	if cfg.Assoc <= 0 || nLines%cfg.Assoc != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by assoc %d", cfg.Name, nLines, cfg.Assoc))
+	}
+	nSets := nLines / cfg.Assoc
+	if nSets == 0 || nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, nSets))
+	}
+	c := &Cache{cfg: cfg, next: next, mask: uint64(nSets - 1)}
+	for s := cfg.LineBytes; s > 1; s >>= 1 {
+		c.shift++
+	}
+	c.sets = make([][]line, nSets)
+	backing := make([]line, nSets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+func (c *Cache) find(addr uint64) (set []line, tag uint64, way int) {
+	lineAddr := addr >> c.shift
+	set = c.sets[lineAddr&c.mask]
+	tag = lineAddr // full line address as tag (set bits redundant but harmless)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return set, tag, i
+		}
+	}
+	return set, tag, -1
+}
+
+// Access services the access, filling on miss, and returns total latency.
+func (c *Cache) Access(addr uint64, write bool) int {
+	c.tick++
+	c.Stats.Accesses++
+	if write {
+		c.Stats.Writes++
+	}
+	set, tag, way := c.find(addr)
+	if way >= 0 {
+		set[way].used = c.tick
+		return c.cfg.HitLatency
+	}
+	c.Stats.Misses++
+	lat := c.cfg.HitLatency + c.next.Access(addr, write)
+	// Fill: evict true-LRU victim.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, used: c.tick}
+	return lat
+}
+
+// Probe reports a hit without updating LRU or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	_, _, way := c.find(addr)
+	return way >= 0
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
+
+// Hierarchy bundles the full memory system of one simulated core.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	Mem *MainMemory
+}
+
+// HierarchyConfig sizes the full memory system.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	MemLatency   int
+}
+
+// DefaultHierarchyConfig returns the paper's Figure 2 memory system:
+// 64 KB/4-way/1-cycle split L1s, 512 KB/4-way/8-cycle L2, 32 B lines.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:        Config{Name: "il1", SizeBytes: 64 << 10, Assoc: 4, LineBytes: 32, HitLatency: 1},
+		L1D:        Config{Name: "dl1", SizeBytes: 64 << 10, Assoc: 4, LineBytes: 32, HitLatency: 1},
+		L2:         Config{Name: "ul2", SizeBytes: 512 << 10, Assoc: 4, LineBytes: 64, HitLatency: 8},
+		MemLatency: 50,
+	}
+}
+
+// NewHierarchy builds the two-level hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	mem := &MainMemory{Latency: cfg.MemLatency}
+	l2 := New(cfg.L2, mem)
+	return &Hierarchy{
+		L1I: New(cfg.L1I, l2),
+		L1D: New(cfg.L1D, l2),
+		L2:  l2,
+		Mem: mem,
+	}
+}

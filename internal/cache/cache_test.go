@@ -1,0 +1,201 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// tiny returns a 2-set, 2-way cache with 16-byte lines over a 100-cycle
+// memory: small enough to reason about exactly.
+func tiny() (*Cache, *MainMemory) {
+	m := &MainMemory{Latency: 100}
+	c := New(Config{Name: "t", SizeBytes: 64, Assoc: 2, LineBytes: 16, HitLatency: 1}, m)
+	return c, m
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c, _ := tiny()
+	if lat := c.Access(0x40, false); lat != 101 {
+		t.Errorf("cold miss latency = %d, want 101", lat)
+	}
+	if lat := c.Access(0x48, false); lat != 1 {
+		t.Errorf("same-line hit latency = %d, want 1", lat)
+	}
+	if c.Stats.Accesses != 2 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	c, _ := tiny()
+	// 16-byte lines, 2 sets: addresses 0x00 and 0x10 map to different sets.
+	c.Access(0x00, false)
+	c.Access(0x10, false)
+	if !c.Probe(0x00) || !c.Probe(0x10) {
+		t.Error("different sets evicted each other")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c, _ := tiny()
+	// Set 0 holds lines 0x00, 0x20, 0x40... (stride 0x20 with 2 sets).
+	c.Access(0x00, false)
+	c.Access(0x20, false)
+	c.Access(0x00, false) // touch 0x00: 0x20 becomes LRU
+	c.Access(0x40, false) // evicts 0x20
+	if !c.Probe(0x00) {
+		t.Error("MRU line evicted")
+	}
+	if c.Probe(0x20) {
+		t.Error("LRU line survived")
+	}
+	if !c.Probe(0x40) {
+		t.Error("filled line missing")
+	}
+}
+
+func TestProbeDoesNotDisturb(t *testing.T) {
+	c, _ := tiny()
+	c.Access(0x00, false)
+	c.Access(0x20, false)
+	for i := 0; i < 10; i++ {
+		c.Probe(0x20) // must not refresh LRU
+	}
+	c.Access(0x00, false)
+	c.Access(0x40, false) // should evict 0x20 (LRU by access order)
+	if c.Probe(0x20) {
+		t.Error("probe refreshed LRU state")
+	}
+	if got := c.Stats.Accesses; got != 4 {
+		t.Errorf("probe counted as access: %d", got)
+	}
+}
+
+func TestWriteAllocate(t *testing.T) {
+	c, _ := tiny()
+	if lat := c.Access(0x80, true); lat != 101 {
+		t.Errorf("write miss latency = %d", lat)
+	}
+	if !c.Probe(0x80) {
+		t.Error("write did not allocate")
+	}
+	if c.Stats.Writes != 1 {
+		t.Errorf("writes = %d", c.Stats.Writes)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	// Cold: L1 miss + L2 miss + memory.
+	want := 1 + 8 + 50
+	if lat := h.L1D.Access(0x1000, false); lat != want {
+		t.Errorf("cold latency = %d, want %d", lat, want)
+	}
+	// L1 hit.
+	if lat := h.L1D.Access(0x1000, false); lat != 1 {
+		t.Errorf("L1 hit = %d", lat)
+	}
+	// Evicted from L1 but resident in L2: 64KB 4-way, 32B lines -> 512
+	// sets; stride 512*32 = 16KB conflicts in L1. L2 has 2048 sets of 64B
+	// lines so these do not conflict there.
+	for i := 1; i <= 4; i++ {
+		h.L1D.Access(0x1000+uint64(i)*16384, false)
+	}
+	if lat := h.L1D.Access(0x1000, false); lat != 1+8 {
+		t.Errorf("L2 hit latency = %d, want 9", lat)
+	}
+}
+
+func TestInstructionFetchSharesL2(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.L1I.Access(0x2000, false) // warms L2 too
+	if lat := h.L1D.Access(0x2000, false); lat != 1+8 {
+		t.Errorf("data access after fetch = %d, want L2 hit 9", lat)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c, _ := tiny()
+	for i := 0; i < 8; i++ {
+		c.Access(uint64(i)*16, false) // 8 lines, 4-line cache: all miss
+	}
+	if r := c.Stats.MissRate(); r != 1.0 {
+		t.Errorf("miss rate = %f", r)
+	}
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("idle miss rate should be 0")
+	}
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	// Fully random small-address stream; compare hit/miss against a
+	// straightforward reference implementation (map of sets with LRU
+	// lists).
+	r := rand.New(rand.NewSource(5))
+	mm := &MainMemory{Latency: 10}
+	c := New(Config{Name: "ref", SizeBytes: 256, Assoc: 4, LineBytes: 16, HitLatency: 1}, mm)
+	nSets := 256 / 16 / 4
+	type refLine struct {
+		tag  uint64
+		used int
+	}
+	ref := make([][]refLine, nSets)
+	tick := 0
+	for i := 0; i < 20000; i++ {
+		addr := uint64(r.Intn(4096))
+		lineAddr := addr >> 4
+		set := int(lineAddr) % nSets
+		tick++
+		hitRef := false
+		for j := range ref[set] {
+			if ref[set][j].tag == lineAddr {
+				ref[set][j].used = tick
+				hitRef = true
+				break
+			}
+		}
+		if !hitRef {
+			if len(ref[set]) < 4 {
+				ref[set] = append(ref[set], refLine{lineAddr, tick})
+			} else {
+				v := 0
+				for j := 1; j < 4; j++ {
+					if ref[set][j].used < ref[set][v].used {
+						v = j
+					}
+				}
+				ref[set][v] = refLine{lineAddr, tick}
+			}
+		}
+		hitSim := c.Probe(addr)
+		if hitSim != hitRef {
+			t.Fatalf("access %d addr %#x: sim hit=%v ref hit=%v", i, addr, hitSim, hitRef)
+		}
+		c.Access(addr, r.Intn(4) == 0)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "badline", SizeBytes: 64, Assoc: 2, LineBytes: 12, HitLatency: 1},
+		{Name: "badassoc", SizeBytes: 64, Assoc: 3, LineBytes: 16, HitLatency: 1},
+		{Name: "badsets", SizeBytes: 96, Assoc: 2, LineBytes: 16, HitLatency: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", cfg.Name)
+				}
+			}()
+			New(cfg, &MainMemory{Latency: 1})
+		}()
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c, _ := tiny()
+	if c.LineAddr(0x47) != 0x40 {
+		t.Errorf("LineAddr(0x47) = %#x", c.LineAddr(0x47))
+	}
+}

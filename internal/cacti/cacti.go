@@ -1,0 +1,46 @@
+// Package cacti provides the analytical register file timing model used by
+// the paper's §4 evaluation. The paper derives register file cycle times
+// from a modified CACTI [Jouppi/Wilton 94; Farkas 97] and states the
+// governing trend directly: "Access time is quadratic in the number of read
+// and write ports and linear in the number of registers" (§4).
+//
+// Figure 6 divides IPC by this access time, so only relative times across
+// register file sizes matter; the constants below are calibrated to the
+// mid-90s process generation the paper targets (access times around 1.5 ns
+// for a 64-entry, 12-ported file) and, more importantly, to its slope: a
+// 64→50 entry reduction buys a few percent of cycle time.
+package cacti
+
+// Model holds the coefficients of t(R, P) = Base + PerReg·R + PerPort²·P².
+type Model struct {
+	BaseNs    float64 // fixed decode/sense overhead
+	PerRegNs  float64 // wordline/bitline growth per register
+	PerPort2N float64 // port area term, applied to (readPorts+writePorts)²
+}
+
+// Default returns the calibrated model.
+func Default() Model {
+	return Model{BaseNs: 0.55, PerRegNs: 0.006, PerPort2N: 0.0042}
+}
+
+// AccessTimeNs returns the register file access time in nanoseconds for a
+// file of regs registers with the given port counts.
+func (m Model) AccessTimeNs(regs, readPorts, writePorts int) float64 {
+	p := float64(readPorts + writePorts)
+	return m.BaseNs + m.PerRegNs*float64(regs) + m.PerPort2N*p*p
+}
+
+// PortsFor returns the read and write port counts required by an
+// issueWidth-wide machine (paper §4.2: "a 4 way issue machine requires 8
+// read ports and 4 write ports").
+func PortsFor(issueWidth int) (readPorts, writePorts int) {
+	return 2 * issueWidth, issueWidth
+}
+
+// RelativePerformance converts an (IPC, register count) point into the
+// paper's Figure 6 metric: IPC divided by access time, in arbitrary units
+// (callers normalize to a baseline peak).
+func (m Model) RelativePerformance(ipc float64, regs, issueWidth int) float64 {
+	r, w := PortsFor(issueWidth)
+	return ipc / m.AccessTimeNs(regs, r, w)
+}

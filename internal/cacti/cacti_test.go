@@ -1,0 +1,69 @@
+package cacti
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMonotoneInRegisters(t *testing.T) {
+	m := Default()
+	f := func(a, b uint8) bool {
+		ra, rb := int(a)+32, int(a)+32+int(b)
+		return m.AccessTimeNs(rb, 8, 4) >= m.AccessTimeNs(ra, 8, 4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearInRegisters(t *testing.T) {
+	m := Default()
+	d1 := m.AccessTimeNs(50, 8, 4) - m.AccessTimeNs(40, 8, 4)
+	d2 := m.AccessTimeNs(90, 8, 4) - m.AccessTimeNs(80, 8, 4)
+	if d1 <= 0 || d2 <= 0 || d1 != d2 {
+		t.Errorf("register term not linear: %f vs %f", d1, d2)
+	}
+}
+
+func TestQuadraticInPorts(t *testing.T) {
+	m := Model{BaseNs: 0, PerRegNs: 0, PerPort2N: 1}
+	if m.AccessTimeNs(64, 8, 4) != 144 {
+		t.Errorf("12 ports should contribute 144 units, got %f", m.AccessTimeNs(64, 8, 4))
+	}
+	// Doubling ports quadruples the port term.
+	if m.AccessTimeNs(64, 16, 8) != 4*144 {
+		t.Errorf("port term not quadratic")
+	}
+}
+
+func TestPortsFor(t *testing.T) {
+	r, w := PortsFor(4)
+	if r != 8 || w != 4 {
+		t.Errorf("4-wide ports = %d/%d, want 8/4 (paper §4.2)", r, w)
+	}
+	r, w = PortsFor(8)
+	if r != 16 || w != 8 {
+		t.Errorf("8-wide ports = %d/%d", r, w)
+	}
+}
+
+func TestCalibrationRange(t *testing.T) {
+	// The mid-90s design point: a 64-entry 12-port file in the vicinity of
+	// 1.5 ns, and the 64->50 shrink worth a few percent.
+	m := Default()
+	t64 := m.AccessTimeNs(64, 8, 4)
+	if t64 < 1.0 || t64 > 2.5 {
+		t.Errorf("t(64,12p) = %f ns, outside plausible range", t64)
+	}
+	ratio := t64 / m.AccessTimeNs(50, 8, 4)
+	if ratio < 1.02 || ratio > 1.12 {
+		t.Errorf("t(64)/t(50) = %f, want a few percent", ratio)
+	}
+}
+
+func TestRelativePerformanceFavorsSmallerFileAtEqualIPC(t *testing.T) {
+	m := Default()
+	if m.RelativePerformance(1.8, 50, 4) <= m.RelativePerformance(1.8, 64, 4) {
+		t.Error("equal IPC on a smaller file must yield higher performance")
+	}
+}

@@ -1,0 +1,363 @@
+package compiler
+
+import (
+	"fmt"
+
+	"dvi/internal/ir"
+	"dvi/internal/isa"
+	"dvi/internal/prog"
+)
+
+// frame describes the generated stack layout:
+//
+//	sp+0 .. spill slots .. saved callee regs .. ra .. (pad to 16)
+type frame struct {
+	alloc     allocation
+	nSlots    int
+	savedRegs []isa.Reg
+	saveRA    bool
+	total     int64
+}
+
+func (fr *frame) slotOff(slot int) int64 { return int64(slot) * 8 }
+
+func (fr *frame) savedOff(i int) int64 { return int64(fr.nSlots+i) * 8 }
+
+func (fr *frame) raOff() int64 { return int64(fr.nSlots+len(fr.savedRegs)) * 8 }
+
+func compileFunc(pr *prog.Program, f *ir.Func) error {
+	ivs, callPos, err := analyze(f)
+	if err != nil {
+		return err
+	}
+	al := allocate(f, ivs, callPos)
+
+	fr := frame{alloc: al, nSlots: len(al.slot), saveRA: al.calls}
+	for _, r := range calleePool {
+		if al.used.Has(r) {
+			fr.savedRegs = append(fr.savedRegs, r)
+		}
+	}
+	raw := int64(fr.nSlots+len(fr.savedRegs)) * 8
+	if fr.saveRA {
+		raw += 8
+	}
+	fr.total = (raw + 15) &^ 15
+
+	a := pr.Assembler(f.Name)
+	g := &gen{a: a, f: f, fr: &fr}
+
+	// Prologue: frame, callee-saved live-stores, ra.
+	if fr.total > 0 {
+		a.Addi(isa.SP, isa.SP, -fr.total)
+	}
+	for i, r := range fr.savedRegs {
+		a.LiveSt(r, isa.SP, fr.savedOff(i))
+	}
+	if fr.saveRA {
+		a.St(isa.RA, isa.SP, fr.raOff())
+	}
+	// Home the parameters.
+	argRegs := []isa.Reg{isa.A0, isa.A1, isa.A2, isa.A3}
+	for p := 0; p < f.NParams; p++ {
+		v := ir.Value(p)
+		if r, ok := al.reg[v]; ok {
+			a.Move(r, argRegs[p])
+		} else if s, ok := al.slot[v]; ok {
+			a.St(argRegs[p], isa.SP, fr.slotOff(s))
+		} // else: parameter never used
+	}
+
+	for bi, b := range f.Blocks {
+		a.Label("b_" + b.Name)
+		next := ""
+		if bi+1 < len(f.Blocks) {
+			next = f.Blocks[bi+1].Name
+		}
+		for _, in := range b.Instrs {
+			if err := g.instr(in, next); err != nil {
+				return fmt.Errorf("block %s: %w", b.Name, err)
+			}
+		}
+	}
+
+	// Epilogue: live-load restores, ra, return.
+	a.Label("_epi")
+	for i, r := range fr.savedRegs {
+		a.LiveLd(r, isa.SP, fr.savedOff(i))
+	}
+	if fr.saveRA {
+		a.Ld(isa.RA, isa.SP, fr.raOff())
+	}
+	if fr.total > 0 {
+		a.Addi(isa.SP, isa.SP, fr.total)
+	}
+	a.Ret()
+	return nil
+}
+
+type gen struct {
+	a  *prog.Asm
+	f  *ir.Func
+	fr *frame
+}
+
+// use returns a register holding v, loading spilled values into scratch.
+func (g *gen) use(v ir.Value, scratch isa.Reg) (isa.Reg, error) {
+	if r, ok := g.fr.alloc.reg[v]; ok {
+		return r, nil
+	}
+	if s, ok := g.fr.alloc.slot[v]; ok {
+		g.a.Ld(scratch, isa.SP, g.fr.slotOff(s))
+		return scratch, nil
+	}
+	return 0, fmt.Errorf("value v%d has no location", v)
+}
+
+// destination returns the register to compute v into and a completion
+// function that stores spilled results.
+func (g *gen) destination(v ir.Value) (isa.Reg, func()) {
+	if r, ok := g.fr.alloc.reg[v]; ok {
+		return r, func() {}
+	}
+	if s, ok := g.fr.alloc.slot[v]; ok {
+		off := g.fr.slotOff(s)
+		return scratch1, func() { g.a.St(scratch1, isa.SP, off) }
+	}
+	// Unused destination: compute into scratch and drop.
+	return scratch1, func() {}
+}
+
+// materialize loads an arbitrary constant into rd.
+func (g *gen) materialize(rd isa.Reg, imm int64) {
+	switch {
+	case imm >= -(1<<15) && imm < 1<<15:
+		g.a.Li(rd, imm)
+	case imm >= 0 && imm < 1<<32:
+		g.a.Li32(rd, uint32(imm))
+	default:
+		// Full 64-bit: high 32, shift, or low 32.
+		g.a.Li32(rd, uint32(uint64(imm)>>32))
+		g.a.Slli(rd, rd, 32)
+		if low := uint32(imm); low != 0 {
+			g.a.Li32(scratch2, low)
+			g.a.Or(rd, rd, scratch2)
+		}
+	}
+}
+
+var rTypeOps = map[ir.Op]isa.Op{
+	ir.Add: isa.ADD, ir.Sub: isa.SUB, ir.Mul: isa.MUL, ir.Div: isa.DIV,
+	ir.Rem: isa.REM, ir.And: isa.AND, ir.Or: isa.OR, ir.Xor: isa.XOR,
+	ir.Shl: isa.SLL, ir.Shr: isa.SRL, ir.Sra: isa.SRA,
+	ir.SltS: isa.SLT, ir.SltU: isa.SLTU,
+}
+
+var brOps = map[ir.Cmp]isa.Op{
+	ir.EQ: isa.BEQ, ir.NE: isa.BNE, ir.LT: isa.BLT,
+	ir.GE: isa.BGE, ir.LTU: isa.BLTU, ir.GEU: isa.BGEU,
+}
+
+func fitsI16(v int64) bool { return v >= -(1<<15) && v < 1<<15 }
+
+func (g *gen) instr(in ir.Instr, nextBlock string) error {
+	a := g.a
+	switch in.Op {
+	case ir.Const:
+		rd, fin := g.destination(in.Dst)
+		g.materialize(rd, in.Imm)
+		fin()
+
+	case ir.AddrOf:
+		rd, fin := g.destination(in.Dst)
+		a.LoadAddr(rd, in.Sym)
+		fin()
+
+	case ir.Move:
+		src, err := g.use(in.A, scratch2)
+		if err != nil {
+			return err
+		}
+		rd, fin := g.destination(in.Dst)
+		a.Move(rd, src)
+		fin()
+
+	case ir.Load, ir.LoadB:
+		if !fitsI16(in.Imm) {
+			return fmt.Errorf("load offset %d out of range", in.Imm)
+		}
+		base, err := g.use(in.A, scratch2)
+		if err != nil {
+			return err
+		}
+		rd, fin := g.destination(in.Dst)
+		if in.Op == ir.Load {
+			a.Ld(rd, base, in.Imm)
+		} else {
+			a.Lb(rd, base, in.Imm)
+		}
+		fin()
+
+	case ir.Store, ir.StoreB:
+		if !fitsI16(in.Imm) {
+			return fmt.Errorf("store offset %d out of range", in.Imm)
+		}
+		base, err := g.use(in.A, scratch1)
+		if err != nil {
+			return err
+		}
+		val, err := g.use(in.B, scratch2)
+		if err != nil {
+			return err
+		}
+		if in.Op == ir.Store {
+			a.St(val, base, in.Imm)
+		} else {
+			a.Sb(val, base, in.Imm)
+		}
+
+	case ir.Call, ir.CallPtr:
+		argRegs := []isa.Reg{isa.A0, isa.A1, isa.A2, isa.A3}
+		for i, arg := range in.Args {
+			if r, ok := g.fr.alloc.reg[arg]; ok {
+				a.Move(argRegs[i], r)
+			} else if s, ok := g.fr.alloc.slot[arg]; ok {
+				a.Ld(argRegs[i], isa.SP, g.fr.slotOff(s))
+			} else {
+				return fmt.Errorf("call argument v%d has no location", arg)
+			}
+		}
+		if in.Op == ir.Call {
+			a.Call(in.Sym)
+		} else {
+			fn, err := g.use(in.A, scratch1)
+			if err != nil {
+				return err
+			}
+			a.CallReg(fn)
+		}
+		if in.Dst != ir.NoValue {
+			if r, ok := g.fr.alloc.reg[in.Dst]; ok {
+				a.Move(r, isa.V0)
+			} else if s, ok := g.fr.alloc.slot[in.Dst]; ok {
+				a.St(isa.V0, isa.SP, g.fr.slotOff(s))
+			}
+		}
+
+	case ir.Out:
+		val, err := g.use(in.A, scratch2)
+		if err != nil {
+			return err
+		}
+		a.Li(scratch1, in.Imm)
+		a.Sys(scratch1, val)
+
+	case ir.Br:
+		x, err := g.use(in.A, scratch1)
+		if err != nil {
+			return err
+		}
+		y, err := g.use(in.B, scratch2)
+		if err != nil {
+			return err
+		}
+		a.Inst(isa.Inst{Op: brOps[in.Cmp], Rs1: x, Rs2: y})
+		// Patch the just-emitted branch with its symbolic target.
+		p := a.Proc()
+		p.Insts[len(p.Insts)-1].Kind = prog.TargetBranch
+		p.Insts[len(p.Insts)-1].Target = "b_" + in.Then
+		if in.Else != nextBlock {
+			a.Jump("b_" + in.Else)
+		}
+
+	case ir.Jmp:
+		if in.Then != nextBlock {
+			a.Jump("b_" + in.Then)
+		}
+
+	case ir.Ret:
+		if in.A != ir.NoValue {
+			if r, ok := g.fr.alloc.reg[in.A]; ok {
+				a.Move(isa.V0, r)
+			} else if s, ok := g.fr.alloc.slot[in.A]; ok {
+				a.Ld(isa.V0, isa.SP, g.fr.slotOff(s))
+			} else {
+				return fmt.Errorf("return value v%d has no location", in.A)
+			}
+		}
+		a.Jump("_epi")
+
+	default: // arithmetic
+		op, ok := rTypeOps[in.Op]
+		if !ok {
+			return fmt.Errorf("unhandled IR op %d", in.Op)
+		}
+		x, err := g.use(in.A, scratch1)
+		if err != nil {
+			return err
+		}
+		rd, fin := g.destination(in.Dst)
+		if in.UseImm {
+			if done := g.arithImm(op, rd, x, in.Imm); !done {
+				g.materialize(scratch2, in.Imm)
+				a.Inst(isa.Inst{Op: op, Rd: rd, Rs1: x, Rs2: scratch2})
+			}
+		} else {
+			y, err := g.use(in.B, scratch2)
+			if err != nil {
+				return err
+			}
+			a.Inst(isa.Inst{Op: op, Rd: rd, Rs1: x, Rs2: y})
+		}
+		fin()
+	}
+	return nil
+}
+
+// arithImm emits an immediate-form instruction when one exists and the
+// constant fits; it reports whether it emitted anything.
+func (g *gen) arithImm(op isa.Op, rd, rs isa.Reg, imm int64) bool {
+	a := g.a
+	switch op {
+	case isa.ADD:
+		if fitsI16(imm) {
+			a.Addi(rd, rs, imm)
+			return true
+		}
+	case isa.SUB:
+		if fitsI16(-imm) {
+			a.Addi(rd, rs, -imm)
+			return true
+		}
+	case isa.AND:
+		if imm >= 0 && imm < 1<<16 {
+			a.Andi(rd, rs, imm)
+			return true
+		}
+	case isa.OR:
+		if imm >= 0 && imm < 1<<16 {
+			a.Ori(rd, rs, imm)
+			return true
+		}
+	case isa.XOR:
+		if imm >= 0 && imm < 1<<16 {
+			a.Xori(rd, rs, imm)
+			return true
+		}
+	case isa.SLT:
+		if fitsI16(imm) {
+			a.Slti(rd, rs, imm)
+			return true
+		}
+	case isa.SLL:
+		a.Slli(rd, rs, imm&63)
+		return true
+	case isa.SRL:
+		a.Srli(rd, rs, imm&63)
+		return true
+	case isa.SRA:
+		a.Srai(rd, rs, imm&63)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,374 @@
+// Package compiler lowers the mini-IR to machine code. It stands in for
+// the paper's modified GCC 2.6.3 (§3): intra-procedural liveness analysis,
+// register allocation that follows the calling convention's greedy
+// heuristics (§5: temporaries and values not live across calls go to
+// caller-saved registers; values live across calls to callee-saved
+// registers), prologue/epilogue saves and restores emitted as
+// live-store/live-load instructions (§5.1), and — when E-DVI is enabled —
+// kill-mask insertion before calls via the binary rewriting pass.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"dvi/internal/ir"
+	"dvi/internal/isa"
+	"dvi/internal/prog"
+	"dvi/internal/rewrite"
+)
+
+// Options configures compilation.
+type Options struct {
+	// EDVI inserts kill instructions (the paper's DVI-annotated binary).
+	// Without it the output is the baseline binary: identical code except
+	// for the kills.
+	EDVI bool
+	// Policy selects kill placement when EDVI is on.
+	Policy rewrite.Policy
+	// KillRegs overrides the kill candidate set (zero = callee-saved).
+	KillRegs isa.RegMask
+}
+
+// Register pools. at (r1) and t9 (r25) are reserved as materialization and
+// spill scratch registers.
+var (
+	callerPool = []isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6, isa.T7, isa.T8}
+	calleePool = []isa.Reg{isa.S0, isa.S1, isa.S2, isa.S3, isa.S4, isa.S5, isa.S6, isa.S7}
+
+	scratch1 = isa.AT
+	scratch2 = isa.T9
+)
+
+// Compile lowers the module into a linkable program.
+func Compile(m *ir.Module, opt Options) (*prog.Program, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	pr := prog.New()
+	for _, d := range m.Data {
+		pr.AddData(d)
+	}
+	for _, f := range m.Funcs {
+		if err := compileFunc(pr, f); err != nil {
+			return nil, fmt.Errorf("compiler: %s: %w", f.Name, err)
+		}
+	}
+	if opt.EDVI {
+		if _, err := rewrite.InsertKills(pr, rewrite.Options{Policy: opt.Policy, Regs: opt.KillRegs}); err != nil {
+			return nil, err
+		}
+	}
+	return pr, nil
+}
+
+// MustCompile is Compile for known-good workload modules.
+func MustCompile(m *ir.Module, opt Options) *prog.Program {
+	pr, err := Compile(m, opt)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// --- analysis ---
+
+type valSet map[ir.Value]struct{}
+
+func (s valSet) add(v ir.Value) {
+	if v >= 0 {
+		s[v] = struct{}{}
+	}
+}
+
+func (s valSet) has(v ir.Value) bool {
+	_, ok := s[v]
+	return ok
+}
+
+// operands appends the values read by one instruction.
+func operands(in ir.Instr, buf []ir.Value) []ir.Value {
+	buf = buf[:0]
+	switch in.Op {
+	case ir.Const, ir.AddrOf, ir.Jmp:
+	case ir.Call:
+		buf = append(buf, in.Args...)
+	case ir.CallPtr:
+		buf = append(buf, in.A)
+		buf = append(buf, in.Args...)
+	case ir.Ret, ir.Out, ir.Load, ir.LoadB, ir.Move:
+		if in.A != ir.NoValue {
+			buf = append(buf, in.A)
+		}
+	case ir.Store, ir.StoreB, ir.Br:
+		buf = append(buf, in.A, in.B)
+	default: // arithmetic
+		buf = append(buf, in.A)
+		if !in.UseImm {
+			buf = append(buf, in.B)
+		}
+	}
+	return buf
+}
+
+type interval struct {
+	v          ir.Value
+	start, end int
+	acrossCall bool
+}
+
+type allocation struct {
+	reg   map[ir.Value]isa.Reg
+	slot  map[ir.Value]int // spill slot index
+	used  isa.RegMask      // callee-saved registers the function writes
+	calls bool
+}
+
+// analyze computes live intervals (block-extended) and classifies values.
+//
+// Positions are doubled: instruction k reads its operands at 2k and writes
+// its destination at 2k+1. Liveness extensions use 2*first-1 (live into a
+// block: live before its first read slot) and 2*last+2 (live out of a
+// block: live past its last write slot). A value is live across a call at
+// read-slot c exactly when start < c && end > c; the boundary cases — an
+// argument consumed at the call, a result defined by it, a value flowing
+// into a block that begins with a call — all fall out correctly.
+func analyze(f *ir.Func) ([]interval, []int, error) {
+	// Linearize.
+	blockStart := make(map[string]int)
+	blockEnd := make(map[string]int)
+	k := 0
+	var callPos []int
+	for _, b := range f.Blocks {
+		blockStart[b.Name] = k
+		for _, in := range b.Instrs {
+			if in.Op == ir.Call || in.Op == ir.CallPtr {
+				callPos = append(callPos, 2*k)
+			}
+			k++
+		}
+		blockEnd[b.Name] = k - 1
+	}
+	total := 2 * k
+
+	// Block-level liveness.
+	n := len(f.Blocks)
+	gen := make([]valSet, n)
+	def := make([]valSet, n)
+	liveIn := make([]valSet, n)
+	liveOut := make([]valSet, n)
+	var obuf []ir.Value
+	for i, b := range f.Blocks {
+		gen[i], def[i] = valSet{}, valSet{}
+		liveIn[i], liveOut[i] = valSet{}, valSet{}
+		for _, in := range b.Instrs {
+			obuf = operands(in, obuf)
+			for _, v := range obuf {
+				if v >= 0 && !def[i].has(v) {
+					gen[i].add(v)
+				}
+			}
+			if in.Dst != ir.NoValue {
+				def[i].add(in.Dst)
+			}
+		}
+	}
+	idxOf := make(map[string]int, n)
+	for i, b := range f.Blocks {
+		idxOf[b.Name] = i
+	}
+	succsOf := func(b *ir.Block) []int {
+		last := b.Instrs[len(b.Instrs)-1]
+		var out []int
+		switch last.Op {
+		case ir.Br:
+			out = append(out, idxOf[last.Then], idxOf[last.Else])
+		case ir.Jmp:
+			out = append(out, idxOf[last.Then])
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := valSet{}
+			for _, s := range succsOf(f.Blocks[i]) {
+				for v := range liveIn[s] {
+					out.add(v)
+				}
+			}
+			in := valSet{}
+			for v := range out {
+				if !def[i].has(v) {
+					in.add(v)
+				}
+			}
+			for v := range gen[i] {
+				in.add(v)
+			}
+			if len(out) != len(liveOut[i]) || len(in) != len(liveIn[i]) {
+				liveOut[i], liveIn[i] = out, in
+				changed = true
+			} else {
+				same := true
+				for v := range out {
+					if !liveOut[i].has(v) {
+						same = false
+						break
+					}
+				}
+				for v := range in {
+					if !liveIn[i].has(v) {
+						same = false
+						break
+					}
+				}
+				if !same {
+					liveOut[i], liveIn[i] = out, in
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Intervals. Values that are never read get no interval (and so no
+	// location): computing a dead call result would read a dead v0.
+	used := make([]bool, f.NumValues())
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			obuf = operands(in, obuf)
+			for _, v := range obuf {
+				if v >= 0 {
+					used[v] = true
+				}
+			}
+		}
+	}
+	starts := make([]int, f.NumValues())
+	ends := make([]int, f.NumValues())
+	for v := range starts {
+		starts[v] = total + 1
+		ends[v] = -1
+	}
+	touch := func(v ir.Value, p int) {
+		if v < 0 {
+			return
+		}
+		if p < starts[v] {
+			starts[v] = p
+		}
+		if p > ends[v] {
+			ends[v] = p
+		}
+	}
+	k = 0
+	for i, b := range f.Blocks {
+		for v := range liveIn[i] {
+			touch(v, 2*blockStart[b.Name]-1)
+		}
+		for v := range liveOut[i] {
+			touch(v, 2*blockEnd[b.Name]+2)
+		}
+		for _, in := range b.Instrs {
+			obuf = operands(in, obuf)
+			for _, v := range obuf {
+				touch(v, 2*k) // read slot
+			}
+			touch(in.Dst, 2*k+1) // write slot
+			k++
+		}
+	}
+	// Parameters are live from before function entry.
+	for p := 0; p < f.NParams; p++ {
+		touch(ir.Value(p), -1)
+	}
+
+	var ivs []interval
+	for v := 0; v < f.NumValues(); v++ {
+		if ends[v] < 0 || !used[v] {
+			continue // never defined, or defined but never read
+		}
+		iv := interval{v: ir.Value(v), start: starts[v], end: ends[v]}
+		for _, cp := range callPos {
+			if iv.start < cp && cp < iv.end {
+				iv.acrossCall = true
+				break
+			}
+		}
+		ivs = append(ivs, iv)
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].v < ivs[j].v
+	})
+	return ivs, callPos, nil
+}
+
+// allocate performs linear-scan register allocation over the intervals.
+func allocate(f *ir.Func, ivs []interval, callPos []int) allocation {
+	a := allocation{
+		reg:   make(map[ir.Value]isa.Reg),
+		slot:  make(map[ir.Value]int),
+		calls: len(callPos) > 0,
+	}
+	freeCaller := append([]isa.Reg(nil), callerPool...)
+	freeCallee := append([]isa.Reg(nil), calleePool...)
+	type active struct {
+		end    int
+		reg    isa.Reg
+		callee bool
+	}
+	var act []active
+	nextSlot := 0
+	for _, iv := range ivs {
+		// Expire.
+		live := act[:0]
+		for _, A := range act {
+			if A.end >= iv.start {
+				live = append(live, A)
+				continue
+			}
+			if A.callee {
+				freeCallee = append(freeCallee, A.reg)
+			} else {
+				freeCaller = append(freeCaller, A.reg)
+			}
+		}
+		act = live
+
+		switch {
+		case iv.acrossCall:
+			// Must survive calls: only a callee-saved register will do.
+			if len(freeCallee) > 0 {
+				r := freeCallee[0]
+				freeCallee = freeCallee[1:]
+				a.reg[iv.v] = r
+				a.used = a.used.Set(r)
+				act = append(act, active{end: iv.end, reg: r, callee: true})
+				continue
+			}
+		default:
+			if len(freeCaller) > 0 {
+				r := freeCaller[0]
+				freeCaller = freeCaller[1:]
+				a.reg[iv.v] = r
+				act = append(act, active{end: iv.end, reg: r, callee: false})
+				continue
+			}
+			if len(freeCallee) > 0 {
+				r := freeCallee[0]
+				freeCallee = freeCallee[1:]
+				a.reg[iv.v] = r
+				a.used = a.used.Set(r)
+				act = append(act, active{end: iv.end, reg: r, callee: true})
+				continue
+			}
+		}
+		// Spill to a fresh frame slot.
+		a.slot[iv.v] = nextSlot
+		nextSlot++
+	}
+	return a
+}

@@ -1,0 +1,423 @@
+package compiler
+
+import (
+	"testing"
+
+	"dvi/internal/core"
+	"dvi/internal/emu"
+	"dvi/internal/ir"
+	"dvi/internal/isa"
+	"dvi/internal/prog"
+	"dvi/internal/rewrite"
+)
+
+// compileRun compiles and executes a module, returning the emulator.
+func compileRun(t *testing.T, m *ir.Module, opt Options) *emu.Emulator {
+	t.Helper()
+	pr, err := Compile(m, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	e := emu.New(pr, img, emu.Config{
+		DVI:            core.DefaultConfig(),
+		Scheme:         emu.ElimLVMStack,
+		CheckDeadReads: true,
+	})
+	if err := e.Run(20_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(e.Violations) != 0 {
+		t.Fatalf("dead-value violations: %v", e.Violations)
+	}
+	return e
+}
+
+func TestArithmeticLowering(t *testing.T) {
+	m := ir.NewModule()
+	f := m.Func("main", 0)
+	b := f.Block("entry")
+	x := b.Const(10)
+	y := b.Const(3)
+	b.Out(0, b.Add(x, y))    // 13
+	b.Out(0, b.Sub(x, y))    // 7
+	b.Out(0, b.Mul(x, y))    // 30
+	b.Out(0, b.Div(x, y))    // 3
+	b.Out(0, b.Rem(x, y))    // 1
+	b.Out(0, b.AddI(x, 100)) // 110
+	b.Out(0, b.ShlI(x, 4))   // 160
+	b.Out(0, b.AndI(x, 6))   // 2
+	b.Out(0, b.Xor(x, y))    // 9
+	b.Out(0, b.SltS(y, x))   // 1
+	b.Ret(ir.NoValue)
+
+	e := compileRun(t, m, Options{})
+	want := []uint64{13, 7, 30, 3, 1, 110, 160, 2, 9, 1}
+	for i, w := range want {
+		if e.Outputs[i] != w {
+			t.Errorf("output %d = %d, want %d", i, e.Outputs[i], w)
+		}
+	}
+}
+
+func TestLargeConstants(t *testing.T) {
+	m := ir.NewModule()
+	f := m.Func("main", 0)
+	b := f.Block("entry")
+	b.Out(0, b.Const(0x12345678))
+	b.Out(0, b.Const(-123456789))
+	b.Out(0, b.Const(0x1122334455667788))
+	b.Out(0, b.Const(-1))
+	b.Ret(ir.NoValue)
+	e := compileRun(t, m, Options{})
+	want := []uint64{0x12345678, uint64(0xFFFFFFFFF8A432EB), 0x1122334455667788, ^uint64(0)}
+	for i, w := range want {
+		if e.Outputs[i] != w {
+			t.Errorf("const %d = %#x, want %#x", i, e.Outputs[i], w)
+		}
+	}
+}
+
+func TestControlFlowLoop(t *testing.T) {
+	// sum of 1..n via a loop with a spilled-or-not accumulator.
+	m := ir.NewModule()
+	f := m.Func("main", 0)
+	entry := f.Block("entry")
+	n := entry.Const(100)
+	i0 := entry.Const(1)
+	s0 := entry.Const(0)
+	entry.Jmp("loop")
+
+	loop := f.Block("loop")
+	// Mutable virtual registers: reuse via explicit stores into data.
+	// Simpler: accumulate through memory.
+	_ = i0
+	_ = s0
+	_ = n
+	_ = loop
+	m2 := ir.NewModule()
+	m2.AddData(prog.DataSym{Name: "acc", Size: 16})
+	f2 := m2.Func("main", 0)
+	e2 := f2.Block("entry")
+	base := e2.AddrOf("acc")
+	zero := e2.Const(0)
+	one := e2.Const(1)
+	e2.Store(base, 0, zero) // sum
+	e2.Store(base, 8, one)  // i
+	e2.Jmp("loop")
+	l := f2.Block("loop")
+	lb := l.AddrOf("acc")
+	sum := l.Load(lb, 0)
+	i := l.Load(lb, 8)
+	sum2 := l.Add(sum, i)
+	i2 := l.AddI(i, 1)
+	l.Store(lb, 0, sum2)
+	l.Store(lb, 8, i2)
+	limit := l.Const(100)
+	l.Br(ir.GE, i2, limit, "done", "loop")
+	d := f2.Block("done")
+	db := d.AddrOf("acc")
+	d.Out(0, d.Load(db, 0))
+	d.Ret(ir.NoValue)
+
+	e := compileRun(t, m2, Options{})
+	if e.Outputs[0] != 4950 { // 1+..+99
+		t.Errorf("sum = %d, want 4950", e.Outputs[0])
+	}
+}
+
+func TestRecursiveFibInIR(t *testing.T) {
+	m := ir.NewModule()
+	fib := m.Func("fib", 1)
+	b := fib.Block("entry")
+	n := fib.Param(0)
+	two := b.Const(2)
+	b.Br(ir.LT, n, two, "base", "rec")
+	rec := fib.Block("rec")
+	a := rec.Call("fib", rec.AddI(n, -1))
+	c := rec.Call("fib", rec.AddI(n, -2))
+	rec.Ret(rec.Add(a, c))
+	base := fib.Block("base")
+	base.Ret(n)
+
+	main := m.Func("main", 0)
+	mb := main.Block("entry")
+	mb.Out(0, mb.Call("fib", mb.Const(15)))
+	mb.Ret(ir.NoValue)
+
+	for _, edvi := range []bool{false, true} {
+		e := compileRun(t, m, Options{EDVI: edvi})
+		if e.Outputs[0] != 610 {
+			t.Errorf("edvi=%v: fib(15) = %d, want 610", edvi, e.Outputs[0])
+		}
+		if edvi && e.Stats.Kills == 0 {
+			t.Error("EDVI build executed no kills")
+		}
+		if !edvi && e.Stats.Kills != 0 {
+			t.Error("baseline build contains kills")
+		}
+	}
+}
+
+func TestAcrossCallValuesSurvive(t *testing.T) {
+	// x is live across two calls: it must be placed in a callee-saved
+	// register or spilled, never in a caller-saved register.
+	m := ir.NewModule()
+	id := m.Func("id", 1)
+	ib := id.Block("entry")
+	ib.Ret(id.Param(0))
+
+	main := m.Func("main", 0)
+	b := main.Block("entry")
+	x := b.Const(111)
+	r1 := b.Call("id", b.Const(1))
+	r2 := b.Call("id", b.Const(2))
+	b.Out(0, b.Add(b.Add(x, r1), r2)) // 111+1+2
+	b.Ret(ir.NoValue)
+
+	e := compileRun(t, m, Options{})
+	if e.Outputs[0] != 114 {
+		t.Errorf("result = %d, want 114", e.Outputs[0])
+	}
+}
+
+func TestSpillPressure(t *testing.T) {
+	// More simultaneously-live values than registers: forces spills and
+	// still computes correctly.
+	m := ir.NewModule()
+	f := m.Func("main", 0)
+	b := f.Block("entry")
+	const nVals = 40
+	vals := make([]ir.Value, nVals)
+	for i := range vals {
+		vals[i] = b.Const(int64(i + 1))
+	}
+	sum := vals[0]
+	for i := 1; i < nVals; i++ {
+		sum = b.Add(sum, vals[i])
+	}
+	// Keep all original values live to the end: use them again.
+	check := vals[0]
+	for i := 1; i < nVals; i++ {
+		check = b.Xor(check, vals[i])
+	}
+	b.Out(0, sum)
+	b.Out(0, check)
+	b.Ret(ir.NoValue)
+
+	e := compileRun(t, m, Options{})
+	if e.Outputs[0] != nVals*(nVals+1)/2 {
+		t.Errorf("sum = %d", e.Outputs[0])
+	}
+	var xor uint64
+	for i := 1; i <= nVals; i++ {
+		xor ^= uint64(i)
+	}
+	if e.Outputs[1] != xor {
+		t.Errorf("xor = %d, want %d", e.Outputs[1], xor)
+	}
+}
+
+func TestSpilledValueAcrossCall(t *testing.T) {
+	// Enough across-call values to exhaust the callee-saved pool: the
+	// extras spill and must still survive calls.
+	m := ir.NewModule()
+	id := m.Func("id", 1)
+	id.Block("entry").Ret(id.Param(0))
+
+	main := m.Func("main", 0)
+	b := main.Block("entry")
+	const nVals = 12 // callee pool is 8
+	vals := make([]ir.Value, nVals)
+	for i := range vals {
+		vals[i] = b.Const(int64(100 + i))
+	}
+	r := b.Call("id", b.Const(1))
+	sum := r
+	for _, v := range vals {
+		sum = b.Add(sum, v)
+	}
+	b.Out(0, sum)
+	b.Ret(ir.NoValue)
+
+	e := compileRun(t, m, Options{})
+	want := uint64(1)
+	for i := 0; i < nVals; i++ {
+		want += uint64(100 + i)
+	}
+	if e.Outputs[0] != want {
+		t.Errorf("sum = %d, want %d", e.Outputs[0], want)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	m := ir.NewModule()
+	m.AddData(prog.DataSym{Name: "buf", Size: 64})
+	f := m.Func("main", 0)
+	b := f.Block("entry")
+	base := b.AddrOf("buf")
+	v := b.Const(0xAB)
+	b.Store(base, 16, v)
+	b.StoreB(base, 3, v)
+	b.Out(0, b.Load(base, 16))
+	b.Out(0, b.LoadB(base, 3))
+	b.Ret(ir.NoValue)
+	e := compileRun(t, m, Options{})
+	if e.Outputs[0] != 0xAB || e.Outputs[1] != 0xAB {
+		t.Errorf("outputs = %#x %#x", e.Outputs[0], e.Outputs[1])
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	m := ir.NewModule()
+	dbl := m.Func("dbl", 1)
+	db := dbl.Block("entry")
+	db.Ret(db.Add(dbl.Param(0), dbl.Param(0)))
+	trp := m.Func("trp", 1)
+	tb := trp.Block("entry")
+	tb.Ret(tb.MulI(trp.Param(0), 3))
+
+	main := m.Func("main", 0)
+	b := main.Block("entry")
+	fp1 := b.AddrOf("dbl")
+	fp2 := b.AddrOf("trp")
+	b.Out(0, b.CallPtr(fp1, b.Const(21)))
+	b.Out(0, b.CallPtr(fp2, b.Const(7)))
+	b.Ret(ir.NoValue)
+
+	e := compileRun(t, m, Options{})
+	if e.Outputs[0] != 42 || e.Outputs[1] != 21 {
+		t.Errorf("indirect calls = %d, %d", e.Outputs[0], e.Outputs[1])
+	}
+}
+
+func TestFourParams(t *testing.T) {
+	m := ir.NewModule()
+	f := m.Func("mix", 4)
+	b := f.Block("entry")
+	s := b.Add(f.Param(0), b.ShlI(f.Param(1), 4))
+	s = b.Add(s, b.ShlI(f.Param(2), 8))
+	s = b.Add(s, b.ShlI(f.Param(3), 12))
+	b.Ret(s)
+
+	main := m.Func("main", 0)
+	mb := main.Block("entry")
+	mb.Out(0, mb.Call("mix", mb.Const(1), mb.Const(2), mb.Const(3), mb.Const(4)))
+	mb.Ret(ir.NoValue)
+	e := compileRun(t, m, Options{})
+	if e.Outputs[0] != 0x4321 {
+		t.Errorf("mix = %#x, want 0x4321", e.Outputs[0])
+	}
+}
+
+func TestEDVIEquivalenceAndElimination(t *testing.T) {
+	build := func() *ir.Module {
+		m := ir.NewModule()
+		work := m.Func("work", 1)
+		wb := work.Block("entry")
+		// Forces callee-saved usage inside work: value live across a call.
+		x := wb.MulI(work.Param(0), 3)
+		r := wb.Call("leaf", x)
+		wb.Ret(wb.Add(x, r))
+		leaf := m.Func("leaf", 1)
+		leaf.Block("entry").Ret(leaf.Param(0))
+
+		main := m.Func("main", 0)
+		mb := main.Block("entry")
+		mx := mb.Const(5)
+		r1 := mb.Call("work", mx) // mx live across this call -> callee-saved
+		y := mb.Add(mx, r1)       // last use of mx
+		mb.Out(0, y)              // last use of y
+		r2 := mb.Call("work", r1) // mx and y dead here: kill expected
+		mb.Out(0, r2)
+		mb.Ret(ir.NoValue)
+		return m
+	}
+
+	base := compileRun(t, build(), Options{})
+	edvi := compileRun(t, build(), Options{EDVI: true})
+	if base.Checksum != edvi.Checksum {
+		t.Error("EDVI build changed program results")
+	}
+	if edvi.Stats.SavesElim == 0 {
+		t.Error("EDVI build eliminated no saves")
+	}
+	atDeath := compileRun(t, build(), Options{EDVI: true, Policy: rewrite.KillsAtDeath})
+	if atDeath.Checksum != base.Checksum {
+		t.Error("at-death EDVI build changed program results")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	m := ir.NewModule()
+	f := m.Func("main", 0)
+	f.Block("entry") // unterminated
+	if _, err := Compile(m, Options{}); err == nil {
+		t.Error("unterminated block accepted")
+	}
+
+	m2 := ir.NewModule()
+	f2 := m2.Func("main", 0)
+	b2 := f2.Block("entry")
+	b2.Jmp("nowhere")
+	if _, err := Compile(m2, Options{}); err == nil {
+		t.Error("unknown jump target accepted")
+	}
+
+	m3 := ir.NewModule()
+	f3 := m3.Func("main", 0)
+	b3 := f3.Block("entry")
+	b3.CallVoid("missing")
+	b3.Ret(ir.NoValue)
+	if _, err := Compile(m3, Options{}); err == nil {
+		t.Error("unknown callee accepted")
+	}
+}
+
+func TestCalleeSavedSavesAreLiveStores(t *testing.T) {
+	m := ir.NewModule()
+	id := m.Func("id", 1)
+	id.Block("entry").Ret(id.Param(0))
+	main := m.Func("main", 0)
+	b := main.Block("entry")
+	x := b.Const(9)
+	r := b.Call("id", x)
+	b.Out(0, b.Add(x, r)) // x across call -> callee-saved -> prologue save
+	b.Ret(ir.NoValue)
+
+	pr, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lvst, lvld int
+	for _, in := range pr.Proc("main").Insts {
+		switch in.Op {
+		case isa.LVST:
+			lvst++
+		case isa.LVLD:
+			lvld++
+		}
+	}
+	if lvst == 0 || lvst != lvld {
+		t.Errorf("live saves/restores = %d/%d", lvst, lvld)
+	}
+}
+
+func TestLeafHasNoFrame(t *testing.T) {
+	m := ir.NewModule()
+	leaf := m.Func("main", 1)
+	b := leaf.Block("entry")
+	b.Ret(b.AddI(leaf.Param(0), 1))
+	pr, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range pr.Proc("main").Insts {
+		if in.Op == isa.LVST || (in.Op == isa.ST && in.Rs2 == isa.RA) {
+			t.Errorf("leaf function saves state: %v", in.Inst)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvi/internal/isa"
+)
+
+func full() *Tracker { return New(DefaultConfig()) }
+
+func TestResetAllLive(t *testing.T) {
+	tr := full()
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if !tr.Live(r) {
+			t.Errorf("%s not live after reset", r)
+		}
+	}
+	if tr.LiveCount() != isa.NumRegs {
+		t.Errorf("LiveCount = %d", tr.LiveCount())
+	}
+}
+
+func TestKillAndRedefine(t *testing.T) {
+	tr := full()
+	tr.OnKill(isa.MaskOf(isa.S0, isa.S1))
+	if tr.Live(isa.S0) || tr.Live(isa.S1) {
+		t.Error("killed registers still live")
+	}
+	if !tr.SaveEliminable(isa.S0) {
+		t.Error("save of dead register not eliminable")
+	}
+	tr.OnWrite(isa.S0)
+	if !tr.Live(isa.S0) {
+		t.Error("redefined register not live")
+	}
+	if tr.SaveEliminable(isa.S0) {
+		t.Error("save of live register eliminable")
+	}
+	if tr.Live(isa.S1) {
+		t.Error("unrelated register resurrected")
+	}
+}
+
+func TestKillIgnoresAlwaysLive(t *testing.T) {
+	tr := full()
+	tr.OnKill(isa.RegMask(0xFFFFFFFF))
+	for _, r := range isa.AlwaysLive.Regs() {
+		if !tr.Live(r) {
+			t.Errorf("always-live %s killed", r)
+		}
+	}
+	if tr.Live(isa.S0) || tr.Live(isa.T0) {
+		t.Error("killable registers survived a full-mask kill")
+	}
+}
+
+func TestIDVIAtCall(t *testing.T) {
+	tr := full()
+	tr.OnCall()
+	abi := isa.DefaultABI()
+	for _, r := range abi.DeadAtCall.Regs() {
+		if tr.Live(r) {
+			t.Errorf("%s live after call (I-DVI)", r)
+		}
+	}
+	// Arguments, ra, and all callee-saved registers remain live.
+	for _, r := range []isa.Reg{isa.A0, isa.A3, isa.RA, isa.S0, isa.S7, isa.SP} {
+		if !tr.Live(r) {
+			t.Errorf("%s dead after call", r)
+		}
+	}
+}
+
+func TestIDVIAtReturn(t *testing.T) {
+	tr := full()
+	tr.OnCall()
+	tr.OnWrite(isa.V0) // callee produces a return value
+	tr.OnReturn()
+	abi := isa.DefaultABI()
+	for _, r := range abi.DeadAtReturn.Regs() {
+		if tr.Live(r) {
+			t.Errorf("%s live after return (I-DVI)", r)
+		}
+	}
+	for _, r := range []isa.Reg{isa.V0, isa.S0} {
+		if !tr.Live(r) {
+			t.Errorf("%s dead after return", r)
+		}
+	}
+}
+
+// TestReturnValueStaysLiveAcrossPop guards the subtle case that motivated
+// restricting the LVM-Stack pop to callee-saved bits: v0 is dead at the
+// call (I-DVI), the callee writes the return value, and the pop must not
+// resurrect the stale dead bit.
+func TestReturnValueStaysLiveAcrossPop(t *testing.T) {
+	tr := full()
+	tr.OnCall() // snapshot has v0 dead (I-DVI at call kills v0)
+	tr.OnWrite(isa.V0)
+	tr.OnReturn()
+	if !tr.Live(isa.V0) {
+		t.Fatal("return value register marked dead by LVM-Stack pop")
+	}
+	// Conversely a void callee leaves v0 dead: reading it is a bug.
+	tr2 := full()
+	tr2.OnCall()
+	tr2.OnReturn()
+	if tr2.Live(isa.V0) {
+		t.Fatal("v0 live after void call; nothing wrote it")
+	}
+}
+
+// TestPaperFigure8 reproduces the LVM / LVM-Stack walkthrough of Figure 8:
+// caller2 kills r16 before calling proc; the save of r16 inside proc is
+// eliminated via the LVM, proc redefines r16, and the restore is eliminated
+// via the LVM-Stack even though the LVM bit went live again.
+func TestPaperFigure8(t *testing.T) {
+	tr := full()
+	r16 := isa.S0
+
+	tr.OnWrite(r16)            // I1: <- r16 defined in caller2
+	tr.OnKill(isa.MaskOf(r16)) // E2: kill r16
+	if tr.Live(r16) {
+		t.Fatal("r16 live after kill")
+	}
+	tr.OnCall() // I2: call proc (push LVM: r16 dead)
+
+	// I3: save r16 — eliminated because the LVM says dead.
+	if !tr.SaveEliminable(r16) {
+		t.Fatal("save not eliminated (LVM scheme)")
+	}
+
+	// I4: r16 <- ... inside proc: LVM live again, stack entry unchanged
+	// (Figure 8c step 2 "maintain").
+	tr.OnWrite(r16)
+	if !tr.Live(r16) {
+		t.Fatal("r16 not live after redefinition in proc")
+	}
+	if tr.SaveEliminable(r16) {
+		t.Fatal("LVM lost track of the new definition")
+	}
+
+	// I6: restore r16 — the LVM alone cannot eliminate it, the LVM-Stack
+	// can (Figure 8c step 3 "eliminate").
+	if !tr.RestoreEliminable(r16) {
+		t.Fatal("restore not eliminated (LVM-Stack scheme)")
+	}
+
+	// I7: return pops the stack back into the LVM (step 4 "pop").
+	tr.OnReturn()
+	if tr.Live(r16) {
+		t.Fatal("r16 live after return; entry liveness said dead")
+	}
+}
+
+// TestPaperFigure7LivePath checks the caller1 path of Figure 7: r16 live at
+// the call, so neither save nor restore may be eliminated.
+func TestPaperFigure7LivePath(t *testing.T) {
+	tr := full()
+	r16 := isa.S0
+	tr.OnWrite(r16) // r16 live in caller1; no kill inserted
+	tr.OnCall()
+	if tr.SaveEliminable(r16) {
+		t.Fatal("save of live value eliminated")
+	}
+	tr.OnWrite(r16)
+	if tr.RestoreEliminable(r16) {
+		t.Fatal("restore of live value eliminated")
+	}
+	tr.OnReturn()
+	if !tr.Live(r16) {
+		t.Fatal("r16 should be live after returning to caller1")
+	}
+}
+
+func TestNestedCallsUseDistinctSnapshots(t *testing.T) {
+	tr := full()
+	// Outer call: s0 dead. Inner call: s0 live (callee wrote it).
+	tr.OnKill(isa.MaskOf(isa.S0))
+	tr.OnCall()
+	if !tr.SaveEliminable(isa.S0) {
+		t.Fatal("outer save should be eliminable")
+	}
+	tr.OnWrite(isa.S0)
+	tr.OnCall() // inner call pushes live s0
+	if tr.SaveEliminable(isa.S0) {
+		t.Fatal("inner save must execute: s0 live at inner call")
+	}
+	if tr.RestoreEliminable(isa.S0) {
+		t.Fatal("inner restore must execute")
+	}
+	tr.OnReturn() // back in outer callee
+	if !tr.RestoreEliminable(isa.S0) {
+		t.Fatal("outer restore should still be eliminable")
+	}
+	tr.OnReturn()
+}
+
+func TestStackUnderflowIsConservative(t *testing.T) {
+	tr := full()
+	tr.OnKill(isa.MaskOf(isa.S0))
+	// No call has been recorded: restores must not be eliminated.
+	if tr.RestoreEliminable(isa.S0) {
+		t.Error("restore eliminated with empty LVM-Stack")
+	}
+	tr.OnReturn() // underflow: all live (minus I-DVI at return)
+	if !tr.Live(isa.S0) {
+		t.Error("underflow pop should restore all-live")
+	}
+}
+
+func TestStackOverflowWrapsAndKeepsRecentEntries(t *testing.T) {
+	tr := New(Config{Level: Full, ABI: isa.DefaultABI(), StackDepth: 4})
+	// Push depth+2 frames; the newest 4 snapshots must be intact.
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			tr.OnKill(isa.MaskOf(isa.S0))
+		} else {
+			tr.OnWrite(isa.S0)
+		}
+		tr.OnCall()
+		tr.OnWrite(isa.S0)
+	}
+	// Frames 5,4,3,2 are retained (0 and 1 overwritten). Frame 5 pushed
+	// with s0 live (i=5 odd), frame 4 dead, frame 3 live, frame 2 dead.
+	wantDead := []bool{false, true, false, true}
+	for i, dead := range wantDead {
+		if got := tr.RestoreEliminable(isa.S0); got != dead {
+			t.Errorf("frame %d from top: eliminable = %v, want %v", i, got, dead)
+		}
+		tr.OnReturn()
+	}
+	// Beyond retained entries: underflow-like behaviour only after count
+	// is exhausted; the 5th pop exceeds the 4 retained frames.
+	if tr.RestoreEliminable(isa.S0) {
+		t.Error("restore eliminated after stack exhausted")
+	}
+}
+
+func TestLevelNoneEliminatesNothing(t *testing.T) {
+	tr := New(Config{Level: None})
+	tr.OnKill(isa.MaskOf(isa.S0))
+	tr.OnCall()
+	if tr.SaveEliminable(isa.S0) || tr.RestoreEliminable(isa.S0) {
+		t.Error("Level None must not eliminate")
+	}
+	if tr.LiveCount() != isa.NumRegs {
+		t.Error("Level None should report all registers live")
+	}
+}
+
+func TestLevelIDVIIgnoresKills(t *testing.T) {
+	tr := New(Config{Level: IDVI, ABI: isa.DefaultABI()})
+	tr.OnKill(isa.MaskOf(isa.S0))
+	if !tr.Live(isa.S0) {
+		t.Error("I-DVI level honoured an explicit kill")
+	}
+	tr.OnCall()
+	if tr.Live(isa.T0) {
+		t.Error("I-DVI level missed implicit kill of t0")
+	}
+}
+
+func TestClearABIMaskDisablesIDVI(t *testing.T) {
+	tr := New(Config{Level: Full, ABI: isa.NoIDVI()})
+	tr.OnCall()
+	if !tr.Live(isa.T0) {
+		t.Error("clear ABI mask should disable I-DVI (paper §7)")
+	}
+	// Explicit kills still work.
+	tr.OnKill(isa.MaskOf(isa.S0))
+	if tr.Live(isa.S0) {
+		t.Error("explicit kill broken with clear ABI mask")
+	}
+}
+
+func TestSetLVMKeepsAlwaysLive(t *testing.T) {
+	tr := full()
+	tr.SetLVM(0)
+	for _, r := range isa.AlwaysLive.Regs() {
+		if !tr.Live(r) {
+			t.Errorf("%s dead after SetLVM(0)", r)
+		}
+	}
+	if tr.Live(isa.S0) {
+		t.Error("SetLVM(0) left s0 live")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tr := full()
+	step := func() {
+		switch r.Intn(5) {
+		case 0:
+			tr.OnWrite(isa.Reg(r.Intn(32)))
+		case 1:
+			tr.OnKill(isa.RegMask(r.Uint32()))
+		case 2:
+			tr.OnCall()
+		case 3:
+			tr.OnReturn()
+		case 4:
+			tr.SetLVM(isa.RegMask(r.Uint32()))
+		}
+	}
+	state := func() (isa.RegMask, [32]bool) {
+		var rst [32]bool
+		for i := 0; i < 32; i++ {
+			rst[i] = tr.RestoreEliminable(isa.Reg(i))
+		}
+		return tr.LVM(), rst
+	}
+	for trial := 0; trial < 200; trial++ {
+		for i := 0; i < r.Intn(20); i++ {
+			step()
+		}
+		snap := tr.Snapshot()
+		lvm0, rst0 := state()
+		for i := 0; i < r.Intn(30); i++ {
+			step()
+		}
+		tr.Restore(snap)
+		lvm1, rst1 := state()
+		if lvm0 != lvm1 || rst0 != rst1 {
+			t.Fatalf("trial %d: state differs after restore", trial)
+		}
+	}
+}
+
+func TestDefaultStackDepthCapturesDeepRecursion(t *testing.T) {
+	tr := full()
+	if tr.StackDepth() != 16 {
+		t.Fatalf("default depth = %d, want 16", tr.StackDepth())
+	}
+	// 16 nested calls with dead s0 at each: all restores eliminable.
+	for i := 0; i < 16; i++ {
+		tr.OnKill(isa.MaskOf(isa.S0))
+		tr.OnCall()
+		tr.OnWrite(isa.S0)
+	}
+	for i := 0; i < 16; i++ {
+		if !tr.RestoreEliminable(isa.S0) {
+			t.Fatalf("restore %d not eliminable within depth", i)
+		}
+		tr.OnReturn()
+	}
+}
+
+func TestBadStackDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("depth 65 did not panic")
+		}
+	}()
+	New(Config{Level: Full, StackDepth: MaxStackDepth + 1})
+}
+
+func TestLevelStrings(t *testing.T) {
+	if None.String() != "No DVI" || IDVI.String() != "I-DVI" || Full.String() != "E-DVI and I-DVI" {
+		t.Error("level labels changed; tables depend on them")
+	}
+}
+
+func TestResetAfterActivity(t *testing.T) {
+	tr := full()
+	tr.OnKill(isa.Killable)
+	tr.OnCall()
+	tr.OnCall()
+	tr.Reset()
+	if tr.LiveCount() != isa.NumRegs {
+		t.Error("reset did not restore all-live")
+	}
+	if tr.RestoreEliminable(isa.S0) {
+		t.Error("reset did not empty the stack")
+	}
+}

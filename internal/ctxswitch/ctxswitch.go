@@ -1,0 +1,192 @@
+// Package ctxswitch implements the paper's §6 evaluation: dead
+// save/restore elimination across context switches. The paper's metric is
+// the reduction in the average number of integer registers saved and
+// restored at preemption points, "computed by generating a histogram of
+// the number of live architectural registers and calculating the average
+// number of registers holding live values during execution."
+//
+// Two tools are provided: Measure samples the LVM at periodic preemption
+// points of a single program (the Figure 12 methodology), and Scheduler
+// actually runs several threads round-robin, executing the switch sequence
+// with live-store/live-load semantics and LVM save/load (§6.1), counting
+// the saves and restores a DVI-aware kernel would execute.
+package ctxswitch
+
+import (
+	"fmt"
+
+	"dvi/internal/emu"
+	"dvi/internal/isa"
+	"dvi/internal/prog"
+)
+
+// SaveSet is the number of integer registers a context switch must
+// preserve without DVI: every architectural register except the hardwired
+// zero.
+const SaveSet = isa.NumRegs - 1
+
+// Result summarizes one liveness-sampling run.
+type Result struct {
+	Samples   uint64
+	Hist      [isa.NumRegs + 1]uint64 // count of samples with k live registers
+	AvgLive   float64
+	Reduction float64 // 1 - AvgLive/SaveSet
+}
+
+// Measure runs the program on the functional emulator and samples the
+// number of live registers every interval instructions (the preemption
+// points). The emulator's DVI configuration decides how much liveness
+// information is available (Level None -> no reduction).
+func Measure(pr *prog.Program, img *prog.Image, cfg emu.Config, interval, maxInsts uint64) (Result, error) {
+	if interval == 0 {
+		interval = 997 // a prime, to avoid phase-locking with loop bodies
+	}
+	e := emu.New(pr, img, cfg)
+	var res Result
+	var sumLive uint64
+	n := uint64(0)
+	for !e.Halted {
+		if maxInsts != 0 && n >= maxInsts {
+			break
+		}
+		e.Step()
+		n++
+		if n%interval == 0 {
+			// r0 is constant and never saved; exclude it from the count.
+			live := e.Tracker.LiveCount()
+			if e.Tracker.Live(isa.Zero) {
+				live--
+			}
+			res.Hist[live]++
+			res.Samples++
+			sumLive += uint64(live)
+		}
+	}
+	if res.Samples == 0 {
+		return res, fmt.Errorf("ctxswitch: no samples (program too short for interval %d)", interval)
+	}
+	res.AvgLive = float64(sumLive) / float64(res.Samples)
+	res.Reduction = 1 - res.AvgLive/float64(SaveSet)
+	return res, nil
+}
+
+// SwitchStats counts the register traffic of a preemptive scheduler.
+type SwitchStats struct {
+	Switches           uint64
+	SavesExecuted      uint64
+	SavesEliminated    uint64
+	RestoresExecuted   uint64
+	RestoresEliminated uint64
+	LvmOps             uint64 // lvm-save + lvm-load instances
+}
+
+// Total returns all save/restore instances, executed or eliminated.
+func (s SwitchStats) Total() uint64 {
+	return s.SavesExecuted + s.SavesEliminated + s.RestoresExecuted + s.RestoresEliminated
+}
+
+// ReductionPct returns the fraction of saves and restores eliminated.
+func (s SwitchStats) ReductionPct() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.SavesEliminated+s.RestoresEliminated) / float64(t)
+	}
+	return 0
+}
+
+// thread is one schedulable execution of a program image.
+type thread struct {
+	emu   *emu.Emulator
+	tcb   [isa.NumRegs]uint64 // saved registers
+	lvm   isa.RegMask         // saved LVM (the §6.1 lvm-save instruction)
+	valid isa.RegMask         // registers actually written to the TCB
+}
+
+// Scheduler runs several programs round-robin with a fixed quantum.
+type Scheduler struct {
+	threads []*thread
+	quantum uint64
+	useDVI  bool
+
+	Stats SwitchStats
+}
+
+// NewScheduler builds a scheduler over independent emulators. With useDVI
+// false, every switch saves and restores the full SaveSet (the baseline
+// kernel); with it true, the switch code uses live-stores/live-loads plus
+// lvm-save/lvm-load, eliminating dead-register traffic.
+func NewScheduler(quantum uint64, useDVI bool, emus ...*emu.Emulator) *Scheduler {
+	s := &Scheduler{quantum: quantum, useDVI: useDVI}
+	for _, e := range emus {
+		s.threads = append(s.threads, &thread{emu: e, lvm: 0xFFFFFFFF})
+	}
+	return s
+}
+
+// save models the switch-out sequence: lvm-save, then one live-store per
+// register in the save set.
+func (s *Scheduler) save(t *thread) {
+	s.Stats.LvmOps++
+	t.lvm = t.emu.Tracker.LVM()
+	t.valid = 0
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if !s.useDVI || t.lvm.Has(r) {
+			t.tcb[r] = t.emu.Regs[r]
+			t.valid = t.valid.Set(r)
+			s.Stats.SavesExecuted++
+		} else {
+			s.Stats.SavesEliminated++
+		}
+	}
+}
+
+// restore models the switch-in sequence: lvm-load, then one live-load per
+// register. Registers whose restore was eliminated are poisoned with a
+// recognizable garbage value — on real hardware they would hold another
+// thread's data — so an incorrect liveness assertion would corrupt program
+// results instead of silently passing.
+func (s *Scheduler) restore(t *thread) {
+	s.Stats.LvmOps++
+	// The LVM-Stack's snapshots belong to whichever context ran last;
+	// flush it and reload the LVM from the thread control block (§6.1,
+	// §7).
+	t.emu.Tracker.FlushStack()
+	t.emu.Tracker.SetLVM(t.lvm)
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		switch {
+		case t.valid.Has(r):
+			t.emu.Regs[r] = t.tcb[r]
+			s.Stats.RestoresExecuted++
+		case s.useDVI:
+			s.Stats.RestoresEliminated++
+			t.emu.Regs[r] = 0xDEAD_0000_0000_0000 | uint64(r)<<32 | s.Stats.Switches
+		}
+	}
+}
+
+// Run executes until every thread halts or the per-thread instruction
+// budget is exhausted, switching threads every quantum instructions.
+func (s *Scheduler) Run(maxInstsPerThread uint64) error {
+	executed := make([]uint64, len(s.threads))
+	for {
+		anyRan := false
+		for i, t := range s.threads {
+			if t.emu.Halted || (maxInstsPerThread != 0 && executed[i] >= maxInstsPerThread) {
+				continue
+			}
+			anyRan = true
+			s.restore(t)
+			for q := uint64(0); q < s.quantum && !t.emu.Halted; q++ {
+				t.emu.Step()
+				executed[i]++
+				if maxInstsPerThread != 0 && executed[i] >= maxInstsPerThread {
+					break
+				}
+			}
+			s.save(t)
+			s.Stats.Switches++
+		}
+		if !anyRan {
+			return nil
+		}
+	}
+}

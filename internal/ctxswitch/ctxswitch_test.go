@@ -1,0 +1,170 @@
+package ctxswitch
+
+import (
+	"testing"
+
+	"dvi/internal/core"
+	"dvi/internal/emu"
+	"dvi/internal/isa"
+	"dvi/internal/prog"
+	"dvi/internal/workload"
+)
+
+func buildBench(t *testing.T, name string, edvi bool) (*prog.Program, *prog.Image) {
+	t.Helper()
+	s, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	pr, img, err := workload.CompileSpec(s, 1, workload.BuildOptions{EDVI: edvi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr, img
+}
+
+func TestMeasureReductions(t *testing.T) {
+	pr, img := buildBench(t, "gcc", true)
+
+	none, err := Measure(pr, img, emu.Config{DVI: core.Config{Level: core.None}}, 997, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idvi, err := Measure(pr, img, emu.Config{DVI: core.Config{Level: core.IDVI, ABI: isa.DefaultABI()}}, 997, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Measure(pr, img, emu.Config{DVI: core.DefaultConfig()}, 997, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if none.Reduction != 0 {
+		t.Errorf("no-DVI reduction = %.3f, want 0", none.Reduction)
+	}
+	if idvi.Reduction <= 0.05 {
+		t.Errorf("I-DVI reduction = %.3f, expected substantial", idvi.Reduction)
+	}
+	if full.Reduction < idvi.Reduction {
+		t.Errorf("E+I-DVI reduction %.3f < I-DVI %.3f; explicit kills should only help",
+			full.Reduction, idvi.Reduction)
+	}
+	t.Logf("gcc: avg live none=%.1f idvi=%.1f full=%.1f; reduction idvi=%.1f%% full=%.1f%%",
+		none.AvgLive, idvi.AvgLive, full.AvgLive, 100*idvi.Reduction, 100*full.Reduction)
+}
+
+func TestMeasureHistogramConsistency(t *testing.T) {
+	pr, img := buildBench(t, "li", true)
+	res, err := Measure(pr, img, emu.Config{DVI: core.DefaultConfig()}, 503, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n, sum uint64
+	for k, c := range res.Hist {
+		n += c
+		sum += uint64(k) * c
+	}
+	if n != res.Samples {
+		t.Errorf("histogram total %d != samples %d", n, res.Samples)
+	}
+	if got := float64(sum) / float64(n); got != res.AvgLive {
+		t.Errorf("avg from histogram %.4f != %.4f", got, res.AvgLive)
+	}
+	// Always-live registers (k0,k1,gp,sp) bound live counts from below.
+	for k := 0; k < 4; k++ {
+		if res.Hist[k] != 0 {
+			t.Errorf("sample with %d live registers; always-live set is 4+", k)
+		}
+	}
+}
+
+func TestMeasureTooShortErrors(t *testing.T) {
+	pr := prog.New()
+	pr.Assembler("main").Ret()
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Measure(pr, img, emu.Config{DVI: core.DefaultConfig()}, 1000, 0); err == nil {
+		t.Error("expected error for too-short program")
+	}
+}
+
+// newEmu builds an emulator for the scheduler tests.
+func newEmu(t *testing.T, name string, cfg emu.Config) *emu.Emulator {
+	t.Helper()
+	pr, img := buildBench(t, name, true)
+	return emu.New(pr, img, cfg)
+}
+
+func TestSchedulerDVISwitchingIsSound(t *testing.T) {
+	cfg := emu.Config{DVI: core.DefaultConfig(), Scheme: emu.ElimLVMStack}
+
+	// Reference: each program run standalone.
+	ref1 := newEmu(t, "gcc", cfg)
+	if err := ref1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	ref2 := newEmu(t, "ijpeg", cfg)
+	if err := ref2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Preemptive round-robin with DVI-based switch code and register
+	// poisoning: results must match standalone runs exactly.
+	a := newEmu(t, "gcc", cfg)
+	b := newEmu(t, "ijpeg", cfg)
+	sched := NewScheduler(1009, true, a, b)
+	if err := sched.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != ref1.Checksum {
+		t.Error("gcc results changed under DVI context switching")
+	}
+	if b.Checksum != ref2.Checksum {
+		t.Error("ijpeg results changed under DVI context switching")
+	}
+	if sched.Stats.SavesEliminated == 0 || sched.Stats.RestoresEliminated == 0 {
+		t.Error("DVI switch code eliminated nothing")
+	}
+	if len(a.Violations)+len(b.Violations) != 0 {
+		t.Errorf("violations: %v %v", a.Violations, b.Violations)
+	}
+	t.Logf("switches=%d eliminated %.1f%% of %d save/restore instances",
+		sched.Stats.Switches, 100*sched.Stats.ReductionPct(), sched.Stats.Total())
+}
+
+func TestSchedulerBaselineSavesEverything(t *testing.T) {
+	cfg := emu.Config{DVI: core.DefaultConfig(), Scheme: emu.ElimLVMStack}
+	a := newEmu(t, "vortex", cfg)
+	sched := NewScheduler(2003, false, a)
+	if err := sched.Run(300_000); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Stats.SavesEliminated != 0 || sched.Stats.RestoresEliminated != 0 {
+		t.Error("baseline scheduler eliminated saves")
+	}
+	if sched.Stats.SavesExecuted != sched.Stats.Switches*uint64(SaveSet) {
+		t.Errorf("saves %d != switches %d * %d", sched.Stats.SavesExecuted, sched.Stats.Switches, SaveSet)
+	}
+}
+
+func TestSchedulerReductionMatchesMeasure(t *testing.T) {
+	// The scheduler's observed reduction should be in the same region as
+	// the sampling estimate for the same program.
+	cfg := emu.Config{DVI: core.DefaultConfig(), Scheme: emu.ElimLVMStack}
+	a := newEmu(t, "perl", cfg)
+	sched := NewScheduler(997, true, a)
+	if err := sched.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	pr, img := buildBench(t, "perl", true)
+	res, err := Measure(pr, img, cfg, 997, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sched.Stats.ReductionPct()
+	if diff := got - res.Reduction; diff > 0.15 || diff < -0.15 {
+		t.Errorf("scheduler reduction %.3f vs sampled %.3f; should roughly agree", got, res.Reduction)
+	}
+}

@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"dvi/internal/core"
+)
+
+// small returns options sized for unit testing (seconds, not minutes).
+func small() Options {
+	return Options{Scale: 1, MaxInsts: 50_000, SweepMaxInsts: 25_000}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"A", "Blong"},
+		Rows:   [][]string{{"aaa", "b"}, {"a", "bbbbbb"}},
+		Notes:  []string{"hello"},
+	}
+	s := tab.String()
+	for _, want := range []string{"=== x: demo ===", "Blong", "aaa", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig2Static(t *testing.T) {
+	tab := Fig2MachineConfig()
+	s := tab.String()
+	for _, want := range []string{"Issue Width", "64KB, 4-way", "512KB", "gshare/bimod"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig2 missing %q", want)
+		}
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	tab, err := Fig3Characterization(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("fig3 rows = %d, want 7", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "compress" || tab.Rows[6][0] != "gcc" {
+		t.Error("fig3 benchmark order wrong")
+	}
+}
+
+func TestFig9AverageAndOrdering(t *testing.T) {
+	tab, err := Fig9Eliminated(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 { // 6 benchmarks + average
+		t.Fatalf("fig9 rows = %d", len(tab.Rows))
+	}
+	// LVM-Stack must eliminate at least as much as LVM-only, per row.
+	for _, row := range tab.Rows {
+		lvm := parsePct(t, row[1])
+		stack := parsePct(t, row[2])
+		if stack < lvm {
+			t.Errorf("%s: LVM-Stack %.1f < LVM %.1f", row[0], stack, lvm)
+		}
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad percent %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig12Reductions(t *testing.T) {
+	tab, err := Fig12ContextSwitch(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("fig12 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows[:6] {
+		idvi := parsePct(t, row[1])
+		full := parsePct(t, row[2])
+		if full < idvi {
+			t.Errorf("%s: full DVI %.1f%% < I-DVI %.1f%%", row[0], full, idvi)
+		}
+		if idvi < 10 {
+			t.Errorf("%s: I-DVI reduction %.1f%% implausibly low", row[0], idvi)
+		}
+	}
+}
+
+func TestFig5And6SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	// A reduced sweep to keep runtime down: patch the sizes temporarily.
+	saved := Fig5Sizes
+	Fig5Sizes = []int{34, 42, 58, 96}
+	defer func() { Fig5Sizes = saved }()
+
+	tab, points, err := Fig5RegfileIPC(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// IPC must be non-decreasing-ish with file size for each level, and
+	// DVI must beat no-DVI at the smallest size.
+	byLevel := map[core.Level][]float64{}
+	for _, p := range points {
+		byLevel[p.Level] = append(byLevel[p.Level], p.IPC)
+	}
+	for level, ipcs := range byLevel {
+		if ipcs[len(ipcs)-1] < ipcs[0]*0.98 {
+			t.Errorf("level %v: IPC decreases with larger file: %v", level, ipcs)
+		}
+	}
+	noDVI := byLevel[core.None]
+	idvi := byLevel[core.IDVI]
+	if idvi[0] <= noDVI[0] {
+		t.Errorf("at 34 regs I-DVI IPC %.3f <= no-DVI %.3f; reclamation should help", idvi[0], noDVI[0])
+	}
+	// Small files must hurt the no-DVI machine noticeably.
+	if noDVI[0] > noDVI[len(noDVI)-1]*0.95 {
+		t.Errorf("no-DVI IPC at 34 regs (%.3f) too close to unconstrained (%.3f)",
+			noDVI[0], noDVI[len(noDVI)-1])
+	}
+
+	t6, err := Fig6Performance(small(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Notes) < 2 {
+		t.Error("fig6 missing peak notes")
+	}
+}
+
+func TestFig10AndFig11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing studies in -short mode")
+	}
+	t10, err := Fig10Speedups(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t10.Rows) != 6 {
+		t.Fatalf("fig10 rows = %d", len(t10.Rows))
+	}
+	t11, err := Fig11PortSensitivity(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t11.Rows) != 4 {
+		t.Fatalf("fig11 rows = %d", len(t11.Rows))
+	}
+}
+
+func TestFig13Overheads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing studies in -short mode")
+	}
+	tab, err := Fig13EDVIOverhead(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		dyn := parsePct(t, row[1])
+		if dyn < 0 || dyn > 15 {
+			t.Errorf("%s: dynamic overhead %.1f%% out of plausible range", row[0], dyn)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations in -short mode")
+	}
+	stack, err := AblationStackDepth(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range stack.Rows {
+		// Depth 64 is the normalization target: the last column is 100%.
+		if row[len(row)-1] != "100.0%" {
+			t.Errorf("%s: depth-64 column = %s", row[0], row[len(row)-1])
+		}
+		// Monotone non-decreasing in depth.
+		prev := -1.0
+		for _, c := range row[1:] {
+			v := parsePct(t, c)
+			if v+0.01 < prev {
+				t.Errorf("%s: benefit not monotone with depth: %v", row[0], row[1:])
+				break
+			}
+			prev = v
+		}
+	}
+	kills, err := AblationKillPlacement(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range kills.Rows {
+		ck := parsePct(t, row[1])
+		dk := parsePct(t, row[2])
+		if dk < ck {
+			t.Errorf("%s: at-death kill density %.2f%% < before-calls %.2f%%", row[0], dk, ck)
+		}
+	}
+}

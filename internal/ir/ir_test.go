@@ -1,0 +1,138 @@
+package ir
+
+import (
+	"testing"
+
+	"dvi/internal/prog"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	m := NewModule()
+	f := m.Func("f", 2)
+	if f.Param(0) != 0 || f.Param(1) != 1 {
+		t.Error("params not first values")
+	}
+	b := f.Block("entry")
+	v := b.Add(f.Param(0), f.Param(1))
+	if v != 2 {
+		t.Errorf("first computed value = %d", v)
+	}
+	b.Ret(v)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesUnterminated(t *testing.T) {
+	m := NewModule()
+	f := m.Func("main", 0)
+	f.Block("entry")
+	if err := m.Validate(); err == nil {
+		t.Error("unterminated block validated")
+	}
+}
+
+func TestValidateCatchesUnknownTarget(t *testing.T) {
+	m := NewModule()
+	f := m.Func("main", 0)
+	b := f.Block("entry")
+	b.Jmp("nope")
+	if err := m.Validate(); err == nil {
+		t.Error("unknown target validated")
+	}
+}
+
+func TestValidateCatchesUnknownCallee(t *testing.T) {
+	m := NewModule()
+	f := m.Func("main", 0)
+	b := f.Block("entry")
+	b.CallVoid("ghost")
+	b.Ret(NoValue)
+	if err := m.Validate(); err == nil {
+		t.Error("unknown callee validated")
+	}
+}
+
+func TestTerminatorMidBlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("instruction after terminator did not panic")
+		}
+	}()
+	m := NewModule()
+	f := m.Func("main", 0)
+	b := f.Block("entry")
+	b.Ret(NoValue)
+	b.Const(1)
+}
+
+func TestDuplicateFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate function did not panic")
+		}
+	}()
+	m := NewModule()
+	m.Func("f", 0)
+	m.Func("f", 0)
+}
+
+func TestTooManyParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("5 params did not panic")
+		}
+	}()
+	m := NewModule()
+	m.Func("f", 5)
+}
+
+func TestTooManyArgsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("5 args did not panic")
+		}
+	}()
+	m := NewModule()
+	m.Func("g", 0)
+	f := m.Func("main", 0)
+	b := f.Block("entry")
+	b.Call("g", 0, 0, 0, 0, 0)
+}
+
+func TestVarAndSet(t *testing.T) {
+	m := NewModule()
+	f := m.Func("main", 0)
+	v := f.Var()
+	b := f.Block("entry")
+	b.SetI(v, 10)
+	b.Set(v, b.AddI(v, 5))
+	b.Out(0, v)
+	b.Ret(NoValue)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardBlockReference(t *testing.T) {
+	m := NewModule()
+	f := m.Func("main", 0)
+	entry := f.Block("entry")
+	entry.Jmp("later")
+	later := f.Block("later")
+	later.Ret(NoValue)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Entry() != entry {
+		t.Error("entry block changed")
+	}
+}
+
+func TestDataSymbols(t *testing.T) {
+	m := NewModule()
+	m.AddData(prog.DataSym{Name: "tbl", Size: 128})
+	if len(m.Data) != 1 || m.Data[0].Name != "tbl" {
+		t.Error("data symbol lost")
+	}
+}

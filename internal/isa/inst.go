@@ -1,0 +1,196 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded instruction. The zero value is a NOP.
+//
+// Field usage by format:
+//
+//	FmtR: Rd, Rs1, Rs2
+//	FmtI: Rd, Rs1, Imm (sign-extended 16-bit); stores read Rs2 as data
+//	FmtJ: Imm holds the word-aligned target address
+//	FmtK: Mask holds the kill mask
+//
+// Store-class instructions (ST, SB, LVST, LVMS) have no destination; the
+// stored data register travels in Rs2 and the encoded rd field is reused to
+// carry it.
+type Inst struct {
+	Op   Op
+	Rd   Reg
+	Rs1  Reg
+	Rs2  Reg
+	Imm  int64   // sign-extended immediate, or absolute target for J/JAL
+	Mask RegMask // KILL only
+
+	// IsReturn marks a JR that implements a procedure return (jr ra). The
+	// hardware treats returns specially (RAS, I-DVI, LVM-Stack pop); the
+	// bit corresponds to the "return" hint real ISAs attach to jr ra.
+	IsReturn bool
+}
+
+// WritesReg reports whether the instruction architecturally writes Rd, and
+// that destination. Writes to r0 are discarded and reported as no write.
+func (in Inst) WritesReg() (Reg, bool) {
+	switch OpClass(in.Op) {
+	case ClassIntALU, ClassIntMul, ClassIntDiv:
+		if in.Op == SYS {
+			return 0, false
+		}
+	case ClassLoad:
+		if in.Op == LVML {
+			return 0, false // writes the LVM, not a GPR
+		}
+	case ClassJump:
+		if !in.Op.IsCall() {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	if in.Rd == Zero {
+		return 0, false
+	}
+	return in.Rd, true
+}
+
+// SrcRegs returns the architectural source registers read by the
+// instruction (r0 reads included; callers may ignore them since r0 is
+// constant). The result is at most two registers.
+func (in Inst) SrcRegs() []Reg {
+	switch in.Op {
+	case NOP, HALT, KILL, J, LUI:
+		return nil
+	case JAL:
+		return nil
+	case JR, JALR:
+		return []Reg{in.Rs1}
+	case LD, LB, LVLD, LVML:
+		return []Reg{in.Rs1}
+	case ST, SB, LVST:
+		return []Reg{in.Rs1, in.Rs2}
+	case LVMS:
+		return []Reg{in.Rs1}
+	case ADDI, ANDI, ORI, XORI, SLTI, SLLI, SRLI, SRAI:
+		return []Reg{in.Rs1}
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return []Reg{in.Rs1, in.Rs2}
+	case SYS:
+		return []Reg{in.Rs1, in.Rs2}
+	default: // R-type arithmetic
+		return []Reg{in.Rs1, in.Rs2}
+	}
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch OpFormat(in.Op) {
+	case FmtR:
+		switch in.Op {
+		case SYS:
+			return fmt.Sprintf("sys %s, %s", in.Rs1, in.Rs2)
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+		}
+	case FmtJ:
+		return fmt.Sprintf("%s 0x%x", in.Op, uint64(in.Imm))
+	case FmtK:
+		return fmt.Sprintf("kill %s", in.Mask)
+	default:
+		switch {
+		case in.Op == NOP:
+			return "nop"
+		case in.Op == HALT:
+			return "halt"
+		case in.Op.IsStore():
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+		case in.Op.IsLoad():
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+		case OpClass(in.Op) == ClassBranch:
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+		case in.Op == JR:
+			if in.IsReturn {
+				return "ret"
+			}
+			return fmt.Sprintf("jr %s", in.Rs1)
+		case in.Op == JALR:
+			return fmt.Sprintf("jalr %s, %s", in.Rd, in.Rs1)
+		case in.Op == LUI:
+			return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+		}
+	}
+}
+
+// Encoding layout (32-bit word):
+//
+//	FmtR: op[31:26] rd[25:21] rs1[20:16] rs2[15:11] ret[10] zero[9:0]
+//	FmtI: op[31:26] rd[25:21] rs1[20:16] imm[15:0]   (stores put Rs2 in rd)
+//	FmtJ: op[31:26] target26[25:0] (word index; address = target*4)
+//	FmtK: op[31:26] zero[25:24] mask24[23:0] (mask bit i covers reg i+8)
+//
+// JR/JALR use FmtI with the return hint in imm bit 0 for JR.
+
+// Encode packs the instruction into its 32-bit representation.
+func Encode(in Inst) uint32 {
+	op := uint32(in.Op) << 26
+	switch OpFormat(in.Op) {
+	case FmtR:
+		w := op | uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(in.Rs2)<<11
+		return w
+	case FmtJ:
+		return op | (uint32(uint64(in.Imm)>>2) & 0x03FFFFFF)
+	case FmtK:
+		return op | (uint32(in.Mask>>8) & 0x00FFFFFF)
+	default:
+		rd := in.Rd
+		if in.Op.IsStore() {
+			rd = in.Rs2
+		}
+		imm := uint32(uint16(int16(in.Imm)))
+		if in.Op == JR && in.IsReturn {
+			imm = 1
+		}
+		return op | uint32(rd)<<21 | uint32(in.Rs1)<<16 | imm
+	}
+}
+
+// Decode unpacks a 32-bit word into an Inst. Unknown opcodes decode as an
+// error so corrupted images are caught early.
+func Decode(w uint32) (Inst, error) {
+	op := Op(w >> 26)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d in word %#08x", uint8(op), w)
+	}
+	in := Inst{Op: op}
+	switch OpFormat(op) {
+	case FmtR:
+		in.Rd = Reg(w >> 21 & 31)
+		in.Rs1 = Reg(w >> 16 & 31)
+		in.Rs2 = Reg(w >> 11 & 31)
+	case FmtJ:
+		in.Imm = int64(w&0x03FFFFFF) << 2
+		if op == JAL {
+			in.Rd = RA // linkage register is implicit in the encoding
+		}
+	case FmtK:
+		in.Mask = RegMask(w&0x00FFFFFF) << 8
+	default:
+		rd := Reg(w >> 21 & 31)
+		in.Rs1 = Reg(w >> 16 & 31)
+		in.Imm = int64(int16(uint16(w)))
+		if op.IsStore() {
+			in.Rs2 = rd
+		} else {
+			in.Rd = rd
+		}
+		if op == JR {
+			in.IsReturn = w&1 != 0
+			in.Imm = 0
+		}
+	}
+	return in, nil
+}
+
+// InstBytes is the size of one encoded instruction in bytes.
+const InstBytes = 4

@@ -1,0 +1,181 @@
+// Package isa defines the instruction set architecture used throughout the
+// reproduction: a 32-register, 64-bit RISC machine with a MIPS-style ABI,
+// extended with the Dead Value Information (DVI) instructions introduced by
+// Martin, Roth and Fischer (MICRO-30, 1997):
+//
+//   - KILL: an E-DVI annotation carrying a kill mask over r8..r31,
+//   - LVST/LVLD: live-store and live-load variants used for callee-saved
+//     register saves and restores,
+//   - LVMS/LVML: save and load the hardware Live Value Mask, used by thread
+//     switch code.
+//
+// Instructions encode to fixed 32-bit words so that static code size (paper
+// Figure 13) is meaningful.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register, r0..r31.
+type Reg uint8
+
+// NumRegs is the number of architectural integer registers.
+const NumRegs = 32
+
+// Architectural register assignments (MIPS o32 style).
+const (
+	Zero Reg = 0 // hardwired zero
+	AT   Reg = 1 // assembler temporary (caller-saved)
+	V0   Reg = 2 // return value 0 (caller-saved)
+	V1   Reg = 3 // return value 1 (caller-saved)
+	A0   Reg = 4 // argument 0 (caller-saved)
+	A1   Reg = 5 // argument 1
+	A2   Reg = 6 // argument 2
+	A3   Reg = 7 // argument 3
+	T0   Reg = 8 // temporary (caller-saved)
+	T1   Reg = 9
+	T2   Reg = 10
+	T3   Reg = 11
+	T4   Reg = 12
+	T5   Reg = 13
+	T6   Reg = 14
+	T7   Reg = 15
+	S0   Reg = 16 // saved (callee-saved)
+	S1   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	T8   Reg = 24 // temporary (caller-saved)
+	T9   Reg = 25
+	K0   Reg = 26 // reserved for kernel (always treated live)
+	K1   Reg = 27
+	GP   Reg = 28 // global pointer (always live)
+	SP   Reg = 29 // stack pointer (always live)
+	FP   Reg = 30 // frame pointer / s8 (callee-saved)
+	RA   Reg = 31 // return address
+)
+
+var regNames = [NumRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the ABI name of the register, e.g. "s0" for r16.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// RegMask is a bitset over the 32 architectural registers; bit i covers
+// register i. It is the representation used by kill masks, the LVM, and the
+// ABI's I-DVI masks.
+type RegMask uint32
+
+// Bit returns the mask containing only r.
+func Bit(r Reg) RegMask { return 1 << uint(r) }
+
+// Has reports whether r is in the mask.
+func (m RegMask) Has(r Reg) bool { return m&Bit(r) != 0 }
+
+// Set returns m with r added.
+func (m RegMask) Set(r Reg) RegMask { return m | Bit(r) }
+
+// Clear returns m with r removed.
+func (m RegMask) Clear(r Reg) RegMask { return m &^ Bit(r) }
+
+// Count returns the number of registers in the mask.
+func (m RegMask) Count() int {
+	n := 0
+	for v := uint32(m); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Regs returns the registers in the mask in ascending order.
+func (m RegMask) Regs() []Reg {
+	var rs []Reg
+	for r := Reg(0); r < NumRegs; r++ {
+		if m.Has(r) {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// String renders the mask as a brace-delimited register list.
+func (m RegMask) String() string {
+	s := "{"
+	first := true
+	for _, r := range m.Regs() {
+		if !first {
+			s += ","
+		}
+		s += r.String()
+		first = false
+	}
+	return s + "}"
+}
+
+// MaskOf builds a mask from a register list.
+func MaskOf(rs ...Reg) RegMask {
+	var m RegMask
+	for _, r := range rs {
+		m = m.Set(r)
+	}
+	return m
+}
+
+// Standard ABI register classes.
+var (
+	// CallerSaved registers are not preserved across calls.
+	CallerSaved = MaskOf(AT, V0, V1, A0, A1, A2, A3, T0, T1, T2, T3, T4, T5, T6, T7, T8, T9, RA)
+	// CalleeSaved registers must be preserved by any procedure that writes them.
+	CalleeSaved = MaskOf(S0, S1, S2, S3, S4, S5, S6, S7, FP)
+	// AlwaysLive registers are never subject to DVI (paper §2: kill masks
+	// cover "a register subset"). r0 is constant; k0/k1/gp/sp carry
+	// process-wide state.
+	AlwaysLive = MaskOf(Zero, K0, K1, GP, SP)
+	// ArgRegs hold procedure arguments and are live at procedure entry.
+	ArgRegs = MaskOf(A0, A1, A2, A3)
+	// RetRegs hold return values and are live at procedure exit.
+	RetRegs = MaskOf(V0, V1)
+	// Killable is the set a KILL instruction can name. The encoding carries
+	// a 24-bit field covering r8..r31; always-live members are ignored by
+	// hardware.
+	Killable = RegMask(0xFFFFFF00) &^ AlwaysLive
+)
+
+// ABI carries the calling-convention facts the hardware needs for I-DVI
+// (paper §7 "Hardware and ABI interactions": I-DVI is inferred only for
+// registers set in an ABI-supplied mask; a clear mask disables I-DVI).
+type ABI struct {
+	// DeadAtCall are registers implicitly dead when a call executes (the
+	// callee's entry point): caller-saved values either were spilled by the
+	// caller (so the register copy is rewritten before any read) or were
+	// not live at all. Argument registers and ra are excluded — they carry
+	// the callee's inputs and return linkage.
+	DeadAtCall RegMask
+	// DeadAtReturn are registers implicitly dead when a return executes
+	// (the callee's exit, observed in the caller): everything caller-saved
+	// except the value-return registers.
+	DeadAtReturn RegMask
+}
+
+// DefaultABI is the standard I-DVI configuration used in all experiments.
+func DefaultABI() ABI {
+	return ABI{
+		DeadAtCall:   CallerSaved &^ ArgRegs &^ Bit(RA),
+		DeadAtReturn: CallerSaved &^ RetRegs,
+	}
+}
+
+// NoIDVI returns an ABI with clear masks, disabling implicit DVI (the
+// paper's debugging configuration).
+func NoIDVI() ABI { return ABI{} }

@@ -1,0 +1,314 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{Zero, "zero"}, {V0, "v0"}, {A0, "a0"}, {T0, "t0"},
+		{S0, "s0"}, {S7, "s7"}, {SP, "sp"}, {FP, "fp"}, {RA, "ra"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegMaskBasics(t *testing.T) {
+	var m RegMask
+	if m.Count() != 0 {
+		t.Fatalf("empty mask count = %d", m.Count())
+	}
+	m = m.Set(S0).Set(S3).Set(RA)
+	if !m.Has(S0) || !m.Has(S3) || !m.Has(RA) || m.Has(S1) {
+		t.Fatalf("membership wrong: %s", m)
+	}
+	if m.Count() != 3 {
+		t.Fatalf("count = %d, want 3", m.Count())
+	}
+	m = m.Clear(S3)
+	if m.Has(S3) || m.Count() != 2 {
+		t.Fatalf("clear failed: %s", m)
+	}
+	if got := MaskOf(S0, RA); got != m {
+		t.Fatalf("MaskOf = %s, want %s", got, m)
+	}
+}
+
+func TestRegMaskRegsRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		m := RegMask(raw)
+		var back RegMask
+		for _, r := range m.Regs() {
+			back = back.Set(r)
+		}
+		return back == m && len(m.Regs()) == m.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestABIClassesArePartition(t *testing.T) {
+	if CallerSaved&CalleeSaved != 0 {
+		t.Errorf("caller and callee saved overlap: %s", CallerSaved&CalleeSaved)
+	}
+	if CallerSaved&AlwaysLive != 0 || CalleeSaved&AlwaysLive != 0 {
+		t.Errorf("always-live overlaps a saved class")
+	}
+	all := CallerSaved | CalleeSaved | AlwaysLive
+	if all != 0xFFFFFFFF {
+		t.Errorf("classes do not cover the register file: %s missing", ^all)
+	}
+}
+
+func TestDefaultABIMasks(t *testing.T) {
+	abi := DefaultABI()
+	// Arguments must be live at call; return values live at return.
+	for _, r := range ArgRegs.Regs() {
+		if abi.DeadAtCall.Has(r) {
+			t.Errorf("arg reg %s dead at call", r)
+		}
+	}
+	if abi.DeadAtCall.Has(RA) {
+		t.Error("ra dead at call (needed to return)")
+	}
+	for _, r := range RetRegs.Regs() {
+		if abi.DeadAtReturn.Has(r) {
+			t.Errorf("ret reg %s dead at return", r)
+		}
+	}
+	// I-DVI only ever covers caller-saved registers (paper §2).
+	if abi.DeadAtCall&^CallerSaved != 0 || abi.DeadAtReturn&^CallerSaved != 0 {
+		t.Error("I-DVI mask includes non-caller-saved registers")
+	}
+	// Temporaries are dead at both points.
+	for _, r := range []Reg{T0, T7, T8, T9, AT} {
+		if !abi.DeadAtCall.Has(r) || !abi.DeadAtReturn.Has(r) {
+			t.Errorf("temporary %s not covered by I-DVI", r)
+		}
+	}
+	if NoIDVI().DeadAtCall != 0 || NoIDVI().DeadAtReturn != 0 {
+		t.Error("NoIDVI masks not clear")
+	}
+}
+
+func TestKillableExcludesAlwaysLive(t *testing.T) {
+	if Killable&AlwaysLive != 0 {
+		t.Errorf("killable overlaps always-live: %s", Killable&AlwaysLive)
+	}
+	// Killable must cover everything a compiler kills in practice: all
+	// callee-saved registers and the caller-saved temporaries r8..r31.
+	for _, r := range CalleeSaved.Regs() {
+		if !Killable.Has(r) {
+			t.Errorf("callee-saved %s not killable", r)
+		}
+	}
+	for _, r := range []Reg{T8, T9, RA} {
+		if !Killable.Has(r) {
+			t.Errorf("%s not killable", r)
+		}
+	}
+}
+
+func TestOpClassAndPredicates(t *testing.T) {
+	cases := []struct {
+		op      Op
+		class   Class
+		mem     bool
+		load    bool
+		store   bool
+		call    bool
+		ctlflow bool
+	}{
+		{ADD, ClassIntALU, false, false, false, false, false},
+		{MUL, ClassIntMul, false, false, false, false, false},
+		{DIV, ClassIntDiv, false, false, false, false, false},
+		{LD, ClassLoad, true, true, false, false, false},
+		{LVLD, ClassLoad, true, true, false, false, false},
+		{ST, ClassStore, true, false, true, false, false},
+		{LVST, ClassStore, true, false, true, false, false},
+		{LVMS, ClassStore, true, false, true, false, false},
+		{LVML, ClassLoad, true, true, false, false, false},
+		{BEQ, ClassBranch, false, false, false, false, true},
+		{J, ClassJump, false, false, false, false, true},
+		{JAL, ClassJump, false, false, false, true, true},
+		{JALR, ClassJump, false, false, false, true, true},
+		{JR, ClassJump, false, false, false, false, true},
+		{KILL, ClassDVI, false, false, false, false, false},
+		{HALT, ClassHalt, false, false, false, false, false},
+		{NOP, ClassNop, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := OpClass(c.op); got != c.class {
+			t.Errorf("OpClass(%s) = %v, want %v", c.op, got, c.class)
+		}
+		if c.op.IsMem() != c.mem || c.op.IsLoad() != c.load || c.op.IsStore() != c.store {
+			t.Errorf("%s memory predicates wrong", c.op)
+		}
+		if c.op.IsCall() != c.call {
+			t.Errorf("%s IsCall = %v", c.op, c.op.IsCall())
+		}
+		if c.op.IsBranchOrJump() != c.ctlflow {
+			t.Errorf("%s IsBranchOrJump = %v", c.op, c.op.IsBranchOrJump())
+		}
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	cases := []struct {
+		in    Inst
+		wantR Reg
+		wantW bool
+	}{
+		{Inst{Op: ADD, Rd: T0, Rs1: T1, Rs2: T2}, T0, true},
+		{Inst{Op: ADD, Rd: Zero, Rs1: T1, Rs2: T2}, 0, false},
+		{Inst{Op: LD, Rd: S0, Rs1: SP, Imm: 8}, S0, true},
+		{Inst{Op: LVLD, Rd: S0, Rs1: SP, Imm: 8}, S0, true},
+		{Inst{Op: ST, Rs2: S0, Rs1: SP, Imm: 8}, 0, false},
+		{Inst{Op: JAL, Rd: RA, Imm: 0x1000}, RA, true},
+		{Inst{Op: JALR, Rd: RA, Rs1: T0}, RA, true},
+		{Inst{Op: JR, Rs1: RA, IsReturn: true}, 0, false},
+		{Inst{Op: KILL, Mask: MaskOf(S0)}, 0, false},
+		{Inst{Op: BEQ, Rs1: T0, Rs2: T1, Imm: -4}, 0, false},
+		{Inst{Op: LVML, Rs1: SP}, 0, false},
+		{Inst{Op: SYS, Rs1: T0, Rs2: T1}, 0, false},
+	}
+	for _, c := range cases {
+		r, w := c.in.WritesReg()
+		if w != c.wantW || (w && r != c.wantR) {
+			t.Errorf("%v WritesReg = (%s,%v), want (%s,%v)", c.in, r, w, c.wantR, c.wantW)
+		}
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want []Reg
+	}{
+		{Inst{Op: ADD, Rd: T0, Rs1: T1, Rs2: T2}, []Reg{T1, T2}},
+		{Inst{Op: ADDI, Rd: T0, Rs1: T1, Imm: 4}, []Reg{T1}},
+		{Inst{Op: ST, Rs1: SP, Rs2: S0}, []Reg{SP, S0}},
+		{Inst{Op: LVST, Rs1: SP, Rs2: S0}, []Reg{SP, S0}},
+		{Inst{Op: LD, Rd: T0, Rs1: SP}, []Reg{SP}},
+		{Inst{Op: BEQ, Rs1: T0, Rs2: T1}, []Reg{T0, T1}},
+		{Inst{Op: JR, Rs1: RA, IsReturn: true}, []Reg{RA}},
+		{Inst{Op: JAL, Imm: 64}, nil},
+		{Inst{Op: KILL, Mask: MaskOf(S0)}, nil},
+		{Inst{Op: LUI, Rd: T0, Imm: 5}, nil},
+	}
+	for _, c := range cases {
+		got := c.in.SrcRegs()
+		if len(got) != len(c.want) {
+			t.Errorf("%v SrcRegs = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v SrcRegs = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+// randInst produces a random, encodable instruction.
+func randInst(r *rand.Rand) Inst {
+	for {
+		op := Op(r.Intn(int(numOps)))
+		in := Inst{Op: op}
+		switch OpFormat(op) {
+		case FmtR:
+			in.Rd = Reg(r.Intn(32))
+			in.Rs1 = Reg(r.Intn(32))
+			in.Rs2 = Reg(r.Intn(32))
+		case FmtJ:
+			in.Imm = int64(r.Intn(1<<26)) << 2 // word-aligned 28-bit range
+			if op == JAL {
+				in.Rd = RA // implicit linkage register
+			}
+		case FmtK:
+			in.Mask = RegMask(r.Uint32()) & (0xFFFFFF << 8)
+		default:
+			in.Rs1 = Reg(r.Intn(32))
+			if op.IsStore() {
+				in.Rs2 = Reg(r.Intn(32))
+			} else {
+				in.Rd = Reg(r.Intn(32))
+			}
+			in.Imm = int64(int16(r.Uint32()))
+			if op == JR {
+				in.Imm = 0
+				in.IsReturn = r.Intn(2) == 0
+			}
+		}
+		return in
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		in := randInst(r)
+		w := Encode(in)
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode(%v encoded %#08x): %v", in, w, err)
+		}
+		if got != in {
+			t.Fatalf("roundtrip %v -> %#08x -> %v", in, w, got)
+		}
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	w := uint32(uint8(numOps)) << 26
+	if _, err := Decode(w); err == nil {
+		t.Error("decoding invalid opcode succeeded")
+	}
+}
+
+func TestKillMaskEncodingCoversKillable(t *testing.T) {
+	in := Inst{Op: KILL, Mask: Killable}
+	got, err := Decode(Encode(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mask != Killable {
+		t.Errorf("killable mask does not survive encoding: got %s want %s", got.Mask, Killable)
+	}
+	// Bits below r8 cannot be encoded and must vanish.
+	in = Inst{Op: KILL, Mask: MaskOf(V0, S0)}
+	got, _ = Decode(Encode(in))
+	if got.Mask != MaskOf(S0) {
+		t.Errorf("low mask bits should be dropped by encoding, got %s", got.Mask)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: T0, Rs1: T1, Rs2: T2}, "add t0, t1, t2"},
+		{Inst{Op: ADDI, Rd: SP, Rs1: SP, Imm: -16}, "addi sp, sp, -16"},
+		{Inst{Op: LD, Rd: S0, Rs1: SP, Imm: 8}, "ld s0, 8(sp)"},
+		{Inst{Op: LVST, Rs2: S0, Rs1: SP, Imm: 8}, "lvst s0, 8(sp)"},
+		{Inst{Op: JR, Rs1: RA, IsReturn: true}, "ret"},
+		{Inst{Op: KILL, Mask: MaskOf(S0, S1)}, "kill {s0,s1}"},
+		{Inst{Op: NOP}, "nop"},
+		{Inst{Op: HALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

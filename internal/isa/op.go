@@ -1,0 +1,188 @@
+package isa
+
+// Op is an operation code. The encoded form uses 6 bits, so at most 64
+// opcodes exist.
+type Op uint8
+
+// Opcode space. Grouped by format:
+//
+//	R-type: op rd rs1 rs2        (register arithmetic)
+//	I-type: op rd rs1 imm16      (immediates, loads, stores, branches)
+//	J-type: op target26          (direct jumps and calls)
+//	K-type: op mask24            (E-DVI kill)
+const (
+	NOP Op = iota
+	HALT
+
+	// R-type arithmetic, rd <- rs1 op rs2.
+	ADD
+	SUB
+	MUL
+	DIV // signed divide; divide by zero yields 0 (simulator convention)
+	REM // signed remainder; by zero yields rs1
+	AND
+	OR
+	XOR
+	NOR
+	SLL // shift left logical by rs2&63
+	SRL
+	SRA
+	SLT  // set less than, signed
+	SLTU // set less than, unsigned
+
+	// I-type arithmetic, rd <- rs1 op signext(imm16).
+	ADDI
+	ANDI // zero-extended immediate
+	ORI  // zero-extended immediate
+	XORI // zero-extended immediate
+	SLTI
+	SLLI // shift by imm&63
+	SRLI
+	SRAI
+	LUI // rd <- imm16 << 16 (rs1 ignored)
+
+	// Memory: 64-bit words. I-type, address = rs1 + signext(imm16).
+	LD // rd <- mem[addr]
+	ST // mem[addr] <- rs2 (encoded in rd field's slot; see Inst)
+	LB // load byte, zero-extended
+	SB // store byte
+
+	// DVI memory variants (paper §5.1). Same semantics as LD/ST when the
+	// data register is live; candidates for dynamic elimination when dead.
+	LVLD // live-load: restore of a callee-saved register
+	LVST // live-store: save of a callee-saved register
+
+	// Control. Branches are I-type with rs1, rs2 and a signed word offset.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	J    // J-type: unconditional jump
+	JAL  // J-type: call; ra <- return address
+	JR   // I-type: jump register (rs1); JR ra is the return idiom
+	JALR // I-type: indirect call through rs1; rd (normally ra) <- return address
+
+	// DVI control (paper §2, §6).
+	KILL // K-type: E-DVI; registers in mask24 (covering r8..r31) are dead
+	LVMS // I-type: store the 32-bit LVM to mem[rs1+imm]
+	LVML // I-type: load the LVM from mem[rs1+imm]
+
+	// SYS is a minimal environment call used by workloads to emit a
+	// checksum (rs1 selects the channel, rs2 the value).
+	SYS
+
+	numOps // sentinel
+)
+
+var opNames = [...]string{
+	NOP: "nop", HALT: "halt",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", NOR: "nor",
+	SLL: "sll", SRL: "srl", SRA: "sra", SLT: "slt", SLTU: "sltu",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori", SLTI: "slti",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", LUI: "lui",
+	LD: "ld", ST: "st", LB: "lb", SB: "sb", LVLD: "lvld", LVST: "lvst",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	J: "j", JAL: "jal", JR: "jr", JALR: "jalr",
+	KILL: "kill", LVMS: "lvms", LVML: "lvml", SYS: "sys",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Format classifies opcodes by encoding/operand format.
+type Format uint8
+
+const (
+	FmtR Format = iota // rd, rs1, rs2
+	FmtI               // rd, rs1, imm16
+	FmtJ               // target26
+	FmtK               // mask24
+)
+
+// OpFormat returns the encoding format of o.
+func OpFormat(o Op) Format {
+	switch o {
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, NOR, SLL, SRL, SRA, SLT, SLTU, SYS:
+		return FmtR
+	case J, JAL:
+		return FmtJ
+	case KILL:
+		return FmtK
+	default:
+		return FmtI
+	}
+}
+
+// Class groups opcodes by pipeline behaviour.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches
+	ClassJump   // unconditional jumps, calls, returns
+	ClassDVI    // kill: consumes decode bandwidth only
+	ClassHalt
+)
+
+// OpClass returns the pipeline class of o.
+func OpClass(o Op) Class {
+	switch o {
+	case NOP:
+		return ClassNop
+	case HALT:
+		return ClassHalt
+	case MUL:
+		return ClassIntMul
+	case DIV, REM:
+		return ClassIntDiv
+	case LD, LB, LVLD, LVML:
+		return ClassLoad
+	case ST, SB, LVST, LVMS:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return ClassBranch
+	case J, JAL, JR, JALR:
+		return ClassJump
+	case KILL:
+		return ClassDVI
+	default:
+		return ClassIntALU
+	}
+}
+
+// IsCall reports whether o transfers control with linkage (I-DVI call site).
+func (o Op) IsCall() bool { return o == JAL || o == JALR }
+
+// IsMem reports whether o references data memory.
+func (o Op) IsMem() bool {
+	c := OpClass(o)
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsLoad reports whether o reads data memory.
+func (o Op) IsLoad() bool { return OpClass(o) == ClassLoad }
+
+// IsStore reports whether o writes data memory.
+func (o Op) IsStore() bool { return OpClass(o) == ClassStore }
+
+// IsBranchOrJump reports whether o can redirect control flow.
+func (o Op) IsBranchOrJump() bool {
+	c := OpClass(o)
+	return c == ClassBranch || c == ClassJump
+}

@@ -1,0 +1,133 @@
+// Package mem provides the sparse byte-addressable memory used by both the
+// functional emulator and the timing simulator. Pages are allocated lazily
+// so workloads can scatter data across a 64-bit address space.
+package mem
+
+import "encoding/binary"
+
+const (
+	pageShift = 12
+	// PageSize is the allocation granule in bytes.
+	PageSize = 1 << pageShift
+	pageMask = PageSize - 1
+)
+
+// Memory is a sparse, little-endian memory. The zero value is ready to use;
+// unwritten locations read as zero.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory { return &Memory{pages: make(map[uint64]*[PageSize]byte)} }
+
+func (m *Memory) page(addr uint64, create bool) *[PageSize]byte {
+	if m.pages == nil {
+		if !create {
+			return nil
+		}
+		m.pages = make(map[uint64]*[PageSize]byte)
+	}
+	key := addr >> pageShift
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([PageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Load8 returns the byte at addr.
+func (m *Memory) Load8(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Store8 stores b at addr.
+func (m *Memory) Store8(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Read64 returns the little-endian 64-bit word at addr. Unaligned and
+// page-crossing reads are handled byte-by-byte.
+func (m *Memory) Read64(addr uint64) uint64 {
+	if addr&pageMask <= PageSize-8 {
+		if p := m.page(addr, false); p != nil {
+			off := addr & pageMask
+			return binary.LittleEndian.Uint64(p[off : off+8])
+		}
+		return 0
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.Load8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores v little-endian at addr.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	if addr&pageMask <= PageSize-8 {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		binary.LittleEndian.PutUint64(p[off:off+8], v)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.Store8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// Read32 returns the little-endian 32-bit word at addr.
+func (m *Memory) Read32(addr uint64) uint32 {
+	if addr&pageMask <= PageSize-4 {
+		if p := m.page(addr, false); p != nil {
+			off := addr & pageMask
+			return binary.LittleEndian.Uint32(p[off : off+4])
+		}
+		return 0
+	}
+	var v uint32
+	for i := uint64(0); i < 4; i++ {
+		v |= uint32(m.Load8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write32 stores v little-endian at addr.
+func (m *Memory) Write32(addr uint64, v uint32) {
+	if addr&pageMask <= PageSize-4 {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		binary.LittleEndian.PutUint32(p[off:off+4], v)
+		return
+	}
+	for i := uint64(0); i < 4; i++ {
+		m.Store8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// StoreBytes copies b into memory starting at addr.
+func (m *Memory) StoreBytes(addr uint64, b []byte) {
+	for i, c := range b {
+		m.Store8(addr+uint64(i), c)
+	}
+}
+
+// Pages returns the number of allocated pages (for footprint accounting).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory. Used to replay a program image
+// into multiple simulations.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for k, p := range m.pages {
+		np := new([PageSize]byte)
+		*np = *p
+		c.pages[k] = np
+	}
+	return c
+}

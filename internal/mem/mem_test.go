@@ -1,0 +1,154 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReadsZero(t *testing.T) {
+	var m Memory
+	if m.Load8(0x1234) != 0 || m.Read64(0xdeadbeef) != 0 || m.Read32(42) != 0 {
+		t.Error("fresh memory should read as zero")
+	}
+}
+
+func TestByteRoundTrip(t *testing.T) {
+	m := New()
+	m.Store8(5, 0xAB)
+	if got := m.Load8(5); got != 0xAB {
+		t.Errorf("Load8 = %#x", got)
+	}
+	if m.Load8(4) != 0 || m.Load8(6) != 0 {
+		t.Error("neighbouring bytes disturbed")
+	}
+}
+
+func TestWord64RoundTrip(t *testing.T) {
+	f := func(addr uint64, v uint64) bool {
+		addr &= 0xFFFFFF // keep the page map small
+		m := New()
+		m.Write64(addr, v)
+		return m.Read64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWord32RoundTrip(t *testing.T) {
+	f := func(addr uint64, v uint32) bool {
+		addr &= 0xFFFFFF
+		m := New()
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageCrossingAccess(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3) // straddles first page boundary
+	const v = uint64(0x1122334455667788)
+	m.Write64(addr, v)
+	if got := m.Read64(addr); got != v {
+		t.Errorf("page-crossing read = %#x, want %#x", got, v)
+	}
+	// Byte view must agree (little endian).
+	for i := uint64(0); i < 8; i++ {
+		want := byte(v >> (8 * i))
+		if got := m.Load8(addr + i); got != want {
+			t.Errorf("byte %d = %#x, want %#x", i, got, want)
+		}
+	}
+	addr32 := uint64(2*PageSize - 2)
+	m.Write32(addr32, 0xCAFEBABE)
+	if got := m.Read32(addr32); got != 0xCAFEBABE {
+		t.Errorf("page-crossing 32-bit read = %#x", got)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New()
+	m.Write64(0x100, 0x0102030405060708)
+	if m.Load8(0x100) != 0x08 || m.Load8(0x107) != 0x01 {
+		t.Error("layout is not little-endian")
+	}
+	if m.Read32(0x100) != 0x05060708 {
+		t.Errorf("low half = %#x", m.Read32(0x100))
+	}
+}
+
+func TestStoreBytes(t *testing.T) {
+	m := New()
+	data := []byte{1, 2, 3, 4, 5}
+	m.StoreBytes(PageSize-2, data) // crosses a page
+	for i, want := range data {
+		if got := m.Load8(PageSize - 2 + uint64(i)); got != want {
+			t.Errorf("byte %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestOverlappingWrites(t *testing.T) {
+	m := New()
+	m.Write64(0, 0xFFFFFFFFFFFFFFFF)
+	m.Write32(2, 0)
+	if got := m.Read64(0); got != 0xFFFF0000_0000FFFF {
+		t.Errorf("overlap result = %#016x", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New()
+	m.Write64(0x1000, 42)
+	c := m.Clone()
+	c.Write64(0x1000, 99)
+	if m.Read64(0x1000) != 42 {
+		t.Error("clone aliases original")
+	}
+	if c.Read64(0x1000) != 99 {
+		t.Error("clone write lost")
+	}
+	if m.Pages() != c.Pages() {
+		t.Errorf("page counts differ: %d vs %d", m.Pages(), c.Pages())
+	}
+}
+
+func TestRandomAccessAgainstReferenceMap(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := New()
+	ref := map[uint64]byte{}
+	for i := 0; i < 50000; i++ {
+		addr := uint64(r.Intn(4 * PageSize))
+		if r.Intn(2) == 0 {
+			b := byte(r.Uint32())
+			m.Store8(addr, b)
+			ref[addr] = b
+		} else if got, want := m.Load8(addr), ref[addr]; got != want {
+			t.Fatalf("addr %#x = %#x, want %#x", addr, got, want)
+		}
+	}
+}
+
+func BenchmarkWrite64(b *testing.B) {
+	m := New()
+	for i := 0; i < b.N; i++ {
+		m.Write64(uint64(i%65536)*8, uint64(i))
+	}
+}
+
+func BenchmarkRead64(b *testing.B) {
+	m := New()
+	for i := 0; i < 65536; i++ {
+		m.Write64(uint64(i)*8, uint64(i))
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.Read64(uint64(i%65536) * 8)
+	}
+	_ = sink
+}

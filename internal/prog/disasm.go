@@ -1,0 +1,64 @@
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"dvi/internal/isa"
+)
+
+// Disasm renders a full listing of the linked image with addresses, labels,
+// and decoded instructions, one instruction per line.
+func (img *Image) Disasm() string {
+	var b strings.Builder
+	for i, in := range img.Insts {
+		pc := img.TextBase + uint64(i)*isa.InstBytes
+		if lbl, ok := img.labels[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		fmt.Fprintf(&b, "  %06x:  %08x  %s", pc, img.Code[i], img.annotate(pc, in))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DisasmProc renders the listing of a single procedure.
+func (img *Image) DisasmProc(name string) string {
+	var b strings.Builder
+	for _, r := range img.ranges {
+		if r.Name != name {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:\n", name)
+		for pc := r.Start; pc < r.End; pc += isa.InstBytes {
+			if lbl, ok := img.labels[pc]; ok && lbl != name {
+				fmt.Fprintf(&b, "%s:\n", lbl)
+			}
+			i := (pc - img.TextBase) / isa.InstBytes
+			fmt.Fprintf(&b, "  %06x:  %s\n", pc, img.annotate(pc, img.Insts[i]))
+		}
+	}
+	return b.String()
+}
+
+// annotate renders in, replacing raw branch/jump targets with labels when
+// known.
+func (img *Image) annotate(pc uint64, in isa.Inst) string {
+	s := in.String()
+	if t, ok := isa.BranchTarget(pc, in); ok {
+		if lbl, ok := img.labels[t]; ok {
+			switch isa.OpClass(in.Op) {
+			case isa.ClassBranch:
+				// Replace the trailing numeric offset.
+				if idx := strings.LastIndexByte(s, ','); idx >= 0 {
+					s = s[:idx+1] + " " + lbl
+				}
+			case isa.ClassJump:
+				s = fmt.Sprintf("%s %s", in.Op, lbl)
+			}
+		} else {
+			s += fmt.Sprintf("    # -> %#x", t)
+		}
+	}
+	return s
+}

@@ -1,0 +1,198 @@
+// Package rename models MIPS R10000-style register renaming: an
+// architectural-to-physical mapping table, a physical register free list,
+// and per-physical-register ready bits. The paper's §4 optimization hooks
+// in here: DVI lets the pipeline unmap a killed architectural register and
+// free its physical register at the kill's commit instead of waiting for
+// the next redefinition to commit.
+package rename
+
+import "fmt"
+
+// PhysReg names a physical register.
+type PhysReg uint16
+
+// None marks an unmapped architectural register (paper §4: "Between I3 and
+// I4 the architectural register r1 is not mapped to any physical
+// register").
+const None PhysReg = ^PhysReg(0)
+
+// MaxPhys bounds the physical register file size.
+const MaxPhys = 512
+
+// NumArch is the number of architectural registers being renamed.
+const NumArch = 32
+
+// Bits is a physical register bitset used for free list reconstruction.
+type Bits [MaxPhys / 64]uint64
+
+// Set adds p to the set.
+func (b *Bits) Set(p PhysReg) { b[p>>6] |= 1 << (p & 63) }
+
+// Has reports membership.
+func (b *Bits) Has(p PhysReg) bool { return b[p>>6]&(1<<(p&63)) != 0 }
+
+// Count returns the population count.
+func (b *Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		for v := w; v != 0; v &= v - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Table is the rename state.
+type Table struct {
+	nPhys int
+	amap  [NumArch]PhysReg
+	free  Bits
+	nFree int
+	ready []bool
+}
+
+// NewTable builds a table with nPhys physical registers. At least
+// NumArch+1 are required for forward progress (the paper's "minimum of 32
+// required to avoid deadlock" counts the architectural state; one more is
+// needed to rename anything).
+func NewTable(nPhys int) *Table {
+	if nPhys < NumArch+1 || nPhys > MaxPhys {
+		panic(fmt.Sprintf("rename: nPhys %d out of range [%d,%d]", nPhys, NumArch+1, MaxPhys))
+	}
+	t := &Table{nPhys: nPhys, ready: make([]bool, nPhys)}
+	t.Reset()
+	return t
+}
+
+// Reset installs the identity mapping (arch i -> phys i, all ready) and
+// frees the remainder.
+func (t *Table) Reset() {
+	t.free = Bits{}
+	t.nFree = 0
+	for i := 0; i < NumArch; i++ {
+		t.amap[i] = PhysReg(i)
+		t.ready[i] = true
+	}
+	for p := NumArch; p < t.nPhys; p++ {
+		t.free.Set(PhysReg(p))
+		t.ready[p] = false
+		t.nFree++
+	}
+}
+
+// NPhys returns the file size.
+func (t *Table) NPhys() int { return t.nPhys }
+
+// FreeCount returns the number of free physical registers.
+func (t *Table) FreeCount() int { return t.nFree }
+
+// Map returns the physical register currently holding arch register r, or
+// (None, false) if r is unmapped (killed).
+func (t *Table) Map(r uint8) (PhysReg, bool) {
+	p := t.amap[r]
+	return p, p != None
+}
+
+// allocate pops the lowest-numbered free register.
+func (t *Table) allocate() (PhysReg, bool) {
+	if t.nFree == 0 {
+		return None, false
+	}
+	for i, w := range t.free {
+		if w != 0 {
+			bit := uint(0)
+			for ; w&1 == 0; w >>= 1 {
+				bit++
+			}
+			p := PhysReg(i*64) + PhysReg(bit)
+			t.free[i] &^= 1 << bit
+			t.nFree--
+			t.ready[p] = false
+			return p, true
+		}
+	}
+	return None, false
+}
+
+// Rename allocates a new physical register for a write to arch register r.
+// It returns the new mapping and the previous one (prev == None when r was
+// unmapped). ok is false when the free list is empty: the pipeline must
+// stall (this is the Figure 5 bottleneck).
+func (t *Table) Rename(r uint8) (newP, prevP PhysReg, ok bool) {
+	newP, ok = t.allocate()
+	if !ok {
+		return None, None, false
+	}
+	prevP = t.amap[r]
+	t.amap[r] = newP
+	return newP, prevP, true
+}
+
+// Unmap removes the mapping for r (a DVI kill at decode) and returns the
+// physical register it held, which the caller must keep pinned until the
+// kill commits, then Free.
+func (t *Table) Unmap(r uint8) (PhysReg, bool) {
+	p := t.amap[r]
+	if p == None {
+		return None, false
+	}
+	t.amap[r] = None
+	return p, true
+}
+
+// Free returns p to the free list (at commit: either the previous mapping
+// of a committing definition, or a kill victim).
+func (t *Table) Free(p PhysReg) {
+	if p == None || int(p) >= t.nPhys {
+		panic(fmt.Sprintf("rename: freeing invalid physical register %d", p))
+	}
+	if t.free.Has(p) {
+		panic(fmt.Sprintf("rename: double free of p%d", p))
+	}
+	t.free.Set(p)
+	t.nFree++
+}
+
+// Ready reports whether p's value has been produced. None is always ready
+// (reads of unmapped registers are dead values).
+func (t *Table) Ready(p PhysReg) bool {
+	if p == None {
+		return true
+	}
+	return t.ready[p]
+}
+
+// SetReady marks p's value produced (writeback).
+func (t *Table) SetReady(p PhysReg) { t.ready[p] = true }
+
+// MapSnapshot copies the architectural mapping (taken when a mispredicted
+// branch dispatches).
+func (t *Table) MapSnapshot() [NumArch]PhysReg { return t.amap }
+
+// RestoreMap reinstates a snapshot. The free list must be rebuilt
+// afterwards with RebuildFree.
+func (t *Table) RestoreMap(m [NumArch]PhysReg) { t.amap = m }
+
+// RebuildFree recomputes the free list as "every register not in used".
+// The caller marks: all registers in the (restored) map, and the dest,
+// previous-mapping, and kill-victim registers of every surviving in-flight
+// instruction. This reconstruction stays correct across commits that freed
+// registers after the checkpoint was taken (see DESIGN.md).
+func (t *Table) RebuildFree(used *Bits) {
+	for i := 0; i < NumArch; i++ {
+		if t.amap[i] != None {
+			used.Set(t.amap[i])
+		}
+	}
+	t.free = Bits{}
+	t.nFree = 0
+	for p := 0; p < t.nPhys; p++ {
+		if !used.Has(PhysReg(p)) {
+			t.free.Set(PhysReg(p))
+			t.nFree++
+		}
+	}
+}
+
+// InUse returns nPhys - free (diagnostics and invariant checks).
+func (t *Table) InUse() int { return t.nPhys - t.nFree }

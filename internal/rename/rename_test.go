@@ -1,0 +1,283 @@
+package rename
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestResetIdentity(t *testing.T) {
+	tab := NewTable(40)
+	for r := uint8(0); r < NumArch; r++ {
+		p, ok := tab.Map(r)
+		if !ok || p != PhysReg(r) {
+			t.Errorf("Map(%d) = %d,%v", r, p, ok)
+		}
+		if !tab.Ready(p) {
+			t.Errorf("architectural p%d not ready", p)
+		}
+	}
+	if tab.FreeCount() != 8 {
+		t.Errorf("free = %d, want 8", tab.FreeCount())
+	}
+}
+
+func TestRenameAllocatesAndTracksPrev(t *testing.T) {
+	tab := NewTable(34)
+	newP, prevP, ok := tab.Rename(5)
+	if !ok || prevP != 5 {
+		t.Fatalf("rename = %d,%d,%v", newP, prevP, ok)
+	}
+	if newP < NumArch {
+		t.Errorf("allocated architectural register %d", newP)
+	}
+	if tab.Ready(newP) {
+		t.Error("fresh allocation already ready")
+	}
+	p, _ := tab.Map(5)
+	if p != newP {
+		t.Error("map not updated")
+	}
+	// Two free registers existed; a second and third rename exhaust them.
+	if _, _, ok := tab.Rename(6); !ok {
+		t.Fatal("second rename failed")
+	}
+	if _, _, ok := tab.Rename(7); ok {
+		t.Error("rename succeeded with empty free list")
+	}
+}
+
+func TestFreeRecycles(t *testing.T) {
+	tab := NewTable(33)
+	newP, prevP, _ := tab.Rename(3)
+	tab.Free(prevP) // the overwriting instruction commits
+	p2, prev2, ok := tab.Rename(4)
+	if !ok {
+		t.Fatal("rename after free failed")
+	}
+	if p2 != prevP {
+		t.Errorf("recycled %d, want %d", p2, prevP)
+	}
+	if prev2 != 4 {
+		t.Errorf("prev of r4 = %d", prev2)
+	}
+	_ = newP
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	tab := NewTable(34)
+	_, prevP, _ := tab.Rename(1)
+	tab.Free(prevP)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	tab.Free(prevP)
+}
+
+func TestFreeInvalidPanics(t *testing.T) {
+	tab := NewTable(34)
+	defer func() {
+		if recover() == nil {
+			t.Error("freeing None did not panic")
+		}
+	}()
+	tab.Free(None)
+}
+
+func TestUnmapKill(t *testing.T) {
+	tab := NewTable(34)
+	victim, ok := tab.Unmap(16)
+	if !ok || victim != 16 {
+		t.Fatalf("unmap = %d,%v", victim, ok)
+	}
+	if _, mapped := tab.Map(16); mapped {
+		t.Error("register still mapped after kill")
+	}
+	// Reads of unmapped registers are ready dead values.
+	if !tab.Ready(None) {
+		t.Error("None must be ready")
+	}
+	// A kill victim is freed at commit, then reusable.
+	tab.Free(victim)
+	newP, prevP, ok := tab.Rename(16)
+	if !ok || prevP != None {
+		t.Fatalf("rename of unmapped = %d,%d,%v", newP, prevP, ok)
+	}
+	// Double unmap yields nothing.
+	if _, ok := tab.Unmap(17); !ok {
+		t.Fatal("first unmap failed")
+	}
+	if _, ok := tab.Unmap(17); ok {
+		t.Error("second unmap of same register succeeded")
+	}
+}
+
+func TestEarlyReclamationGrowsEffectiveFile(t *testing.T) {
+	// The §4 scenario: with 33 physical registers only one rename can be
+	// outstanding; killing a register and freeing it at commit provides a
+	// second allocatable register without any redefinition committing.
+	tab := NewTable(33)
+	if _, _, ok := tab.Rename(1); !ok {
+		t.Fatal("first rename failed")
+	}
+	if _, _, ok := tab.Rename(2); ok {
+		t.Fatal("file should be exhausted")
+	}
+	victim, _ := tab.Unmap(16) // kill r16 (dead value)
+	tab.Free(victim)           // kill commits
+	if _, _, ok := tab.Rename(2); !ok {
+		t.Error("rename should succeed after DVI reclamation")
+	}
+}
+
+func TestSnapshotRestoreMapAndRebuild(t *testing.T) {
+	tab := NewTable(40)
+	// Dispatch three writes, snapshot (branch), then wrong-path writes.
+	var inFlightPrev []PhysReg
+	for _, r := range []uint8{1, 2, 3} {
+		_, prev, ok := tab.Rename(r)
+		if !ok {
+			t.Fatal("rename failed")
+		}
+		inFlightPrev = append(inFlightPrev, prev)
+	}
+	snap := tab.MapSnapshot()
+	freeAtSnap := tab.FreeCount()
+
+	for _, r := range []uint8{4, 5, 6, 7} {
+		tab.Rename(r) // wrong path
+	}
+	tab.Unmap(16) // wrong-path kill
+
+	// Recovery: restore map; pin the in-flight instructions' prev regs
+	// (their writers haven't committed).
+	tab.RestoreMap(snap)
+	var used Bits
+	for _, p := range inFlightPrev {
+		if p != None {
+			used.Set(p)
+		}
+	}
+	tab.RebuildFree(&used)
+	if tab.FreeCount() != freeAtSnap {
+		t.Errorf("free after recovery = %d, want %d", tab.FreeCount(), freeAtSnap)
+	}
+	if p, ok := tab.Map(16); !ok || p != 16 {
+		t.Error("wrong-path kill survived recovery")
+	}
+	for _, r := range []uint8{4, 5, 6, 7} {
+		if p, _ := tab.Map(r); p != PhysReg(r) {
+			t.Errorf("wrong-path rename of r%d survived recovery", r)
+		}
+	}
+}
+
+func TestRebuildAfterCommitsBetweenSnapshotAndRecovery(t *testing.T) {
+	// The case the reconstruction exists for: a register freed *after* the
+	// snapshot (by a committing older instruction) must remain free after
+	// recovery even though the snapshot predates the free.
+	tab := NewTable(34)
+	_, prev, _ := tab.Rename(1) // older instruction X: r1 -> new, prev pinned
+	snap := tab.MapSnapshot()
+	free0 := tab.FreeCount()
+	tab.Rename(2)  // wrong path allocation
+	tab.Free(prev) // X commits after the snapshot: prev freed
+
+	tab.RestoreMap(snap)
+	var used Bits // X has committed; nothing in flight
+	tab.RebuildFree(&used)
+	// After recovery the snapshot map holds 32 registers (including X's
+	// dest); everything else — X's freed prev and the wrong-path
+	// allocation — must be free.
+	if want := 34 - 32; tab.FreeCount() != want {
+		t.Errorf("free after recovery = %d, want %d (snapshot free was %d)",
+			tab.FreeCount(), want, free0)
+	}
+	if tab.free.Has(prev) != true {
+		t.Error("register freed after snapshot lost by recovery")
+	}
+}
+
+func TestInvariantFreePlusMappedPlusPinned(t *testing.T) {
+	// Property: under random rename/kill/commit traffic with a reference
+	// model, free + mapped + pinned == nPhys and no register is both free
+	// and mapped.
+	r := rand.New(rand.NewSource(9))
+	const nPhys = 48
+	tab := NewTable(nPhys)
+	pinned := map[PhysReg]bool{} // prevs and kill victims awaiting commit
+	for step := 0; step < 20000; step++ {
+		switch r.Intn(3) {
+		case 0: // rename
+			reg := uint8(r.Intn(NumArch))
+			_, prev, ok := tab.Rename(reg)
+			if ok && prev != None {
+				pinned[prev] = true
+			}
+		case 1: // kill
+			reg := uint8(r.Intn(NumArch))
+			if victim, ok := tab.Unmap(reg); ok {
+				pinned[victim] = true
+			}
+		case 2: // commit one pinned entry
+			for p := range pinned {
+				delete(pinned, p)
+				tab.Free(p)
+				break
+			}
+		}
+		mapped := 0
+		for reg := uint8(0); reg < NumArch; reg++ {
+			if p, ok := tab.Map(reg); ok {
+				if tab.free.Has(p) {
+					t.Fatalf("step %d: p%d both mapped and free", step, p)
+				}
+				mapped++
+			}
+		}
+		if got := tab.FreeCount() + mapped + len(pinned); got != nPhys {
+			t.Fatalf("step %d: free %d + mapped %d + pinned %d = %d != %d",
+				step, tab.FreeCount(), mapped, len(pinned), got, nPhys)
+		}
+	}
+}
+
+func TestReadyLifecycle(t *testing.T) {
+	tab := NewTable(34)
+	p, _, _ := tab.Rename(1)
+	if tab.Ready(p) {
+		t.Error("ready before writeback")
+	}
+	tab.SetReady(p)
+	if !tab.Ready(p) {
+		t.Error("not ready after writeback")
+	}
+}
+
+func TestBadSizePanics(t *testing.T) {
+	for _, n := range []int{0, 32, MaxPhys + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTable(%d) did not panic", n)
+				}
+			}()
+			NewTable(n)
+		}()
+	}
+}
+
+func TestBitsSetHasCount(t *testing.T) {
+	var b Bits
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(511)
+	if !b.Has(0) || !b.Has(63) || !b.Has(64) || !b.Has(511) || b.Has(1) {
+		t.Error("membership wrong")
+	}
+	if b.Count() != 4 {
+		t.Errorf("count = %d", b.Count())
+	}
+}

@@ -1,0 +1,308 @@
+// Package rewrite is the binary rewriting DVI inserter the paper describes
+// in §2: "Since liveness information is computed for physical registers,
+// E-DVI instructions can be added to an executable using a simple binary
+// rewriting tool. This approach is attractive since it requires neither
+// compiler nor program source code."
+//
+// It computes intra-procedural, instruction-granularity register liveness
+// over machine code (with calling-convention effects at calls and returns)
+// and inserts kill instructions. The default policy is the paper's: one
+// kill carrying the mask of dead callee-saved registers before every call
+// site (§5.1 bounds the overhead to one annotation per dynamic call).
+package rewrite
+
+import (
+	"fmt"
+
+	"dvi/internal/isa"
+	"dvi/internal/prog"
+)
+
+// Policy selects where kill instructions are placed.
+type Policy uint8
+
+const (
+	// KillsBeforeCalls is the paper's implementation: a single kill-mask
+	// for dead callee-saved registers before every procedure call.
+	KillsBeforeCalls Policy = iota
+	// KillsAtDeath is the denser encoding the paper's §9 raises as future
+	// work: a kill immediately after a candidate register's last use.
+	KillsAtDeath
+)
+
+// Options configures the rewriter.
+type Options struct {
+	Policy Policy
+	// Regs is the candidate kill set; zero means the callee-saved
+	// registers (the save/restore elimination targets). Must be a subset
+	// of isa.Killable.
+	Regs isa.RegMask
+	// NoPrune disables the interprocedural kill-pruning pass. By default
+	// a kill is only emitted before a direct call whose callee can
+	// (transitively) reach a live-store of one of the dead registers —
+	// kills before pure-leaf helpers are fetch overhead that can never
+	// eliminate anything. Indirect calls keep their kills (the callee is
+	// unknown). The paper's §5.1 caller-side condition is intra-
+	// procedural; this refinement uses the whole-binary view a rewriting
+	// tool naturally has.
+	NoPrune bool
+}
+
+// allLive is the conservative boundary value.
+const allLive = isa.RegMask(0xFFFFFFFF)
+
+// InsertKills rewrites every procedure of pr in place and returns the
+// number of kill instructions inserted. Run it once per program, before
+// linking.
+func InsertKills(pr *prog.Program, opt Options) (int, error) {
+	regs := opt.Regs
+	if regs == 0 {
+		regs = isa.CalleeSaved
+	}
+	if bad := regs &^ isa.Killable; bad != 0 {
+		return 0, fmt.Errorf("rewrite: kill candidates %s are not encodable", bad)
+	}
+	var reach map[string]isa.RegMask
+	if !opt.NoPrune {
+		reach = reachableSaves(pr)
+	}
+	total := 0
+	for _, p := range pr.Procs {
+		n, err := rewriteProc(p, opt.Policy, regs, reach)
+		if err != nil {
+			return total, fmt.Errorf("rewrite: %s: %w", p.Name, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// reachableSaves computes, per procedure, the set of registers that a call
+// into it might save with a live-store anywhere in the reachable call
+// graph. Indirect calls make a procedure's reach unknown (all registers).
+func reachableSaves(pr *prog.Program) map[string]isa.RegMask {
+	own := make(map[string]isa.RegMask, len(pr.Procs))
+	callees := make(map[string][]string, len(pr.Procs))
+	unknown := make(map[string]bool)
+	for _, p := range pr.Procs {
+		var m isa.RegMask
+		for _, in := range p.Insts {
+			switch in.Op {
+			case isa.LVST:
+				m = m.Set(in.Rs2)
+			case isa.JAL:
+				callees[p.Name] = append(callees[p.Name], in.Target)
+			case isa.JALR:
+				unknown[p.Name] = true
+			}
+		}
+		own[p.Name] = m
+	}
+	reach := make(map[string]isa.RegMask, len(pr.Procs))
+	for name, m := range own {
+		if unknown[name] {
+			reach[name] = allLive
+		} else {
+			reach[name] = m
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, cs := range callees {
+			m := reach[name]
+			for _, c := range cs {
+				m |= reach[c] // unresolved names contribute nothing
+			}
+			if m != reach[name] {
+				reach[name] = m
+				changed = true
+			}
+		}
+	}
+	return reach
+}
+
+// Liveness returns the live-in register mask for every instruction of p.
+func Liveness(p *prog.Proc) ([]isa.RegMask, error) {
+	in, _, err := solve(p)
+	return in, err
+}
+
+// LivenessOut returns the live-out register mask for every instruction.
+func LivenessOut(p *prog.Proc) ([]isa.RegMask, error) {
+	_, out, err := solve(p)
+	return out, err
+}
+
+// defUse returns the registers written and read by one instruction,
+// including calling-convention effects.
+func defUse(in prog.Inst) (def, use isa.RegMask) {
+	switch {
+	case in.Op.IsCall():
+		// The callee may clobber every caller-saved register (including
+		// the linkage register the call itself writes); it can only
+		// observe the argument registers and, for indirect calls, the
+		// target register. Callee-saved registers pass through untouched.
+		def = isa.CallerSaved
+		use = isa.ArgRegs
+		if in.Op == isa.JALR {
+			use = use.Set(in.Rs1)
+		}
+		return def, use
+	case in.Op == isa.JR && in.IsReturn:
+		// A return publishes the value-return registers and hands every
+		// callee-saved register (restored or untouched) plus the stack
+		// back to the caller.
+		use = isa.RetRegs | isa.CalleeSaved | isa.AlwaysLive | isa.Bit(isa.RA)
+		return 0, use
+	case in.Op == isa.JR:
+		// Computed jump with unknown target: everything may be observed.
+		return 0, allLive
+	case in.Op == isa.KILL:
+		// Existing annotations are transparent to the dataflow.
+		return 0, 0
+	}
+	if rd, ok := in.WritesReg(); ok {
+		def = isa.Bit(rd)
+	}
+	for _, r := range in.SrcRegs() {
+		if r != isa.Zero {
+			use = use.Set(r)
+		}
+	}
+	return def, use
+}
+
+// terminator reports whether control never falls through in.
+func terminator(in prog.Inst) bool {
+	switch in.Op {
+	case isa.J, isa.JR, isa.HALT:
+		return true
+	}
+	return false
+}
+
+// succs appends the successor indices of instruction i (n = len(insts)).
+func succs(p *prog.Proc, i int, buf []int) ([]int, error) {
+	in := p.Insts[i]
+	buf = buf[:0]
+	switch {
+	case isa.OpClass(in.Op) == isa.ClassBranch:
+		if li, ok := p.LabelAt(in.Target); ok {
+			buf = append(buf, li)
+		} else {
+			return nil, fmt.Errorf("branch to unknown label %q", in.Target)
+		}
+		buf = append(buf, i+1)
+	case in.Op == isa.J:
+		if li, ok := p.LabelAt(in.Target); ok {
+			buf = append(buf, li)
+		}
+		// A jump out of the procedure (tail position) has no local
+		// successor; boundary liveness applies.
+	case in.Op == isa.JR, in.Op == isa.HALT:
+		// Exit points: no successors.
+	default:
+		buf = append(buf, i+1)
+	}
+	return buf, nil
+}
+
+// solve runs the backward dataflow to a fixpoint.
+func solve(p *prog.Proc) (liveIn, liveOut []isa.RegMask, err error) {
+	n := len(p.Insts)
+	liveIn = make([]isa.RegMask, n)
+	liveOut = make([]isa.RegMask, n)
+	var sbuf []int
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			in := p.Insts[i]
+			var out isa.RegMask
+			if in.Op == isa.J {
+				if _, local := p.LabelAt(in.Target); !local {
+					out = allLive // leaves the procedure: be conservative
+				}
+			}
+			sbuf, err = succs(p, i, sbuf)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, s := range sbuf {
+				if s < n {
+					out |= liveIn[s]
+				} else {
+					// Falls off the end of the procedure (malformed but
+					// tolerated): conservative.
+					out = allLive
+				}
+			}
+			def, use := defUse(in)
+			newIn := (out &^ def) | use
+			if out != liveOut[i] || newIn != liveIn[i] {
+				liveOut[i] = out
+				liveIn[i] = newIn
+				changed = true
+			}
+		}
+	}
+	return liveIn, liveOut, nil
+}
+
+func rewriteProc(p *prog.Proc, policy Policy, regs isa.RegMask, reach map[string]isa.RegMask) (int, error) {
+	liveIn, liveOut, err := solve(p)
+	if err != nil {
+		return 0, err
+	}
+
+	type insertion struct {
+		before int // instruction index to insert before
+		mask   isa.RegMask
+	}
+	var ins []insertion
+
+	switch policy {
+	case KillsBeforeCalls:
+		for i, in := range p.Insts {
+			if !in.Op.IsCall() {
+				continue
+			}
+			// Callee-saved registers are preserved by the call, so a
+			// register is dead at the call exactly when it is dead after
+			// it. Registers never written in this procedure stay live
+			// (the return's use of callee-saved registers keeps the
+			// caller's caller's values alive), so the paper's "assigned
+			// to in the procedure" condition falls out of the dataflow.
+			dead := regs &^ liveOut[i]
+			if dead == 0 {
+				continue
+			}
+			// Interprocedural pruning: skip the kill when the (known)
+			// callee can never save any of the dead registers.
+			if reach != nil && in.Op == isa.JAL {
+				if saves, ok := reach[in.Target]; ok && dead&saves == 0 {
+					continue
+				}
+			}
+			ins = append(ins, insertion{before: i, mask: dead})
+		}
+	case KillsAtDeath:
+		for i, in := range p.Insts {
+			if i+1 >= len(p.Insts) || terminator(in) || in.Op == isa.KILL {
+				continue
+			}
+			// Registers that die exactly here: live into i, dead out of
+			// it. The kill goes after i (= before i+1).
+			dyingHere := regs & liveIn[i] &^ liveOut[i]
+			if dyingHere != 0 {
+				ins = append(ins, insertion{before: i + 1, mask: dyingHere})
+			}
+		}
+	}
+
+	// Insert from the highest index down so earlier indices stay valid.
+	for k := len(ins) - 1; k >= 0; k-- {
+		p.InsertBefore(ins[k].before, prog.Inst{Inst: isa.Inst{Op: isa.KILL, Mask: ins[k].mask}})
+	}
+	return len(ins), nil
+}

@@ -1,0 +1,263 @@
+package workload
+
+import (
+	"math/rand"
+
+	"dvi/internal/ir"
+	"dvi/internal/prog"
+)
+
+// specGcc models gcc: a compiler front end — recursive descent parsing of
+// an expression token stream into an arena of tree nodes, followed by
+// recursive constant folding and a code-size estimation walk. Many
+// mid-sized mutually recursive functions with high call frequency.
+func specGcc() Spec {
+	return Spec{
+		Name:     "gcc",
+		Describe: "recursive descent parser + tree folding passes",
+		Build:    buildGcc,
+	}
+}
+
+// Token kinds (token word = kind<<8 | value).
+const (
+	gtNum = iota
+	gtPlus
+	gtMinus
+	gtStar
+	gtLParen
+	gtRParen
+	gtEnd
+	gtSemi // expression separator
+)
+
+// gccTokens generates a deterministic well-formed expression token stream.
+func gccTokens(seed int64, approxLen int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	var toks []uint64
+	var emitExpr func(depth int)
+	emitFactor := func(depth int) {
+		if depth > 0 && r.Intn(3) == 0 {
+			toks = append(toks, gtLParen<<8)
+			emitExpr(depth - 1)
+			toks = append(toks, gtRParen<<8)
+			return
+		}
+		toks = append(toks, gtNum<<8|uint64(r.Intn(200)))
+	}
+	emitExpr = func(depth int) {
+		emitFactor(depth)
+		n := r.Intn(3)
+		for i := 0; i < n; i++ {
+			ops := []uint64{gtPlus, gtMinus, gtStar}
+			toks = append(toks, ops[r.Intn(3)]<<8)
+			emitFactor(depth)
+		}
+	}
+	for len(toks) < approxLen {
+		emitExpr(4)
+		toks = append(toks, gtSemi<<8)
+	}
+	toks = append(toks, gtEnd<<8)
+	// Render little-endian 8-byte words.
+	out := make([]byte, 0, len(toks)*8)
+	for _, t := range toks {
+		out = append(out, le64(t)...)
+	}
+	return out
+}
+
+const gccArena = 16384
+
+// Tree node layout (32 bytes): tag(0=num,1=+,2=-,3=*), value, left, right.
+func buildGcc(scale int) *ir.Module {
+	m := ir.NewModule()
+	tokens := gccTokens(42, 700)
+	m.AddData(prog.DataSym{Name: "gc_toks", Init: tokens})
+	m.AddData(prog.DataSym{Name: "gc_arena", Size: gccArena * 32})
+	m.AddData(prog.DataSym{Name: "gc_state", Size: 32}) // tokpos, nodecount, exprs
+
+	// gc_peek() -> current token word.
+	{
+		f := m.Func("gc_peek", 0)
+		b := f.Block("entry")
+		st := b.AddrOf("gc_state")
+		pos := b.Load(st, 0)
+		b.Ret(b.Load(b.Add(b.AddrOf("gc_toks"), b.ShlI(pos, 3)), 0))
+	}
+	// gc_next() -> token word, advancing.
+	{
+		f := m.Func("gc_next", 0)
+		b := f.Block("entry")
+		st := b.AddrOf("gc_state")
+		pos := b.Load(st, 0)
+		t := b.Load(b.Add(b.AddrOf("gc_toks"), b.ShlI(pos, 3)), 0)
+		b.Store(st, 0, b.AddI(pos, 1))
+		b.Ret(t)
+	}
+	// gc_node(tag, val, l, r packed): allocate an arena node. Four args is
+	// the ABI limit, so left and right are packed as (l<<20|r) — arena
+	// indices stay well below 2^20.
+	{
+		f := m.Func("gc_node", 3)
+		b := f.Block("entry")
+		st := b.AddrOf("gc_state")
+		idx := b.Load(st, 8)
+		b.Store(st, 8, b.AddI(idx, 1))
+		cell := b.Add(b.AddrOf("gc_arena"), b.ShlI(idx, 5))
+		b.Store(cell, 0, f.Param(0))
+		b.Store(cell, 8, f.Param(1))
+		lr := f.Param(2)
+		b.Store(cell, 16, b.ShrI(lr, 20))
+		b.Store(cell, 24, b.AndI(lr, 0xFFFFF))
+		b.Ret(idx)
+	}
+
+	// Mutually recursive parser: expr := factor ((+|-|*) factor)*, with
+	// parenthesized sub-expressions recursing into gc_expr.
+	{
+		f := m.Func("gc_factor", 0)
+		b := f.Block("entry")
+		t := b.Call("gc_next")
+		kind := b.ShrI(t, 8)
+		lp := b.Const(gtLParen)
+		b.Br(ir.EQ, kind, lp, "paren", "num")
+		paren := f.Block("paren")
+		inner := paren.Call("gc_expr")
+		paren.CallVoid("gc_next") // consume ')'
+		paren.Ret(inner)
+		num := f.Block("num")
+		val := num.AndI(t, 255)
+		zero := num.Const(0)
+		num.Ret(num.Call("gc_node", zero, val, zero))
+	}
+	{
+		f := m.Func("gc_expr", 0)
+		entry := f.Block("entry")
+		left := f.Var()
+		entry.Set(left, entry.Call("gc_factor"))
+		entry.Jmp("more")
+
+		more := f.Block("more")
+		t := more.Call("gc_peek")
+		kind := more.ShrI(t, 8)
+		one := more.Const(gtPlus)
+		three := more.Const(gtStar)
+		// Operators are contiguous kinds 1..3.
+		more.Br(ir.LT, kind, one, "done", "ge")
+		ge := f.Block("ge")
+		ge.Br(ir.LT, three, kind, "done", "op")
+
+		op := f.Block("op")
+		op.CallVoid("gc_next") // consume operator
+		right := op.Call("gc_factor")
+		// kind and left live across the gc_factor call.
+		packed := op.Or(op.ShlI(left, 20), right)
+		zero := op.Const(0)
+		node := op.Call("gc_node", kind, zero, packed)
+		op.Set(left, node)
+		op.Jmp("more")
+
+		done := f.Block("done")
+		done.Ret(left)
+	}
+
+	// gc_fold(node) -> value: recursive constant folding.
+	{
+		f := m.Func("gc_fold", 1)
+		b := f.Block("entry")
+		node := f.Param(0)
+		cell := b.Add(b.AddrOf("gc_arena"), b.ShlI(node, 5))
+		tag := b.Load(cell, 0)
+		zero := b.Const(0)
+		b.Br(ir.EQ, tag, zero, "num", "binop")
+		num := f.Block("num")
+		ncell := num.Add(num.AddrOf("gc_arena"), num.ShlI(node, 5))
+		num.Ret(num.Load(ncell, 8))
+		bo := f.Block("binop")
+		bcell := bo.Add(bo.AddrOf("gc_arena"), bo.ShlI(node, 5))
+		l := bo.Load(bcell, 16)
+		r := bo.Load(bcell, 24)
+		btag := bo.Load(bcell, 0)
+		lv := bo.Call("gc_fold", l)
+		rv := bo.Call("gc_fold", r) // lv, btag live across
+		one := bo.Const(gtPlus)
+		two := bo.Const(gtMinus)
+		bo.Br(ir.EQ, btag, one, "add", "c2")
+		add := f.Block("add")
+		add.Ret(add.Add(lv, rv))
+		c2 := f.Block("c2")
+		c2.Br(ir.EQ, btag, two, "sub", "mul")
+		sub := f.Block("sub")
+		sub.Ret(sub.Sub(lv, rv))
+		mul := f.Block("mul")
+		mul.Ret(mul.AndI(mul.Mul(lv, rv), 0x3FFFFFF))
+	}
+
+	// gc_size(node) -> instruction count estimate: second recursive walk.
+	{
+		f := m.Func("gc_size", 1)
+		b := f.Block("entry")
+		node := f.Param(0)
+		cell := b.Add(b.AddrOf("gc_arena"), b.ShlI(node, 5))
+		tag := b.Load(cell, 0)
+		zero := b.Const(0)
+		b.Br(ir.EQ, tag, zero, "leafn", "innern")
+		leafn := f.Block("leafn")
+		leafn.Ret(leafn.Const(1))
+		in := f.Block("innern")
+		icell := in.Add(in.AddrOf("gc_arena"), in.ShlI(node, 5))
+		l := in.Load(icell, 16)
+		r := in.Load(icell, 24)
+		ls := in.Call("gc_size", l)
+		rs := in.Call("gc_size", r)
+		in.Ret(in.AddI(in.Add(ls, rs), 1))
+	}
+
+	// gc_compile(): parse every expression in the stream, fold and size it.
+	{
+		f := m.Func("gc_compile", 0)
+		entry := f.Block("entry")
+		st := entry.AddrOf("gc_state")
+		zero := entry.Const(0)
+		entry.Store(st, 0, zero) // tokpos
+		entry.Store(st, 8, zero) // node count
+		sum := f.Var()
+		entry.SetI(sum, 0)
+		entry.Jmp("loop")
+
+		loop := f.Block("loop")
+		t := loop.Call("gc_peek")
+		kind := loop.ShrI(t, 8)
+		end := loop.Const(gtEnd)
+		loop.Br(ir.EQ, kind, end, "out", "one")
+
+		one := f.Block("one")
+		root := one.Call("gc_expr")
+		v := one.Call("gc_fold", root)  // root live across
+		sz := one.Call("gc_size", root) // v live across
+		one.Set(sum, one.Add(one.MulI(sum, 13), one.Add(v, sz)))
+		one.CallVoid("gc_next") // consume the expression separator
+		one.Jmp("loop")
+
+		out := f.Block("out")
+		out.Ret(sum)
+	}
+
+	// main.
+	{
+		f := m.Func("main", 0)
+		b := f.Block("entry")
+		sum := f.Var()
+		b.SetI(sum, 0)
+		n := b.Const(int64(3 * scale))
+		done := loopN(f, b, "runs", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			v := b.Call("gc_compile")
+			b.Set(sum, b.Add(b.Xor(sum, v), i))
+			return b
+		})
+		done.Out(0, sum)
+		done.Ret(ir.NoValue)
+	}
+	return m
+}

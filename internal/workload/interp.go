@@ -1,0 +1,631 @@
+package workload
+
+import (
+	"dvi/internal/ir"
+	"dvi/internal/prog"
+)
+
+// specLi models li (xlisp): a recursive expression-tree evaluator over an
+// arena of cons cells. Deep recursion with two recursive calls per interior
+// node is what stresses the LVM-Stack depth (paper §5.2: li is the one
+// benchmark where a 16-entry stack captures only 94% of the benefit).
+func specLi() Spec {
+	return Spec{
+		Name:     "li",
+		Describe: "lisp-style recursive tree evaluator; deep recursion",
+		Build:    buildLi,
+	}
+}
+
+const (
+	// liDepth full binary trees have 2^(liDepth+1)-1 cells each; the arena
+	// must hold liTrees of them.
+	liDepth = 10
+	liTrees = 12
+	liCells = liTrees * (1 << (liDepth + 1))
+)
+
+// Node layout in the arena (24 bytes per cell): tag, left/value, right.
+// Tags: 0 literal, 1 add, 2 sub, 3 mul-low, 4 xor.
+func buildLi(scale int) *ir.Module {
+	m := ir.NewModule()
+	addRand(m)
+	m.AddData(prog.DataSym{Name: "li_arena", Size: liCells * 24})
+	m.AddData(prog.DataSym{Name: "li_state", Size: 16}) // bump pointer, roots base
+	m.AddData(prog.DataSym{Name: "li_roots", Size: liTrees * 8})
+
+	// li_cons(tag, l, r) -> cell index (bump allocation).
+	{
+		f := m.Func("li_cons", 3)
+		b := f.Block("entry")
+		st := b.AddrOf("li_state")
+		idx := b.Load(st, 0)
+		b.Store(st, 0, b.AddI(idx, 1))
+		cell := b.Add(b.AddrOf("li_arena"), b.MulI(idx, 24))
+		b.Store(cell, 0, f.Param(0))
+		b.Store(cell, 8, f.Param(1))
+		b.Store(cell, 16, f.Param(2))
+		b.Ret(idx)
+	}
+
+	// li_build(depth) -> node: random tree of the given depth.
+	{
+		f := m.Func("li_build", 1)
+		b := f.Block("entry")
+		depth := f.Param(0)
+		zero := b.Const(0)
+		b.Br(ir.EQ, depth, zero, "leaf", "node")
+
+		leaf := f.Block("leaf")
+		r := leaf.Call("rand")
+		val := leaf.AndI(leaf.ShrI(r, 5), 1023)
+		z := leaf.Const(0)
+		leaf.Ret(leaf.Call("li_cons", z, val, z))
+
+		node := f.Block("node")
+		r2 := node.Call("rand")
+		tag := node.AddI(node.AndI(r2, 3), 1)
+		d1 := node.AddI(depth, -1)
+		l := node.Call("li_build", d1)
+		// depth and l live across the second recursive call.
+		d2 := node.AddI(depth, -1)
+		rr := node.Call("li_build", d2)
+		node.Ret(node.Call("li_cons", tag, l, rr))
+	}
+
+	// li_apply(tag, l, r): the small leaf the evaluator dispatches to.
+	{
+		f := m.Func("li_apply", 3)
+		b := f.Block("entry")
+		tag, l, r := f.Param(0), f.Param(1), f.Param(2)
+		one := b.Const(1)
+		two := b.Const(2)
+		three := b.Const(3)
+		b.Br(ir.EQ, tag, one, "add", "c2")
+		f.Block("add").Ret(f.Block("add").Add(l, r))
+		c2 := f.Block("c2")
+		c2.Br(ir.EQ, tag, two, "sub", "c3")
+		f.Block("sub").Ret(f.Block("sub").Sub(l, r))
+		c3 := f.Block("c3")
+		c3.Br(ir.EQ, tag, three, "mul", "xor")
+		mul := f.Block("mul")
+		mul.Ret(mul.AndI(mul.Mul(l, r), 0xFFFF))
+		x := f.Block("xor")
+		x.Ret(x.Xor(l, r))
+	}
+
+	// li_eval(node) -> value: the recursive evaluator.
+	{
+		f := m.Func("li_eval", 1)
+		b := f.Block("entry")
+		node := f.Param(0)
+		cell := b.Add(b.AddrOf("li_arena"), b.MulI(node, 24))
+		tag := b.Load(cell, 0)
+		zero := b.Const(0)
+		b.Br(ir.EQ, tag, zero, "lit", "interior")
+
+		lit := f.Block("lit")
+		lcell := lit.Add(lit.AddrOf("li_arena"), lit.MulI(node, 24))
+		lit.Ret(lit.Load(lcell, 8))
+
+		in := f.Block("interior")
+		icell := in.Add(in.AddrOf("li_arena"), in.MulI(node, 24))
+		lnode := in.Load(icell, 8)
+		rnode := in.Load(icell, 16)
+		itag := in.Load(icell, 0)
+		lv := in.Call("li_eval", lnode)
+		// rnode and itag live across the first call; lv across the second.
+		rv := in.Call("li_eval", rnode)
+		in.Ret(in.Call("li_apply", itag, lv, rv))
+	}
+
+	// main: build the forest once, evaluate it `scale` times.
+	{
+		f := m.Func("main", 0)
+		b := f.Block("entry")
+		nt := b.Const(liTrees)
+		done := loopN(f, b, "bld", nt, func(b *ir.Block, i ir.Value) *ir.Block {
+			d := b.Const(liDepth)
+			root := b.Call("li_build", d)
+			b.Store(b.Add(b.AddrOf("li_roots"), b.ShlI(i, 3)), 0, root)
+			return b
+		})
+		sum := f.Var()
+		done.SetI(sum, 0)
+		n := done.Const(int64(scale) * liTrees)
+		done2 := loopN(f, done, "ev", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			idx := b.RemI(i, liTrees)
+			root := b.Load(b.Add(b.AddrOf("li_roots"), b.ShlI(idx, 3)), 0)
+			v := b.Call("li_eval", root)
+			b.Set(sum, b.Add(b.MulI(sum, 3), v))
+			return b
+		})
+		done2.Out(0, sum)
+		done2.Ret(ir.NoValue)
+	}
+	return m
+}
+
+// specVortex models vortex: an object-oriented database — records with
+// classes, method dispatch through function-pointer tables, hash index
+// lookups. Call-heavy with short methods.
+func specVortex() Spec {
+	return Spec{
+		Name:     "vortex",
+		Describe: "OO database; vtable dispatch, index lookups, short methods",
+		Build:    buildVortex,
+	}
+}
+
+const (
+	vxRecords = 256
+	vxRecSize = 32 // 4 fields of 8 bytes: key, class, balance, touches
+	vxIndex   = 512
+)
+
+func buildVortex(scale int) *ir.Module {
+	m := ir.NewModule()
+	addRand(m)
+	m.AddData(prog.DataSym{Name: "vx_db", Size: vxRecords * vxRecSize})
+	m.AddData(prog.DataSym{Name: "vx_index", Size: vxIndex * 8}) // key -> rec+1
+	m.AddData(prog.DataSym{Name: "vx_vtab", Size: 3 * 2 * 8})    // 3 classes x 2 methods
+	m.AddData(prog.DataSym{Name: "vx_stats", Size: 16})
+
+	// vx_hash(key) -> index slot.
+	{
+		f := m.Func("vx_hash", 1)
+		b := f.Block("entry")
+		k := f.Param(0)
+		h := b.MulI(k, 2654435761)
+		h = b.Xor(h, b.ShrI(h, 9))
+		b.Ret(b.AndI(h, vxIndex-1))
+	}
+	// vx_log(delta): fold a transaction delta into running statistics.
+	{
+		f := m.Func("vx_log", 1)
+		b := f.Block("entry")
+		st := b.AddrOf("vx_stats")
+		acc := b.Load(st, 0)
+		b.Store(st, 0, b.Add(b.MulI(acc, 3), f.Param(0)))
+		cnt := b.Load(st, 8)
+		b.Store(st, 8, b.AddI(cnt, 1))
+		b.Ret(ir.NoValue)
+	}
+
+	// Methods: validate(rec) -> 0/1 and update(rec) -> delta, one pair per
+	// class with slightly different logic. Updates log their delta, which
+	// keeps record state live across a call (callee-saved registers).
+	method := func(name string, mulv int64, addv int64) {
+		f := m.Func(name, 1)
+		b := f.Block("entry")
+		rec := f.Param(0)
+		base := b.Add(b.AddrOf("vx_db"), b.MulI(rec, vxRecSize))
+		bal := b.Load(base, 16)
+		t := b.Load(base, 24)
+		nb := b.AddI(b.MulI(bal, mulv), addv)
+		nb = b.AndI(nb, 0xFFFFF)
+		delta := b.Sub(nb, bal)
+		b.CallVoid("vx_log", delta)
+		// base, nb, t live across the log call.
+		b.Store(base, 16, nb)
+		b.Store(base, 24, b.AddI(t, 1))
+		b.Ret(delta)
+	}
+	method("vx_upd0", 3, 7)
+	method("vx_upd1", 5, 11)
+	method("vx_upd2", 7, 13)
+
+	check := func(name string, threshold int64) {
+		f := m.Func(name, 1)
+		b := f.Block("entry")
+		rec := f.Param(0)
+		base := b.Add(b.AddrOf("vx_db"), b.MulI(rec, vxRecSize))
+		bal := b.Load(base, 16)
+		lim := b.Const(threshold)
+		b.Br(ir.LT, bal, lim, "low", "high")
+		f.Block("low").Ret(f.Block("low").Const(0))
+		f.Block("high").Ret(f.Block("high").Const(1))
+	}
+	check("vx_chk0", 1000)
+	check("vx_chk1", 5000)
+	check("vx_chk2", 20000)
+
+	// vx_init(): populate records and the hash index, build vtables.
+	{
+		f := m.Func("vx_init", 0)
+		b := f.Block("entry")
+		n := b.Const(vxRecords)
+		done := loopN(f, b, "rec", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			r := b.Call("rand")
+			key := b.AndI(r, 0xFFFF)
+			base := b.Add(b.AddrOf("vx_db"), b.MulI(i, vxRecSize))
+			b.Store(base, 0, key)
+			b.Store(base, 8, b.AndI(b.ShrI(r, 16), 2))
+			b.Store(base, 16, b.AndI(b.ShrI(r, 20), 4095))
+			zero := b.Const(0)
+			b.Store(base, 24, zero)
+			// Insert into the index with linear probing.
+			h := f.Var()
+			b.Set(h, b.Call("vx_hash", key))
+			b.Jmp("probe")
+			probe := f.Block("probe")
+			slot := probe.Add(probe.AddrOf("vx_index"), probe.ShlI(h, 3))
+			v := probe.Load(slot, 0)
+			z := probe.Const(0)
+			probe.Br(ir.EQ, v, z, "put", "bump")
+			bump := f.Block("bump")
+			bump.Set(h, bump.AndI(bump.AddI(h, 1), vxIndex-1))
+			bump.Jmp("probe")
+			put := f.Block("put")
+			pslot := put.Add(put.AddrOf("vx_index"), put.ShlI(h, 3))
+			put.Store(pslot, 0, put.AddI(i, 1))
+			return put
+		})
+		// vtables: [class*2] = check, [class*2+1] = update.
+		vt := done.AddrOf("vx_vtab")
+		done.Store(vt, 0, done.AddrOf("vx_chk0"))
+		done.Store(vt, 8, done.AddrOf("vx_upd0"))
+		done.Store(vt, 16, done.AddrOf("vx_chk1"))
+		done.Store(vt, 24, done.AddrOf("vx_upd1"))
+		done.Store(vt, 32, done.AddrOf("vx_chk2"))
+		done.Store(vt, 40, done.AddrOf("vx_upd2"))
+		done.Ret(ir.NoValue)
+	}
+
+	// vx_lookup(key) -> record index (or vxRecords if absent after a
+	// bounded probe).
+	{
+		f := m.Func("vx_lookup", 1)
+		b := f.Block("entry")
+		key := f.Param(0)
+		h := f.Var()
+		tries := f.Var()
+		b.Set(h, b.Call("vx_hash", key))
+		b.SetI(tries, 0)
+		b.Jmp("probe")
+		probe := f.Block("probe")
+		slot := probe.Add(probe.AddrOf("vx_index"), probe.ShlI(h, 3))
+		v := probe.Load(slot, 0)
+		zero := probe.Const(0)
+		probe.Br(ir.EQ, v, zero, "miss", "cmp")
+		cmp := f.Block("cmp")
+		rec := cmp.AddI(v, -1)
+		base := cmp.Add(cmp.AddrOf("vx_db"), cmp.MulI(rec, vxRecSize))
+		k2 := cmp.Load(base, 0)
+		cmp.Br(ir.EQ, k2, key, "hit", "next")
+		next := f.Block("next")
+		next.Set(h, next.AndI(next.AddI(h, 1), vxIndex-1))
+		next.Set(tries, next.AddI(tries, 1))
+		lim := next.Const(16)
+		next.Br(ir.GE, tries, lim, "miss", "probe")
+		hit := f.Block("hit")
+		hslot := hit.Add(hit.AddrOf("vx_index"), hit.ShlI(h, 3))
+		hit.Ret(hit.AddI(hit.Load(hslot, 0), -1))
+		miss := f.Block("miss")
+		miss.Ret(miss.Const(vxRecords))
+	}
+
+	// vx_txn(key): lookup, dispatch check then update via the vtable.
+	{
+		f := m.Func("vx_txn", 1)
+		b := f.Block("entry")
+		rec := b.Call("vx_lookup", f.Param(0))
+		lim := b.Const(vxRecords)
+		b.Br(ir.GE, rec, lim, "absent", "found")
+		absent := f.Block("absent")
+		absent.Ret(absent.Const(0))
+		found := f.Block("found")
+		base := found.Add(found.AddrOf("vx_db"), found.MulI(rec, vxRecSize))
+		cls := found.Load(base, 8)
+		vt := found.Add(found.AddrOf("vx_vtab"), found.ShlI(cls, 4))
+		chk := found.Load(vt, 0)
+		ok := found.CallPtr(chk, rec)
+		zero := found.Const(0)
+		found.Br(ir.EQ, ok, zero, "skip", "update")
+		skip := f.Block("skip")
+		skip.Ret(skip.Const(1))
+		upd := f.Block("update")
+		ubase := upd.Add(upd.AddrOf("vx_db"), upd.MulI(rec, vxRecSize))
+		uvt := upd.Add(upd.AddrOf("vx_vtab"), upd.ShlI(upd.Load(ubase, 8), 4))
+		updFn := upd.Load(uvt, 8)
+		delta := upd.CallPtr(updFn, rec)
+		upd.Ret(delta)
+	}
+
+	// main: transaction loop.
+	{
+		f := m.Func("main", 0)
+		b := f.Block("entry")
+		b.CallVoid("vx_init")
+		sum := f.Var()
+		b.SetI(sum, 0)
+		n := b.Const(int64(1500 * scale))
+		done := loopN(f, b, "txn", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			r := b.Call("rand")
+			key := b.AndI(r, 0xFFFF)
+			d := b.Call("vx_txn", key)
+			b.Set(sum, b.Add(b.MulI(sum, 5), d))
+			return b
+		})
+		done.Out(0, sum)
+		done.Ret(ir.NoValue)
+	}
+	return m
+}
+
+// specPerl models perl: a bytecode interpreter with a function-pointer
+// dispatch loop and short opcode handlers — the structure behind its
+// table-topping save/restore elimination in the paper (74.6% of saves and
+// restores, 7.2% of all instructions). The dispatch loop keeps the VM
+// pointer live across the dispatch (its save in handlers executes) while
+// the opcode and trace temporaries die at the dispatch call (their saves
+// are eliminated) — reproducing the paper's mixed-but-high elimination.
+func specPerl() Spec {
+	return Spec{
+		Name:     "perl",
+		Describe: "bytecode interpreter; dispatch loop, short handlers",
+		Build:    buildPerl,
+	}
+}
+
+// Opcodes of the little stack machine.
+const (
+	popHalt = iota
+	popPushI
+	popLoad
+	popStore
+	popAdd
+	popSub
+	popMul
+	popJnzBack
+	popHash
+	popCallSub
+)
+
+// perlBytecode assembles the benchmark's bytecode program: an outer
+// countdown loop doing arithmetic and hashing, calling a subroutine every
+// iteration. Instruction format: one byte opcode, one byte operand.
+func perlBytecode() (main, sub []byte) {
+	emit := func(buf *[]byte, op, arg byte) { *buf = append(*buf, op, arg) }
+
+	// Subroutine: hash the top of stack a few times.
+	emit(&sub, popPushI, 17)
+	emit(&sub, popAdd, 0)
+	emit(&sub, popHash, 0)
+	emit(&sub, popStore, 3)
+	emit(&sub, popLoad, 3)
+	emit(&sub, popHalt, 0)
+
+	// Main program: g0 = counter, g1 = accumulator.
+	emit(&main, popPushI, 40) // loop count
+	emit(&main, popStore, 0)
+	loopStart := len(main)
+	emit(&main, popLoad, 1)
+	emit(&main, popPushI, 3)
+	emit(&main, popMul, 0)
+	emit(&main, popPushI, 7)
+	emit(&main, popAdd, 0)
+	emit(&main, popHash, 0)
+	emit(&main, popCallSub, 0)
+	emit(&main, popStore, 1)
+	emit(&main, popLoad, 0)
+	emit(&main, popPushI, 1)
+	emit(&main, popSub, 0)
+	emit(&main, popStore, 0)
+	emit(&main, popLoad, 0)
+	back := len(main) + 2 - loopStart
+	emit(&main, popJnzBack, byte(back))
+	emit(&main, popHalt, 0)
+	return main, sub
+}
+
+func buildPerl(scale int) *ir.Module {
+	m := ir.NewModule()
+	mainCode, subCode := perlBytecode()
+	m.AddData(prog.DataSym{Name: "pl_main", Init: mainCode})
+	m.AddData(prog.DataSym{Name: "pl_sub", Init: subCode})
+	m.AddData(prog.DataSym{Name: "pl_stack", Size: 64 * 8})
+	m.AddData(prog.DataSym{Name: "pl_globals", Size: 16 * 8})
+	m.AddData(prog.DataSym{Name: "pl_vm", Size: 40}) // sp, pc, code, halted, profile
+	m.AddData(prog.DataSym{Name: "pl_handlers", Size: 16 * 8})
+
+	// Stack helpers: the short leaf calls every handler makes.
+	{
+		f := m.Func("pl_push", 1)
+		b := f.Block("entry")
+		v := b.AddrOf("pl_vm")
+		sp := b.Load(v, 0)
+		b.Store(b.Add(b.AddrOf("pl_stack"), b.ShlI(sp, 3)), 0, f.Param(0))
+		b.Store(v, 0, b.AddI(sp, 1))
+		b.Ret(ir.NoValue)
+	}
+	{
+		f := m.Func("pl_pop", 0)
+		b := f.Block("entry")
+		v := b.AddrOf("pl_vm")
+		sp := b.AddI(b.Load(v, 0), -1)
+		b.Store(v, 0, sp)
+		b.Ret(b.Load(b.Add(b.AddrOf("pl_stack"), b.ShlI(sp, 3)), 0))
+	}
+
+	// pl_arg() -> the operand byte at pc+1.
+	{
+		f := m.Func("pl_arg", 0)
+		b := f.Block("entry")
+		v := b.AddrOf("pl_vm")
+		pc := b.Load(v, 8)
+		code := b.Load(v, 16)
+		b.Ret(b.LoadB(b.Add(code, pc), 1))
+	}
+
+	// pl_count(mix): opcode profiling (perl's runtime statistics).
+	{
+		f := m.Func("pl_count", 1)
+		b := f.Block("entry")
+		v := b.AddrOf("pl_vm")
+		old := b.Load(v, 32)
+		b.Store(v, 32, b.Add(b.MulI(old, 7), f.Param(0)))
+		b.Ret(ir.NoValue)
+	}
+
+	// Handlers. Each begins by reading its operand byte (live across the
+	// handler's helper calls) and ends by logging — giving each handler
+	// several values with staggered lifetimes in callee-saved registers.
+	handler := func(name string, gen func(f *ir.Func, b *ir.Block, t ir.Value)) {
+		f := m.Func(name, 0)
+		b := f.Block("entry")
+		t := b.Call("pl_arg")
+		gen(f, b, t)
+	}
+	handler("pl_op_halt", func(f *ir.Func, b *ir.Block, t ir.Value) {
+		v := b.AddrOf("pl_vm")
+		one := b.Const(1)
+		b.Store(v, 24, one)
+		b.Ret(ir.NoValue)
+	})
+	handler("pl_op_pushi", func(f *ir.Func, b *ir.Block, t ir.Value) {
+		b.CallVoid("pl_push", t)
+		b.CallVoid("pl_count", t) // t live across the push
+		b.Ret(ir.NoValue)
+	})
+	handler("pl_op_load", func(f *ir.Func, b *ir.Block, t ir.Value) {
+		val := b.Load(b.Add(b.AddrOf("pl_globals"), b.ShlI(t, 3)), 0)
+		b.CallVoid("pl_push", val)
+		b.CallVoid("pl_count", val) // val live across the push
+		b.Ret(ir.NoValue)
+	})
+	handler("pl_op_store", func(f *ir.Func, b *ir.Block, t ir.Value) {
+		val := b.Call("pl_pop") // t live across the pop
+		b.Store(b.Add(b.AddrOf("pl_globals"), b.ShlI(t, 3)), 0, val)
+		b.CallVoid("pl_count", val)
+		b.Ret(ir.NoValue)
+	})
+	binop := func(name string, apply func(b *ir.Block, x, y ir.Value) ir.Value) {
+		handler(name, func(f *ir.Func, b *ir.Block, t ir.Value) {
+			y := b.Call("pl_pop")
+			x := b.Call("pl_pop") // y live across
+			r := apply(b, x, y)
+			b.CallVoid("pl_push", r) // t, x, r live across the push
+			// The interpreter tracks the last value and operand pair.
+			g := b.AddrOf("pl_globals")
+			b.Store(g, 15*8, r)
+			b.Store(g, 14*8, x)
+			b.CallVoid("pl_count", t)
+			b.Ret(ir.NoValue)
+		})
+	}
+	binop("pl_op_add", func(b *ir.Block, x, y ir.Value) ir.Value { return b.Add(x, y) })
+	binop("pl_op_sub", func(b *ir.Block, x, y ir.Value) ir.Value { return b.Sub(x, y) })
+	binop("pl_op_mul", func(b *ir.Block, x, y ir.Value) ir.Value {
+		return b.AndI(b.Mul(x, y), 0xFFFFFF)
+	})
+	handler("pl_op_jnz", func(f *ir.Func, b *ir.Block, t ir.Value) {
+		v := b.Call("pl_pop") // t (branch offset) live across the pop
+		zero := b.Const(0)
+		b.Br(ir.NE, v, zero, "taken", "fall")
+		taken := f.Block("taken")
+		tv := taken.AddrOf("pl_vm")
+		pc := taken.Load(tv, 8)
+		taken.Store(tv, 8, taken.Sub(pc, t))
+		taken.Ret(ir.NoValue)
+		fall := f.Block("fall")
+		fall.Ret(ir.NoValue)
+	})
+	handler("pl_op_hash", func(f *ir.Func, b *ir.Block, t ir.Value) {
+		v := b.Call("pl_pop")
+		h := b.Xor(v, b.ShlI(v, 7))
+		h = b.Xor(h, b.ShrI(h, 9))
+		h = b.AndI(h, 0xFFFFFF)
+		b.CallVoid("pl_push", h) // h dead after (stored copy is the live one)
+		b.CallVoid("pl_count", t)
+		b.Ret(ir.NoValue)
+	})
+	handler("pl_op_callsub", func(f *ir.Func, b *ir.Block, t ir.Value) {
+		v := b.AddrOf("pl_vm")
+		savedPC := b.Load(v, 8)
+		savedCode := b.Load(v, 16)
+		sub := b.AddrOf("pl_sub")
+		b.CallVoid("pl_run", sub)
+		// savedPC and savedCode live across the recursive interpreter.
+		v2 := b.AddrOf("pl_vm")
+		b.Store(v2, 8, savedPC)
+		b.Store(v2, 16, savedCode)
+		zero := b.Const(0)
+		b.Store(v2, 24, zero)
+		b.Ret(ir.NoValue)
+	})
+
+	// pl_run(code): the dispatch loop. The VM pointer stays live across
+	// every dispatch (callee-saved, saves below it execute); the opcode
+	// and the trace temp die at the dispatch call (their registers are
+	// killed, saves below are eliminated).
+	{
+		f := m.Func("pl_run", 1)
+		b := f.Block("entry")
+		v := b.AddrOf("pl_vm")
+		zero := b.Const(0)
+		b.Store(v, 8, zero)
+		b.Store(v, 16, f.Param(0))
+		b.Store(v, 24, zero)
+		b.Jmp("loop")
+
+		loop := f.Block("loop")
+		lv := loop.AddrOf("pl_vm")
+		halted := loop.Load(lv, 24)
+		z := loop.Const(0)
+		loop.Br(ir.NE, halted, z, "out", "step")
+
+		// The VM base is rematerialized per block (it is a constant), so
+		// the only values this loop carries across calls are the opcode
+		// and trace temporaries — which die at the dispatch call. Their
+		// callee-saved registers are killed there, making the handlers'
+		// saves of those registers dead on arrival.
+		step := f.Block("step")
+		sv := step.AddrOf("pl_vm")
+		pc := step.Load(sv, 8)
+		code := step.Load(sv, 16)
+		op := step.LoadB(step.Add(code, pc), 0)
+		tr := step.Xor(pc, step.ShlI(op, 3)) // trace value
+		mix := step.Add(step.MulI(op, 31), pc)
+		step.CallVoid("pl_count", mix) // op, tr, pc live across this call
+		sv2 := step.AddrOf("pl_vm")
+		step.Store(sv2, 32, tr) // last use of tr
+		ht := step.Add(step.AddrOf("pl_handlers"), step.ShlI(op, 3))
+		h := step.Load(ht, 0)
+		step.CallPtr(h) // op, tr, pc dead here: killed before the dispatch
+		sv3 := step.AddrOf("pl_vm")
+		npc := step.Load(sv3, 8)
+		step.Store(sv3, 8, step.AddI(npc, 2))
+		step.Jmp("loop")
+
+		out := f.Block("out")
+		out.Ret(ir.NoValue)
+	}
+
+	// main: install handlers, run the program repeatedly.
+	{
+		f := m.Func("main", 0)
+		b := f.Block("entry")
+		ht := b.AddrOf("pl_handlers")
+		for i, name := range []string{
+			"pl_op_halt", "pl_op_pushi", "pl_op_load", "pl_op_store",
+			"pl_op_add", "pl_op_sub", "pl_op_mul", "pl_op_jnz",
+			"pl_op_hash", "pl_op_callsub",
+		} {
+			b.Store(ht, int64(i)*8, b.AddrOf(name))
+		}
+		sum := f.Var()
+		b.SetI(sum, 0)
+		n := b.Const(int64(6 * scale))
+		done := loopN(f, b, "runs", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			mainAddr := b.AddrOf("pl_main")
+			b.CallVoid("pl_run", mainAddr)
+			acc := b.Load(b.AddrOf("pl_globals"), 8)
+			b.Set(sum, b.Add(b.MulI(sum, 9), acc))
+			return b
+		})
+		done.Out(0, sum)
+		done.Ret(ir.NoValue)
+	}
+	return m
+}

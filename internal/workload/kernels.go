@@ -1,0 +1,532 @@
+package workload
+
+import (
+	"dvi/internal/ir"
+	"dvi/internal/prog"
+)
+
+// specCompress models compress95: an LZW-style compressor. One large loop
+// body with hash-table probing and almost no procedure calls — the paper
+// excludes compress from the save/restore studies because it has little
+// save/restore activity; that property emerges here from its structure.
+func specCompress() Spec {
+	return Spec{
+		Name:     "compress",
+		Describe: "LZW-style compressor; tight loop, hash probes, few calls",
+		Build:    buildCompress,
+	}
+}
+
+const (
+	czInputLen = 4096
+	czHashSize = 4096
+)
+
+func buildCompress(scale int) *ir.Module {
+	m := ir.NewModule()
+	addRand(m)
+	m.AddData(prog.DataSym{Name: "cz_input", Size: czInputLen})
+	m.AddData(prog.DataSym{Name: "cz_keys", Size: czHashSize * 8})
+	m.AddData(prog.DataSym{Name: "cz_codes", Size: czHashSize * 8})
+	m.AddData(prog.DataSym{Name: "cz_state", Size: 32}) // next code, checksum, emit count
+
+	// fill_input(): pseudo-random bytes with enough repetition for the
+	// dictionary to be useful (values folded to 16 symbols).
+	{
+		f := m.Func("cz_fill", 0)
+		b := f.Block("entry")
+		n := b.Const(czInputLen)
+		done := loopN(f, b, "fill", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			r := b.Call("rand")
+			sym := b.AndI(b.ShrI(r, 17), 15)
+			base := b.AddrOf("cz_input")
+			addr := b.Add(base, i)
+			b.StoreB(addr, 0, sym)
+			return b
+		})
+		done.Ret(ir.NoValue)
+	}
+
+	// cz_reset(): clear the dictionary (rare call from the main loop).
+	{
+		f := m.Func("cz_reset", 0)
+		b := f.Block("entry")
+		n := b.Const(czHashSize)
+		done := loopN(f, b, "clr", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			off := b.ShlI(i, 3)
+			zero := b.Const(0)
+			b.Store(b.Add(b.AddrOf("cz_keys"), off), 0, zero)
+			b.Store(b.Add(b.AddrOf("cz_codes"), off), 0, zero)
+			return b
+		})
+		st := done.AddrOf("cz_state")
+		done.Store(st, 0, done.Const(256)) // next code
+		done.Ret(ir.NoValue)
+	}
+
+	// cz_compress(): the LZW loop, inline probing, rare emit helper.
+	{
+		f := m.Func("cz_compress", 0)
+		entry := f.Block("entry")
+		entry.CallVoid("cz_reset")
+		prefix := f.Var()
+		in0 := entry.LoadB(entry.AddrOf("cz_input"), 0)
+		entry.Set(prefix, in0)
+
+		n := entry.Const(czInputLen)
+		done := loopN(f, entry, "main", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			ch := b.LoadB(b.Add(b.AddrOf("cz_input"), i), 0)
+			key := b.Or(b.ShlI(prefix, 8), ch)
+			key = b.AddI(key, 1) // keep zero as "empty"
+			h := f.Var()
+			hv := b.AndI(b.MulI(key, 40503), czHashSize-1)
+			b.Set(h, hv)
+			b.Jmp("probe")
+
+			probe := f.Block("probe")
+			off := probe.ShlI(h, 3)
+			k := probe.Load(probe.Add(probe.AddrOf("cz_keys"), off), 0)
+			probe.Br(ir.EQ, k, key, "hit", "checkempty")
+
+			checkempty := f.Block("checkempty")
+			zero := checkempty.Const(0)
+			checkempty.Br(ir.EQ, k, zero, "insert", "collide")
+
+			collide := f.Block("collide")
+			collide.Set(h, collide.AndI(collide.AddI(h, 1), czHashSize-1))
+			collide.Jmp("probe")
+
+			hit := f.Block("hit")
+			off2 := hit.ShlI(h, 3)
+			code := hit.Load(hit.Add(hit.AddrOf("cz_codes"), off2), 0)
+			hit.Set(prefix, code)
+			hit.Jmp("cont")
+
+			insert := f.Block("insert")
+			st := insert.AddrOf("cz_state")
+			next := insert.Load(st, 0)
+			off3 := insert.ShlI(h, 3)
+			insert.Store(insert.Add(insert.AddrOf("cz_keys"), off3), 0, key)
+			insert.Store(insert.Add(insert.AddrOf("cz_codes"), off3), 0, next)
+			insert.Store(st, 0, insert.AddI(next, 1))
+			// emit(prefix): checksum fold, inline.
+			sum := insert.Load(st, 8)
+			sum = insert.Add(insert.MulI(sum, 31), prefix)
+			insert.Store(st, 8, sum)
+			cnt := insert.Load(st, 16)
+			insert.Store(st, 16, insert.AddI(cnt, 1))
+			insert.Set(prefix, ch)
+			// Reset the table when it fills (rare call).
+			limit := insert.Const(czHashSize - 512)
+			insert.Br(ir.GE, next, limit, "reset", "cont")
+
+			reset := f.Block("reset")
+			reset.CallVoid("cz_reset")
+			reset.Jmp("cont")
+
+			return f.Block("cont") // loopN's increment lands here
+		})
+		st := done.AddrOf("cz_state")
+		done.Ret(done.Load(st, 8))
+	}
+
+	// main: fill once, compress `scale` times.
+	{
+		f := m.Func("main", 0)
+		b := f.Block("entry")
+		b.CallVoid("cz_fill")
+		sum := f.Var()
+		b.SetI(sum, 0)
+		n := b.Const(int64(scale))
+		done := loopN(f, b, "runs", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			v := b.Call("cz_compress")
+			b.Set(sum, b.Add(b.Xor(sum, v), i))
+			return b
+		})
+		done.Out(0, sum)
+		done.Ret(ir.NoValue)
+	}
+	return m
+}
+
+// specGo models go: branchy board evaluation with accumulators held live
+// across calls — the structure that makes its save/restore elimination the
+// lowest of the suite.
+func specGo() Spec {
+	return Spec{
+		Name:     "go",
+		Describe: "board evaluation; branchy, accumulators live across calls",
+		Build:    buildGo,
+	}
+}
+
+const goN = 19 // board side
+
+func buildGo(scale int) *ir.Module {
+	m := ir.NewModule()
+	addRand(m)
+	m.AddData(prog.DataSym{Name: "go_board", Size: (goN + 2) * (goN + 2)}) // padded
+
+	// cell(pos) -> board value with a bounds check (the dominant leaf).
+	{
+		f := m.Func("go_cell", 1)
+		b := f.Block("entry")
+		pos := f.Param(0)
+		lim := b.Const((goN + 2) * (goN + 2))
+		b.Br(ir.GEU, pos, lim, "oob", "in")
+		oob := f.Block("oob")
+		oob.Ret(oob.Const(3)) // border sentinel
+		in := f.Block("in")
+		in.Ret(in.LoadB(in.Add(in.AddrOf("go_board"), pos), 0))
+	}
+
+	// neighbors(pos, color) -> count of 4-neighbors matching color.
+	// Holds pos, color, and the count live across its go_cell calls, so it
+	// saves several callee-saved registers.
+	{
+		f := m.Func("go_neighbors", 2)
+		b := f.Block("entry")
+		pos, color := f.Param(0), f.Param(1)
+		cnt := f.Var()
+		b.SetI(cnt, 0)
+		cur := b
+		// Vertical neighbors go through the bounds-checked reader (they can
+		// fall off the padded board); horizontal reads are inline.
+		for di, delta := range []int64{-(goN + 2), goN + 2} {
+			v := cur.Call("go_cell", cur.AddI(pos, delta))
+			thenB := "n_inc" + string(rune('0'+di))
+			elseB := "n_next" + string(rune('0'+di))
+			cur.Br(ir.EQ, v, color, thenB, elseB)
+			inc := f.Block(thenB)
+			inc.Set(cnt, inc.AddI(cnt, 1))
+			inc.Jmp(elseB)
+			cur = f.Block(elseB)
+		}
+		for di, delta := range []int64{-1, 1} {
+			base := cur.AddrOf("go_board")
+			v := cur.LoadB(cur.Add(base, cur.AddI(pos, delta)), 0)
+			thenB := "h_inc" + string(rune('0'+di))
+			elseB := "h_next" + string(rune('0'+di))
+			cur.Br(ir.EQ, v, color, thenB, elseB)
+			inc := f.Block(thenB)
+			inc.Set(cnt, inc.AddI(cnt, 1))
+			inc.Jmp(elseB)
+			cur = f.Block(elseB)
+		}
+		cur.Ret(cnt)
+	}
+
+	// liberties(pos) -> count of empty 4-neighbors.
+	{
+		f := m.Func("go_liberties", 1)
+		b := f.Block("entry")
+		zero := b.Const(0)
+		b.Ret(b.Call("go_neighbors", f.Param(0), zero))
+	}
+
+	// score_point(pos): combines two calls; intermediate live across the
+	// second call (stays in a callee-saved register, live at the call).
+	{
+		f := m.Func("go_score", 1)
+		b := f.Block("entry")
+		pos := f.Param(0)
+		base := b.AddrOf("go_board")
+		v := b.LoadB(b.Add(base, pos), 0)
+		zero := b.Const(0)
+		b.Br(ir.EQ, v, zero, "empty", "stone")
+		empty := f.Block("empty")
+		empty.Ret(empty.Const(0))
+		stone := f.Block("stone")
+		same := stone.Call("go_neighbors", pos, v) // v live across
+		libs := stone.Call("go_liberties", pos)    // same live across
+		score := stone.Add(stone.ShlI(same, 2), libs)
+		two := stone.Const(2)
+		stone.Br(ir.LT, libs, two, "atari", "ok")
+		atari := f.Block("atari")
+		atari.Ret(atari.SubI(score, 16))
+		ok := f.Block("ok")
+		ok.Ret(score)
+	}
+
+	// evaluate(): sum score over the board; accumulator live across every
+	// call (the elimination-hostile pattern).
+	{
+		f := m.Func("go_evaluate", 0)
+		b := f.Block("entry")
+		acc := f.Var()
+		b.SetI(acc, 0)
+		n := b.Const(goN * goN)
+		done := loopN(f, b, "ev", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			row := b.DivI(i, goN)
+			col := b.RemI(i, goN)
+			pos := b.Add(b.MulI(b.AddI(row, 1), goN+2), b.AddI(col, 1))
+			s := b.Call("go_score", pos)
+			b.Set(acc, b.Add(acc, s))
+			return b
+		})
+		done.Ret(acc)
+	}
+
+	// play(pos, color): place a stone if empty, return local delta.
+	{
+		f := m.Func("go_play", 2)
+		b := f.Block("entry")
+		pos, color := f.Param(0), f.Param(1)
+		base := b.AddrOf("go_board")
+		cell := b.Add(base, pos)
+		v := b.LoadB(cell, 0)
+		zero := b.Const(0)
+		b.Br(ir.NE, v, zero, "occupied", "place")
+		occ := f.Block("occupied")
+		occ.Ret(occ.Const(0))
+		place := f.Block("place")
+		place.StoreB(cell, 0, color)
+		place.Ret(place.Call("go_score", pos))
+	}
+
+	// main: random moves with periodic whole-board evaluation.
+	{
+		f := m.Func("main", 0)
+		b := f.Block("entry")
+		sum := f.Var()
+		b.SetI(sum, 0)
+		n := b.Const(int64(220 * scale))
+		done := loopN(f, b, "game", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			r := b.Call("rand")
+			row := b.AddI(b.RemI(b.AndI(r, 1023), goN), 1)
+			col := b.AddI(b.RemI(b.AndI(b.ShrI(r, 10), 1023), goN), 1)
+			pos := b.Add(b.MulI(row, goN+2), col)
+			color := b.AddI(b.AndI(b.ShrI(r, 20), 1), 1)
+			d := b.Call("go_play", pos, color)
+			b.Set(sum, b.Add(sum, d))
+			// Every 32 moves, evaluate the whole board.
+			masked := b.AndI(i, 31)
+			zero := b.Const(0)
+			b.Br(ir.EQ, masked, zero, "eval", "skip")
+			ev := f.Block("eval")
+			e := ev.Call("go_evaluate")
+			ev.Set(sum, ev.Xor(sum, e))
+			ev.Jmp("skip")
+			return f.Block("skip")
+		})
+		done.Out(0, sum)
+		done.Ret(ir.NoValue)
+	}
+	return m
+}
+
+// specIjpeg models ijpeg: nested loops over 8x8 blocks with per-block
+// transform helpers — array math heavy, moderate call frequency.
+func specIjpeg() Spec {
+	return Spec{
+		Name:     "ijpeg",
+		Describe: "8x8 block transform kernels over an image",
+		Build:    buildIjpeg,
+	}
+}
+
+const ijSide = 64 // image side in pixels
+
+func buildIjpeg(scale int) *ir.Module {
+	m := ir.NewModule()
+	addRand(m)
+	m.AddData(prog.DataSym{Name: "ij_image", Size: ijSide * ijSide})
+	m.AddData(prog.DataSym{Name: "ij_block", Size: 64 * 8})
+	m.AddData(prog.DataSym{Name: "ij_quant", Size: 64 * 8})
+
+	// init(): fill image with pseudo-random pixels and the quant table.
+	{
+		f := m.Func("ij_init", 0)
+		b := f.Block("entry")
+		n := b.Const(ijSide * ijSide)
+		done := loopN(f, b, "pix", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			r := b.Call("rand")
+			b.StoreB(b.Add(b.AddrOf("ij_image"), i), 0, b.AndI(r, 255))
+			return b
+		})
+		n2 := done.Const(64)
+		done2 := loopN(f, done, "qt", n2, func(b *ir.Block, i ir.Value) *ir.Block {
+			q := b.AddI(b.ShrI(b.MulI(i, 3), 1), 4)
+			b.Store(b.Add(b.AddrOf("ij_quant"), b.ShlI(i, 3)), 0, q)
+			return b
+		})
+		done2.Ret(ir.NoValue)
+	}
+
+	// load_block(bx, by): copy one 8x8 tile into the work buffer.
+	{
+		f := m.Func("ij_load", 2)
+		b := f.Block("entry")
+		bx, by := f.Param(0), f.Param(1)
+		x0 := b.ShlI(bx, 3)
+		y0 := b.ShlI(by, 3)
+		n := b.Const(64)
+		done := loopN(f, b, "ld", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			r := b.ShrI(i, 3)
+			c := b.AndI(i, 7)
+			src := b.Add(b.MulI(b.Add(y0, r), ijSide), b.Add(x0, c))
+			px := b.LoadB(b.Add(b.AddrOf("ij_image"), src), 0)
+			b.Store(b.Add(b.AddrOf("ij_block"), b.ShlI(i, 3)), 0, b.SubI(px, 128))
+			return b
+		})
+		done.Ret(ir.NoValue)
+	}
+
+	// dct_pass(stride, step): in-place butterfly pass over 8 lanes —
+	// called twice (rows then columns).
+	{
+		f := m.Func("ij_dct", 2)
+		b := f.Block("entry")
+		stride, step := f.Param(0), f.Param(1)
+		n := b.Const(8)
+		done := loopN(f, b, "lane", n, func(b *ir.Block, lane ir.Value) *ir.Block {
+			base := b.Add(b.AddrOf("ij_block"), b.ShlI(b.Mul(lane, stride), 3))
+			// Butterfly pairs (i, 7-i).
+			for i := int64(0); i < 4; i++ {
+				lo := b.ShlI(b.MulI(step, i), 3)
+				hiIdx := b.MulI(step, 7-i)
+				hi := b.ShlI(hiIdx, 3)
+				a := b.Load(b.Add(base, lo), 0)
+				c := b.Load(b.Add(base, hi), 0)
+				s := b.Add(a, c)
+				d := b.Sub(a, c)
+				// Scaled rotation-ish update.
+				s2 := b.Add(s, b.SraI(d, 2))
+				d2 := b.Sub(d, b.SraI(s, 2))
+				b.Store(b.Add(base, lo), 0, s2)
+				b.Store(b.Add(base, hi), 0, d2)
+			}
+			return b
+		})
+		done.Ret(ir.NoValue)
+	}
+
+	// quantize(): divide by the table, return count of nonzero coeffs
+	// plus a folded checksum.
+	{
+		f := m.Func("ij_quantize", 0)
+		b := f.Block("entry")
+		acc := f.Var()
+		b.SetI(acc, 0)
+		n := b.Const(64)
+		done := loopN(f, b, "q", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			off := b.ShlI(i, 3)
+			v := b.Load(b.Add(b.AddrOf("ij_block"), off), 0)
+			q := b.Load(b.Add(b.AddrOf("ij_quant"), off), 0)
+			t := b.Div(v, q)
+			b.Store(b.Add(b.AddrOf("ij_block"), off), 0, t)
+			b.Set(acc, b.Add(b.MulI(acc, 7), t))
+			return b
+		})
+		done.Ret(acc)
+	}
+
+	// mean(): average of the loaded block (analysis pass).
+	{
+		f := m.Func("ij_mean", 0)
+		b := f.Block("entry")
+		acc := f.Var()
+		b.SetI(acc, 0)
+		n := b.Const(64)
+		done := loopN(f, b, "mu", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			v := b.Load(b.Add(b.AddrOf("ij_block"), b.ShlI(i, 3)), 0)
+			b.Set(acc, b.Add(acc, v))
+			return b
+		})
+		done.Ret(done.SraI(acc, 6))
+	}
+
+	// dct2d(): both passes. The pass parameters live across the first
+	// call, so this function saves callee-saved registers — the saves a
+	// caller's dead values can eliminate.
+	{
+		f := m.Func("ij_dct2d", 0)
+		b := f.Block("entry")
+		one := b.Const(1)
+		eight := b.Const(8)
+		b.CallVoid("ij_dct", eight, one) // rows; one and eight live across
+		b.CallVoid("ij_dct", one, eight) // columns
+		b.Ret(ir.NoValue)
+	}
+
+	// range(): max-min spread of the loaded block (second analysis pass).
+	{
+		f := m.Func("ij_range", 0)
+		b := f.Block("entry")
+		lo := f.Var()
+		hi := f.Var()
+		b.SetI(lo, 1<<20)
+		b.SetI(hi, -(1 << 20))
+		n := b.Const(64)
+		done := loopN(f, b, "rg", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			v := b.Load(b.Add(b.AddrOf("ij_block"), b.ShlI(i, 3)), 0)
+			b.Br(ir.LT, v, lo, "newlo", "cklohi")
+			nl := f.Block("newlo")
+			nl.Set(lo, v)
+			nl.Jmp("cklohi")
+			ck := f.Block("cklohi")
+			ck.Br(ir.LT, hi, v, "newhi", "rgnext")
+			nh := f.Block("newhi")
+			nh.Set(hi, v)
+			nh.Jmp("rgnext")
+			return f.Block("rgnext")
+		})
+		done.Ret(done.Sub(hi, lo))
+	}
+
+	// zeros(): count of zero coefficients (bit-budget estimation).
+	{
+		f := m.Func("ij_zeros", 0)
+		b := f.Block("entry")
+		cnt := f.Var()
+		b.SetI(cnt, 0)
+		n := b.Const(64)
+		done := loopN(f, b, "zc", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			v := b.Load(b.Add(b.AddrOf("ij_block"), b.ShlI(i, 3)), 0)
+			zero := b.Const(0)
+			b.Br(ir.NE, v, zero, "zcnext", "zhit")
+			zh := f.Block("zhit")
+			zh.Set(cnt, zh.AddI(cnt, 1))
+			zh.Jmp("zcnext")
+			return f.Block("zcnext")
+		})
+		done.Ret(cnt)
+	}
+
+	// process(bx, by): the per-block pipeline: load, analyze (the mean,
+	// range and zero-count are dead once the bias is derived — their
+	// registers are killed before the transform call, eliminating dct2d's
+	// saves), transform, quantize.
+	{
+		f := m.Func("ij_process", 2)
+		b := f.Block("entry")
+		b.CallVoid("ij_load", f.Param(0), f.Param(1))
+		mu := b.Call("ij_mean")
+		rng := b.Call("ij_range") // mu live across
+		zc := b.Call("ij_zeros")  // mu, rng live across
+		bias := b.AddI(b.SraI(b.Add(b.Add(mu, rng), zc), 4), 1)
+		b.CallVoid("ij_dct2d") // mu, rng, zc dead here: killed
+		q := b.Call("ij_quantize")
+		b.Ret(b.Add(q, bias))
+	}
+
+	// main: sweep the block grid `scale` times.
+	{
+		f := m.Func("main", 0)
+		b := f.Block("entry")
+		b.CallVoid("ij_init")
+		sum := f.Var()
+		b.SetI(sum, 0)
+		n := b.Const(int64(scale) * (ijSide / 8) * (ijSide / 8))
+		done := loopN(f, b, "blk", n, func(b *ir.Block, i ir.Value) *ir.Block {
+			bx := b.RemI(i, ijSide/8)
+			by := b.RemI(b.DivI(i, ijSide/8), ijSide/8)
+			v := b.Call("ij_process", bx, by)
+			b.Set(sum, b.Add(b.Xor(sum, v), i))
+			return b
+		})
+		done.Out(0, sum)
+		done.Ret(ir.NoValue)
+	}
+	return m
+}

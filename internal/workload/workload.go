@@ -1,0 +1,149 @@
+// Package workload provides the seven synthetic benchmark programs that
+// stand in for the paper's SPEC95int suite (compress95, go, ijpeg, li,
+// vortex, perl, gcc). Each program is authored in the mini-IR and compiled
+// by internal/compiler; each structurally mimics its namesake so that the
+// properties the paper's optimizations exploit — call frequency,
+// callee-saved register usage, context-sensitive liveness at call sites,
+// memory bandwidth demand — arise from program structure rather than from
+// tuned constants. DESIGN.md records the substitution rationale.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"dvi/internal/compiler"
+	"dvi/internal/ir"
+	"dvi/internal/prog"
+	"dvi/internal/rewrite"
+)
+
+// Spec describes one benchmark program.
+type Spec struct {
+	Name     string
+	Describe string
+	// Build constructs the IR module; scale multiplies the outer
+	// iteration count (scale 1 is roughly 200k-600k dynamic
+	// instructions).
+	Build func(scale int) *ir.Module
+}
+
+// All returns the seven benchmarks in the paper's Figure 3 order.
+func All() []Spec {
+	return []Spec{
+		specCompress(),
+		specGo(),
+		specIjpeg(),
+		specLi(),
+		specVortex(),
+		specPerl(),
+		specGcc(),
+	}
+}
+
+// Names returns the benchmark names in order.
+func Names() []string {
+	var ns []string
+	for _, s := range All() {
+		ns = append(ns, s.Name)
+	}
+	return ns
+}
+
+// ByName finds a benchmark.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// SaveRestoreActive returns the six benchmarks the paper uses for the
+// save/restore elimination studies (Figure 9: "the six benchmarks that
+// exhibit significant save and restore activity" — compress is excluded).
+func SaveRestoreActive() []Spec {
+	var out []Spec
+	for _, s := range All() {
+		if s.Name != "compress" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BuildOptions selects the binary flavour.
+type BuildOptions struct {
+	EDVI   bool
+	Policy rewrite.Policy
+}
+
+// CompileSpec builds and links one benchmark.
+func CompileSpec(s Spec, scale int, opt BuildOptions) (*prog.Program, *prog.Image, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	m := s.Build(scale)
+	pr, err := compiler.Compile(m, compiler.Options{EDVI: opt.EDVI, Policy: opt.Policy})
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload %s: %w", s.Name, err)
+	}
+	img, err := pr.Link()
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload %s: %w", s.Name, err)
+	}
+	return pr, img, nil
+}
+
+// --- shared IR helpers ---
+
+// addRand installs a 64-bit xorshift-style PRNG:
+//
+//	func rand() -> next pseudo-random value (also stored in rand_seed)
+func addRand(m *ir.Module) {
+	m.AddData(prog.DataSym{Name: "rand_seed", Size: 8, Init: le64(0x9E3779B97F4A7C15)})
+	f := m.Func("rand", 0)
+	b := f.Block("entry")
+	base := b.AddrOf("rand_seed")
+	s := b.Load(base, 0)
+	s = b.Xor(s, b.ShlI(s, 13))
+	s = b.Xor(s, b.ShrI(s, 7))
+	s = b.Xor(s, b.ShlI(s, 17))
+	b.Store(base, 0, s)
+	b.Ret(s)
+}
+
+// le64 renders a little-endian 8-byte initializer.
+func le64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+// loopN emits a counted loop: body receives the induction variable and the
+// body block, and returns the block where its control flow ends (the same
+// block for straight-line bodies). Blocks created: prefix+"_head",
+// prefix+"_body", prefix+"_done"; the caller continues in the returned
+// done block.
+func loopN(f *ir.Func, from *ir.Block, prefix string, n ir.Value, body func(b *ir.Block, i ir.Value) *ir.Block) *ir.Block {
+	i := f.Var()
+	from.SetI(i, 0)
+	from.Jmp(prefix + "_head")
+	head := f.Block(prefix + "_head")
+	head.Br(ir.GE, i, n, prefix+"_done", prefix+"_body")
+	b := f.Block(prefix + "_body")
+	end := body(b, i)
+	end.Set(i, end.AddI(i, 1))
+	end.Jmp(prefix + "_head")
+	return f.Block(prefix + "_done")
+}
+
+// sortedNames is a test helper exposed for deterministic iteration.
+func sortedNames() []string {
+	ns := Names()
+	sort.Strings(ns)
+	return ns
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"testing"
+
+	"dvi/internal/core"
+	"dvi/internal/emu"
+	"dvi/internal/rewrite"
+)
+
+// runSpec compiles and runs one benchmark under full DVI with the
+// dead-read checker armed.
+func runSpec(t *testing.T, s Spec, scale int, opt BuildOptions) *emu.Emulator {
+	t.Helper()
+	pr, img, err := CompileSpec(s, scale, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	e := emu.New(pr, img, emu.Config{
+		DVI:            core.DefaultConfig(),
+		Scheme:         emu.ElimLVMStack,
+		CheckDeadReads: true,
+	})
+	if err := e.Run(100_000_000); err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	if len(e.Violations) != 0 {
+		t.Fatalf("%s: dead-value violations: %v", s.Name, e.Violations[:min(4, len(e.Violations))])
+	}
+	if len(e.Outputs) == 0 {
+		t.Fatalf("%s: produced no checksum output", s.Name)
+	}
+	return e
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestAllBenchmarksRunCleanly(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			e := runSpec(t, s, 1, BuildOptions{EDVI: true})
+			st := e.Stats
+			t.Logf("%-9s insts=%8d calls=%5.2f%% mem=%5.2f%% s/r=%5.2f%% elim(s/r)=%d/%d kills=%d",
+				s.Name, st.Original(),
+				100*float64(st.Calls)/float64(st.Original()),
+				100*float64(st.MemRefs)/float64(st.Original()),
+				100*float64(st.SavesRestores())/float64(st.Original()),
+				st.SavesElim, st.RestoresElim, st.Kills)
+			if st.Original() < 50_000 {
+				t.Errorf("%s: only %d instructions at scale 1; too small", s.Name, st.Original())
+			}
+		})
+	}
+}
+
+func TestEDVIDoesNotChangeResults(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			base := runSpec(t, s, 1, BuildOptions{})
+			edvi := runSpec(t, s, 1, BuildOptions{EDVI: true})
+			if base.Checksum != edvi.Checksum {
+				t.Errorf("%s: checksum differs between baseline and E-DVI builds", s.Name)
+			}
+			if base.Stats.Kills != 0 {
+				t.Errorf("%s: baseline contains kills", s.Name)
+			}
+			atDeath := runSpec(t, s, 1, BuildOptions{EDVI: true, Policy: rewrite.KillsAtDeath})
+			if atDeath.Checksum != base.Checksum {
+				t.Errorf("%s: at-death build changed results", s.Name)
+			}
+		})
+	}
+}
+
+func TestDeterministicChecksums(t *testing.T) {
+	for _, s := range All() {
+		a := runSpec(t, s, 1, BuildOptions{EDVI: true})
+		b := runSpec(t, s, 1, BuildOptions{EDVI: true})
+		if a.Checksum != b.Checksum {
+			t.Errorf("%s: nondeterministic checksum", s.Name)
+		}
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	s, _ := ByName("ijpeg")
+	small := runSpec(t, s, 1, BuildOptions{})
+	big := runSpec(t, s, 3, BuildOptions{})
+	if big.Stats.Original() < 2*small.Stats.Original() {
+		t.Errorf("scale 3 ran %d insts vs %d at scale 1", big.Stats.Original(), small.Stats.Original())
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	// The structural properties the paper's results rest on, as loose
+	// bounds: compress has the least save/restore activity; perl the
+	// most; interpreter/compiler workloads are call-heavy.
+	type profile struct {
+		srFrac   float64 // saves+restores / original insts
+		callFrac float64
+		elimFrac float64 // eliminated / total saves+restores
+	}
+	prof := map[string]profile{}
+	for _, s := range All() {
+		e := runSpec(t, s, 1, BuildOptions{EDVI: true})
+		st := e.Stats
+		p := profile{
+			srFrac:   float64(st.SavesRestores()) / float64(st.Original()),
+			callFrac: float64(st.Calls) / float64(st.Original()),
+		}
+		if sr := st.SavesRestores(); sr > 0 {
+			p.elimFrac = float64(st.SavesElim+st.RestoresElim) / float64(sr)
+		}
+		prof[s.Name] = p
+	}
+	for name, p := range prof {
+		if name == "compress" {
+			continue
+		}
+		if prof["compress"].srFrac >= p.srFrac {
+			t.Errorf("compress s/r fraction %.4f >= %s %.4f; compress must be lowest",
+				prof["compress"].srFrac, name, p.srFrac)
+		}
+	}
+	// Paper Figure 9's headline ordering: perl eliminates the largest
+	// fraction of its saves and restores, go the smallest.
+	for name, p := range prof {
+		if name == "compress" || name == "perl" {
+			continue
+		}
+		if p.elimFrac > prof["perl"].elimFrac {
+			t.Errorf("%s eliminates %.2f > perl %.2f; perl should lead", name, p.elimFrac, prof["perl"].elimFrac)
+		}
+	}
+	for name, p := range prof {
+		if name == "compress" || name == "go" {
+			continue
+		}
+		if p.elimFrac < prof["go"].elimFrac {
+			t.Errorf("%s eliminates %.2f < go %.2f; go should trail", name, p.elimFrac, prof["go"].elimFrac)
+		}
+	}
+	for _, name := range []string{"li", "perl", "gcc", "vortex"} {
+		if prof[name].callFrac < 0.01 {
+			t.Errorf("%s call fraction %.4f; expected call-heavy", name, prof[name].callFrac)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, ok := ByName("perl"); !ok {
+		t.Error("perl missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown benchmark found")
+	}
+	if len(Names()) != 7 {
+		t.Errorf("suite size = %d, want 7", len(Names()))
+	}
+	if len(SaveRestoreActive()) != 6 {
+		t.Errorf("save/restore-active set = %d, want 6", len(SaveRestoreActive()))
+	}
+	for _, s := range SaveRestoreActive() {
+		if s.Name == "compress" {
+			t.Error("compress in the save/restore-active set")
+		}
+	}
+	if got := sortedNames(); len(got) != 7 {
+		t.Errorf("sortedNames = %v", got)
+	}
+}
