@@ -1,112 +1,124 @@
-// dvibench regenerates the paper's tables and figures.
+// dvibench regenerates the paper's tables and figures, running the
+// experiment grids concurrently over a shared memoized build cache. The
+// report on stdout is byte-identical at any -j; progress goes to stderr.
 //
 // Usage:
 //
-//	dvibench                         # everything, default scale
-//	dvibench -experiment fig9        # one experiment
+//	dvibench                          # everything, -j GOMAXPROCS
+//	dvibench -figures fig5,fig6 -j 4  # one sweep, four workers
+//	dvibench -figures ablations       # the three ablation studies
+//	dvibench -list                    # show selectable experiment IDs
 //	dvibench -scale 2 -maxinsts 2000000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
 
 	"dvi/internal/harness"
+	"dvi/internal/runner"
 )
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "fig2|fig3|fig5|fig6|fig9|fig10|fig11|fig12|fig13|ablations|all")
-		scale = flag.Int("scale", 1, "workload scale factor")
-		max   = flag.Uint64("maxinsts", 400_000, "instruction budget per timing run")
-		sweep = flag.Uint64("sweepinsts", 150_000, "instruction budget per sweep point (fig5)")
+		figures = flag.String("figures", "", "comma-separated experiment subset (IDs from -list, or all|ablations); default all")
+		exp     = flag.String("experiment", "", "deprecated alias for -figures")
+		list    = flag.Bool("list", false, "print selectable experiment IDs and exit")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+		quiet   = flag.Bool("q", false, "suppress per-job progress on stderr")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		max     = flag.Uint64("maxinsts", 400_000, "instruction budget per timing run")
+		sweep   = flag.Uint64("sweepinsts", 150_000, "instruction budget per sweep point (fig5)")
 	)
 	flag.Parse()
 
-	opt := harness.Options{Scale: *scale, MaxInsts: *max, SweepMaxInsts: *sweep}
-	out := os.Stdout
+	if *list {
+		for _, f := range harness.Figures() {
+			fmt.Printf("%-18s %s\n", f.ID, f.Title)
+		}
+		return
+	}
 
-	fail := func(err error) {
+	ids, err := selectIDs(*figures, *exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvibench:", err)
+		os.Exit(2)
+	}
+
+	opt := harness.Options{Scale: *scale, MaxInsts: *max, SweepMaxInsts: *sweep, Workers: *jobs}
+
+	var progress runner.ProgressFunc
+	if !*quiet {
+		var mu sync.Mutex
+		done := 0
+		progress = func(ev runner.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			// JobFailed is not printed here: the run's returned error
+			// carries the same label and cause, and main reports it.
+			if ev.Phase == runner.JobDone {
+				done++
+				fmt.Fprintf(os.Stderr, "dvibench: [%d/%d] %s\n", done, ev.Total, ev.Label)
+			}
+		}
+	}
+
+	eng := harness.NewEngine(opt, progress)
+	start := time.Now()
+	if err := harness.RunFigures(context.Background(), eng, opt, ids, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dvibench:", err)
 		os.Exit(1)
 	}
-
-	switch *exp {
-	case "all":
-		if err := harness.RunAll(opt, out); err != nil {
-			fail(err)
-		}
-		for _, f := range []func(harness.Options) (harness.Table, error){
-			harness.AblationStackDepth, harness.AblationKillPlacement, harness.AblationWrongPath,
-		} {
-			t, err := f(opt)
-			if err != nil {
-				fail(err)
-			}
-			fmt.Fprintln(out, t)
-		}
-	case "fig2":
-		fmt.Fprintln(out, harness.Fig2MachineConfig())
-	case "fig3":
-		t, err := harness.Fig3Characterization(opt)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out, t)
-	case "fig5", "fig6":
-		t5, points, err := harness.Fig5RegfileIPC(opt)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out, t5)
-		t6, err := harness.Fig6Performance(opt, points)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out, t6)
-	case "fig9":
-		t, err := harness.Fig9Eliminated(opt)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out, t)
-	case "fig10":
-		t, err := harness.Fig10Speedups(opt)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out, t)
-	case "fig11":
-		t, err := harness.Fig11PortSensitivity(opt)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out, t)
-	case "fig12":
-		t, err := harness.Fig12ContextSwitch(opt)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out, t)
-	case "fig13":
-		t, err := harness.Fig13EDVIOverhead(opt)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out, t)
-	case "ablations":
-		for _, f := range []func(harness.Options) (harness.Table, error){
-			harness.AblationStackDepth, harness.AblationKillPlacement, harness.AblationWrongPath,
-		} {
-			t, err := f(opt)
-			if err != nil {
-				fail(err)
-			}
-			fmt.Fprintln(out, t)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if !*quiet {
+		hits, misses := eng.Cache().Stats()
+		fmt.Fprintf(os.Stderr, "dvibench: done in %s (%d workers, %d binaries compiled, %d build cache hits)\n",
+			time.Since(start).Round(time.Millisecond), eng.Workers(), misses, hits)
 	}
+}
+
+// selectIDs resolves the -figures/-experiment selection into figure IDs.
+func selectIDs(figures, experiment string) ([]string, error) {
+	if figures != "" && experiment != "" {
+		return nil, fmt.Errorf("-figures and -experiment are mutually exclusive (use -figures; -experiment is deprecated)")
+	}
+	if figures == "" && experiment != "" {
+		// The old -experiment flag printed fig5 and fig6 together for
+		// either name; preserve that.
+		switch experiment {
+		case "fig5", "fig6":
+			figures = "fig5,fig6"
+		default:
+			figures = experiment
+		}
+	}
+	if figures == "" || figures == "all" {
+		return harness.FigureIDs(), nil
+	}
+	var ids []string
+	for _, id := range strings.Split(figures, ",") {
+		id = strings.TrimSpace(id)
+		switch id {
+		case "":
+		case "all":
+			ids = append(ids, harness.FigureIDs()...)
+		case "ablations":
+			ids = append(ids, harness.AblationIDs()...)
+		default:
+			if _, ok := harness.FigureByID(id); !ok {
+				return nil, fmt.Errorf("unknown figure %q (have %s)",
+					id, strings.Join(append(harness.FigureIDs(), "ablations"), ", "))
+			}
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("empty -figures selection")
+	}
+	return ids, nil
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"dvi/internal/emu"
 	"dvi/internal/isa"
 	"dvi/internal/ooo"
+	"dvi/internal/runner"
 	"dvi/internal/workload"
 )
 
@@ -70,17 +72,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	pr, img, err := workload.CompileSpec(spec, *scale, workload.BuildOptions{EDVI: edvi})
+	eng := runner.New(runner.Options{Workers: 1})
+	results, err := eng.Run(context.Background(), []runner.Job{{
+		Workload:    spec,
+		Scale:       *scale,
+		Build:       workload.BuildOptions{EDVI: edvi},
+		Kind:        runner.Timing,
+		Machine:     cfg,
+		KeepMachine: true,
+	}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	m := ooo.New(pr, img, cfg)
-	st, err := m.Run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	st, m := results[0].Timing, results[0].Machine
 
 	fmt.Printf("benchmark        %s (scale %d, %s, scheme %s)\n", spec.Name, *scale, cfg.Emu.DVI.Level, cfg.Emu.Scheme)
 	fmt.Printf("cycles           %d\n", st.Cycles)

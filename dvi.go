@@ -33,6 +33,7 @@
 package dvi
 
 import (
+	"context"
 	"io"
 
 	"dvi/internal/cacti"
@@ -43,6 +44,7 @@ import (
 	"dvi/internal/ooo"
 	"dvi/internal/prog"
 	"dvi/internal/rewrite"
+	"dvi/internal/runner"
 	"dvi/internal/workload"
 )
 
@@ -84,10 +86,36 @@ type (
 	// RewriteOptions configures the binary rewriting DVI inserter.
 	RewriteOptions = rewrite.Options
 
-	// ExperimentOptions scales the paper experiments.
+	// ExperimentOptions scales the paper experiments; its Workers field
+	// bounds the experiment engine's worker pool.
 	ExperimentOptions = harness.Options
 	// ExperimentTable is one regenerated table or figure.
 	ExperimentTable = harness.Table
+	// ExperimentFigure is one declarative experiment: a job grid plus a
+	// renderer (see harness.Figures for the registry).
+	ExperimentFigure = harness.Figure
+
+	// Runner is the experiment execution engine: a bounded worker pool
+	// over a memoizing, single-flight build cache. Results come back in
+	// submission order, so anything rendered from them is deterministic
+	// at any worker count.
+	Runner = runner.Engine
+	// RunnerOptions configures a Runner (workers, progress, compile).
+	RunnerOptions = runner.Options
+	// RunnerJob is one unit of experiment work: which binary to build or
+	// fetch from the cache, and what to run it on.
+	RunnerJob = runner.Job
+	// RunnerResult is the outcome of one job, in submission order.
+	RunnerResult = runner.Result
+	// RunnerEvent is a per-job progress notification.
+	RunnerEvent = runner.Event
+	// RunnerBuildCache memoizes compiled binaries by BuildKey with
+	// single-flight deduplication.
+	RunnerBuildCache = runner.BuildCache
+
+	// BuildKey uniquely identifies one compiled binary flavour; it is
+	// the build cache's memoization key.
+	BuildKey = workload.BuildKey
 
 	// SwitchResult is a context-switch liveness measurement (§6).
 	SwitchResult = ctxswitch.Result
@@ -120,6 +148,18 @@ const (
 const (
 	KillsBeforeCalls = rewrite.KillsBeforeCalls
 	KillsAtDeath     = rewrite.KillsAtDeath
+)
+
+// Runner job kinds.
+const (
+	// JobTiming runs the out-of-order timing simulator.
+	JobTiming = runner.Timing
+	// JobFunctional runs the functional reference emulator.
+	JobFunctional = runner.Functional
+	// JobCtxSwitch samples context-switch liveness.
+	JobCtxSwitch = runner.CtxSwitch
+	// JobBuild compiles and links only.
+	JobBuild = runner.Build
 )
 
 // DefaultMachineConfig returns the paper's machine (Figure 2) with full
@@ -205,8 +245,25 @@ func DefaultRegfileTiming() RegfileTiming { return cacti.Default() }
 // DefaultExperimentOptions sizes the experiments to finish in minutes.
 func DefaultExperimentOptions() ExperimentOptions { return harness.DefaultOptions() }
 
+// NewRunner builds an experiment engine. One engine should serve a whole
+// report so every figure shares its memoized build cache.
+func NewRunner(opt RunnerOptions) *Runner { return runner.New(opt) }
+
+// ExperimentIDs returns every selectable experiment ID in report order
+// (the nine paper figures followed by the ablations).
+func ExperimentIDs() []string { return harness.FigureIDs() }
+
 // RunAllExperiments regenerates every table and figure, writing the report
-// to w. See cmd/dvibench for the command-line entry point.
+// to w. opt.Workers bounds the concurrent worker pool; the report bytes
+// are identical at any setting. See cmd/dvibench for the command-line
+// entry point.
 func RunAllExperiments(opt ExperimentOptions, w io.Writer) error {
 	return harness.RunAll(opt, w)
+}
+
+// RunExperiments runs the selected experiments (see ExperimentIDs) plus
+// any dependencies through eng — one shared engine and build cache — and
+// writes their tables to w in report order.
+func RunExperiments(ctx context.Context, eng *Runner, opt ExperimentOptions, ids []string, w io.Writer) error {
+	return harness.RunFigures(ctx, eng, opt, ids, w)
 }

@@ -2,6 +2,7 @@ package dvi_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -107,5 +108,47 @@ func TestExperimentReportSmoke(t *testing.T) {
 		if !strings.Contains(out, "=== "+want) {
 			t.Errorf("report missing %s", want)
 		}
+	}
+}
+
+func TestFacadeRunnerSharesBuilds(t *testing.T) {
+	eng := dvi.NewRunner(dvi.RunnerOptions{Workers: 4})
+	w, _ := dvi.WorkloadByName("gcc")
+	cfg := dvi.DefaultMachineConfig()
+	cfg.MaxInsts = 20_000
+	res, err := eng.Run(context.Background(), []dvi.RunnerJob{
+		{Workload: w, Scale: 1, Kind: dvi.JobBuild},
+		{Workload: w, Scale: 1, Kind: dvi.JobTiming, Machine: cfg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Image == nil || res[0].Image != res[1].Image {
+		t.Error("build cache did not share the compiled image across jobs")
+	}
+	if res[1].Timing.Committed == 0 {
+		t.Error("timing job produced no stats")
+	}
+	if _, misses := eng.Cache().Stats(); misses != 1 {
+		t.Errorf("compiled %d binaries for one key, want 1", misses)
+	}
+}
+
+func TestFacadeExperimentSubset(t *testing.T) {
+	opt := dvi.ExperimentOptions{Scale: 1, MaxInsts: 30_000, SweepMaxInsts: 15_000, Workers: 2}
+	eng := dvi.NewRunner(dvi.RunnerOptions{Workers: opt.Workers})
+	var buf bytes.Buffer
+	if err := dvi.RunExperiments(context.Background(), eng, opt, []string{"fig2", "fig9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== fig2") || !strings.Contains(out, "=== fig9") {
+		t.Errorf("subset report missing selected figures:\n%s", out)
+	}
+	if strings.Contains(out, "=== fig5") {
+		t.Error("subset report contains unselected figure")
+	}
+	if len(dvi.ExperimentIDs()) < 9 {
+		t.Errorf("ExperimentIDs = %v", dvi.ExperimentIDs())
 	}
 }

@@ -1,0 +1,3 @@
+module dvi
+
+go 1.22

@@ -1,22 +1,22 @@
-// Package harness defines the paper's experiments: one function per table
+// Package harness defines the paper's experiments: one figure per table
 // or figure in the evaluation (Figures 2, 3, 5, 6, 9, 10, 11, 12, 13),
-// plus the ablations DESIGN.md calls out. Each returns a formatted Table;
-// RunAll writes the full report.
+// plus the ablations DESIGN.md calls out. Each experiment declares a grid
+// of simulation jobs and renders the grid's results into formatted
+// Tables; internal/runner executes the grids on a bounded worker pool
+// over a shared memoized build cache, so the full report saturates the
+// machine while each (workload, scale, edvi) binary is compiled exactly
+// once. RunAll writes the full report; reports are byte-identical at any
+// worker count.
 package harness
 
 import (
 	"fmt"
-	"io"
 	"strings"
 
-	"dvi/internal/cacti"
 	"dvi/internal/core"
-	"dvi/internal/ctxswitch"
 	"dvi/internal/emu"
 	"dvi/internal/isa"
 	"dvi/internal/ooo"
-	"dvi/internal/rewrite"
-	"dvi/internal/workload"
 )
 
 // Options scales the experiments.
@@ -30,6 +30,10 @@ type Options struct {
 	// SweepMaxInsts caps runs inside large parameter sweeps (Figure 5);
 	// defaults to MaxInsts.
 	SweepMaxInsts uint64
+	// Workers bounds the experiment engine's worker pool
+	// (<=0 = runtime.GOMAXPROCS(0)). Results are deterministic at any
+	// setting; only wall-clock changes.
+	Workers int
 }
 
 // DefaultOptions returns a configuration that regenerates every figure in
@@ -123,528 +127,4 @@ func timingConfig(level core.Level, scheme emu.Scheme, budget uint64) ooo.Config
 		cfg.Emu.DVI = core.DefaultConfig()
 	}
 	return cfg
-}
-
-// runTiming compiles one benchmark (with or without E-DVI annotations) and
-// simulates it.
-func runTiming(spec workload.Spec, scale int, edvi bool, cfg ooo.Config) (ooo.Stats, error) {
-	pr, img, err := workload.CompileSpec(spec, scale, workload.BuildOptions{EDVI: edvi})
-	if err != nil {
-		return ooo.Stats{}, err
-	}
-	m := ooo.New(pr, img, cfg)
-	return m.Run()
-}
-
-// Fig2MachineConfig reproduces the machine configuration table.
-func Fig2MachineConfig() Table {
-	c := ooo.DefaultConfig()
-	h := c.Hierarchy
-	return Table{
-		ID:     "fig2",
-		Title:  "Machine configuration",
-		Header: []string{"Parameter", "Value"},
-		Rows: [][]string{
-			{"Issue Width", fmt.Sprintf("%d", c.IssueWidth)},
-			{"Inst. Window", fmt.Sprintf("%d", c.WindowSize)},
-			{"Func. Units", fmt.Sprintf("%d int (%d mul/div)", c.IntALUs, c.IntMulDiv)},
-			{"Cache Ports", fmt.Sprintf("%d (fully independent)", c.CachePorts)},
-			{"L1 D-Cache", fmt.Sprintf("%dKB, %d-way, %d cycle latency", h.L1D.SizeBytes>>10, h.L1D.Assoc, h.L1D.HitLatency)},
-			{"L1 I-Cache", fmt.Sprintf("%dKB, %d-way, %d cycle latency", h.L1I.SizeBytes>>10, h.L1I.Assoc, h.L1I.HitLatency)},
-			{"L2 Cache", fmt.Sprintf("%dKB, %d-way, %d cycle latency", h.L2.SizeBytes>>10, h.L2.Assoc, h.L2.HitLatency)},
-			{"Memory", fmt.Sprintf("%d cycle latency", h.MemLatency)},
-			{"Branch Predictor", "16-bit history gshare/bimod combining, BTB, RAS"},
-			{"Phys. Registers", fmt.Sprintf("%d (unconstrained; swept in fig5)", c.PhysRegs)},
-		},
-	}
-}
-
-// Fig3Characterization reproduces the benchmark characterization table:
-// dynamic instructions, and calls, memory references, and saves/restores
-// as a percentage of dynamic instructions.
-func Fig3Characterization(opt Options) (Table, error) {
-	t := Table{
-		ID:     "fig3",
-		Title:  "Benchmark characterization (baseline binaries, functional run)",
-		Header: []string{"Benchmark", "Dynamic Inst", "Call Inst", "Mem Inst", "Saves & Restores"},
-	}
-	for _, s := range workload.All() {
-		pr, img, err := workload.CompileSpec(s, opt.Scale, workload.BuildOptions{})
-		if err != nil {
-			return t, err
-		}
-		e := emu.New(pr, img, emu.Config{DVI: core.Config{Level: core.None}})
-		if err := e.Run(200_000_000); err != nil {
-			return t, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		st := e.Stats
-		t.Rows = append(t.Rows, []string{
-			s.Name,
-			u64(st.Original()),
-			pct(ratio(st.Calls, st.Original())),
-			pct(ratio(st.MemRefs, st.Original())),
-			pct(ratio(st.SavesRestores(), st.Original())),
-		})
-	}
-	return t, nil
-}
-
-// Fig5Point is one (size, level) IPC measurement.
-type Fig5Point struct {
-	Regs  int
-	Level core.Level
-	IPC   float64 // unweighted mean over the suite
-}
-
-// Fig5Sizes is the register file sweep (the paper's x axis runs 34..96).
-var Fig5Sizes = []int{34, 38, 42, 46, 50, 54, 58, 62, 66, 70, 74, 78, 82, 86, 90, 94, 96}
-
-// Fig5RegfileIPC sweeps physical register file sizes for the three DVI
-// levels and reports the suite-mean IPC. Save/restore elimination is off
-// so the register-reclamation effect is isolated (§4's subject); E-DVI
-// runs use annotated binaries (their kills add fetch overhead but also
-// reclaim callee-saved registers early).
-func Fig5RegfileIPC(opt Options) (Table, []Fig5Point, error) {
-	t := Table{
-		ID:     "fig5",
-		Title:  "Average IPC vs physical register file size",
-		Header: []string{"Regs", "No DVI", "I-DVI", "E-DVI and I-DVI"},
-		Notes:  []string{"unweighted arithmetic mean IPC over the 7 benchmarks (paper §4.2)"},
-	}
-	var points []Fig5Point
-	suite := workload.All()
-	for _, regs := range Fig5Sizes {
-		row := []string{fmt.Sprintf("%d", regs)}
-		for _, level := range dviLevels {
-			var sum float64
-			for _, s := range suite {
-				cfg := timingConfig(level, emu.ElimOff, opt.sweepBudget())
-				cfg.PhysRegs = regs
-				st, err := runTiming(s, opt.Scale, level == core.Full, cfg)
-				if err != nil {
-					return t, nil, fmt.Errorf("%s @%d regs: %w", s.Name, regs, err)
-				}
-				sum += st.IPC()
-			}
-			mean := sum / float64(len(suite))
-			points = append(points, Fig5Point{Regs: regs, Level: level, IPC: mean})
-			row = append(row, f3(mean))
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	return t, points, nil
-}
-
-// Fig6Performance divides the Figure 5 IPC curves by the CACTI register
-// file access time and reports relative performance plus the peak
-// locations (the paper's 64-vs-50 result).
-func Fig6Performance(opt Options, points []Fig5Point) (Table, error) {
-	t := Table{
-		ID:     "fig6",
-		Title:  "Relative performance (IPC / register file access time) vs size",
-		Header: []string{"Regs", "No DVI", "I-DVI", "E-DVI and I-DVI"},
-	}
-	model := cacti.Default()
-	width := ooo.DefaultConfig().IssueWidth
-
-	perf := map[core.Level]map[int]float64{}
-	for _, l := range dviLevels {
-		perf[l] = map[int]float64{}
-	}
-	for _, p := range points {
-		perf[p.Level][p.Regs] = model.RelativePerformance(p.IPC, p.Regs, width)
-	}
-	// Normalize to the no-DVI peak (the paper's horizontal reference).
-	base := 0.0
-	for _, v := range perf[core.None] {
-		if v > base {
-			base = v
-		}
-	}
-	if base == 0 {
-		return t, fmt.Errorf("fig6: no baseline data")
-	}
-	peakAt := map[core.Level]int{}
-	peakVal := map[core.Level]float64{}
-	for _, regs := range Fig5Sizes {
-		row := []string{fmt.Sprintf("%d", regs)}
-		for _, l := range dviLevels {
-			v := perf[l][regs] / base
-			row = append(row, f3(v))
-			if v > peakVal[l] {
-				peakVal[l], peakAt[l] = v, regs
-			}
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("peak: No DVI %.3f at %d regs; E+I-DVI %.3f at %d regs", peakVal[core.None], peakAt[core.None], peakVal[core.Full], peakAt[core.Full]),
-		fmt.Sprintf("register file size reduction at peak: %.0f%%; performance change: %+.1f%%",
-			100*(1-float64(peakAt[core.Full])/float64(peakAt[core.None])),
-			100*(peakVal[core.Full]-peakVal[core.None])))
-	return t, nil
-}
-
-// Fig9Eliminated reports dynamic saves and restores eliminated as a
-// percentage of (a) total saves+restores, (b) total memory references, and
-// (c) total instructions, for the LVM (saves only) and LVM-Stack schemes.
-// These are program properties, so the functional emulator suffices
-// (paper: "independent of the processor configuration").
-func Fig9Eliminated(opt Options) (Table, error) {
-	t := Table{
-		ID:    "fig9",
-		Title: "Dynamic saves and restores eliminated (E-DVI and I-DVI binaries)",
-		Header: []string{"Benchmark",
-			"LVM %s/r", "LVM-Stack %s/r",
-			"LVM %mem", "LVM-Stack %mem",
-			"LVM %inst", "LVM-Stack %inst"},
-	}
-	var aggSR, aggMem, aggInst [2]float64
-	n := 0
-	for _, s := range workload.SaveRestoreActive() {
-		pr, img, err := workload.CompileSpec(s, opt.Scale, workload.BuildOptions{EDVI: true})
-		if err != nil {
-			return t, err
-		}
-		// Baseline denominators come from a no-elimination run.
-		base := emu.New(pr, img, emu.Config{DVI: core.DefaultConfig(), Scheme: emu.ElimOff})
-		if err := base.Run(200_000_000); err != nil {
-			return t, err
-		}
-		totSR := base.Stats.SavesRestores()
-		totMem := base.Stats.MemRefs
-		totInst := base.Stats.Original()
-
-		row := []string{s.Name}
-		var frSR, frMem, frInst [2]float64
-		for i, scheme := range []emu.Scheme{emu.ElimLVM, emu.ElimLVMStack} {
-			e := emu.New(pr, img, emu.Config{DVI: core.DefaultConfig(), Scheme: scheme})
-			if err := e.Run(200_000_000); err != nil {
-				return t, err
-			}
-			elim := e.Stats.SavesElim + e.Stats.RestoresElim
-			frSR[i] = ratio(elim, totSR)
-			frMem[i] = ratio(elim, totMem)
-			frInst[i] = ratio(elim, totInst)
-			aggSR[i] += frSR[i]
-			aggMem[i] += frMem[i]
-			aggInst[i] += frInst[i]
-		}
-		row = append(row, pct(frSR[0]), pct(frSR[1]), pct(frMem[0]), pct(frMem[1]), pct(frInst[0]), pct(frInst[1]))
-		t.Rows = append(t.Rows, row)
-		n++
-	}
-	t.Rows = append(t.Rows, []string{"average",
-		pct(aggSR[0] / float64(n)), pct(aggSR[1] / float64(n)),
-		pct(aggMem[0] / float64(n)), pct(aggMem[1] / float64(n)),
-		pct(aggInst[0] / float64(n)), pct(aggInst[1] / float64(n))})
-	return t, nil
-}
-
-// Fig10Speedups reports IPC gains from save/restore elimination: the LVM
-// scheme (saves only) and the LVM-Stack scheme against a no-DVI baseline
-// on unannotated binaries.
-func Fig10Speedups(opt Options) (Table, error) {
-	t := Table{
-		ID:     "fig10",
-		Title:  "IPC speedups from dead save/restore elimination",
-		Header: []string{"Benchmark", "Base IPC", "LVM (saves)", "LVM-Stack (saves+restores)"},
-	}
-	for _, s := range workload.SaveRestoreActive() {
-		base, err := runTiming(s, opt.Scale, false, timingConfig(core.None, emu.ElimOff, opt.MaxInsts))
-		if err != nil {
-			return t, err
-		}
-		lvm, err := runTiming(s, opt.Scale, true, timingConfig(core.Full, emu.ElimLVM, opt.MaxInsts))
-		if err != nil {
-			return t, err
-		}
-		stack, err := runTiming(s, opt.Scale, true, timingConfig(core.Full, emu.ElimLVMStack, opt.MaxInsts))
-		if err != nil {
-			return t, err
-		}
-		t.Rows = append(t.Rows, []string{
-			s.Name, f2(base.IPC()),
-			fmt.Sprintf("%+.1f%%", 100*(lvm.IPC()/base.IPC()-1)),
-			fmt.Sprintf("%+.1f%%", 100*(stack.IPC()/base.IPC()-1)),
-		})
-	}
-	return t, nil
-}
-
-// Fig11PortSensitivity reproduces the cache bandwidth sensitivity study:
-// LVM-Stack speedup over baseline for 1/2/3 cache ports at 4- and 8-wide
-// issue, on the paper's two example benchmarks.
-func Fig11PortSensitivity(opt Options) (Table, error) {
-	t := Table{
-		ID:     "fig11",
-		Title:  "Cache bandwidth sensitivity of save/restore elimination",
-		Header: []string{"Benchmark", "Width", "1 Port", "2 Ports", "3 Ports"},
-	}
-	for _, name := range []string{"gcc", "ijpeg"} {
-		s, _ := workload.ByName(name)
-		for _, width := range []int{4, 8} {
-			row := []string{name, fmt.Sprintf("%d-way", width)}
-			for _, ports := range []int{1, 2, 3} {
-				baseCfg := timingConfig(core.None, emu.ElimOff, opt.MaxInsts)
-				baseCfg.IssueWidth, baseCfg.CachePorts = width, ports
-				base, err := runTiming(s, opt.Scale, false, baseCfg)
-				if err != nil {
-					return t, err
-				}
-				optCfg := timingConfig(core.Full, emu.ElimLVMStack, opt.MaxInsts)
-				optCfg.IssueWidth, optCfg.CachePorts = width, ports
-				st, err := runTiming(s, opt.Scale, true, optCfg)
-				if err != nil {
-					return t, err
-				}
-				row = append(row, fmt.Sprintf("%+.1f%%", 100*(st.IPC()/base.IPC()-1)))
-			}
-			t.Rows = append(t.Rows, row)
-		}
-	}
-	return t, nil
-}
-
-// Fig12ContextSwitch reports the reduction in integer registers saved and
-// restored at context switch time, with I-DVI only and with E-DVI+I-DVI.
-func Fig12ContextSwitch(opt Options) (Table, error) {
-	t := Table{
-		ID:     "fig12",
-		Title:  "Context switch saves and restores eliminated",
-		Header: []string{"Benchmark", "I-DVI", "E-DVI and I-DVI", "Avg live (full DVI)"},
-	}
-	var sumI, sumF float64
-	n := 0
-	for _, s := range workload.SaveRestoreActive() {
-		pr, img, err := workload.CompileSpec(s, opt.Scale, workload.BuildOptions{EDVI: true})
-		if err != nil {
-			return t, err
-		}
-		budget := opt.MaxInsts
-		if budget == 0 {
-			budget = 400_000
-		}
-		iRes, err := ctxswitch.Measure(pr, img, emu.Config{DVI: core.Config{Level: core.IDVI, ABI: isa.DefaultABI()}}, 997, budget)
-		if err != nil {
-			return t, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		fRes, err := ctxswitch.Measure(pr, img, emu.Config{DVI: core.DefaultConfig()}, 997, budget)
-		if err != nil {
-			return t, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		t.Rows = append(t.Rows, []string{s.Name, pct(iRes.Reduction), pct(fRes.Reduction), f2(fRes.AvgLive)})
-		sumI += iRes.Reduction
-		sumF += fRes.Reduction
-		n++
-	}
-	t.Rows = append(t.Rows, []string{"average", pct(sumI / float64(n)), pct(sumF / float64(n)), ""})
-	return t, nil
-}
-
-// Fig13EDVIOverhead measures the cost of the kill annotations with the DVI
-// optimizations disabled: dynamic fetched-instruction overhead, static
-// code growth, and the IPC deltas with 32KB and 64KB instruction caches.
-func Fig13EDVIOverhead(opt Options) (Table, error) {
-	t := Table{
-		ID:     "fig13",
-		Title:  "E-DVI overhead (DVI optimizations disabled)",
-		Header: []string{"Benchmark", "Dyn Inst", "Code Size", "IPC ovhd 32K I$", "IPC ovhd 64K I$"},
-	}
-	for _, s := range workload.All() {
-		plainPr, plainImg, err := workload.CompileSpec(s, opt.Scale, workload.BuildOptions{})
-		if err != nil {
-			return t, err
-		}
-		edviPr, edviImg, err := workload.CompileSpec(s, opt.Scale, workload.BuildOptions{EDVI: true})
-		if err != nil {
-			return t, err
-		}
-		_ = plainPr
-		_ = edviPr
-
-		// Dynamic overhead: kills fetched per original instruction.
-		e := emu.New(edviPr, edviImg, emu.Config{DVI: core.Config{Level: core.None}})
-		if err := e.Run(200_000_000); err != nil {
-			return t, err
-		}
-		dyn := ratio(e.Stats.Kills, e.Stats.Original())
-		static := float64(edviImg.TextWords())/float64(plainImg.TextWords()) - 1
-
-		row := []string{s.Name, pct(dyn), pct(static)}
-		for _, icacheKB := range []int{32, 64} {
-			mk := func(edvi bool) (ooo.Stats, error) {
-				cfg := timingConfig(core.None, emu.ElimOff, opt.MaxInsts)
-				cfg.Hierarchy.L1I.SizeBytes = icacheKB << 10
-				return runTiming(s, opt.Scale, edvi, cfg)
-			}
-			base, err := mk(false)
-			if err != nil {
-				return t, err
-			}
-			with, err := mk(true)
-			if err != nil {
-				return t, err
-			}
-			// Overhead: positive = slower with annotations.
-			row = append(row, fmt.Sprintf("%+.2f%%", 100*(base.IPC()/with.IPC()-1)))
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	t.Notes = append(t.Notes, "IPC counts original instructions only; kills are pure fetch/decode overhead (paper §3)")
-	return t, nil
-}
-
-// RunAll regenerates every table and writes them to w.
-func RunAll(opt Options, w io.Writer) error {
-	fmt.Fprintln(w, Fig2MachineConfig())
-
-	t3, err := Fig3Characterization(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t3)
-
-	t5, points, err := Fig5RegfileIPC(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t5)
-
-	t6, err := Fig6Performance(opt, points)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t6)
-
-	t9, err := Fig9Eliminated(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t9)
-
-	t10, err := Fig10Speedups(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t10)
-
-	t11, err := Fig11PortSensitivity(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t11)
-
-	t12, err := Fig12ContextSwitch(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t12)
-
-	t13, err := Fig13EDVIOverhead(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t13)
-	return nil
-}
-
-// --- ablations ---
-
-// AblationStackDepth sweeps the LVM-Stack depth (paper §5.2: 16 entries
-// capture nearly all of the benefit; li needs the most).
-func AblationStackDepth(opt Options) (Table, error) {
-	depths := []int{1, 2, 4, 8, 16, 32, 64}
-	t := Table{
-		ID:    "ablation-stack",
-		Title: "Restores eliminated vs LVM-Stack depth (fraction of depth-64 benefit)",
-		Header: append([]string{"Benchmark"}, func() []string {
-			var h []string
-			for _, d := range depths {
-				h = append(h, fmt.Sprintf("%d", d))
-			}
-			return h
-		}()...),
-	}
-	for _, s := range workload.SaveRestoreActive() {
-		pr, img, err := workload.CompileSpec(s, opt.Scale, workload.BuildOptions{EDVI: true})
-		if err != nil {
-			return t, err
-		}
-		elims := make([]uint64, len(depths))
-		for i, d := range depths {
-			cfg := emu.Config{
-				DVI:    core.Config{Level: core.Full, ABI: isa.DefaultABI(), StackDepth: d},
-				Scheme: emu.ElimLVMStack,
-			}
-			e := emu.New(pr, img, cfg)
-			if err := e.Run(200_000_000); err != nil {
-				return t, err
-			}
-			elims[i] = e.Stats.RestoresElim
-		}
-		best := elims[len(elims)-1]
-		row := []string{s.Name}
-		for _, v := range elims {
-			row = append(row, pct(ratio(v, best)))
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	return t, nil
-}
-
-// AblationKillPlacement compares the paper's kills-before-calls encoding
-// with the denser kills-at-death placement (§9 "interesting design
-// points").
-func AblationKillPlacement(opt Options) (Table, error) {
-	t := Table{
-		ID:     "ablation-kills",
-		Title:  "E-DVI encoding density: kills before calls vs kills at death",
-		Header: []string{"Benchmark", "Kills/inst (calls)", "Kills/inst (death)", "s/r elim (calls)", "s/r elim (death)"},
-	}
-	for _, s := range workload.SaveRestoreActive() {
-		var killFrac, elimFrac [2]float64
-		for i, policy := range []rewrite.Policy{rewrite.KillsBeforeCalls, rewrite.KillsAtDeath} {
-			pr, img, err := workload.CompileSpec(s, opt.Scale, workload.BuildOptions{EDVI: true, Policy: policy})
-			if err != nil {
-				return t, err
-			}
-			e := emu.New(pr, img, emu.Config{DVI: core.DefaultConfig(), Scheme: emu.ElimLVMStack})
-			if err := e.Run(200_000_000); err != nil {
-				return t, err
-			}
-			killFrac[i] = ratio(e.Stats.Kills, e.Stats.Original())
-			elimFrac[i] = ratio(e.Stats.SavesElim+e.Stats.RestoresElim, e.Stats.SavesRestores())
-		}
-		t.Rows = append(t.Rows, []string{s.Name,
-			pct(killFrac[0]), pct(killFrac[1]), pct(elimFrac[0]), pct(elimFrac[1])})
-	}
-	return t, nil
-}
-
-// AblationWrongPath measures the effect of wrong-path fetch modelling on
-// the Figure 5 register pressure result at a small file size.
-func AblationWrongPath(opt Options) (Table, error) {
-	t := Table{
-		ID:     "ablation-wrongpath",
-		Title:  "Wrong-path fetch modelling (38-register file, full DVI)",
-		Header: []string{"Benchmark", "IPC (wrong-path fetch)", "IPC (fetch stall)", "Wrong-path insts"},
-	}
-	for _, name := range []string{"gcc", "li", "go"} {
-		s, _ := workload.ByName(name)
-		on := timingConfig(core.Full, emu.ElimLVMStack, opt.sweepBudget())
-		on.PhysRegs = 38
-		stOn, err := runTiming(s, opt.Scale, true, on)
-		if err != nil {
-			return t, err
-		}
-		off := on
-		off.WrongPathFetch = false
-		stOff, err := runTiming(s, opt.Scale, true, off)
-		if err != nil {
-			return t, err
-		}
-		t.Rows = append(t.Rows, []string{name, f3(stOn.IPC()), f3(stOff.IPC()), u64(stOn.WrongPath)})
-	}
-	return t, nil
 }

@@ -1,11 +1,14 @@
 package harness
 
 import (
+	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 
 	"dvi/internal/core"
+	"dvi/internal/workload"
 )
 
 // small returns options sized for unit testing (seconds, not minutes).
@@ -218,5 +221,83 @@ func TestAblations(t *testing.T) {
 		if dk < ck {
 			t.Errorf("%s: at-death kill density %.2f%% < before-calls %.2f%%", row[0], dk, ck)
 		}
+	}
+}
+
+// TestRunAllDeterministicAcrossWorkers asserts the byte-identical-report
+// contract: the full RunAll report at -j 1 equals the report at -j 8.
+func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in -short mode")
+	}
+	opt := small()
+	opt.Workers = 1
+	var seq bytes.Buffer
+	if err := RunAll(opt, &seq); err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	var par bytes.Buffer
+	if err := RunAll(opt, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Errorf("report differs between -j1 (%d bytes) and -j8 (%d bytes)",
+			seq.Len(), par.Len())
+	}
+}
+
+// TestSharedEngineBuildsOncePerKey submits every report figure's grid
+// through one engine and checks each distinct (workload, scale, edvi)
+// binary was compiled exactly once: the nine figures reference only the
+// seven plain and seven annotated binaries.
+func TestSharedEngineBuildsOncePerKey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in -short mode")
+	}
+	opt := small()
+	opt.Workers = 4
+	eng := NewEngine(opt, nil)
+	rs, err := CollectResults(context.Background(), eng, opt, ReportIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig3", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+		if len(rs[id]) == 0 {
+			t.Errorf("no results for %s", id)
+		}
+	}
+	hits, misses := eng.Cache().Stats()
+	want := int64(2 * len(workload.All())) // plain + edvi per benchmark
+	if misses != want {
+		t.Errorf("compiled %d distinct binaries, want %d", misses, want)
+	}
+	if int(misses) != eng.Cache().Len() {
+		t.Errorf("misses %d != cache entries %d: some key compiled twice", misses, eng.Cache().Len())
+	}
+	if hits == 0 {
+		t.Error("no cache hits across a full report")
+	}
+}
+
+// TestRunFiguresSubsetAndUnknown covers -figures selection: a subset
+// renders only the selected tables (dependencies run but do not print),
+// and unknown IDs fail.
+func TestRunFiguresSubsetAndUnknown(t *testing.T) {
+	opt := small()
+	var buf bytes.Buffer
+	eng := NewEngine(opt, nil)
+	if err := RunFigures(context.Background(), eng, opt, []string{"fig2", "fig3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== fig2") || !strings.Contains(out, "=== fig3") {
+		t.Errorf("subset output missing selected figures:\n%s", out)
+	}
+	if strings.Contains(out, "=== fig9") {
+		t.Error("subset output contains unselected figure")
+	}
+	if err := RunFigures(context.Background(), eng, opt, []string{"fig99"}, &buf); err == nil {
+		t.Error("unknown figure did not error")
 	}
 }

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"dvi/internal/runner"
+)
+
+// NewEngine builds a runner engine sized by opt.Workers with an optional
+// progress observer. One engine should serve a whole report so every
+// figure shares its memoized build cache.
+func NewEngine(opt Options, progress runner.ProgressFunc) *runner.Engine {
+	return runner.New(runner.Options{Workers: opt.Workers, Progress: progress})
+}
+
+// CollectResults resolves ids (plus transitive Needs), submits every
+// required figure's job grid through eng as one batch, and returns the
+// results keyed by figure ID. Grids are concatenated in registry order,
+// so the batch — and therefore any report rendered from it — is
+// identical at any worker count.
+func CollectResults(ctx context.Context, eng *runner.Engine, opt Options, ids []string) (ResultSet, error) {
+	need := map[string]bool{}
+	var add func(id string) error
+	add = func(id string) error {
+		if need[id] {
+			return nil
+		}
+		fig, ok := FigureByID(id)
+		if !ok {
+			return fmt.Errorf("harness: unknown figure %q (have %v)", id, FigureIDs())
+		}
+		need[id] = true
+		for _, d := range fig.Needs {
+			if err := add(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, id := range ids {
+		if err := add(id); err != nil {
+			return nil, err
+		}
+	}
+
+	type span struct {
+		id     string
+		lo, hi int
+	}
+	var (
+		jobs  []runner.Job
+		spans []span
+	)
+	for _, fig := range Figures() {
+		if !need[fig.ID] || fig.Jobs == nil {
+			continue
+		}
+		js := fig.Jobs(opt)
+		spans = append(spans, span{fig.ID, len(jobs), len(jobs) + len(js)})
+		jobs = append(jobs, js...)
+	}
+	results, err := eng.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rs := ResultSet{}
+	for _, sp := range spans {
+		rs[sp.id] = results[sp.lo:sp.hi]
+	}
+	return rs, nil
+}
+
+// RunFigures runs the selected figures through one shared engine and
+// writes their tables to w in registry order (selection order does not
+// affect the report). Any job or render error aborts the whole run.
+func RunFigures(ctx context.Context, eng *runner.Engine, opt Options, ids []string, w io.Writer) error {
+	selected := map[string]bool{}
+	for _, id := range ids {
+		if _, ok := FigureByID(id); !ok {
+			return fmt.Errorf("harness: unknown figure %q (have %v)", id, FigureIDs())
+		}
+		selected[id] = true
+	}
+	rs, err := CollectResults(ctx, eng, opt, ids)
+	if err != nil {
+		return err
+	}
+	for _, fig := range Figures() {
+		if !selected[fig.ID] {
+			continue
+		}
+		tables, err := fig.Render(opt, rs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fig.ID, err)
+		}
+		for _, t := range tables {
+			fmt.Fprintln(w, t)
+		}
+	}
+	return nil
+}
+
+// RunAll regenerates the nine paper figures and writes them to w, using
+// opt.Workers concurrent workers over one shared build cache. The report
+// bytes are identical at any worker count.
+func RunAll(opt Options, w io.Writer) error {
+	return RunFigures(context.Background(), NewEngine(opt, nil), opt, ReportIDs(), w)
+}
+
+// runOne executes a single figure's grid on a fresh engine and renders
+// its table — the implementation behind the exported per-figure
+// convenience functions.
+func runOne(id string, opt Options, build func(Options, []runner.Result) (Table, error)) (Table, error) {
+	rs, err := CollectResults(context.Background(), NewEngine(opt, nil), opt, []string{id})
+	if err != nil {
+		return Table{}, err
+	}
+	return build(opt, rs[id])
+}

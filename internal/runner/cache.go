@@ -1,0 +1,90 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"dvi/internal/prog"
+	"dvi/internal/workload"
+)
+
+// CompileFunc compiles and links one benchmark flavour. The default is
+// workload.CompileSpec; tests substitute counting or failing variants.
+type CompileFunc func(s workload.Spec, scale int, opt workload.BuildOptions) (*prog.Program, *prog.Image, error)
+
+// BuildCache memoizes compiled binaries by workload.BuildKey with
+// single-flight deduplication: under concurrent Get calls for the same
+// key, exactly one caller compiles while the rest block on the result.
+// Cached Program/Image pairs are shared across jobs and must be treated
+// as read-only (emulators and machines copy the memory they mutate;
+// callers must not re-link or rewrite a cached Program).
+type BuildCache struct {
+	compile CompileFunc
+
+	mu      sync.Mutex
+	entries map[workload.BuildKey]*buildEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// buildEntry is one in-flight or completed build. ready is closed when
+// pr/img/err are final.
+type buildEntry struct {
+	ready chan struct{}
+	pr    *prog.Program
+	img   *prog.Image
+	err   error
+}
+
+// NewBuildCache builds an empty cache. A nil compile uses
+// workload.CompileSpec.
+func NewBuildCache(compile CompileFunc) *BuildCache {
+	if compile == nil {
+		compile = workload.CompileSpec
+	}
+	return &BuildCache{compile: compile, entries: map[workload.BuildKey]*buildEntry{}}
+}
+
+// Get returns the compiled binary for (s, scale, opt), compiling at most
+// once per distinct key. Waiters honour ctx cancellation; the compiling
+// caller always finishes its build so the entry is usable by others.
+// Failed builds are cached too — every job needing the same binary fails
+// identically rather than retrying a deterministic compile error.
+func (c *BuildCache) Get(ctx context.Context, s workload.Spec, scale int, opt workload.BuildOptions) (*prog.Program, *prog.Image, error) {
+	key := s.Key(scale, opt)
+	c.mu.Lock()
+	if ent, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		select {
+		case <-ent.ready:
+			return ent.pr, ent.img, ent.err
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	ent := &buildEntry{ready: make(chan struct{})}
+	c.entries[key] = ent
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	ent.pr, ent.img, ent.err = c.compile(s, scale, opt)
+	close(ent.ready)
+	return ent.pr, ent.img, ent.err
+}
+
+// Stats reports cache traffic: hits is the number of Get calls served
+// from a completed or in-flight build, misses the number of actual
+// compiles performed.
+func (c *BuildCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of distinct keys built or building.
+func (c *BuildCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

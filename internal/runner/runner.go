@@ -1,0 +1,306 @@
+// Package runner is the experiment execution engine: it runs simulation
+// jobs on a bounded worker pool over a memoizing, single-flight build
+// cache. The experiment harness (internal/harness) declares grids of
+// (workload × configuration) jobs and consumes ordered results; this
+// package owns all concurrency so the experiments themselves stay
+// declarative and deterministic.
+//
+// Determinism contract: Run returns results indexed by submission order
+// regardless of completion order, every simulator instance is built from
+// shared read-only compiled artifacts with private mutable state, and no
+// job observes another job's scheduling. A report rendered from the
+// result slice is therefore byte-identical at any worker count.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dvi/internal/ctxswitch"
+	"dvi/internal/emu"
+	"dvi/internal/ooo"
+	"dvi/internal/prog"
+	"dvi/internal/workload"
+)
+
+// Kind selects what a job runs after its binary is built.
+type Kind uint8
+
+const (
+	// Timing runs the out-of-order timing simulator (ooo.Machine).
+	Timing Kind = iota
+	// Functional runs the reference emulator (program-property studies:
+	// Figures 3, 9, 13's dynamic overhead, the ablations).
+	Functional
+	// CtxSwitch samples live-register counts at preemption points
+	// (ctxswitch.Measure, Figure 12).
+	CtxSwitch
+	// Build compiles and links only; the result carries the artifacts.
+	// Figure 13 uses it for static code-size ratios.
+	Build
+)
+
+// String returns the progress label for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Timing:
+		return "timing"
+	case Functional:
+		return "functional"
+	case CtxSwitch:
+		return "ctxswitch"
+	default:
+		return "build"
+	}
+}
+
+// DefaultEmuBudget caps functional runs that set no explicit budget; it
+// matches the harness's historical 200M-instruction safety net.
+const DefaultEmuBudget = 200_000_000
+
+// Job is one unit of experiment work: which benchmark binary to build
+// (or fetch from the cache) and what to run it on.
+type Job struct {
+	// Label identifies the job in progress output and errors
+	// ("fig5 gcc r34 edvi"). Optional; a default is derived.
+	Label string
+
+	// Workload, Scale and Build determine the binary; together they form
+	// the build cache key (workload.BuildKey).
+	Workload workload.Spec
+	Scale    int
+	Build    workload.BuildOptions
+
+	Kind Kind
+
+	// Machine configures Timing jobs.
+	Machine ooo.Config
+	// Emu configures Functional and CtxSwitch jobs.
+	Emu emu.Config
+	// EmuBudget caps Functional and CtxSwitch runs
+	// (0 = DefaultEmuBudget).
+	EmuBudget uint64
+	// Interval is the CtxSwitch preemption sampling interval.
+	Interval uint64
+
+	// KeepMachine retains the Timing simulator instance on the Result
+	// for callers that need cache/predictor detail (cmd/dvisim). Off by
+	// default: a machine pins its whole memory image, and large grids
+	// retaining hundreds of them measurably slow the run with GC
+	// pressure.
+	KeepMachine bool
+}
+
+// label returns Label or a derived description.
+func (j Job) label() string {
+	if j.Label != "" {
+		return j.Label
+	}
+	return fmt.Sprintf("%s %s", j.Kind, j.Workload.Key(j.Scale, j.Build))
+}
+
+// Result is the outcome of one job, in submission order.
+type Result struct {
+	Job   Job
+	Index int
+
+	// Program and Image are the (shared, read-only) compiled artifacts.
+	Program *prog.Program
+	Image   *prog.Image
+
+	// Timing holds ooo statistics for Timing jobs; Machine is the
+	// simulator instance itself, retained only when Job.KeepMachine is
+	// set.
+	Timing  ooo.Stats
+	Machine *ooo.Machine
+
+	// Func holds emulator statistics for Functional jobs.
+	Func emu.Stats
+
+	// Switch holds the measurement for CtxSwitch jobs.
+	Switch ctxswitch.Result
+}
+
+// Phase tags a progress event.
+type Phase uint8
+
+const (
+	// JobStart fires when a worker picks the job up.
+	JobStart Phase = iota
+	// JobDone fires after the job completed successfully.
+	JobDone
+	// JobFailed fires once for the job whose error aborts the run.
+	JobFailed
+)
+
+// Event is one progress notification. Events for different jobs
+// interleave arbitrarily under concurrency; Index orders them logically.
+type Event struct {
+	Phase Phase
+	Index int
+	Total int
+	Label string
+	Err   error // JobFailed only
+}
+
+// ProgressFunc observes job lifecycle events. It is called from worker
+// goroutines and must be safe for concurrent use.
+type ProgressFunc func(Event)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the pool (<=0 means runtime.GOMAXPROCS(0)).
+	Workers int
+	// Progress, when non-nil, receives per-job lifecycle events.
+	Progress ProgressFunc
+	// Compile overrides the build function (nil = workload.CompileSpec).
+	Compile CompileFunc
+}
+
+// Engine executes job batches. One engine owns one build cache, so every
+// batch submitted through it shares memoized binaries; create one engine
+// per report and feed it all figures' grids.
+type Engine struct {
+	workers  int
+	progress ProgressFunc
+	cache    *BuildCache
+}
+
+// New builds an engine.
+func New(opt Options) *Engine {
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: w, progress: opt.Progress, cache: NewBuildCache(opt.Compile)}
+}
+
+// Workers returns the configured pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache exposes the engine's build cache (hit/miss accounting).
+func (e *Engine) Cache() *BuildCache { return e.cache }
+
+func (e *Engine) emit(ev Event) {
+	if e.progress != nil {
+		e.progress(ev)
+	}
+}
+
+// Run executes jobs on the worker pool and returns results in submission
+// order. On the first job error the run fails fast: the context passed
+// to builds is cancelled, queued jobs are abandoned, in-flight jobs
+// finish, and the triggering error is returned (wrapped with the job's
+// label). External cancellation of ctx aborts the same way and returns
+// ctx's error. A nil error guarantees one Result per job.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if len(jobs) == 0 {
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(jobs))
+	var (
+		firstErr error
+		errOnce  sync.Once
+		next     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				j := jobs[i]
+				e.emit(Event{Phase: JobStart, Index: i, Total: len(jobs), Label: j.label()})
+				res, err := e.runJob(ctx, j)
+				if err != nil {
+					if ctx.Err() != nil {
+						// Abandoned by cancellation; not this job's fault.
+						return
+					}
+					e.emit(Event{Phase: JobFailed, Index: i, Total: len(jobs), Label: j.label(), Err: err})
+					fail(fmt.Errorf("%s: %w", j.label(), err))
+					return
+				}
+				res.Index = i
+				results[i] = res
+				e.emit(Event{Phase: JobDone, Index: i, Total: len(jobs), Label: j.label()})
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runJob builds (or fetches) the binary and executes one job.
+func (e *Engine) runJob(ctx context.Context, j Job) (Result, error) {
+	pr, img, err := e.cache.Get(ctx, j.Workload, j.Scale, j.Build)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Job: j, Program: pr, Image: img}
+	switch j.Kind {
+	case Timing:
+		m := ooo.New(pr, img, j.Machine)
+		st, err := m.Run()
+		if err != nil {
+			return res, err
+		}
+		res.Timing = st
+		if j.KeepMachine {
+			res.Machine = m
+		}
+	case Functional:
+		em := emu.New(pr, img, j.Emu)
+		budget := j.EmuBudget
+		if budget == 0 {
+			budget = DefaultEmuBudget
+		}
+		if err := em.Run(budget); err != nil {
+			return res, err
+		}
+		res.Func = em.Stats
+	case CtxSwitch:
+		budget := j.EmuBudget
+		if budget == 0 {
+			budget = DefaultEmuBudget
+		}
+		sw, err := ctxswitch.Measure(pr, img, j.Emu, j.Interval, budget)
+		if err != nil {
+			return res, err
+		}
+		res.Switch = sw
+	case Build:
+		// Artifacts only.
+	default:
+		return res, fmt.Errorf("runner: unknown job kind %d", j.Kind)
+	}
+	return res, nil
+}

@@ -79,6 +79,41 @@ type BuildOptions struct {
 	Policy rewrite.Policy
 }
 
+// BuildKey uniquely identifies one compiled binary flavour: a benchmark
+// name, a scale factor, and the build options. It is comparable and is
+// the memoization key for build caches (internal/runner): two builds with
+// equal keys produce identical Program/Image pairs, so the compiled
+// artifacts may be shared freely — they are read-only after linking
+// (every emulator and machine copies the memory image it mutates).
+type BuildKey struct {
+	Name   string
+	Scale  int
+	EDVI   bool
+	Policy rewrite.Policy
+}
+
+// Key returns the build cache key for compiling s at scale with opt. The
+// scale is clamped exactly as CompileSpec clamps it, so keys that compile
+// identically compare equal.
+func (s Spec) Key(scale int, opt BuildOptions) BuildKey {
+	if scale < 1 {
+		scale = 1
+	}
+	return BuildKey{Name: s.Name, Scale: scale, EDVI: opt.EDVI, Policy: opt.Policy}
+}
+
+// String renders the key for logs and progress labels.
+func (k BuildKey) String() string {
+	flavor := "plain"
+	if k.EDVI {
+		flavor = "edvi"
+		if k.Policy == rewrite.KillsAtDeath {
+			flavor = "edvi@death"
+		}
+	}
+	return fmt.Sprintf("%s/x%d/%s", k.Name, k.Scale, flavor)
+}
+
 // CompileSpec builds and links one benchmark.
 func CompileSpec(s Spec, scale int, opt BuildOptions) (*prog.Program, *prog.Image, error) {
 	if scale < 1 {
