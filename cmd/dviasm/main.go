@@ -7,6 +7,8 @@
 //	dviasm -bench li                 # static summary
 //	dviasm -bench li -proc li_eval   # one procedure's listing
 //	dviasm -bench li -dump           # full listing
+//	dviasm -bench li -asm            # symbolic assembly (prog.FormatAsm),
+//	                                 # the dvid service's wire format
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 
 	"dvi/internal/isa"
+	"dvi/internal/prog"
 	"dvi/internal/rewrite"
 	"dvi/internal/workload"
 )
@@ -27,6 +30,7 @@ func main() {
 		atDeath = flag.Bool("atdeath", false, "use the kills-at-death encoding")
 		proc    = flag.String("proc", "", "disassemble a single procedure")
 		dump    = flag.Bool("dump", false, "dump the full listing")
+		asm     = flag.Bool("asm", false, "dump symbolic assembly (parseable; the dvid wire format)")
 	)
 	flag.Parse()
 
@@ -46,6 +50,8 @@ func main() {
 	}
 
 	switch {
+	case *asm:
+		fmt.Print(prog.FormatAsm(pr))
 	case *proc != "":
 		if _, ok := img.ProcAddrs[*proc]; !ok {
 			fmt.Fprintf(os.Stderr, "no procedure %q; procedures:\n", *proc)

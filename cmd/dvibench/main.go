@@ -9,10 +9,12 @@
 //	dvibench -figures ablations       # the three ablation studies
 //	dvibench -list                    # show selectable experiment IDs
 //	dvibench -scale 2 -maxinsts 2000000
+//	dvibench -json > bench.json       # machine-readable per-figure stats
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +37,7 @@ func main() {
 		scale   = flag.Int("scale", 1, "workload scale factor")
 		max     = flag.Uint64("maxinsts", 400_000, "instruction budget per timing run")
 		sweep   = flag.Uint64("sweepinsts", 150_000, "instruction budget per sweep point (fig5)")
+		asJSON  = flag.Bool("json", false, "emit machine-readable per-figure stats as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -71,7 +74,12 @@ func main() {
 
 	eng := harness.NewEngine(opt, progress)
 	start := time.Now()
-	if err := harness.RunFigures(context.Background(), eng, opt, ids, os.Stdout); err != nil {
+	if *asJSON {
+		if err := emitJSON(eng, opt, ids, start); err != nil {
+			fmt.Fprintln(os.Stderr, "dvibench:", err)
+			os.Exit(1)
+		}
+	} else if err := harness.RunFigures(context.Background(), eng, opt, ids, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dvibench:", err)
 		os.Exit(1)
 	}
@@ -80,6 +88,98 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dvibench: done in %s (%d workers, %d binaries compiled, %d build cache hits)\n",
 			time.Since(start).Round(time.Millisecond), eng.Workers(), misses, hits)
 	}
+}
+
+// benchFigure is one figure's machine-readable record: per-figure
+// wall-clock plus aggregate counters from its own job grid, alongside
+// the rendered tables (cell values remain the precise per-row numbers).
+type benchFigure struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	WallMS float64 `json:"wall_ms"`
+	Jobs   int     `json:"jobs"`
+	// Aggregates over the figure's timing jobs (absent when it has none).
+	Cycles       uint64  `json:"cycles,omitempty"`
+	Committed    uint64  `json:"committed,omitempty"`
+	IPC          float64 `json:"ipc,omitempty"` // committed/cycles over the grid
+	ElimSaves    uint64  `json:"elim_saves,omitempty"`
+	ElimRestores uint64  `json:"elim_restores,omitempty"`
+
+	Tables []harness.Table `json:"tables"`
+}
+
+// benchReport is the -json document: the perf trajectory format the
+// BENCH_*.json history records.
+type benchReport struct {
+	Schema        string        `json:"schema"`
+	Workers       int           `json:"workers"`
+	Scale         int           `json:"scale"`
+	MaxInsts      uint64        `json:"max_insts"`
+	SweepMaxInsts uint64        `json:"sweep_max_insts"`
+	Figures       []benchFigure `json:"figures"`
+	Compiles      int64         `json:"compiles"`
+	CacheHits     int64         `json:"cache_hits"`
+	TotalWallMS   float64       `json:"total_wall_ms"`
+}
+
+// emitJSON runs the selected figures one at a time (sharing eng's build
+// cache) so each gets its own wall-clock, and writes the report to
+// stdout. A figure's Needs grids re-run inside its measurement — the
+// timing is per-figure cost, not marginal cost.
+func emitJSON(eng *runner.Engine, opt harness.Options, ids []string, start time.Time) error {
+	selected := map[string]bool{}
+	for _, id := range ids {
+		selected[id] = true
+	}
+	rep := benchReport{
+		Schema:        "dvibench/v1",
+		Workers:       eng.Workers(),
+		Scale:         opt.Scale,
+		MaxInsts:      opt.MaxInsts,
+		SweepMaxInsts: opt.SweepMaxInsts,
+	}
+	for _, fig := range harness.Figures() {
+		if !selected[fig.ID] {
+			continue
+		}
+		figStart := time.Now()
+		rs, err := harness.CollectResults(context.Background(), eng, opt, []string{fig.ID})
+		if err != nil {
+			return fmt.Errorf("%s: %w", fig.ID, err)
+		}
+		tables, err := fig.Render(opt, rs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fig.ID, err)
+		}
+		bf := benchFigure{
+			ID:     fig.ID,
+			Title:  fig.Title,
+			WallMS: float64(time.Since(figStart).Microseconds()) / 1000,
+			Tables: tables,
+		}
+		for _, res := range rs[fig.ID] {
+			bf.Jobs++
+			switch res.Job.Kind {
+			case runner.Timing:
+				bf.Cycles += res.Timing.Cycles
+				bf.Committed += res.Timing.Committed
+				bf.ElimSaves += res.Timing.ElimSaves
+				bf.ElimRestores += res.Timing.ElimRests
+			case runner.Functional:
+				bf.ElimSaves += res.Func.SavesElim
+				bf.ElimRestores += res.Func.RestoresElim
+			}
+		}
+		if bf.Cycles > 0 {
+			bf.IPC = float64(bf.Committed) / float64(bf.Cycles)
+		}
+		rep.Figures = append(rep.Figures, bf)
+	}
+	rep.CacheHits, rep.Compiles = eng.Cache().Stats()
+	rep.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // selectIDs resolves the -figures/-experiment selection into figure IDs.

@@ -1,0 +1,133 @@
+// dvid is the DVI daemon: it serves the reproduction's capabilities —
+// kill insertion, timing simulation, context-switch liveness sampling —
+// over HTTP/JSON to many concurrent clients, sharing one execution
+// engine and single-flight build cache across all of them.
+//
+// Usage:
+//
+//	dvid                                  # serve on :8077
+//	dvid -addr 127.0.0.1:9000 -j 8        # eight engine workers
+//	dvid -concurrent 16 -queue 512        # admission tuning
+//	dvid -cache 128 -max-insts 5000000    # cache + budget ceilings
+//
+// Endpoints: POST /v1/annotate, /v1/simulate, /v1/ctxswitch;
+// GET /v1/workloads, /healthz, /metrics. See internal/service for the
+// wire format. SIGINT/SIGTERM trigger a graceful drain: the listener
+// closes, in-flight requests finish (up to -drain), then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dvi/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8077", "listen address")
+		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "engine worker pool size")
+		concurrent = flag.Int("concurrent", 0, "max concurrently executing requests (0 = -j)")
+		queue      = flag.Int("queue", service.DefaultMaxQueue, "admission queue depth before 429s")
+		cache      = flag.Int("cache", service.DefaultCacheCapacity, "build cache capacity in binaries (LRU; 0 = default, -1 = unbounded)")
+		maxInsts   = flag.Uint64("max-insts", service.DefaultMaxInsts, "ceiling on per-request instruction budgets")
+		maxScale   = flag.Int("max-scale", service.DefaultMaxScale, "ceiling on per-request workload scale")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+		verbose    = flag.Bool("v", false, "log individual requests")
+	)
+	flag.Parse()
+	log.SetPrefix("dvid: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	cacheCap := *cache
+	if cacheCap < 0 {
+		cacheCap = -1 // service.Config: negative = unbounded
+	}
+	svc := service.New(service.Config{
+		Workers:       *workers,
+		MaxConcurrent: *concurrent,
+		MaxQueue:      *queue,
+		CacheCapacity: cacheCap,
+		MaxInsts:      *maxInsts,
+		MaxScale:      *maxScale,
+	})
+
+	var handler http.Handler = svc
+	if *verbose {
+		handler = logRequests(svc)
+	}
+	// ReadTimeout bounds the whole request read: the service buffers each
+	// body before taking an execution slot, so a slow upload times out
+	// here instead of starving admission. WriteTimeout stays unset —
+	// legitimately queued requests can wait longer than any fixed write
+	// deadline; abandoned clients free their queue slot via the request
+	// context instead.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (%d workers, queue %d, cache %d binaries)",
+			*addr, svc.Engine().Workers(), *queue, *cache)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		// Listener failed before any signal (port in use, ...).
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("received %s; draining (timeout %s)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+		os.Exit(1)
+	}
+	hits, misses := svc.Engine().Cache().Stats()
+	log.Printf("drained cleanly (%d compiles, %d cache hits, %d evictions)",
+		misses, hits, svc.Engine().Cache().Evictions())
+}
+
+// logRequests is a minimal access log for -v.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &recorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.code, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type recorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *recorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -35,6 +35,7 @@ package dvi
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"dvi/internal/cacti"
 	"dvi/internal/core"
@@ -45,6 +46,7 @@ import (
 	"dvi/internal/prog"
 	"dvi/internal/rewrite"
 	"dvi/internal/runner"
+	"dvi/internal/service"
 	"dvi/internal/workload"
 )
 
@@ -128,6 +130,29 @@ type (
 	// RegfileTiming is the CACTI-derived register file access time model
 	// used by Figure 6.
 	RegfileTiming = cacti.Model
+
+	// Service is the HTTP/JSON server exposing annotation, simulation
+	// and context-switch sampling to remote clients (DVI-as-a-service).
+	// It is an http.Handler; cmd/dvid is the hosting daemon.
+	Service = service.Server
+	// ServiceConfig parameterizes a Service (workers, admission queue,
+	// build cache bound, request ceilings).
+	ServiceConfig = service.Config
+	// ServiceClient is the typed Go client for a dvid daemon.
+	ServiceClient = service.Client
+	// ServiceError is the error type the client returns for
+	// server-reported failures (carries the HTTP status).
+	ServiceError = service.Error
+
+	// AnnotateRequest/AnnotateResponse are the /v1/annotate wire types.
+	AnnotateRequest  = service.AnnotateRequest
+	AnnotateResponse = service.AnnotateResponse
+	// SimulateRequest/SimulateResponse are the /v1/simulate wire types.
+	SimulateRequest  = service.SimulateRequest
+	SimulateResponse = service.SimulateResponse
+	// CtxSwitchRequest/CtxSwitchResponse are the /v1/ctxswitch wire types.
+	CtxSwitchRequest  = service.CtxSwitchRequest
+	CtxSwitchResponse = service.CtxSwitchResponse
 )
 
 // DVI levels (paper Figure 5's three configurations).
@@ -266,4 +291,23 @@ func RunAllExperiments(opt ExperimentOptions, w io.Writer) error {
 // writes their tables to w in report order.
 func RunExperiments(ctx context.Context, eng *Runner, opt ExperimentOptions, ids []string, w io.Writer) error {
 	return harness.RunFigures(ctx, eng, opt, ids, w)
+}
+
+// FormatAsm renders a symbolic program as assembly text — the service's
+// wire format. The text reparses with ParseAsm; format→parse→format is a
+// fixed point, and the reparsed program links byte-identically.
+func FormatAsm(pr *Program) string { return prog.FormatAsm(pr) }
+
+// ParseAsm parses assembly text into a symbolic program, ready for
+// InsertKills and linking.
+func ParseAsm(src string) (*Program, error) { return prog.ParseAsm(src) }
+
+// NewService builds the DVI HTTP service. Mount it on an http.Server
+// (cmd/dvid does exactly this) or an httptest server in tests.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewServiceClient builds a typed client for a dvid daemon at base, e.g.
+// "http://localhost:8077". A nil hc uses http.DefaultClient.
+func NewServiceClient(base string, hc *http.Client) *ServiceClient {
+	return service.NewClient(base, hc)
 }

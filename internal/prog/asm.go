@@ -1,0 +1,510 @@
+package prog
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dvi/internal/isa"
+)
+
+// This file defines the textual assembly format for symbolic programs: the
+// wire format of the annotation service (internal/service) and the
+// human-facing output of cmd/dviasm. FormatAsm and ParseAsm are exact
+// inverses over programs the toolchain produces: FormatAsm(ParseAsm(text))
+// is a fixed point, and parsing a rendered program yields a Program whose
+// linked image is identical to the original's.
+//
+// Grammar (one item per line, '#' starts a comment):
+//
+//	.entry NAME                      entry procedure (default main)
+//	.data NAME size=N [align=N] [init=HEX]
+//	.proc NAME                       begins a procedure; extends to the next .proc
+//	LABEL:                           local label (may share a line with an instruction)
+//	  OP OPERANDS                    one instruction, isa.Inst syntax
+//
+// Instruction operands follow the disassembler's rendering, with symbolic
+// targets kept symbolic:
+//
+//	add rd, rs1, rs2                 R-type
+//	addi rd, rs1, imm                I-type immediate
+//	lui rd, imm | lui rd, %hi(sym)   %hi keeps a data-symbol high half symbolic
+//	ori rd, rs1, %lo(sym)            %lo keeps the low half symbolic
+//	ld rd, off(base)                 loads (ld, lb, lvld, lvml)
+//	st rs, off(base)                 stores (st, sb, lvst, lvms)
+//	beq rs1, rs2, label              branches take a label or a word offset
+//	j label | jal label              jumps take a label, procedure, or address
+//	jr rs | ret | jalr rd, rs        indirect control
+//	kill {s0,s2}                     E-DVI kill mask
+//	sys rs1, rs2                     checksum channel
+//	nop | halt
+
+// FormatAsm renders a symbolic program in the textual assembly format.
+// The output parses back with ParseAsm and is itself a fixed point:
+// FormatAsm(ParseAsm(FormatAsm(pr))) == FormatAsm(pr).
+func FormatAsm(pr *Program) string {
+	var b strings.Builder
+	entry := pr.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	fmt.Fprintf(&b, ".entry %s\n", entry)
+	if len(pr.Data) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, d := range pr.Data {
+		fmt.Fprintf(&b, ".data %s size=%d", d.Name, d.Size)
+		if d.Align != 0 {
+			fmt.Fprintf(&b, " align=%d", d.Align)
+		}
+		if len(d.Init) > 0 {
+			fmt.Fprintf(&b, " init=%s", hex.EncodeToString(d.Init))
+		}
+		b.WriteByte('\n')
+	}
+	for _, p := range pr.Procs {
+		fmt.Fprintf(&b, "\n.proc %s\n", p.Name)
+		byIdx := make(map[int][]string)
+		for name, i := range p.labels {
+			byIdx[i] = append(byIdx[i], name)
+		}
+		for _, names := range byIdx {
+			sort.Strings(names)
+		}
+		for i, in := range p.Insts {
+			for _, l := range byIdx[i] {
+				fmt.Fprintf(&b, "%s:\n", l)
+			}
+			fmt.Fprintf(&b, "  %s\n", formatInst(in))
+		}
+		for _, l := range byIdx[len(p.Insts)] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+	}
+	return b.String()
+}
+
+// formatInst renders one symbolic instruction, keeping unresolved targets
+// symbolic where isa.Inst.String would print placeholder immediates.
+func formatInst(in Inst) string {
+	switch in.Kind {
+	case TargetBranch:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rs1, in.Rs2, in.Target)
+	case TargetJump:
+		return fmt.Sprintf("%s %s", in.Op, in.Target)
+	case TargetDataHi:
+		if in.Op == isa.LUI {
+			return fmt.Sprintf("lui %s, %%hi(%s)", in.Rd, in.Target)
+		}
+		return fmt.Sprintf("%s %s, %s, %%hi(%s)", in.Op, in.Rd, in.Rs1, in.Target)
+	case TargetDataLo:
+		return fmt.Sprintf("%s %s, %s, %%lo(%s)", in.Op, in.Rd, in.Rs1, in.Target)
+	}
+	return in.Inst.String()
+}
+
+// --- parsing ---
+
+// ParseAsm parses the textual assembly format into a symbolic Program.
+// The result is ready to rewrite (rewrite.InsertKills) and link.
+func ParseAsm(src string) (*Program, error) {
+	pr := New()
+	var cur *Proc
+	for no, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := no + 1
+		// Dot-leading lines are directives; the leading token must match
+		// one exactly so typos fail loudly instead of parsing as labels.
+		f := strings.Fields(line)
+		switch f[0] {
+		case ".entry":
+			if len(f) != 2 {
+				return nil, asmErr(lineNo, ".entry wants one procedure name")
+			}
+			pr.Entry = f[1]
+		case ".data":
+			d, err := parseData(line)
+			if err != nil {
+				return nil, asmErr(lineNo, "%v", err)
+			}
+			pr.AddData(d)
+		case ".proc":
+			if len(f) != 2 {
+				return nil, asmErr(lineNo, ".proc wants one name")
+			}
+			if pr.Proc(f[1]) != nil {
+				return nil, asmErr(lineNo, "duplicate procedure %q", f[1])
+			}
+			cur = pr.AddProc(f[1])
+		default:
+			if strings.HasPrefix(line, ".") {
+				return nil, asmErr(lineNo, "unknown directive %s (have .entry, .data, .proc)", f[0])
+			}
+			if cur == nil {
+				return nil, asmErr(lineNo, "instruction or label before any .proc")
+			}
+			// Leading labels, possibly sharing the line with an instruction.
+			for {
+				i := strings.IndexByte(line, ':')
+				if i < 0 || strings.ContainsAny(line[:i], " \t,(){}") {
+					break
+				}
+				name := line[:i]
+				if _, dup := cur.labels[name]; dup {
+					return nil, asmErr(lineNo, "duplicate label %q in %s", name, cur.Name)
+				}
+				cur.labels[name] = len(cur.Insts)
+				line = strings.TrimSpace(line[i+1:])
+				if line == "" {
+					break
+				}
+			}
+			if line == "" {
+				continue
+			}
+			in, err := parseInst(line)
+			if err != nil {
+				return nil, asmErr(lineNo, "%v", err)
+			}
+			cur.Insts = append(cur.Insts, in)
+		}
+	}
+	return pr, nil
+}
+
+func asmErr(line int, format string, args ...any) error {
+	return fmt.Errorf("asm line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// parseData parses ".data NAME size=N [align=N] [init=HEX]".
+func parseData(line string) (DataSym, error) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return DataSym{}, fmt.Errorf(".data wants NAME size=N [align=N] [init=HEX]")
+	}
+	d := DataSym{Name: f[1]}
+	for _, kv := range f[2:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return DataSym{}, fmt.Errorf(".data: bad field %q", kv)
+		}
+		switch k {
+		case "size":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return DataSym{}, fmt.Errorf(".data: bad size %q", v)
+			}
+			d.Size = n
+		case "align":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return DataSym{}, fmt.Errorf(".data: bad align %q", v)
+			}
+			d.Align = n
+		case "init":
+			b, err := hex.DecodeString(v)
+			if err != nil {
+				return DataSym{}, fmt.Errorf(".data: bad init hex: %v", err)
+			}
+			d.Init = b
+		default:
+			return DataSym{}, fmt.Errorf(".data: unknown field %q", k)
+		}
+	}
+	return d, nil
+}
+
+// opsByName maps mnemonics to opcodes. Built lazily from the ISA's own
+// String method so the table can never drift from the opcode space.
+var opsByName = func() map[string]isa.Op {
+	m := make(map[string]isa.Op)
+	for o := isa.Op(0); o.Valid(); o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+// regsByName maps ABI register names (and rN aliases) to registers.
+var regsByName = func() map[string]isa.Reg {
+	m := make(map[string]isa.Reg, 2*isa.NumRegs)
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		m[r.String()] = r
+		m[fmt.Sprintf("r%d", r)] = r
+	}
+	return m
+}()
+
+func parseReg(tok string) (isa.Reg, error) {
+	if r, ok := regsByName[tok]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("unknown register %q", tok)
+}
+
+func parseImm(tok string) (int64, error) {
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		// FmtJ addresses render as 0x-prefixed uint64; cover the full range.
+		if u, uerr := strconv.ParseUint(tok, 0, 64); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	return v, nil
+}
+
+// parseMem parses "off(base)".
+func parseMem(tok string) (off int64, base isa.Reg, err error) {
+	i := strings.IndexByte(tok, '(')
+	j := strings.LastIndexByte(tok, ')')
+	if i < 0 || j < i {
+		return 0, 0, fmt.Errorf("bad memory operand %q (want off(base))", tok)
+	}
+	if off, err = parseImm(tok[:i]); err != nil {
+		return 0, 0, fmt.Errorf("bad memory offset in %q", tok)
+	}
+	base, err = parseReg(tok[i+1 : j])
+	return off, base, err
+}
+
+// parseMask parses "{s0,s2,...}" into a register mask.
+func parseMask(tok string) (isa.RegMask, error) {
+	if !strings.HasPrefix(tok, "{") || !strings.HasSuffix(tok, "}") {
+		return 0, fmt.Errorf("bad kill mask %q (want {r,...})", tok)
+	}
+	var m isa.RegMask
+	inner := strings.TrimSuffix(strings.TrimPrefix(tok, "{"), "}")
+	if inner == "" {
+		return 0, nil
+	}
+	for _, name := range strings.Split(inner, ",") {
+		r, err := parseReg(strings.TrimSpace(name))
+		if err != nil {
+			return 0, err
+		}
+		m = m.Set(r)
+	}
+	return m, nil
+}
+
+// symRef decomposes "%hi(sym)" / "%lo(sym)" operands.
+func symRef(tok string) (kind TargetKind, sym string, ok bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(tok, "%hi("):
+		kind, rest = TargetDataHi, tok[4:]
+	case strings.HasPrefix(tok, "%lo("):
+		kind, rest = TargetDataLo, tok[4:]
+	default:
+		return TargetNone, "", false
+	}
+	if !strings.HasSuffix(rest, ")") {
+		return TargetNone, "", false
+	}
+	return kind, strings.TrimSuffix(rest, ")"), true
+}
+
+// parseInst parses one instruction line (mnemonic already included).
+func parseInst(line string) (Inst, error) {
+	mn, rest, _ := strings.Cut(line, " ")
+	mn = strings.TrimSpace(mn)
+	rest = strings.TrimSpace(rest)
+
+	if mn == "ret" {
+		if rest != "" {
+			return Inst{}, fmt.Errorf("ret takes no operands")
+		}
+		return Inst{Inst: isa.Inst{Op: isa.JR, Rs1: isa.RA, IsReturn: true}}, nil
+	}
+	op, ok := opsByName[mn]
+	if !ok {
+		return Inst{}, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+
+	if op == isa.KILL {
+		m, err := parseMask(rest)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Inst: isa.Inst{Op: isa.KILL, Mask: m}}, nil
+	}
+
+	var ops []string
+	if rest != "" {
+		for _, o := range strings.Split(rest, ",") {
+			ops = append(ops, strings.TrimSpace(o))
+		}
+	}
+	want := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+
+	in := isa.Inst{Op: op}
+	switch op {
+	case isa.NOP, isa.HALT:
+		if err := want(0); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Inst: in}, nil
+
+	case isa.SYS:
+		if err := want(2); err != nil {
+			return Inst{}, err
+		}
+		var err error
+		if in.Rs1, err = parseReg(ops[0]); err != nil {
+			return Inst{}, err
+		}
+		if in.Rs2, err = parseReg(ops[1]); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Inst: in}, nil
+
+	case isa.J, isa.JAL:
+		if err := want(1); err != nil {
+			return Inst{}, err
+		}
+		if op == isa.JAL {
+			in.Rd = isa.RA
+		}
+		if v, err := parseImm(ops[0]); err == nil {
+			in.Imm = v
+			return Inst{Inst: in}, nil
+		}
+		return Inst{Inst: in, Kind: TargetJump, Target: ops[0]}, nil
+
+	case isa.JR:
+		if err := want(1); err != nil {
+			return Inst{}, err
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		in.Rs1 = r
+		return Inst{Inst: in}, nil
+
+	case isa.JALR:
+		if err := want(2); err != nil {
+			return Inst{}, err
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return Inst{}, err
+		}
+		if in.Rs1, err = parseReg(ops[1]); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Inst: in}, nil
+
+	case isa.LUI:
+		if err := want(2); err != nil {
+			return Inst{}, err
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return Inst{}, err
+		}
+		if kind, sym, ok := symRef(ops[1]); ok {
+			return Inst{Inst: in, Kind: kind, Target: sym}, nil
+		}
+		if in.Imm, err = parseImm(ops[1]); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Inst: in}, nil
+	}
+
+	switch {
+	case op.IsLoad():
+		if err := want(2); err != nil {
+			return Inst{}, err
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		in.Rd = r
+		if in.Imm, in.Rs1, err = parseMem(ops[1]); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Inst: in}, nil
+
+	case op.IsStore():
+		if err := want(2); err != nil {
+			return Inst{}, err
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		in.Rs2 = r
+		if in.Imm, in.Rs1, err = parseMem(ops[1]); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Inst: in}, nil
+
+	case isa.OpClass(op) == isa.ClassBranch:
+		if err := want(3); err != nil {
+			return Inst{}, err
+		}
+		var err error
+		if in.Rs1, err = parseReg(ops[0]); err != nil {
+			return Inst{}, err
+		}
+		if in.Rs2, err = parseReg(ops[1]); err != nil {
+			return Inst{}, err
+		}
+		if v, ierr := parseImm(ops[2]); ierr == nil {
+			in.Imm = v
+			return Inst{Inst: in}, nil
+		}
+		return Inst{Inst: in, Kind: TargetBranch, Target: ops[2]}, nil
+
+	case isa.OpFormat(op) == isa.FmtR:
+		if err := want(3); err != nil {
+			return Inst{}, err
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return Inst{}, err
+		}
+		if in.Rs1, err = parseReg(ops[1]); err != nil {
+			return Inst{}, err
+		}
+		if in.Rs2, err = parseReg(ops[2]); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Inst: in}, nil
+
+	default: // I-type arithmetic
+		if err := want(3); err != nil {
+			return Inst{}, err
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return Inst{}, err
+		}
+		if in.Rs1, err = parseReg(ops[1]); err != nil {
+			return Inst{}, err
+		}
+		if kind, sym, ok := symRef(ops[2]); ok {
+			return Inst{Inst: in, Kind: kind, Target: sym}, nil
+		}
+		if in.Imm, err = parseImm(ops[2]); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Inst: in}, nil
+	}
+}

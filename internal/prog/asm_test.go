@@ -1,0 +1,133 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"dvi/internal/isa"
+)
+
+// buildSample constructs a program exercising every operand shape the
+// assembly format has to represent: R/I arithmetic, memory and DVI memory
+// ops, branches with labels, direct and indirect calls, kill masks, data
+// symbol halves, and trailing labels.
+func buildSample() *Program {
+	pr := New()
+	pr.AddData(DataSym{Name: "tbl", Size: 16, Init: []byte{1, 2, 0xAB}})
+	pr.AddData(DataSym{Name: "buf", Size: 8, Align: 16})
+
+	a := pr.Assembler("main")
+	epi := a.Frame(8, true, isa.S0, isa.S1)
+	a.LoadAddr(isa.T0, "tbl")
+	a.Li(isa.A0, -3)
+	a.Lui(isa.T1, 0x1234)
+	a.Kill(isa.S0, isa.S2)
+	a.Call("helper")
+	a.CallReg(isa.T0)
+	a.Label("loop")
+	a.Add(isa.T2, isa.A0, isa.T1)
+	a.Ld(isa.T3, isa.SP, 0)
+	a.Sb(isa.T3, isa.T0, 5)
+	a.Bne(isa.T2, isa.Zero, "loop")
+	a.Sys(isa.A0, isa.T2)
+	a.Jump("done")
+	a.Label("done")
+	epi()
+	a.Label("end")
+
+	h := pr.Assembler("helper")
+	h.Inst(isa.Inst{Op: isa.JR, Rs1: isa.T9}) // jr through a non-ra register
+	h.LvmSave(isa.SP, 16)
+	h.LvmLoad(isa.SP, 16)
+	h.Ret()
+	return pr
+}
+
+func TestAsmRoundTripSample(t *testing.T) {
+	pr := buildSample()
+	text1 := FormatAsm(pr)
+	pr2, err := ParseAsm(text1)
+	if err != nil {
+		t.Fatalf("ParseAsm: %v\n%s", err, text1)
+	}
+	text2 := FormatAsm(pr2)
+	if text1 != text2 {
+		t.Fatalf("assembly text is not a fixed point\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+
+	img1, err := pr.Link()
+	if err != nil {
+		t.Fatalf("link original: %v", err)
+	}
+	img2, err := pr2.Link()
+	if err != nil {
+		t.Fatalf("link reparsed: %v", err)
+	}
+	if len(img1.Code) != len(img2.Code) {
+		t.Fatalf("code size differs: %d vs %d words", len(img1.Code), len(img2.Code))
+	}
+	for i := range img1.Code {
+		if img1.Code[i] != img2.Code[i] {
+			t.Fatalf("word %d differs: %#08x vs %#08x (%s vs %s)",
+				i, img1.Code[i], img2.Code[i], img1.Insts[i], img2.Insts[i])
+		}
+	}
+}
+
+func TestParseAsmErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no proc", "add t0, t1, t2\n", "before any .proc"},
+		{"bad op", ".proc main\n  frob t0, t1, t2\n", "unknown mnemonic"},
+		{"bad reg", ".proc main\n  add t0, t1, x9\n", "unknown register"},
+		{"operand count", ".proc main\n  add t0, t1\n", "wants 3 operands"},
+		{"dup proc", ".proc main\n.proc main\n", "duplicate procedure"},
+		{"dup label", ".proc main\nx:\nx:\n", "duplicate label"},
+		{"bad mem", ".proc main\n  ld t0, t1\n", "bad memory operand"},
+		{"bad mask", ".proc main\n  kill s0\n", "bad kill mask"},
+		{"bad data", ".data x size=abc\n", "bad size"},
+		{"typo directive", ".procX main\n", "unknown directive .procX"},
+		{"dot label", ".proc main\n.L0:\n  ret\n", "unknown directive .L0:"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseAsm(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+func TestParseAsmLabelSharingLine(t *testing.T) {
+	pr, err := ParseAsm(".entry main\n.proc main\nstart: addi t0, zero, 1\n  ret\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pr.Proc("main")
+	if i, ok := p.LabelAt("start"); !ok || i != 0 {
+		t.Fatalf("label start at %d (%v), want 0", i, ok)
+	}
+	if len(p.Insts) != 2 {
+		t.Fatalf("got %d insts, want 2", len(p.Insts))
+	}
+}
+
+func TestParseAsmNumericTargets(t *testing.T) {
+	src := ".proc main\n  beq t0, t1, -2\n  j 0x1000\n  ret\n"
+	pr, err := ParseAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := pr.Proc("main").Insts
+	if ins[0].Kind != TargetNone || ins[0].Imm != -2 {
+		t.Fatalf("branch: kind %d imm %d, want numeric -2", ins[0].Kind, ins[0].Imm)
+	}
+	if ins[1].Kind != TargetNone || ins[1].Imm != 0x1000 {
+		t.Fatalf("jump: kind %d imm %#x, want numeric 0x1000", ins[1].Kind, ins[1].Imm)
+	}
+	if FormatAsm(pr) != ".entry main\n\n.proc main\n  beq t0, t1, -2\n  j 0x1000\n  ret\n" {
+		t.Fatalf("unexpected rendering:\n%s", FormatAsm(pr))
+	}
+}

@@ -19,32 +19,104 @@ type CompileFunc func(s workload.Spec, scale int, opt workload.BuildOptions) (*p
 // Cached Program/Image pairs are shared across jobs and must be treated
 // as read-only (emulators and machines copy the memory they mutate;
 // callers must not re-link or rewrite a cached Program).
+//
+// A cache built with a positive capacity evicts in least-recently-used
+// order once it holds more than capacity entries. The 20-odd binaries of
+// a report run fit any reasonable bound; the bound exists for long-lived
+// daemons (cmd/dvid) whose clients submit arbitrary assembly — an
+// unbounded memo of user inputs is a memory leak. In-flight builds are
+// never evicted (waiters must be able to join them); an entry evicted
+// while a caller still holds its artifacts stays alive through that
+// reference, the cache just forgets it.
 type BuildCache struct {
-	compile CompileFunc
+	compile  CompileFunc
+	capacity int // 0 = unbounded
 
 	mu      sync.Mutex
 	entries map[workload.BuildKey]*buildEntry
+	// Doubly-linked LRU list over map entries; head is most recent.
+	head, tail *buildEntry
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // buildEntry is one in-flight or completed build. ready is closed when
-// pr/img/err are final.
+// pr/img/err are final; done mirrors it under the cache lock so eviction
+// can tell finished entries from in-flight ones.
 type buildEntry struct {
-	ready chan struct{}
-	pr    *prog.Program
-	img   *prog.Image
-	err   error
+	key        workload.BuildKey
+	ready      chan struct{}
+	done       bool
+	prev, next *buildEntry
+	pr         *prog.Program
+	img        *prog.Image
+	err        error
 }
 
-// NewBuildCache builds an empty cache. A nil compile uses
+// NewBuildCache builds an empty, unbounded cache. A nil compile uses
 // workload.CompileSpec.
 func NewBuildCache(compile CompileFunc) *BuildCache {
+	return NewBuildCacheLRU(compile, 0)
+}
+
+// NewBuildCacheLRU builds an empty cache bounded to capacity entries with
+// LRU eviction; capacity <= 0 means unbounded. A nil compile uses
+// workload.CompileSpec.
+func NewBuildCacheLRU(compile CompileFunc, capacity int) *BuildCache {
 	if compile == nil {
 		compile = workload.CompileSpec
 	}
-	return &BuildCache{compile: compile, entries: map[workload.BuildKey]*buildEntry{}}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &BuildCache{compile: compile, capacity: capacity, entries: map[workload.BuildKey]*buildEntry{}}
+}
+
+// unlink removes e from the LRU list. Caller holds mu.
+func (c *BuildCache) unlink(e *buildEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry. Caller holds mu.
+func (c *BuildCache) pushFront(e *buildEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// enforceCapacity evicts completed least-recently-used entries until the
+// cache fits its bound. In-flight entries are skipped: their compiling
+// callers and waiters expect to find them. Caller holds mu.
+func (c *BuildCache) enforceCapacity() {
+	if c.capacity <= 0 {
+		return
+	}
+	for e := c.tail; e != nil && len(c.entries) > c.capacity; {
+		prev := e.prev
+		if e.done {
+			c.unlink(e)
+			delete(c.entries, e.key)
+			c.evictions.Add(1)
+		}
+		e = prev
+	}
 }
 
 // Get returns the compiled binary for (s, scale, opt), compiling at most
@@ -56,6 +128,8 @@ func (c *BuildCache) Get(ctx context.Context, s workload.Spec, scale int, opt wo
 	key := s.Key(scale, opt)
 	c.mu.Lock()
 	if ent, ok := c.entries[key]; ok {
+		c.unlink(ent)
+		c.pushFront(ent)
 		c.mu.Unlock()
 		c.hits.Add(1)
 		select {
@@ -65,12 +139,17 @@ func (c *BuildCache) Get(ctx context.Context, s workload.Spec, scale int, opt wo
 			return nil, nil, ctx.Err()
 		}
 	}
-	ent := &buildEntry{ready: make(chan struct{})}
+	ent := &buildEntry{key: key, ready: make(chan struct{})}
 	c.entries[key] = ent
+	c.pushFront(ent)
 	c.mu.Unlock()
 
 	c.misses.Add(1)
 	ent.pr, ent.img, ent.err = c.compile(s, scale, opt)
+	c.mu.Lock()
+	ent.done = true
+	c.enforceCapacity()
+	c.mu.Unlock()
 	close(ent.ready)
 	return ent.pr, ent.img, ent.err
 }
@@ -81,6 +160,12 @@ func (c *BuildCache) Get(ctx context.Context, s workload.Spec, scale int, opt wo
 func (c *BuildCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// Evictions returns how many completed entries the LRU bound has dropped.
+func (c *BuildCache) Evictions() int64 { return c.evictions.Load() }
+
+// Capacity returns the configured LRU bound (0 = unbounded).
+func (c *BuildCache) Capacity() int { return c.capacity }
 
 // Len returns the number of distinct keys built or building.
 func (c *BuildCache) Len() int {

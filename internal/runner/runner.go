@@ -158,6 +158,11 @@ type Options struct {
 	Progress ProgressFunc
 	// Compile overrides the build function (nil = workload.CompileSpec).
 	Compile CompileFunc
+	// CacheCapacity bounds the build cache to this many binaries with
+	// LRU eviction (<=0 = unbounded). Batch report runs can stay
+	// unbounded; long-lived daemons accepting arbitrary user assembly
+	// should set a bound.
+	CacheCapacity int
 }
 
 // Engine executes job batches. One engine owns one build cache, so every
@@ -175,7 +180,7 @@ func New(opt Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: w, progress: opt.Progress, cache: NewBuildCache(opt.Compile)}
+	return &Engine{workers: w, progress: opt.Progress, cache: NewBuildCacheLRU(opt.Compile, opt.CacheCapacity)}
 }
 
 // Workers returns the configured pool size.

@@ -1,0 +1,236 @@
+package service
+
+import (
+	"fmt"
+
+	"dvi/internal/core"
+	"dvi/internal/ctxswitch"
+	"dvi/internal/emu"
+	"dvi/internal/isa"
+	"dvi/internal/ooo"
+	"dvi/internal/rewrite"
+)
+
+// This file defines the HTTP/JSON wire types shared by the server and the
+// typed client. Enumerations travel as strings ("full", "lvm-stack",
+// "before-calls") so request bodies stay hand-writable; the parse helpers
+// reject unknown values rather than defaulting silently.
+
+// AnnotateRequest asks the daemon to run the binary-rewriting DVI
+// inserter (paper §2) and return the kill-annotated program. Exactly one
+// of Asm (assembly text, the prog.ParseAsm grammar) or Workload (a
+// benchmark name, compiled fresh without annotations) must be set.
+type AnnotateRequest struct {
+	Asm      string `json:"asm,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Scale    int    `json:"scale,omitempty"` // workload scale, default 1
+	// Policy is "before-calls" (default) or "at-death".
+	Policy string `json:"policy,omitempty"`
+	// NoPrune disables the interprocedural kill-pruning pass.
+	NoPrune bool `json:"no_prune,omitempty"`
+}
+
+// ProcKills reports the static kill instructions in one procedure.
+type ProcKills struct {
+	Proc  string `json:"proc"`
+	Kills int    `json:"kills"`
+}
+
+// AnnotateResponse carries the annotated program back.
+type AnnotateResponse struct {
+	// Asm is the kill-annotated program in the same assembly grammar the
+	// request used; it reparses and links.
+	Asm string `json:"asm"`
+	// Inserted counts kill instructions the rewriter added.
+	Inserted int `json:"inserted"`
+	// PerProc counts static kills per procedure, in program order
+	// (procedures with none are omitted).
+	PerProc []ProcKills `json:"per_proc,omitempty"`
+	// TextWords is the annotated program's static code size in
+	// instruction words (paper Figure 13's numerator).
+	TextWords int `json:"text_words"`
+}
+
+// MachineOverrides adjusts individual fields of the paper's Figure 2
+// machine; zero values keep the default.
+type MachineOverrides struct {
+	IssueWidth     int   `json:"issue_width,omitempty"`
+	WindowSize     int   `json:"window_size,omitempty"`
+	IFQSize        int   `json:"ifq_size,omitempty"`
+	PhysRegs       int   `json:"phys_regs,omitempty"`
+	IntALUs        int   `json:"int_alus,omitempty"`
+	IntMulDiv      int   `json:"int_muldiv,omitempty"`
+	CachePorts     int   `json:"cache_ports,omitempty"`
+	MulLatency     int   `json:"mul_latency,omitempty"`
+	DivLatency     int   `json:"div_latency,omitempty"`
+	StackDepth     int   `json:"stack_depth,omitempty"` // LVM-Stack entries
+	WrongPathFetch *bool `json:"wrong_path_fetch,omitempty"`
+}
+
+// apply overlays non-zero overrides onto cfg.
+func (m *MachineOverrides) apply(cfg *ooo.Config) {
+	if m == nil {
+		return
+	}
+	set := func(dst *int, v int) {
+		if v != 0 {
+			*dst = v
+		}
+	}
+	set(&cfg.IssueWidth, m.IssueWidth)
+	set(&cfg.WindowSize, m.WindowSize)
+	set(&cfg.IFQSize, m.IFQSize)
+	set(&cfg.PhysRegs, m.PhysRegs)
+	set(&cfg.IntALUs, m.IntALUs)
+	set(&cfg.IntMulDiv, m.IntMulDiv)
+	set(&cfg.CachePorts, m.CachePorts)
+	set(&cfg.MulLatency, m.MulLatency)
+	set(&cfg.DivLatency, m.DivLatency)
+	set(&cfg.Emu.DVI.StackDepth, m.StackDepth)
+	if m.WrongPathFetch != nil {
+		cfg.WrongPathFetch = *m.WrongPathFetch
+	}
+}
+
+// SimulateRequest asks for one run of the out-of-order timing simulator.
+// Exactly one of Workload or Asm must be set. The zero request fields
+// reproduce dvi.Simulate's defaults: full DVI, LVM-Stack elimination,
+// E-DVI annotations when the DVI level is full.
+type SimulateRequest struct {
+	Workload string `json:"workload,omitempty"`
+	Asm      string `json:"asm,omitempty"`
+	Scale    int    `json:"scale,omitempty"` // default 1, clamped to the server's max
+	// MaxInsts caps committed instructions (0 = the server's default
+	// budget; requests above the server's ceiling are clamped).
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// DVILevel is "none", "idvi" or "full" (default "full").
+	DVILevel string `json:"dvi_level,omitempty"`
+	// Scheme is "off", "lvm" or "lvm-stack" (default "lvm-stack").
+	Scheme string `json:"scheme,omitempty"`
+	// EDVI forces the binary flavour; nil derives it from DVILevel the
+	// way dvi.Simulate does (annotated iff the level is full).
+	EDVI *bool `json:"edvi,omitempty"`
+	// Policy selects the kill placement for annotated builds:
+	// "before-calls" (default) or "at-death".
+	Policy  string            `json:"policy,omitempty"`
+	Machine *MachineOverrides `json:"machine,omitempty"`
+}
+
+// SimulateResponse returns the timing statistics.
+type SimulateResponse struct {
+	Workload string `json:"workload"`
+	Scale    int    `json:"scale"`
+	// BuildKey identifies the binary flavour that ran; identical keys
+	// were compiled once and served from the daemon's build cache.
+	BuildKey string    `json:"build_key"`
+	MaxInsts uint64    `json:"max_insts"`
+	IPC      float64   `json:"ipc"`
+	Stats    ooo.Stats `json:"stats"`
+}
+
+// CtxSwitchRequest samples live-register counts at preemption points
+// (paper §6.2, Figure 12). Exactly one of Workload or Asm must be set.
+type CtxSwitchRequest struct {
+	Workload string `json:"workload,omitempty"`
+	Asm      string `json:"asm,omitempty"`
+	Scale    int    `json:"scale,omitempty"`
+	// Interval is the preemption sampling interval in instructions
+	// (0 = the measurement default, a prime near 1000).
+	Interval uint64 `json:"interval,omitempty"`
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	DVILevel string `json:"dvi_level,omitempty"`
+	Scheme   string `json:"scheme,omitempty"`
+	EDVI     *bool  `json:"edvi,omitempty"`
+	Policy   string `json:"policy,omitempty"`
+}
+
+// CtxSwitchResponse returns the liveness sampling result.
+type CtxSwitchResponse struct {
+	Workload string           `json:"workload"`
+	Scale    int              `json:"scale"`
+	BuildKey string           `json:"build_key"`
+	SaveSet  int              `json:"save_set"` // registers a DVI-less switch preserves
+	Result   ctxswitch.Result `json:"result"`
+}
+
+// WorkloadInfo describes one benchmark the daemon can serve.
+type WorkloadInfo struct {
+	Name     string `json:"name"`
+	Describe string `json:"describe"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status         string  `json:"status"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Workers        int     `json:"workers"`
+	Inflight       int64   `json:"inflight"`
+	QueueDepth     int64   `json:"queue_depth"`
+	QueueCapacity  int     `json:"queue_capacity"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
+}
+
+// Error is the JSON error body every non-2xx response carries, and the
+// error type the typed client returns for server-reported failures.
+type Error struct {
+	StatusCode int    `json:"-"`
+	Message    string `json:"error"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("dvid: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// --- enum parsing ---
+
+func parseLevel(s string) (core.Level, error) {
+	switch s {
+	case "", "full":
+		return core.Full, nil
+	case "none":
+		return core.None, nil
+	case "idvi":
+		return core.IDVI, nil
+	}
+	return 0, fmt.Errorf("unknown dvi_level %q (want none, idvi or full)", s)
+}
+
+func parseScheme(s string) (emu.Scheme, error) {
+	switch s {
+	case "", "lvm-stack":
+		return emu.ElimLVMStack, nil
+	case "lvm":
+		return emu.ElimLVM, nil
+	case "off":
+		return emu.ElimOff, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want off, lvm or lvm-stack)", s)
+}
+
+func parsePolicy(s string) (rewrite.Policy, error) {
+	switch s {
+	case "", "before-calls":
+		return rewrite.KillsBeforeCalls, nil
+	case "at-death":
+		return rewrite.KillsAtDeath, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want before-calls or at-death)", s)
+}
+
+// emuConfig assembles the emulator configuration for a level and scheme.
+func emuConfig(level core.Level, scheme emu.Scheme) emu.Config {
+	cfg := emu.Config{Scheme: scheme}
+	switch level {
+	case core.None:
+		cfg.DVI = core.Config{Level: core.None}
+	case core.IDVI:
+		cfg.DVI = core.Config{Level: core.IDVI, ABI: isa.DefaultABI()}
+	default:
+		cfg.DVI = core.DefaultConfig()
+	}
+	return cfg
+}

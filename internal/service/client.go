@@ -1,0 +1,113 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the typed Go client for a dvid daemon. The zero value is not
+// usable; construct with NewClient. Methods are safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the daemon at base (e.g.
+// "http://localhost:8077"). A nil hc uses http.DefaultClient; pass a
+// client with a Timeout for production callers.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Annotate runs the binary-rewriting DVI inserter server-side.
+func (c *Client) Annotate(ctx context.Context, req AnnotateRequest) (AnnotateResponse, error) {
+	var resp AnnotateResponse
+	err := c.post(ctx, "/v1/annotate", req, &resp)
+	return resp, err
+}
+
+// Simulate runs one out-of-order timing simulation server-side.
+func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (SimulateResponse, error) {
+	var resp SimulateResponse
+	err := c.post(ctx, "/v1/simulate", req, &resp)
+	return resp, err
+}
+
+// CtxSwitch samples live-register counts at preemption points.
+func (c *Client) CtxSwitch(ctx context.Context, req CtxSwitchRequest) (CtxSwitchResponse, error) {
+	var resp CtxSwitchResponse
+	err := c.post(ctx, "/v1/ctxswitch", req, &resp)
+	return resp, err
+}
+
+// Workloads lists the benchmarks the daemon serves.
+func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
+	var resp []WorkloadInfo
+	err := c.get(ctx, "/v1/workloads", &resp)
+	return resp, err
+}
+
+// Health fetches the daemon's health snapshot.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var resp Health
+	err := c.get(ctx, "/healthz", &resp)
+	return resp, err
+}
+
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("dvid client: encode %s request: %w", path, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dvid client: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return c.do(hreq, resp)
+}
+
+func (c *Client) get(ctx context.Context, path string, resp any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("dvid client: %w", err)
+	}
+	return c.do(hreq, resp)
+}
+
+func (c *Client) do(req *http.Request, resp any) error {
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dvid client: %w", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode/100 != 2 {
+		return decodeError(res)
+	}
+	if err := json.NewDecoder(res.Body).Decode(resp); err != nil {
+		return fmt.Errorf("dvid client: decode %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *Error, preserving the
+// server's message when the body carries the standard error JSON.
+func decodeError(res *http.Response) error {
+	e := &Error{StatusCode: res.StatusCode}
+	body, _ := io.ReadAll(io.LimitReader(res.Body, 64<<10))
+	if err := json.Unmarshal(body, e); err != nil || e.Message == "" {
+		e.Message = strings.TrimSpace(string(body))
+		if e.Message == "" {
+			e.Message = res.Status
+		}
+	}
+	return e
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metrics aggregates per-endpoint request counts and latency histograms
+// for GET /metrics. The exposition format is the Prometheus text format,
+// hand-rolled: the daemon must not grow dependencies for a handful of
+// counters.
+type metrics struct {
+	mu   sync.Mutex
+	reqs map[reqKey]int64
+	lat  map[string]*histogram
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+// latBuckets are the histogram upper bounds in seconds. Simulations run
+// milliseconds to seconds; the range covers both tails.
+var latBuckets = [...]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+type histogram struct {
+	counts [len(latBuckets) + 1]int64 // +1 for +Inf
+	sum    float64
+	total  int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{reqs: map[reqKey]int64{}, lat: map[string]*histogram{}}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reqs[reqKey{endpoint, code}]++
+	h := m.lat[endpoint]
+	if h == nil {
+		h = &histogram{}
+		m.lat[endpoint] = h
+	}
+	i := sort.SearchFloat64s(latBuckets[:], secs)
+	h.counts[i]++
+	h.sum += secs
+	h.total++
+}
+
+// gauge is one instantaneous value appended by the server at render time.
+// counter marks values that only ever increase (cache hit/miss/eviction
+// totals) so the exposition declares the correct Prometheus type.
+type gauge struct {
+	name, help string
+	value      float64
+	counter    bool
+}
+
+// render writes the exposition text: request counters, latency
+// histograms, then the provided gauges (queue depth, cache traffic, ...).
+func (m *metrics) render(gauges []gauge) string {
+	var b strings.Builder
+	m.mu.Lock()
+
+	keys := make([]reqKey, 0, len(m.reqs))
+	for k := range m.reqs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	b.WriteString("# HELP dvid_requests_total Requests served, by endpoint and status code.\n")
+	b.WriteString("# TYPE dvid_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "dvid_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.reqs[k])
+	}
+
+	eps := make([]string, 0, len(m.lat))
+	for ep := range m.lat {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	b.WriteString("# HELP dvid_request_duration_seconds Request latency.\n")
+	b.WriteString("# TYPE dvid_request_duration_seconds histogram\n")
+	for _, ep := range eps {
+		h := m.lat[ep]
+		cum := int64(0)
+		for i, ub := range latBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "dvid_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, cum)
+		}
+		fmt.Fprintf(&b, "dvid_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.total)
+		fmt.Fprintf(&b, "dvid_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(&b, "dvid_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+	m.mu.Unlock()
+
+	for _, g := range gauges {
+		typ := "gauge"
+		if g.counter {
+			typ = "counter"
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", g.name, g.help, g.name, typ, g.name, g.value)
+	}
+	return b.String()
+}

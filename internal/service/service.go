@@ -1,0 +1,626 @@
+// Package service exposes the reproduction over HTTP/JSON: DVI-as-a-
+// service. The paper's capabilities — kill insertion via binary rewriting
+// (§2), out-of-order timing simulation with DVI hardware (§4-§5), and
+// context-switch liveness sampling (§6) — become endpoints a long-lived
+// daemon (cmd/dvid) serves to many concurrent clients:
+//
+//	POST /v1/annotate   assembly in, kill-annotated assembly out
+//	POST /v1/simulate   workload or assembly in, timing statistics out
+//	POST /v1/ctxswitch  liveness sampling at preemption points
+//	GET  /v1/workloads  the built-in benchmark suite
+//	GET  /healthz       liveness and cache/queue gauges
+//	GET  /metrics       Prometheus text exposition
+//
+// Every simulation routes through one shared runner.Engine and its
+// single-flight build cache, so concurrent identical requests coalesce
+// into one compile; the cache is LRU-bounded because clients submit
+// arbitrary assembly. Admission control bounds concurrent execution and
+// queue depth (429 once the queue is full). Queued requests honour their
+// HTTP context — an abandoned client frees its queue slot immediately —
+// while a simulation that has already started runs to its clamped
+// instruction budget (MaxInsts bounds the wasted work). Shutdown drains
+// in-flight work via the standard http.Server.Shutdown contract.
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dvi/internal/core"
+	"dvi/internal/ctxswitch"
+	"dvi/internal/isa"
+	"dvi/internal/ooo"
+	"dvi/internal/prog"
+	"dvi/internal/rewrite"
+	"dvi/internal/runner"
+	"dvi/internal/workload"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultMaxQueue bounds requests waiting for an execution slot.
+	DefaultMaxQueue = 256
+	// DefaultCacheCapacity bounds the build cache: plenty for the seven
+	// benchmarks in every flavour plus a working set of client assembly.
+	DefaultCacheCapacity = 64
+	// DefaultMaxRequestBytes bounds request bodies (assembly text).
+	DefaultMaxRequestBytes = 8 << 20
+	// DefaultMaxInsts is the per-request instruction budget ceiling. The
+	// daemon never runs unbounded simulations on behalf of a client.
+	DefaultMaxInsts = 2_000_000
+	// DefaultMaxScale caps the workload scale factor per request.
+	DefaultMaxScale = 8
+
+	// asmPrefix marks synthetic workload specs backed by client assembly.
+	asmPrefix = "asm:"
+)
+
+// Config parameterizes a Server. The zero value serves with defaults.
+type Config struct {
+	// Workers sizes the shared engine's worker pool
+	// (<=0 = runtime.GOMAXPROCS(0)).
+	Workers int
+	// MaxConcurrent bounds requests executing simultaneously
+	// (<=0 = Workers).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an execution slot; beyond it
+	// the daemon answers 429 (0 = DefaultMaxQueue, negative = no queue:
+	// reject whenever all slots are busy).
+	MaxQueue int
+	// CacheCapacity bounds the build cache with LRU eviction
+	// (0 = DefaultCacheCapacity, negative = unbounded).
+	CacheCapacity int
+	// MaxRequestBytes bounds request bodies (0 = DefaultMaxRequestBytes).
+	MaxRequestBytes int64
+	// MaxInsts is the ceiling on per-request instruction budgets
+	// (0 = DefaultMaxInsts). Requests asking for more are clamped.
+	MaxInsts uint64
+	// MaxScale is the ceiling on per-request workload scale
+	// (0 = DefaultMaxScale).
+	MaxScale int
+	// Compile overrides the workload build function; nil uses
+	// workload.CompileSpec. Client-assembly sources are always handled
+	// by the service itself. Tests use this to count or stall builds.
+	Compile runner.CompileFunc
+}
+
+// Server implements the DVI service over HTTP. Construct with New; it is
+// an http.Handler, ready to mount on any http.Server or mux.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	eng     *runner.Engine
+	met     *metrics
+	adm     *admission
+	start   time.Time
+	compile runner.CompileFunc // resolved Config.Compile (benchmark specs)
+}
+
+// New builds a Server, resolving zero Config fields to defaults.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = cfg.Workers
+	}
+	switch {
+	case cfg.MaxQueue == 0:
+		cfg.MaxQueue = DefaultMaxQueue
+	case cfg.MaxQueue < 0:
+		cfg.MaxQueue = 0
+	}
+	switch {
+	case cfg.CacheCapacity == 0:
+		cfg.CacheCapacity = DefaultCacheCapacity
+	case cfg.CacheCapacity < 0:
+		cfg.CacheCapacity = 0
+	}
+	if cfg.MaxRequestBytes == 0 {
+		cfg.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if cfg.MaxInsts == 0 {
+		cfg.MaxInsts = DefaultMaxInsts
+	}
+	if cfg.MaxScale == 0 {
+		cfg.MaxScale = DefaultMaxScale
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		met:     newMetrics(),
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		start:   time.Now(),
+		compile: cfg.Compile,
+	}
+	if s.compile == nil {
+		s.compile = workload.CompileSpec
+	}
+	s.eng = runner.New(runner.Options{
+		Workers:       cfg.Workers,
+		Compile:       s.compileFor(s.compile),
+		CacheCapacity: cfg.CacheCapacity,
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/annotate", s.heavy("annotate", s.handleAnnotate))
+	mux.HandleFunc("POST /v1/simulate", s.heavy("simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/ctxswitch", s.heavy("ctxswitch", s.handleCtxSwitch))
+	mux.HandleFunc("GET /v1/workloads", s.light("workloads", s.handleWorkloads))
+	mux.HandleFunc("GET /healthz", s.light("healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.light("metrics", s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Engine exposes the shared execution engine (build cache accounting).
+func (s *Server) Engine() *runner.Engine { return s.eng }
+
+// Inflight returns the number of requests currently executing.
+func (s *Server) Inflight() int64 { return s.adm.inflight.Load() }
+
+// QueueDepth returns the number of requests waiting for a slot.
+func (s *Server) QueueDepth() int64 { return s.adm.waiting.Load() }
+
+// --- admission control ---
+
+// errBusy reports a full admission queue.
+var errBusy = errors.New("service: admission queue full")
+
+// admission bounds concurrently executing requests (sem) and the number
+// allowed to wait for a slot (maxQueue); further arrivals bounce with
+// errBusy so overload produces fast 429s instead of unbounded goroutines.
+type admission struct {
+	sem      chan struct{}
+	maxQueue int
+	waiting  atomic.Int64
+	inflight atomic.Int64
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	return &admission{sem: make(chan struct{}, maxConcurrent), maxQueue: maxQueue}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if none
+// is free. It fails with errBusy when the queue is full and with the
+// context error when the client gives up while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > int64(a.maxQueue) {
+		a.waiting.Add(-1)
+		return errBusy
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.sem
+}
+
+// --- middleware ---
+
+// statusWriter records the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// heavy wraps simulation-class endpoints with admission control, body
+// limits, and metrics. The body is read in full — and bounded — before
+// an execution slot is acquired, so a client trickling a slow upload
+// never holds a slot, and over-limit bodies answer 413 rather than
+// consuming admission capacity.
+func (s *Server) heavy(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+		switch {
+		case errors.As(err, new(*http.MaxBytesError)):
+			s.writeError(sw, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxRequestBytes)
+		case err != nil:
+			s.writeError(sw, http.StatusBadRequest, "read request body: %v", err)
+		default:
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			if err := s.adm.acquire(r.Context()); err != nil {
+				if errors.Is(err, errBusy) {
+					s.writeError(sw, http.StatusTooManyRequests,
+						"admission queue full (%d executing, %d queued); retry later",
+						s.adm.inflight.Load(), s.adm.maxQueue)
+				} else {
+					s.writeError(sw, http.StatusServiceUnavailable, "request abandoned while queued: %v", err)
+				}
+			} else {
+				func() {
+					defer s.adm.release()
+					h(sw, r)
+				}()
+			}
+		}
+		s.met.observe(name, sw.code, time.Since(start))
+	}
+}
+
+// light wraps cheap read-only endpoints with metrics only.
+func (s *Server) light(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.met.observe(name, sw.code, time.Since(start))
+	}
+}
+
+// --- JSON helpers ---
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, Error{Message: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes a request body strictly: unknown fields are an error,
+// so client typos fail loudly instead of silently running defaults.
+func readJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// --- request sources ---
+
+// resolveSource turns the (workload, asm, scale) request triple into a
+// spec the engine can build: a registered benchmark, or a synthetic spec
+// backed by the submitted assembly (scale is meaningless there and pins
+// to 1 so identical submissions share one build-cache key).
+func (s *Server) resolveSource(name, asm string, scale int) (workload.Spec, int, error) {
+	switch {
+	case name != "" && asm != "":
+		return workload.Spec{}, 0, fmt.Errorf("set either workload or asm, not both")
+	case name != "":
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return workload.Spec{}, 0, fmt.Errorf("unknown workload %q (have %s)", name, strings.Join(workload.Names(), ", "))
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		if scale > s.cfg.MaxScale {
+			scale = s.cfg.MaxScale
+		}
+		return spec, scale, nil
+	case asm != "":
+		return s.asmSpec(asm), 1, nil
+	}
+	return workload.Spec{}, 0, fmt.Errorf("one of workload or asm is required")
+}
+
+// asmSpec wraps the assembly text in a synthetic spec whose name
+// content-addresses the source, so identical submissions share one
+// build-cache key. The text travels inside the spec itself (Spec.Asm):
+// nothing to expire, nothing for a client to pin beyond in-flight
+// requests, and cached artifacts are keyed by digest, not by reference.
+func (s *Server) asmSpec(asm string) workload.Spec {
+	sum := sha256.Sum256([]byte(asm))
+	return workload.Spec{
+		Name:     asmPrefix + hex.EncodeToString(sum[:12]),
+		Describe: "client-submitted assembly",
+		Asm:      asm,
+	}
+}
+
+// compileFor adapts the engine's compile function: benchmark specs build
+// through base (workload.CompileSpec unless overridden), client-assembly
+// specs parse, optionally annotate, and link the submitted text. Either
+// way the artifacts land in the shared single-flight build cache.
+func (s *Server) compileFor(base runner.CompileFunc) runner.CompileFunc {
+	return func(sp workload.Spec, scale int, opt workload.BuildOptions) (*prog.Program, *prog.Image, error) {
+		if sp.Asm == "" {
+			return base(sp, scale, opt)
+		}
+		pr, err := prog.ParseAsm(sp.Asm)
+		if err != nil {
+			return nil, nil, err
+		}
+		if opt.EDVI {
+			if _, err := rewrite.InsertKills(pr, rewrite.Options{Policy: opt.Policy}); err != nil {
+				return nil, nil, err
+			}
+		}
+		img, err := pr.Link()
+		if err != nil {
+			return nil, nil, err
+		}
+		return pr, img, nil
+	}
+}
+
+// clampInsts applies the server's instruction budget ceiling; the daemon
+// never runs unbounded simulations for a client.
+func (s *Server) clampInsts(v uint64) uint64 {
+	if v == 0 || v > s.cfg.MaxInsts {
+		return s.cfg.MaxInsts
+	}
+	return v
+}
+
+// --- handlers ---
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var req AnnotateRequest
+	if err := readJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var pr *prog.Program
+	switch {
+	case req.Asm != "" && req.Workload != "":
+		s.writeError(w, http.StatusBadRequest, "set either workload or asm, not both")
+		return
+	case req.Asm != "":
+		if pr, err = prog.ParseAsm(req.Asm); err != nil {
+			s.writeError(w, http.StatusBadRequest, "parse: %v", err)
+			return
+		}
+	case req.Workload != "":
+		spec, scale, rerr := s.resolveSource(req.Workload, "", req.Scale)
+		if rerr != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", rerr)
+			return
+		}
+		// A fresh, un-annotated build — never the cache's: the rewriter
+		// mutates the program, and cached artifacts are shared read-only.
+		if pr, _, err = s.compile(spec, scale, workload.BuildOptions{}); err != nil {
+			s.writeError(w, http.StatusInternalServerError, "build %s: %v", spec.Name, err)
+			return
+		}
+	default:
+		s.writeError(w, http.StatusBadRequest, "one of workload or asm is required")
+		return
+	}
+
+	inserted, err := rewrite.InsertKills(pr, rewrite.Options{Policy: policy, NoPrune: req.NoPrune})
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "rewrite: %v", err)
+		return
+	}
+	img, err := pr.Link()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "link: %v", err)
+		return
+	}
+	var perProc []ProcKills
+	for _, p := range pr.Procs {
+		kills := 0
+		for _, in := range p.Insts {
+			if in.Op == isa.KILL {
+				kills++
+			}
+		}
+		if kills > 0 {
+			perProc = append(perProc, ProcKills{Proc: p.Name, Kills: kills})
+		}
+	}
+	s.writeJSON(w, http.StatusOK, AnnotateResponse{
+		Asm:       prog.FormatAsm(pr),
+		Inserted:  inserted,
+		PerProc:   perProc,
+		TextWords: img.TextWords(),
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := readJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, scale, err := s.resolveSource(req.Workload, req.Asm, req.Scale)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	level, err := parseLevel(req.DVILevel)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	cfg := ooo.DefaultConfig()
+	cfg.Emu = emuConfig(level, scheme)
+	req.Machine.apply(&cfg)
+	cfg.MaxInsts = s.clampInsts(req.MaxInsts)
+
+	// Benchmark sources mirror dvi.Simulate: annotations iff the level
+	// honours them. Submitted assembly runs exactly as written unless the
+	// client asks the daemon to annotate it (edvi=true).
+	edvi := req.Asm == "" && cfg.Emu.DVI.Level == core.Full
+	if req.EDVI != nil {
+		edvi = *req.EDVI
+	}
+	bopt := workload.BuildOptions{EDVI: edvi, Policy: policy}
+
+	job := runner.Job{
+		Label:    "simulate " + spec.Key(scale, bopt).String(),
+		Workload: spec,
+		Scale:    scale,
+		Build:    bopt,
+		Kind:     runner.Timing,
+		Machine:  cfg,
+	}
+	results, err := s.eng.Run(r.Context(), []runner.Job{job})
+	if err != nil {
+		s.runError(w, r, err)
+		return
+	}
+	st := results[0].Timing
+	s.writeJSON(w, http.StatusOK, SimulateResponse{
+		Workload: spec.Name,
+		Scale:    scale,
+		BuildKey: spec.Key(scale, bopt).String(),
+		MaxInsts: cfg.MaxInsts,
+		IPC:      st.IPC(),
+		Stats:    st,
+	})
+}
+
+func (s *Server) handleCtxSwitch(w http.ResponseWriter, r *http.Request) {
+	var req CtxSwitchRequest
+	if err := readJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, scale, err := s.resolveSource(req.Workload, req.Asm, req.Scale)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	level, err := parseLevel(req.DVILevel)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ecfg := emuConfig(level, scheme)
+	edvi := req.Asm == "" && ecfg.DVI.Level == core.Full
+	if req.EDVI != nil {
+		edvi = *req.EDVI
+	}
+	bopt := workload.BuildOptions{EDVI: edvi, Policy: policy}
+
+	job := runner.Job{
+		Label:     "ctxswitch " + spec.Key(scale, bopt).String(),
+		Workload:  spec,
+		Scale:     scale,
+		Build:     bopt,
+		Kind:      runner.CtxSwitch,
+		Emu:       ecfg,
+		EmuBudget: s.clampInsts(req.MaxInsts),
+		Interval:  req.Interval,
+	}
+	results, err := s.eng.Run(r.Context(), []runner.Job{job})
+	if err != nil {
+		s.runError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, CtxSwitchResponse{
+		Workload: spec.Name,
+		Scale:    scale,
+		BuildKey: spec.Key(scale, bopt).String(),
+		SaveSet:  ctxswitch.SaveSet,
+		Result:   results[0].Switch,
+	})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []WorkloadInfo
+	for _, spec := range workload.All() {
+		out = append(out, WorkloadInfo{Name: spec.Name, Describe: spec.Describe})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.eng.Cache().Stats()
+	s.writeJSON(w, http.StatusOK, Health{
+		Status:         "ok",
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Workers:        s.eng.Workers(),
+		Inflight:       s.adm.inflight.Load(),
+		QueueDepth:     s.adm.waiting.Load(),
+		QueueCapacity:  s.adm.maxQueue,
+		CacheEntries:   s.eng.Cache().Len(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: s.eng.Cache().Evictions(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.eng.Cache().Stats()
+	body := s.met.render([]gauge{
+		{name: "dvid_uptime_seconds", help: "Seconds since the server started.", value: time.Since(s.start).Seconds()},
+		{name: "dvid_inflight_requests", help: "Requests currently executing.", value: float64(s.adm.inflight.Load())},
+		{name: "dvid_queue_depth", help: "Requests waiting for an execution slot.", value: float64(s.adm.waiting.Load())},
+		{name: "dvid_queue_capacity", help: "Admission queue bound.", value: float64(s.adm.maxQueue)},
+		{name: "dvid_build_cache_hits_total", help: "Build cache hits.", value: float64(hits), counter: true},
+		{name: "dvid_build_cache_misses_total", help: "Build cache misses (compiles).", value: float64(misses), counter: true},
+		{name: "dvid_build_cache_evictions_total", help: "Build cache LRU evictions.", value: float64(s.eng.Cache().Evictions()), counter: true},
+		{name: "dvid_build_cache_entries", help: "Distinct binaries cached or building.", value: float64(s.eng.Cache().Len())},
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(body))
+}
+
+// runError maps an engine failure onto an HTTP status: client-abandoned
+// contexts get 503 (nobody is reading anyway), everything else is a bad
+// build or run rooted in the request (400).
+func (s *Server) runError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, "%v", err)
+}

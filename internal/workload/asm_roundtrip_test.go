@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"dvi/internal/prog"
+	"dvi/internal/rewrite"
+)
+
+// TestAsmRoundTripAllWorkloads is the wire-format guarantee the annotation
+// service depends on: for every benchmark, in both binary flavours,
+// rendering the symbolic program to assembly text, parsing it back, and
+// re-rendering is a fixed point — and the reparsed program links to a
+// byte-identical image.
+func TestAsmRoundTripAllWorkloads(t *testing.T) {
+	for _, s := range All() {
+		for _, edvi := range []bool{false, true} {
+			opt := BuildOptions{EDVI: edvi}
+			name := s.Key(1, opt).String()
+			t.Run(name, func(t *testing.T) {
+				pr, img, err := CompileSpec(s, 1, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				text1 := prog.FormatAsm(pr)
+				pr2, err := prog.ParseAsm(text1)
+				if err != nil {
+					t.Fatalf("reparse: %v", err)
+				}
+				text2 := prog.FormatAsm(pr2)
+				if text1 != text2 {
+					t.Fatal("assembly text is not a fixed point under parse+format")
+				}
+				img2, err := pr2.Link()
+				if err != nil {
+					t.Fatalf("relink: %v", err)
+				}
+				if len(img.Code) != len(img2.Code) {
+					t.Fatalf("code size differs: %d vs %d words", len(img.Code), len(img2.Code))
+				}
+				for i := range img.Code {
+					if img.Code[i] != img2.Code[i] {
+						t.Fatalf("word %d differs: %s vs %s", i, img.Insts[i], img2.Insts[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAsmRewriteAfterParse checks the annotation pipeline end to end at the
+// library level: a plain binary rendered to text, parsed, and run through
+// the DVI inserter picks up the same kill count as rewriting the original.
+func TestAsmRewriteAfterParse(t *testing.T) {
+	s, _ := ByName("li")
+	pr, _, err := CompileSpec(s, 1, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := prog.ParseAsm(prog.FormatAsm(pr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := rewrite.InsertKills(pr, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := rewrite.InsertKills(pr2, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == 0 || n1 != n2 {
+		t.Fatalf("kill counts differ after round trip: %d vs %d", n1, n2)
+	}
+	if _, err := pr2.Link(); err != nil {
+		t.Fatalf("link annotated reparse: %v", err)
+	}
+}

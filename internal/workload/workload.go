@@ -26,6 +26,13 @@ type Spec struct {
 	// iteration count (scale 1 is roughly 200k-600k dynamic
 	// instructions).
 	Build func(scale int) *ir.Module
+	// Asm, when non-empty, backs the spec with textual assembly instead
+	// of an IR builder: synthetic specs for client-submitted programs
+	// (internal/service) carry their source with the spec, so a build
+	// needs no side lookup that could expire. Build is nil then, and the
+	// Name must content-address the text so equal sources share one
+	// BuildKey.
+	Asm string
 }
 
 // All returns the seven benchmarks in the paper's Figure 3 order.
