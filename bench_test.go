@@ -218,6 +218,92 @@ func BenchmarkAblationWrongPath(b *testing.B) {
 	}
 }
 
+// BenchmarkStep measures the functional emulator's per-instruction cost.
+// The program is re-run on the same warm emulator (ResetFor zeroes the
+// memory in place), so the steady-state loop allocates nothing; the
+// allocs/op column is part of the result and must stay 0 (the regression
+// tests in internal/emu and internal/ooo enforce it).
+func BenchmarkStep(b *testing.B) {
+	w, _ := workload.ByName("compress")
+	pr, img, err := workload.CompileSpec(w, 1, workload.BuildOptions{EDVI: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := emu.Config{DVI: core.DefaultConfig(), Scheme: emu.ElimLVMStack}
+	e := emu.New(pr, img, cfg)
+	if err := e.Run(0); err != nil {
+		b.Fatal(err) // warm memory pages and buffer capacities
+	}
+	e.ResetFor(pr, img, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Halted {
+			e.ResetFor(pr, img, cfg)
+		}
+		e.Step()
+	}
+}
+
+// BenchmarkMachineCycle measures the out-of-order pipeline's per-cycle
+// cost on a warm, reused machine (one op = one bounded simulation).
+// Steady state allocates nothing.
+func BenchmarkMachineCycle(b *testing.B) {
+	w, _ := workload.ByName("gcc")
+	pr, img, err := workload.CompileSpec(w, 1, workload.BuildOptions{EDVI: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ooo.DefaultConfig()
+	cfg.MaxInsts = 100_000
+	m := ooo.New(pr, img, cfg)
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err) // warm pages, ring buffers and victim lists
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		m.Reset(pr, img, cfg)
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += st.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Mcycle/s")
+}
+
+// BenchmarkSimulateInterp runs the full timing simulation of the li
+// interpreter workload end to end on a reused machine — the shape of the
+// dvid daemon's /v1/simulate hot path once the build cache has the
+// binary. Steady state allocates nothing.
+func BenchmarkSimulateInterp(b *testing.B) {
+	w, _ := workload.ByName("li")
+	pr, img, err := workload.CompileSpec(w, 1, workload.BuildOptions{EDVI: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ooo.DefaultConfig()
+	cfg.MaxInsts = 200_000
+	m := ooo.New(pr, img, cfg)
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		m.Reset(pr, img, cfg)
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += st.Committed
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed in simulated
 // instructions per second (the reproduction's own engineering metric).
 func BenchmarkSimulatorThroughput(b *testing.B) {

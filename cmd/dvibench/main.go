@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -75,7 +76,7 @@ func main() {
 	eng := harness.NewEngine(opt, progress)
 	start := time.Now()
 	if *asJSON {
-		if err := emitJSON(eng, opt, ids, start); err != nil {
+		if err := emitJSON(os.Stdout, eng, opt, ids, start); err != nil {
 			fmt.Fprintln(os.Stderr, "dvibench:", err)
 			os.Exit(1)
 		}
@@ -122,11 +123,23 @@ type benchReport struct {
 	TotalWallMS   float64       `json:"total_wall_ms"`
 }
 
-// emitJSON runs the selected figures one at a time (sharing eng's build
-// cache) so each gets its own wall-clock, and writes the report to
-// stdout. A figure's Needs grids re-run inside its measurement — the
-// timing is per-figure cost, not marginal cost.
-func emitJSON(eng *runner.Engine, opt harness.Options, ids []string, start time.Time) error {
+// gridIPC aggregates committed/cycles over a figure's grid. A figure
+// whose selection contributes no timing jobs (fig2 has no grid at all;
+// fig6 renders purely from fig5's results) has zero cycles: that must
+// yield 0, not NaN — json.Marshal rejects NaN and would fail the whole
+// report.
+func gridIPC(committed, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(committed) / float64(cycles)
+}
+
+// buildReport runs the selected figures one at a time (sharing eng's
+// build cache) so each gets its own wall-clock, and assembles the
+// machine-readable report. A figure's Needs grids re-run inside its
+// measurement — the timing is per-figure cost, not marginal cost.
+func buildReport(eng *runner.Engine, opt harness.Options, ids []string, start time.Time) (benchReport, error) {
 	selected := map[string]bool{}
 	for _, id := range ids {
 		selected[id] = true
@@ -145,11 +158,11 @@ func emitJSON(eng *runner.Engine, opt harness.Options, ids []string, start time.
 		figStart := time.Now()
 		rs, err := harness.CollectResults(context.Background(), eng, opt, []string{fig.ID})
 		if err != nil {
-			return fmt.Errorf("%s: %w", fig.ID, err)
+			return rep, fmt.Errorf("%s: %w", fig.ID, err)
 		}
 		tables, err := fig.Render(opt, rs)
 		if err != nil {
-			return fmt.Errorf("%s: %w", fig.ID, err)
+			return rep, fmt.Errorf("%s: %w", fig.ID, err)
 		}
 		bf := benchFigure{
 			ID:     fig.ID,
@@ -170,14 +183,21 @@ func emitJSON(eng *runner.Engine, opt harness.Options, ids []string, start time.
 				bf.ElimRestores += res.Func.RestoresElim
 			}
 		}
-		if bf.Cycles > 0 {
-			bf.IPC = float64(bf.Committed) / float64(bf.Cycles)
-		}
+		bf.IPC = gridIPC(bf.Committed, bf.Cycles)
 		rep.Figures = append(rep.Figures, bf)
 	}
 	rep.CacheHits, rep.Compiles = eng.Cache().Stats()
 	rep.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
-	enc := json.NewEncoder(os.Stdout)
+	return rep, nil
+}
+
+// emitJSON writes the machine-readable report for ids to w.
+func emitJSON(w io.Writer, eng *runner.Engine, opt harness.Options, ids []string, start time.Time) error {
+	rep, err := buildReport(eng, opt, ids, start)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"dvi/internal/harness"
+)
+
+// testOptions keeps the grids tiny so the derived-figure selections run in
+// well under a second.
+func testOptions() harness.Options {
+	return harness.Options{Scale: 1, MaxInsts: 5_000, SweepMaxInsts: 2_000, Workers: 1}
+}
+
+// TestJSONReportNoTimingJobs pins the zero-cycle guard: selections whose
+// figures contribute no timing jobs of their own (fig2 has no grid; fig6
+// renders purely from fig5's results) must produce a finite IPC and a
+// report json.Marshal accepts — NaN would fail the whole document.
+func TestJSONReportNoTimingJobs(t *testing.T) {
+	saved := harness.Fig5Sizes
+	harness.Fig5Sizes = []int{34, 96}
+	defer func() { harness.Fig5Sizes = saved }()
+
+	for _, id := range []string{"fig2", "fig6"} {
+		opt := testOptions()
+		eng := harness.NewEngine(opt, nil)
+		rep, err := buildReport(eng, opt, []string{id}, time.Now())
+		if err != nil {
+			t.Fatalf("%s: buildReport: %v", id, err)
+		}
+		if len(rep.Figures) != 1 {
+			t.Fatalf("%s: %d figures, want 1", id, len(rep.Figures))
+		}
+		bf := rep.Figures[0]
+		if bf.Cycles != 0 {
+			t.Fatalf("%s: expected a grid with no timing jobs, got %d cycles", id, bf.Cycles)
+		}
+		if math.IsNaN(bf.IPC) || math.IsInf(bf.IPC, 0) || bf.IPC != 0 {
+			t.Fatalf("%s: IPC = %v, want 0 for a zero-cycle grid", id, bf.IPC)
+		}
+		if _, err := json.Marshal(rep); err != nil {
+			t.Fatalf("%s: marshal: %v", id, err)
+		}
+	}
+}
+
+// TestEmitJSONRoundTrips checks the full -json path writes a decodable
+// document with the schema header.
+func TestEmitJSONRoundTrips(t *testing.T) {
+	opt := testOptions()
+	eng := harness.NewEngine(opt, nil)
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, eng, opt, []string{"fig2"}, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rep.Schema != "dvibench/v1" {
+		t.Fatalf("schema %q, want dvibench/v1", rep.Schema)
+	}
+}

@@ -94,6 +94,24 @@ func New(cfg Config) *Predictor {
 	return p
 }
 
+// Reset returns the predictor to its freshly-constructed state
+// (weakly-taken counters, clear history, zero statistics) without
+// reallocating the tables. The geometry is unchanged; pooled machines
+// reallocate only when the configuration itself differs.
+func (p *Predictor) Reset() {
+	for i := range p.bimod {
+		p.bimod[i] = 2
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.choice {
+		p.choice[i] = 2
+	}
+	p.hist = 0
+	p.Lookups, p.Mispredicts = 0, 0
+}
+
 func (p *Predictor) bimodIdx(pc uint64) uint64 {
 	return (pc >> 2) & (uint64(len(p.bimod)) - 1)
 }
@@ -205,6 +223,18 @@ func NewBTB(nSets, assoc int) *BTB {
 	return b
 }
 
+// Reset invalidates every entry and zeroes the statistics, keeping the
+// arrays for reuse.
+func (b *BTB) Reset() {
+	for _, set := range b.sets {
+		for i := range set {
+			set[i] = btbEntry{}
+		}
+	}
+	b.tick = 0
+	b.Lookups, b.Hits = 0, 0
+}
+
 // Lookup returns the predicted target for the control instruction at pc.
 func (b *BTB) Lookup(pc uint64) (uint64, bool) {
 	b.Lookups++
@@ -264,6 +294,12 @@ func NewRAS(depth int) *RAS {
 		panic("bpred: RAS depth out of range")
 	}
 	return &RAS{depth: depth}
+}
+
+// Reset empties the stack (depth unchanged).
+func (r *RAS) Reset() {
+	r.sp = 0
+	r.count = 0
 }
 
 // Push records a return address at a call.

@@ -154,6 +154,18 @@ func (c *Cache) Probe(addr uint64) bool {
 	return way >= 0
 }
 
+// Reset invalidates every line and zeroes the statistics, returning the
+// cache to its freshly-constructed state without reallocating the arrays.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.tick = 0
+	c.Stats = Stats{}
+}
+
 // LineAddr returns the line-aligned address containing addr.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
 
@@ -180,6 +192,15 @@ func DefaultHierarchyConfig() HierarchyConfig {
 		L2:         Config{Name: "ul2", SizeBytes: 512 << 10, Assoc: 4, LineBytes: 64, HitLatency: 8},
 		MemLatency: 50,
 	}
+}
+
+// Reset returns every level to its freshly-constructed state, reusing the
+// existing arrays.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.Mem.Accesses = 0
 }
 
 // NewHierarchy builds the two-level hierarchy.

@@ -89,15 +89,8 @@ type Tracker struct {
 
 // New returns a tracker with all registers live and an empty stack.
 func New(cfg Config) *Tracker {
-	d := cfg.StackDepth
-	if d == 0 {
-		d = DefaultStackDepth
-	}
-	if d < 1 || d > MaxStackDepth {
-		panic(fmt.Sprintf("core: stack depth %d out of range [1,%d]", d, MaxStackDepth))
-	}
-	t := &Tracker{cfg: cfg, depth: d}
-	t.Reset()
+	t := &Tracker{}
+	t.Reconfigure(cfg)
 	return t
 }
 
@@ -108,6 +101,22 @@ func (t *Tracker) Reset() {
 	t.lvm = allLive
 	t.sp = 0
 	t.count = 0
+}
+
+// Reconfigure installs a new configuration and resets, without
+// allocating: pooled emulators retarget their tracker between jobs with
+// this instead of constructing a fresh one.
+func (t *Tracker) Reconfigure(cfg Config) {
+	d := cfg.StackDepth
+	if d == 0 {
+		d = DefaultStackDepth
+	}
+	if d < 1 || d > MaxStackDepth {
+		panic(fmt.Sprintf("core: stack depth %d out of range [1,%d]", d, MaxStackDepth))
+	}
+	t.cfg = cfg
+	t.depth = d
+	t.Reset()
 }
 
 // FlushStack empties the LVM-Stack without touching the LVM — the §7

@@ -38,10 +38,17 @@ type Result struct {
 // points). The emulator's DVI configuration decides how much liveness
 // information is available (Level None -> no reduction).
 func Measure(pr *prog.Program, img *prog.Image, cfg emu.Config, interval, maxInsts uint64) (Result, error) {
+	return MeasureEmulator(emu.New(pr, img, cfg), interval, maxInsts)
+}
+
+// MeasureEmulator is Measure over a caller-supplied emulator, which must
+// be at program start (freshly constructed or reset). Pooled callers
+// (internal/runner) reuse one emulator across jobs this way instead of
+// allocating a memory image per measurement.
+func MeasureEmulator(e *emu.Emulator, interval, maxInsts uint64) (Result, error) {
 	if interval == 0 {
 		interval = 997 // a prime, to avoid phase-locking with loop bodies
 	}
-	e := emu.New(pr, img, cfg)
 	var res Result
 	var sumLive uint64
 	n := uint64(0)

@@ -78,6 +78,12 @@ type Stats struct {
 	SavesElim    uint64 // live-stores eliminated (dead data register)
 	RestoresExec uint64 // live-loads that executed
 	RestoresElim uint64 // live-loads eliminated (LVM-Stack scheme)
+
+	// Faults counts fetches outside the text segment (a wild jump or a
+	// misaligned target). The emulator halts on one — like the clean HALT
+	// it always synthesized — but the count distinguishes corrupted
+	// control flow from a genuine program exit.
+	Faults uint64
 }
 
 // Original returns the dynamic instruction count excluding E-DVI
@@ -116,6 +122,10 @@ type Step struct {
 	Killed     isa.RegMask // registers transitioned live->dead at this instruction
 
 	Halted bool
+	// Faulted reports that this step fetched outside the text segment:
+	// the emulator halted, but on corrupted control flow, not a HALT the
+	// program actually contains.
+	Faulted bool
 }
 
 // Emulator executes one program image.
@@ -140,13 +150,8 @@ type Emulator struct {
 // loaded) and registers initialized: sp at the stack top, gp at the data
 // base.
 func New(pr *prog.Program, img *prog.Image, cfg Config) *Emulator {
-	e := &Emulator{
-		cfg:     cfg,
-		img:     img,
-		Mem:     prog.NewMemory(pr, img),
-		Tracker: core.New(cfg.DVI),
-	}
-	e.Reset()
+	e := &Emulator{}
+	e.ResetFor(pr, img, cfg)
 	return e
 }
 
@@ -158,8 +163,30 @@ func NewWithMemory(img *prog.Image, m *mem.Memory, cfg Config) *Emulator {
 	return e
 }
 
+// ResetFor retargets the emulator to a (possibly different) program,
+// image and configuration, then rewinds to program start. The memory is
+// zeroed in place and the image reloaded, so a pooled emulator runs a
+// fresh job without reallocating its footprint; the result is
+// indistinguishable from a New emulator.
+func (e *Emulator) ResetFor(pr *prog.Program, img *prog.Image, cfg Config) {
+	e.cfg = cfg
+	e.img = img
+	if e.Mem == nil {
+		e.Mem = mem.New()
+	} else {
+		e.Mem.Reset()
+	}
+	img.LoadInto(e.Mem, pr.Data)
+	if e.Tracker == nil {
+		e.Tracker = core.New(cfg.DVI)
+	} else {
+		e.Tracker.Reconfigure(cfg.DVI)
+	}
+	e.Reset()
+}
+
 // Reset rewinds architectural state to program start. Memory is not
-// reloaded.
+// reloaded (ResetFor does both).
 func (e *Emulator) Reset() {
 	e.Regs = [isa.NumRegs]uint64{}
 	e.Regs[isa.SP] = e.img.StackTop
@@ -167,9 +194,9 @@ func (e *Emulator) Reset() {
 	e.PC = e.img.EntryPC
 	e.Halted = false
 	e.Stats = Stats{}
-	e.Violations = nil
+	e.Violations = e.Violations[:0]
 	e.Checksum = 0
-	e.Outputs = nil
+	e.Outputs = e.Outputs[:0]
 	e.Tracker.Reset()
 }
 
@@ -199,7 +226,7 @@ func (e *Emulator) Step() Step {
 		return Step{PC: e.PC, Halted: true, Inst: isa.Inst{Op: isa.HALT}}
 	}
 	pc := e.PC
-	in := e.img.At(pc)
+	in, meta, inText := e.img.AtMeta(pc)
 	st := Step{PC: pc, Inst: in, NextPC: pc + isa.InstBytes}
 	lvmBefore := e.Tracker.LVM()
 
@@ -213,6 +240,13 @@ func (e *Emulator) Step() Step {
 		st.Halted = true
 		st.NextPC = pc
 		e.Stats.Total-- // halt is the simulation boundary, not work
+		if !inText {
+			// The HALT is synthetic: control flow left the text segment
+			// (wild jump or misaligned target). Halt exactly as before,
+			// but report the fault instead of a clean exit.
+			e.Stats.Faults++
+			st.Faulted = true
+		}
 
 	case isa.ADD:
 		e.opR(in, pc, func(a, b uint64) uint64 { return a + b })
@@ -362,22 +396,19 @@ func (e *Emulator) Step() Step {
 		}
 		if take {
 			e.Stats.TakenBr++
-			t, _ := isa.BranchTarget(pc, in)
-			st.NextPC = t
+			st.NextPC = meta.Target
 		}
 		st.Taken = take
 
 	case isa.J:
 		e.Stats.Jumps++
 		st.IsCtl, st.Taken = true, true
-		t, _ := isa.BranchTarget(pc, in)
-		st.NextPC = t
+		st.NextPC = meta.Target
 	case isa.JAL:
 		e.Stats.Calls++
 		st.IsCtl, st.Taken = true, true
 		e.write(isa.RA, pc+isa.InstBytes)
-		t, _ := isa.BranchTarget(pc, in)
-		st.NextPC = t
+		st.NextPC = meta.Target
 		e.Tracker.OnCall()
 	case isa.JALR:
 		e.Stats.Calls++

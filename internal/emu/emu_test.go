@@ -468,3 +468,137 @@ func TestJalrIndirectCall(t *testing.T) {
 		t.Errorf("calls = %d, want 2", e.Stats.Calls)
 	}
 }
+
+// wildJumpProgram computes a jump far past the text segment.
+func wildJumpProgram(target int64) *prog.Program {
+	pr := prog.New()
+	m := pr.Assembler("main")
+	m.Li(isa.T0, target)
+	m.Inst(isa.Inst{Op: isa.JR, Rs1: isa.T0}) // computed jump, not a return
+	m.Ret()
+	return pr
+}
+
+func TestWildJumpRecordsFault(t *testing.T) {
+	e := run(t, wildJumpProgram(0x40_0000), defaultCfg())
+	if !e.Halted {
+		t.Fatal("emulator did not halt")
+	}
+	if e.Stats.Faults != 1 {
+		t.Fatalf("Faults = %d, want 1", e.Stats.Faults)
+	}
+}
+
+func TestMisalignedJumpRecordsFault(t *testing.T) {
+	// Target inside the text segment but not word-aligned.
+	e := run(t, wildJumpProgram(int64(prog.DefaultTextBase+2)), defaultCfg())
+	if e.Stats.Faults != 1 {
+		t.Fatalf("Faults = %d, want 1", e.Stats.Faults)
+	}
+}
+
+func TestStepReportsFaulted(t *testing.T) {
+	pr := wildJumpProgram(0x40_0000)
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(pr, img, defaultCfg())
+	var faultStep Step
+	for i := 0; i < 100 && !e.Halted; i++ {
+		faultStep = e.Step()
+	}
+	if !faultStep.Halted || !faultStep.Faulted {
+		t.Fatalf("final step = %+v, want Halted and Faulted", faultStep)
+	}
+	if faultStep.PC != 0x40_0000 {
+		t.Errorf("fault pc = %#x, want 0x400000", faultStep.PC)
+	}
+	// A clean exit is not a fault.
+	clean := prog.New()
+	clean.Assembler("main").Ret()
+	e2 := run(t, clean, defaultCfg())
+	if e2.Stats.Faults != 0 {
+		t.Errorf("clean exit recorded %d faults", e2.Stats.Faults)
+	}
+}
+
+// TestResetForMatchesFresh pins the pooling contract: an emulator reused
+// across different programs via ResetFor behaves exactly like a freshly
+// constructed one.
+func TestResetForMatchesFresh(t *testing.T) {
+	prA := prog.New()
+	a := prA.Assembler("main")
+	a.Li(isa.T0, 3).Li(isa.T1, 9).Mul(isa.T2, isa.T0, isa.T1)
+	a.Li(isa.A0, 1).Sys(isa.A0, isa.T2).Ret()
+	imgA, err := prA.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prB, imgB := func() (*prog.Program, *prog.Image) {
+		pr := prog.New()
+		m := pr.Assembler("main")
+		m.Li(isa.T0, 41).Addi(isa.T0, isa.T0, 1)
+		m.Li(isa.A0, 2).Sys(isa.A0, isa.T0).Ret()
+		img, err := pr.Link()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pr, img
+	}()
+
+	fresh := New(prB, imgB, defaultCfg())
+	if err := fresh.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+
+	reused := New(prA, imgA, defaultCfg())
+	if err := reused.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	reused.ResetFor(prB, imgB, defaultCfg())
+	if err := reused.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if reused.Checksum != fresh.Checksum {
+		t.Errorf("checksum %#x, want %#x", reused.Checksum, fresh.Checksum)
+	}
+	if reused.Stats != fresh.Stats {
+		t.Errorf("stats %+v, want %+v", reused.Stats, fresh.Stats)
+	}
+}
+
+// TestStepSteadyStateZeroAlloc pins the 0 allocs/op invariant of the
+// emulator inner loop: re-running a program on a warm emulator allocates
+// nothing (memory pages, output buffers and tracker state are reused).
+func TestStepSteadyStateZeroAlloc(t *testing.T) {
+	pr := prog.New()
+	m := pr.Assembler("main")
+	epi := m.Frame(0, true, isa.S0)
+	m.Li(isa.S0, 0)
+	m.Li(isa.T1, 2000)
+	m.Label("loop")
+	m.Addi(isa.S0, isa.S0, 3)
+	m.Blt(isa.S0, isa.T1, "loop")
+	m.Li(isa.A0, 0).Sys(isa.A0, isa.S0)
+	epi()
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultCfg()
+	e := New(pr, img, cfg)
+	if err := e.Run(1_000_000); err != nil {
+		t.Fatal(err) // warm pages and buffer capacities
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		e.ResetFor(pr, img, cfg)
+		if err := e.Run(1_000_000); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state run allocated %.1f objects, want 0", allocs)
+	}
+}

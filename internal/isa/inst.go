@@ -55,29 +55,38 @@ func (in Inst) WritesReg() (Reg, bool) {
 
 // SrcRegs returns the architectural source registers read by the
 // instruction (r0 reads included; callers may ignore them since r0 is
-// constant). The result is at most two registers.
+// constant). The result is at most two registers. It allocates; hot loops
+// use AppendSrcRegs with a reused buffer, or the predecoded metadata in
+// prog.Image.
 func (in Inst) SrcRegs() []Reg {
+	return in.AppendSrcRegs(nil)
+}
+
+// AppendSrcRegs appends the instruction's source registers to dst and
+// returns the extended slice. With capacity for two more elements in dst
+// it does not allocate.
+func (in Inst) AppendSrcRegs(dst []Reg) []Reg {
 	switch in.Op {
 	case NOP, HALT, KILL, J, LUI:
-		return nil
+		return dst
 	case JAL:
-		return nil
+		return dst
 	case JR, JALR:
-		return []Reg{in.Rs1}
+		return append(dst, in.Rs1)
 	case LD, LB, LVLD, LVML:
-		return []Reg{in.Rs1}
+		return append(dst, in.Rs1)
 	case ST, SB, LVST:
-		return []Reg{in.Rs1, in.Rs2}
+		return append(dst, in.Rs1, in.Rs2)
 	case LVMS:
-		return []Reg{in.Rs1}
+		return append(dst, in.Rs1)
 	case ADDI, ANDI, ORI, XORI, SLTI, SLLI, SRLI, SRAI:
-		return []Reg{in.Rs1}
+		return append(dst, in.Rs1)
 	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
-		return []Reg{in.Rs1, in.Rs2}
+		return append(dst, in.Rs1, in.Rs2)
 	case SYS:
-		return []Reg{in.Rs1, in.Rs2}
+		return append(dst, in.Rs1, in.Rs2)
 	default: // R-type arithmetic
-		return []Reg{in.Rs1, in.Rs2}
+		return append(dst, in.Rs1, in.Rs2)
 	}
 }
 

@@ -120,6 +120,36 @@ func (m *Memory) StoreBytes(addr uint64, b []byte) {
 // Pages returns the number of allocated pages (for footprint accounting).
 func (m *Memory) Pages() int { return len(m.pages) }
 
+// maxResetPages bounds the footprint a reusable memory keeps warm
+// (4 MiB). The benchmark suite's workloads stay far below it, so pooled
+// instances retain their pages across jobs; an outsized footprint — a
+// client-submitted program striding across memory — is not worth
+// keeping: pools refuse to retain such instances (Oversized) and Reset
+// releases the pages rather than zeroing them, so one hostile request
+// cannot pin gigabytes in a long-lived daemon or make later resets pay
+// for its footprint.
+const maxResetPages = 1024
+
+// Oversized reports whether the allocated footprint exceeds what a pool
+// should keep warm. Callers drop oversized instances instead of pooling
+// them.
+func (m *Memory) Oversized() bool { return len(m.pages) > maxResetPages }
+
+// Reset zeroes the memory: every location reads as zero again. Footprints
+// up to maxResetPages are zeroed in place, keeping the page map and
+// backing arrays allocated — this is what lets a pooled emulator or
+// machine run a fresh job without reallocating (and re-garbage-
+// collecting) its whole footprint; larger footprints are released.
+func (m *Memory) Reset() {
+	if len(m.pages) > maxResetPages {
+		m.pages = make(map[uint64]*[PageSize]byte)
+		return
+	}
+	for _, p := range m.pages {
+		*p = [PageSize]byte{}
+	}
+}
+
 // Clone returns a deep copy of the memory. Used to replay a program image
 // into multiple simulations.
 func (m *Memory) Clone() *Memory {

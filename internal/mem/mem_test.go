@@ -152,3 +152,48 @@ func BenchmarkRead64(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestResetZeroesAndRetainsSmallFootprints(t *testing.T) {
+	m := New()
+	m.Write64(0x1000, 0xDEAD)
+	m.Write64(0x2F_F000, 0xBEEF)
+	pages := m.Pages()
+	m.Reset()
+	if m.Read64(0x1000) != 0 || m.Read64(0x2F_F000) != 0 {
+		t.Fatal("Reset left non-zero data")
+	}
+	if m.Pages() != pages {
+		t.Fatalf("small footprint not retained: %d pages, want %d", m.Pages(), pages)
+	}
+}
+
+func TestResetReleasesOutsizedFootprints(t *testing.T) {
+	m := New()
+	for i := 0; i <= maxResetPages; i++ {
+		m.Store8(uint64(i)*PageSize, 1)
+	}
+	m.Reset()
+	if m.Pages() != 0 {
+		t.Fatalf("outsized footprint retained: %d pages, want 0", m.Pages())
+	}
+	if m.Load8(0) != 0 {
+		t.Fatal("Reset left non-zero data")
+	}
+}
+
+func TestOversizedTracksResetBound(t *testing.T) {
+	m := New()
+	if m.Oversized() {
+		t.Fatal("empty memory reported oversized")
+	}
+	for i := 0; i <= maxResetPages; i++ {
+		m.Store8(uint64(i)*PageSize, 1)
+	}
+	if !m.Oversized() {
+		t.Fatal("footprint past the bound not reported oversized")
+	}
+	m.Reset() // releases it
+	if m.Oversized() {
+		t.Fatal("oversized after Reset released the pages")
+	}
+}

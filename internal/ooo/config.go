@@ -93,6 +93,12 @@ type Stats struct {
 	MaxPhysInUse   int    // high-water mark of allocated physical registers
 	EarlyReclaimed uint64 // physical registers freed by DVI kills
 
+	// Faults counts correct-path fetches outside the text segment (wild
+	// jumps, misaligned targets). The machine halts as if the program
+	// ended — the historical behaviour — but the count distinguishes
+	// corrupted control flow from a clean exit.
+	Faults uint64
+
 	Emu emu.Stats // architectural counts from the embedded emulator
 }
 

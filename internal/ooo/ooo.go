@@ -16,6 +16,7 @@ package ooo
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dvi/internal/bpred"
 	"dvi/internal/cache"
@@ -38,6 +39,8 @@ type robEntry struct {
 	seq       uint64
 	pc        uint64
 	inst      isa.Inst
+	class     isa.Class // predecoded pipeline class (prog.Meta)
+	lat       uint8     // predecoded fixed latency (prog.Meta)
 	wrongPath bool
 	st        state
 	doneCycle uint64
@@ -73,6 +76,8 @@ type robEntry struct {
 type fetchRec struct {
 	pc          uint64
 	inst        isa.Inst
+	meta        *prog.Meta // predecoded metadata for inst (shared, read-only)
+	faulted     bool       // pc was outside the text segment (synthetic HALT)
 	predNPC     uint64
 	isCtl       bool
 	bpInfo      bpred.Info
@@ -120,20 +125,60 @@ type Machine struct {
 
 // New builds a machine over its own copy of the program state.
 func New(pr *prog.Program, img *prog.Image, cfg Config) *Machine {
-	m := &Machine{
-		cfg:  cfg,
-		img:  img,
-		emu:  emu.New(pr, img, cfg.Emu),
-		hier: cache.NewHierarchy(cfg.Hierarchy),
-		pred: bpred.New(cfg.Pred),
-		btb:  bpred.NewBTB(cfg.Pred.BTBSets, cfg.Pred.BTBAssoc),
-		ras:  bpred.NewRAS(cfg.Pred.RASDepth),
-		rt:   rename.NewTable(cfg.PhysRegs),
-	}
-	m.ifq = make([]fetchRec, cfg.IFQSize)
-	m.rob = make([]robEntry, cfg.WindowSize)
-	m.fetchPC = img.EntryPC
+	m := &Machine{}
+	m.Reset(pr, img, cfg)
 	return m
+}
+
+// Reset retargets the machine to a (possibly different) program, image
+// and configuration and rewinds it to cycle zero. Allocations whose shape
+// still fits the new configuration — the embedded emulator's memory
+// pages, cache arrays, predictor tables, the window and fetch queue — are
+// reused, so a pooled machine runs job after job without rebuilding its
+// footprint. The reset machine is observably identical to a New one.
+func (m *Machine) Reset(pr *prog.Program, img *prog.Image, cfg Config) {
+	m.img = img
+	if m.emu == nil {
+		m.emu = emu.New(pr, img, cfg.Emu)
+	} else {
+		m.emu.ResetFor(pr, img, cfg.Emu)
+	}
+	if m.hier == nil || m.cfg.Hierarchy != cfg.Hierarchy {
+		m.hier = cache.NewHierarchy(cfg.Hierarchy)
+	} else {
+		m.hier.Reset()
+	}
+	if m.pred == nil || m.cfg.Pred != cfg.Pred {
+		m.pred = bpred.New(cfg.Pred)
+		m.btb = bpred.NewBTB(cfg.Pred.BTBSets, cfg.Pred.BTBAssoc)
+		m.ras = bpred.NewRAS(cfg.Pred.RASDepth)
+	} else {
+		m.pred.Reset()
+		m.btb.Reset()
+		m.ras.Reset()
+	}
+	if m.rt == nil || m.rt.NPhys() != cfg.PhysRegs {
+		m.rt = rename.NewTable(cfg.PhysRegs)
+	} else {
+		m.rt.Reset()
+	}
+	if len(m.ifq) != cfg.IFQSize {
+		m.ifq = make([]fetchRec, cfg.IFQSize)
+	}
+	if len(m.rob) != cfg.WindowSize {
+		m.rob = make([]robEntry, cfg.WindowSize)
+	}
+	m.cfg = cfg
+	m.cycle, m.seq = 0, 0
+	m.fetchPC = img.EntryPC
+	m.fetchStallUntil = 0
+	m.fetchHalted = false
+	m.ifqHead, m.ifqLen = 0, 0
+	m.robHead, m.robLen = 0, 0
+	m.pendingMisp, m.pendingMispSeq = false, 0
+	m.aluUsed, m.mdUsed, m.portUsed, m.issued = 0, 0, 0, 0
+	m.dispatchHalted = false
+	m.Stats = Stats{}
 }
 
 // Emu exposes the embedded emulator (checksum and architectural stats).
@@ -145,9 +190,15 @@ func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
 // Predictor exposes branch predictor statistics.
 func (m *Machine) Predictor() *bpred.Predictor { return m.pred }
 
-// robAt returns the i-th oldest entry (0 = head).
+// robAt returns the i-th oldest entry (0 = head). head+i never exceeds
+// twice the window, so the wrap is a compare instead of a division (this
+// runs once per window entry per cycle).
 func (m *Machine) robAt(i int) *robEntry {
-	return &m.rob[(m.robHead+i)%len(m.rob)]
+	idx := m.robHead + i
+	if idx >= len(m.rob) {
+		idx -= len(m.rob)
+	}
+	return &m.rob[idx]
 }
 
 // done reports whether simulation has finished.
@@ -231,24 +282,36 @@ func (m *Machine) fetch() {
 			first = false
 		}
 
-		in := m.img.At(pc)
+		in, meta, inText := m.img.AtMeta(pc)
 		if in.Op == isa.HALT && m.pendingMisp {
 			// Wrong-path fetch ran off the program; wait for redirect.
 			m.fetchHalted = true
 			return
 		}
 
-		rec := fetchRec{pc: pc, inst: in, predNPC: pc + isa.InstBytes}
+		// Fill the fetch queue slot in place: the record embeds a RAS
+		// snapshot, so building it in a local and copying it in would move
+		// a few hundred bytes per fetched instruction. Checkpoint fields
+		// (bpInfo, histAtFetch, rasSnap) are written only for control
+		// instructions and only read behind isCtl/hasBpInfo, so stale
+		// values in a reused slot are never observed.
+		idx := m.ifqHead + m.ifqLen
+		if idx >= len(m.ifq) {
+			idx -= len(m.ifq)
+		}
+		rec := &m.ifq[idx]
+		rec.pc, rec.inst, rec.meta, rec.faulted = pc, in, meta, !inText
+		rec.predNPC = pc + isa.InstBytes
+		rec.isCtl, rec.hasBpInfo = false, false
 		taken := false
-		switch isa.OpClass(in.Op) {
+		switch meta.Class {
 		case isa.ClassBranch:
 			rec.isCtl = true
 			rec.histAtFetch = m.pred.History()
 			predTaken, info := m.pred.Predict(pc)
 			rec.bpInfo, rec.hasBpInfo = info, true
 			if predTaken {
-				t, _ := isa.BranchTarget(pc, in)
-				rec.predNPC = t
+				rec.predNPC = meta.Target
 				taken = true
 			}
 			rec.rasSnap = m.ras.Snapshot()
@@ -258,8 +321,7 @@ func (m *Machine) fetch() {
 			taken = true
 			switch in.Op {
 			case isa.J, isa.JAL:
-				t, _ := isa.BranchTarget(pc, in)
-				rec.predNPC = t
+				rec.predNPC = meta.Target
 				if in.Op == isa.JAL {
 					m.ras.Push(pc + isa.InstBytes)
 				}
@@ -286,7 +348,6 @@ func (m *Machine) fetch() {
 			rec.rasSnap = m.ras.Snapshot()
 		}
 
-		m.ifq[(m.ifqHead+m.ifqLen)%len(m.ifq)] = rec
 		m.ifqLen++
 		m.Stats.Fetched++
 		m.fetchPC = rec.predNPC
@@ -353,21 +414,19 @@ func (m *Machine) dispatch() {
 			st := m.emu.Step()
 			m.assertStep(rec, st, false)
 			m.Stats.KillsSeen++
-			if st.Killed != 0 {
-				for _, r := range st.Killed.Regs() {
-					victim, ok := m.rt.Unmap(uint8(r))
-					if !ok {
-						continue
-					}
-					if m.robLen > 0 {
-						y := m.robAt(m.robLen - 1)
-						y.killVictims = append(y.killVictims, victim)
-					} else {
-						// Empty window: the kill is trivially
-						// non-speculative; reclaim now.
-						m.rt.Free(victim)
-						m.Stats.EarlyReclaimed++
-					}
+			for k := uint32(st.Killed); k != 0; k &= k - 1 {
+				victim, ok := m.rt.Unmap(uint8(bits.TrailingZeros32(k)))
+				if !ok {
+					continue
+				}
+				if m.robLen > 0 {
+					y := m.robAt(m.robLen - 1)
+					y.killVictims = append(y.killVictims, victim)
+				} else {
+					// Empty window: the kill is trivially
+					// non-speculative; reclaim now.
+					m.rt.Free(victim)
+					m.Stats.EarlyReclaimed++
 				}
 			}
 			continue
@@ -379,37 +438,57 @@ func (m *Machine) dispatch() {
 			return
 		}
 		// Physical register required for destinations.
-		if _, needs := in.WritesReg(); needs && m.rt.FreeCount() == 0 {
+		if rec.meta.HasDest && m.rt.FreeCount() == 0 {
 			m.Stats.RenameStallCycles++
 			return
 		}
 
+		// Initialize the window entry field by field: a struct literal
+		// would copy the embedded RAS/map checkpoints (a few hundred
+		// bytes) on every dispatch. Checkpoint fields are written only
+		// when needed and only read behind the flags set here.
 		e := m.robAt(m.robLen)
-		*e = robEntry{
-			valid:       true,
-			seq:         m.seq,
-			pc:          rec.pc,
-			inst:        in,
-			st:          stDispatched,
-			destPhys:    rename.None,
-			prevPhys:    rename.None,
-			isCtl:       rec.isCtl,
-			isCondBr:    isa.OpClass(in.Op) == isa.ClassBranch,
-			bpInfo:      rec.bpInfo,
-			hasBpInfo:   rec.hasBpInfo,
-			histAtFetch: rec.histAtFetch,
-			rasSnap:     rec.rasSnap,
-			killVictims: e.killVictims[:0], // reuse ring storage
+		e.valid = true
+		e.seq = m.seq
+		e.pc = rec.pc
+		e.inst = in
+		e.class = rec.meta.Class
+		e.lat = rec.meta.Lat
+		e.wrongPath = false
+		e.st = stDispatched
+		e.doneCycle = 0
+		e.hasDest = false
+		e.destArch = 0
+		e.destPhys = rename.None
+		e.prevPhys = rename.None
+		e.nSrc = 0
+		e.killVictims = e.killVictims[:0] // reuse ring storage
+		e.isLoad, e.isStore = false, false
+		e.addr = 0
+		e.isCtl = rec.isCtl
+		e.isCondBr = rec.meta.Class == isa.ClassBranch
+		e.mispredict = false
+		e.actualNPC = 0
+		e.hasBpInfo = rec.hasBpInfo
+		if rec.isCtl {
+			e.bpInfo = rec.bpInfo
+			e.histAtFetch = rec.histAtFetch
+			e.rasSnap = rec.rasSnap
 		}
 		m.seq++
 
 		if m.pendingMisp {
-			m.dispatchWrongPath(e)
+			m.dispatchWrongPath(e, rec)
 		} else {
 			if rec.pc != m.emu.PC {
 				panic(fmt.Sprintf("ooo: correct-path fetch diverged: fetched %#x, emulator at %#x", rec.pc, m.emu.PC))
 			}
 			if in.Op == isa.HALT {
+				if rec.faulted {
+					// Synthetic HALT: correct-path control flow left the
+					// text segment. Halt as before, but report it.
+					m.Stats.Faults++
+				}
 				m.dispatchHalted = true
 				m.popIFQ()
 				e.valid = false
@@ -425,7 +504,10 @@ func (m *Machine) dispatch() {
 }
 
 func (m *Machine) popIFQ() {
-	m.ifqHead = (m.ifqHead + 1) % len(m.ifq)
+	m.ifqHead++
+	if m.ifqHead == len(m.ifq) {
+		m.ifqHead = 0
+	}
 	m.ifqLen--
 }
 
@@ -444,12 +526,14 @@ func (m *Machine) dispatchCorrect(e *robEntry, rec *fetchRec) {
 	st := m.emu.Step()
 	m.assertStep(rec, st, false)
 	in := e.inst
+	meta := rec.meta
 
 	// Sources first (read old mappings), then kill victims, then the
 	// destination: a kill mask plus destination write at a call (jal
 	// writes ra, I-DVI kills temps) must see sources under pre-rename
 	// mappings.
-	for _, r := range in.SrcRegs() {
+	for i := 0; i < int(meta.NSrc); i++ {
+		r := meta.Srcs[i]
 		if r == isa.Zero {
 			continue
 		}
@@ -464,26 +548,24 @@ func (m *Machine) dispatchCorrect(e *robEntry, rec *fetchRec) {
 	// instruction (explicit kill mask or I-DVI at call/return). Victims
 	// are pinned in the entry and freed when it commits (paper §4.1:
 	// reclamation only when non-speculative).
-	if st.Killed != 0 {
-		for _, r := range st.Killed.Regs() {
-			if victim, ok := m.rt.Unmap(uint8(r)); ok {
-				e.killVictims = append(e.killVictims, victim)
-			}
+	for k := uint32(st.Killed); k != 0; k &= k - 1 {
+		if victim, ok := m.rt.Unmap(uint8(bits.TrailingZeros32(k))); ok {
+			e.killVictims = append(e.killVictims, victim)
 		}
 	}
 
-	if rd, ok := in.WritesReg(); ok {
-		newP, prevP, renamed := m.rt.Rename(uint8(rd))
+	if meta.HasDest {
+		newP, prevP, renamed := m.rt.Rename(uint8(meta.Dest))
 		if !renamed {
 			panic("ooo: rename failed after free-list check")
 		}
-		e.hasDest, e.destArch, e.destPhys, e.prevPhys = true, rd, newP, prevP
+		e.hasDest, e.destArch, e.destPhys, e.prevPhys = true, meta.Dest, newP, prevP
 	}
 
-	switch {
-	case in.Op.IsLoad():
+	switch meta.Class {
+	case isa.ClassLoad:
 		e.isLoad, e.addr = true, st.Addr
-	case in.Op.IsStore():
+	case isa.ClassStore:
 		e.isStore, e.addr = true, st.Addr
 	}
 
@@ -508,11 +590,13 @@ func (m *Machine) dispatchCorrect(e *robEntry, rec *fetchRec) {
 // dispatchWrongPath renames a wrong-path instruction without functional
 // execution. Its DVI decode effects are skipped (equivalent to perfect
 // checkpoint recovery of the LVM structures, see DESIGN.md).
-func (m *Machine) dispatchWrongPath(e *robEntry) {
+func (m *Machine) dispatchWrongPath(e *robEntry, rec *fetchRec) {
 	m.Stats.WrongPath++
 	e.wrongPath = true
 	in := e.inst
-	for _, r := range in.SrcRegs() {
+	meta := rec.meta
+	for i := 0; i < int(meta.NSrc); i++ {
+		r := meta.Srcs[i]
 		if r == isa.Zero {
 			continue
 		}
@@ -521,17 +605,17 @@ func (m *Machine) dispatchWrongPath(e *robEntry) {
 			e.nSrc++
 		}
 	}
-	if rd, ok := in.WritesReg(); ok {
-		newP, prevP, renamed := m.rt.Rename(uint8(rd))
+	if meta.HasDest {
+		newP, prevP, renamed := m.rt.Rename(uint8(meta.Dest))
 		if !renamed {
 			panic("ooo: rename failed after free-list check")
 		}
-		e.hasDest, e.destArch, e.destPhys, e.prevPhys = true, rd, newP, prevP
+		e.hasDest, e.destArch, e.destPhys, e.prevPhys = true, meta.Dest, newP, prevP
 	}
-	switch {
-	case in.Op.IsLoad():
+	switch meta.Class {
+	case isa.ClassLoad:
 		e.isLoad = true // no address: charged a port and hit latency only
-	case in.Op.IsStore():
+	case isa.ClassStore:
 		e.isStore = true
 	}
 	if in.Op == isa.NOP || in.Op == isa.HALT {
@@ -573,7 +657,7 @@ func (m *Machine) issue() {
 		if e.st != stDispatched || !m.srcsReady(e) {
 			continue
 		}
-		cls := isa.OpClass(e.inst.Op)
+		cls := e.class
 		switch cls {
 		case isa.ClassStore:
 			// Stores complete when operands are ready (the cache access
@@ -637,7 +721,7 @@ func (m *Machine) issue() {
 			m.aluUsed++
 			m.issued++
 			e.st = stIssued
-			e.doneCycle = m.cycle + 1
+			e.doneCycle = m.cycle + uint64(e.lat)
 		}
 	}
 }
@@ -751,7 +835,10 @@ func (m *Machine) commit() {
 		}
 		m.Stats.Committed++
 		e.valid = false
-		m.robHead = (m.robHead + 1) % len(m.rob)
+		m.robHead++
+		if m.robHead == len(m.rob) {
+			m.robHead = 0
+		}
 		m.robLen--
 	}
 }

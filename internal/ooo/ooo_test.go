@@ -477,3 +477,97 @@ func TestStatsAccounting(t *testing.T) {
 		t.Error("in-use high-water mark exceeds file size")
 	}
 }
+
+// TestWildJumpRecordsFault pins the satellite fix: a computed jump past
+// the text segment halts the machine (as it always did) but now records a
+// fault instead of looking like a clean program exit.
+func TestWildJumpRecordsFault(t *testing.T) {
+	pr := prog.New()
+	m := pr.Assembler("main")
+	m.Li(isa.T0, 0x40_0000)
+	m.Inst(isa.Inst{Op: isa.JR, Rs1: isa.T0}) // computed jump, not a return
+	m.Ret()
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := New(pr, img, DefaultConfig())
+	stats, err := mach.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The machine detects the fault at dispatch (the embedded emulator is
+	// never stepped for the synthetic HALT), so the machine-level counter
+	// is the one that records it.
+	if stats.Faults != 1 {
+		t.Fatalf("Faults = %d, want 1", stats.Faults)
+	}
+
+	clean, mach2 := runBoth(t, fibProgram(10), DefaultConfig())
+	if clean.Faults != 0 || mach2.Emu().Stats.Faults != 0 {
+		t.Errorf("clean run recorded faults: machine %d, emulator %d", clean.Faults, mach2.Emu().Stats.Faults)
+	}
+}
+
+// TestResetMatchesFresh pins the pooling contract: a machine reused
+// across programs and configurations via Reset produces exactly the
+// statistics a freshly constructed machine does.
+func TestResetMatchesFresh(t *testing.T) {
+	prA := fibProgram(10)
+	imgA, err := prA.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prB := fibProgram(13)
+	imgB, err := prB.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgA := DefaultConfig()
+	cfgA.PhysRegs = 40 // different rename table shape
+	cfgB := DefaultConfig()
+
+	fresh := New(prB, imgB, cfgB)
+	want, err := fresh.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reused := New(prA, imgA, cfgA)
+	if _, err := reused.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reused.Reset(prB, imgB, cfgB)
+	got, err := reused.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("reused machine stats diverge:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestMachineSteadyStateZeroAlloc pins the 0 allocs/op invariant of the
+// simulation loop: re-running a job on a warm machine allocates nothing.
+func TestMachineSteadyStateZeroAlloc(t *testing.T) {
+	pr := fibProgram(14)
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	m := New(pr, img, cfg)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err) // warm pages, ring buffers and victim lists
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		m.Reset(pr, img, cfg)
+		if _, err := m.Run(); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state run allocated %.1f objects, want 0", allocs)
+	}
+}

@@ -137,11 +137,56 @@ type ProcRange struct {
 	End   uint64 // one past the last instruction
 }
 
+// Meta is the predecoded metadata of one static instruction: everything
+// the pipeline would otherwise rederive from the decoded form on every
+// dynamic fetch of the same instruction (operand roles, op class, fixed
+// latency, static control target). It is built once at Link, so the
+// simulation inner loops read flat tables instead of calling the
+// allocating isa.Inst.SrcRegs or recomputing classes and targets.
+type Meta struct {
+	Srcs    [2]isa.Reg // architectural sources, Srcs[:NSrc]
+	NSrc    uint8
+	Dest    isa.Reg // architectural destination when HasDest
+	HasDest bool
+	Class   isa.Class
+	Lat     uint8  // fixed execution latency; 0 = config or cache dependent
+	Target  uint64 // static taken target (branches, J, JAL); 0 otherwise
+}
+
+// haltMeta describes the synthetic HALT returned for fetches outside the
+// text segment.
+var haltMeta = Meta{Class: isa.ClassHalt}
+
+// metaFor predecodes one instruction located at pc.
+func metaFor(pc uint64, in isa.Inst) Meta {
+	var m Meta
+	var buf [2]isa.Reg
+	srcs := in.AppendSrcRegs(buf[:0])
+	m.NSrc = uint8(len(srcs))
+	copy(m.Srcs[:], srcs)
+	if rd, ok := in.WritesReg(); ok {
+		m.Dest, m.HasDest = rd, true
+	}
+	m.Class = isa.OpClass(in.Op)
+	switch m.Class {
+	case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump:
+		m.Lat = 1
+		// Other classes keep Lat 0: their latency is configuration or
+		// cache dependent (mul/div, loads), or they never issue (stores
+		// complete at issue, NOP/KILL/HALT never reach a functional unit).
+	}
+	if t, ok := isa.BranchTarget(pc, in); ok {
+		m.Target = t
+	}
+	return m
+}
+
 // Image is a linked, executable program.
 type Image struct {
 	TextBase uint64
 	Code     []uint32   // encoded text
 	Insts    []isa.Inst // decoded text, index = (pc-TextBase)/4
+	Metas    []Meta     // predecoded metadata, same index as Insts
 	EntryPC  uint64
 	HaltPC   uint64 // address of the final HALT trampoline
 
@@ -299,20 +344,34 @@ func (pr *Program) Link() (*Image, error) {
 			img.labels[pl.addr+uint64(li)*isa.InstBytes] = pl.proc.Name + "." + name
 		}
 	}
+	img.Metas = make([]Meta, len(img.Insts))
+	for i, in := range img.Insts {
+		img.Metas[i] = metaFor(img.TextBase+uint64(i)*isa.InstBytes, in)
+	}
 	return img, nil
 }
 
 // At returns the decoded instruction at pc. Fetches outside the text
 // segment return HALT so runaway control flow terminates deterministically.
 func (img *Image) At(pc uint64) isa.Inst {
+	in, _, _ := img.AtMeta(pc)
+	return in
+}
+
+// AtMeta returns the decoded instruction at pc together with its
+// predecoded metadata. ok is false for a fetch outside the text segment
+// (misaligned or out of range): the instruction is then a synthetic HALT —
+// runaway control flow terminates deterministically — and callers that
+// care distinguish a fault from the program's real HALT by ok.
+func (img *Image) AtMeta(pc uint64) (in isa.Inst, meta *Meta, ok bool) {
 	if pc < img.TextBase || pc&3 != 0 {
-		return isa.Inst{Op: isa.HALT}
+		return isa.Inst{Op: isa.HALT}, &haltMeta, false
 	}
 	idx := (pc - img.TextBase) / isa.InstBytes
-	if idx >= uint64(len(img.Insts)) {
-		return isa.Inst{Op: isa.HALT}
+	if idx >= uint64(len(img.Metas)) {
+		return isa.Inst{Op: isa.HALT}, &haltMeta, false
 	}
-	return img.Insts[idx]
+	return img.Insts[idx], &img.Metas[idx], true
 }
 
 // InText reports whether pc addresses a linked instruction.

@@ -165,7 +165,8 @@ func defUse(in prog.Inst) (def, use isa.RegMask) {
 	if rd, ok := in.WritesReg(); ok {
 		def = isa.Bit(rd)
 	}
-	for _, r := range in.SrcRegs() {
+	var buf [2]isa.Reg
+	for _, r := range in.AppendSrcRegs(buf[:0]) {
 		if r != isa.Zero {
 			use = use.Set(r)
 		}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dvi/internal/prog"
 	"dvi/internal/workload"
@@ -116,5 +117,66 @@ func TestBuildCacheLRUSingleFlightUnderBound(t *testing.T) {
 	}
 	if hits+misses != 8*50 {
 		t.Fatalf("hits+misses %d, want %d", hits+misses, 8*50)
+	}
+}
+
+// TestBuildCacheJoinInFlightCountsHit pins the counter semantics the
+// /metrics gauges export: a waiter that joins a build already compiling
+// is a hit — only actual compiles count as misses.
+func TestBuildCacheJoinInFlightCountsHit(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compile := func(s workload.Spec, scale int, opt workload.BuildOptions) (*prog.Program, *prog.Image, error) {
+		close(started)
+		<-release
+		return prog.New(), &prog.Image{}, nil
+	}
+	c := NewBuildCache(compile)
+	ctx := context.Background()
+
+	compilerDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(ctx, fakeSpec("w"), 1, workload.BuildOptions{})
+		compilerDone <- err
+	}()
+	<-started // the compiling caller holds the in-flight entry
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(ctx, fakeSpec("w"), 1, workload.BuildOptions{})
+		waiterDone <- err
+	}()
+
+	// The waiter must be counted as a hit the moment it joins the
+	// in-flight entry, before the build completes.
+	deadline := time.After(5 * time.Second)
+	for {
+		if hits, _ := c.Stats(); hits == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			hits, misses := c.Stats()
+			t.Fatalf("waiter never counted as hit (hits %d, misses %d)", hits, misses)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("mid-flight stats hits %d misses %d, want 1 and 1", hits, misses)
+	}
+
+	close(release)
+	if err := <-compilerDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("final stats hits %d misses %d, want 1 and 1", hits, misses)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("len %d, want 1", n)
 	}
 }

@@ -168,10 +168,21 @@ type Options struct {
 // Engine executes job batches. One engine owns one build cache, so every
 // batch submitted through it shares memoized binaries; create one engine
 // per report and feed it all figures' grids.
+//
+// The engine also owns pools of reusable simulator instances: a timing
+// machine or emulator is reset per job (ooo.Machine.Reset /
+// emu.Emulator.ResetFor — observably identical to a fresh one) instead of
+// reallocating its window, caches, predictor tables and memory image.
+// This is what keeps a long-lived daemon's steady-state allocation per
+// simulation request small, and a large report grid off the garbage
+// collector.
 type Engine struct {
 	workers  int
 	progress ProgressFunc
 	cache    *BuildCache
+
+	machines sync.Pool // *ooo.Machine
+	emus     sync.Pool // *emu.Emulator
 }
 
 // New builds an engine.
@@ -264,6 +275,45 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	return results, nil
 }
 
+// getMachine returns a pooled timing machine reset for (pr, img, cfg), or
+// a fresh one when the pool is empty.
+func (e *Engine) getMachine(pr *prog.Program, img *prog.Image, cfg ooo.Config) *ooo.Machine {
+	if m, ok := e.machines.Get().(*ooo.Machine); ok {
+		m.Reset(pr, img, cfg)
+		return m
+	}
+	return ooo.New(pr, img, cfg)
+}
+
+// getEmu returns a pooled emulator reset for (pr, img, cfg), or a fresh
+// one when the pool is empty.
+func (e *Engine) getEmu(pr *prog.Program, img *prog.Image, cfg emu.Config) *emu.Emulator {
+	if em, ok := e.emus.Get().(*emu.Emulator); ok {
+		em.ResetFor(pr, img, cfg)
+		return em
+	}
+	return emu.New(pr, img, cfg)
+}
+
+// putMachine returns a machine to the pool unless the job it just ran
+// left it with an outsized memory footprint — those are dropped at once
+// so a burst of large client programs cannot pin their pages in a
+// long-lived daemon's pool.
+func (e *Engine) putMachine(m *ooo.Machine) {
+	if m.Emu().Mem.Oversized() {
+		return
+	}
+	e.machines.Put(m)
+}
+
+// putEmu is putMachine for emulators.
+func (e *Engine) putEmu(em *emu.Emulator) {
+	if em.Mem.Oversized() {
+		return
+	}
+	e.emus.Put(em)
+}
+
 // runJob builds (or fetches) the binary and executes one job.
 func (e *Engine) runJob(ctx context.Context, j Job) (Result, error) {
 	pr, img, err := e.cache.Get(ctx, j.Workload, j.Scale, j.Build)
@@ -273,17 +323,20 @@ func (e *Engine) runJob(ctx context.Context, j Job) (Result, error) {
 	res := Result{Job: j, Program: pr, Image: img}
 	switch j.Kind {
 	case Timing:
-		m := ooo.New(pr, img, j.Machine)
+		m := e.getMachine(pr, img, j.Machine)
 		st, err := m.Run()
 		if err != nil {
 			return res, err
 		}
 		res.Timing = st
 		if j.KeepMachine {
+			// The caller owns this instance now; it must not be pooled.
 			res.Machine = m
+		} else {
+			e.putMachine(m)
 		}
 	case Functional:
-		em := emu.New(pr, img, j.Emu)
+		em := e.getEmu(pr, img, j.Emu)
 		budget := j.EmuBudget
 		if budget == 0 {
 			budget = DefaultEmuBudget
@@ -292,16 +345,19 @@ func (e *Engine) runJob(ctx context.Context, j Job) (Result, error) {
 			return res, err
 		}
 		res.Func = em.Stats
+		e.putEmu(em)
 	case CtxSwitch:
 		budget := j.EmuBudget
 		if budget == 0 {
 			budget = DefaultEmuBudget
 		}
-		sw, err := ctxswitch.Measure(pr, img, j.Emu, j.Interval, budget)
+		em := e.getEmu(pr, img, j.Emu)
+		sw, err := ctxswitch.MeasureEmulator(em, j.Interval, budget)
 		if err != nil {
 			return res, err
 		}
 		res.Switch = sw
+		e.putEmu(em)
 	case Build:
 		// Artifacts only.
 	default:

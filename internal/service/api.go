@@ -174,14 +174,21 @@ type Health struct {
 }
 
 // Error is the JSON error body every non-2xx response carries, and the
-// error type the typed client returns for server-reported failures.
+// error type the typed client returns for server-reported failures. The
+// client fills Method and Path from the failed request, so a 429 from
+// /v1/simulate and one from /v1/annotate are distinguishable in logs.
 type Error struct {
 	StatusCode int    `json:"-"`
+	Method     string `json:"-"` // HTTP method of the failed request
+	Path       string `json:"-"` // URL path of the failed request
 	Message    string `json:"error"`
 }
 
 // Error implements the error interface.
 func (e *Error) Error() string {
+	if e.Method != "" || e.Path != "" {
+		return fmt.Sprintf("dvid: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.StatusCode)
+	}
 	return fmt.Sprintf("dvid: %s (HTTP %d)", e.Message, e.StatusCode)
 }
 

@@ -99,9 +99,17 @@ func (c *Client) do(req *http.Request, resp any) error {
 }
 
 // decodeError turns a non-2xx response into an *Error, preserving the
-// server's message when the body carries the standard error JSON.
+// server's message when the body carries the standard error JSON, and the
+// request's method and path so errors from different endpoints are
+// distinguishable.
 func decodeError(res *http.Response) error {
 	e := &Error{StatusCode: res.StatusCode}
+	if req := res.Request; req != nil {
+		e.Method = req.Method
+		if req.URL != nil {
+			e.Path = req.URL.Path
+		}
+	}
 	body, _ := io.ReadAll(io.LimitReader(res.Body, 64<<10))
 	if err := json.Unmarshal(body, e); err != nil || e.Message == "" {
 		e.Message = strings.TrimSpace(string(body))

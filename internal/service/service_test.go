@@ -481,3 +481,36 @@ func TestRequestBodyLimit413(t *testing.T) {
 		t.Fatalf("over-limit body: HTTP %d (%s), want 413", code, body)
 	}
 }
+
+// TestClientErrorCarriesMethodAndPath pins the satellite fix: a non-2xx
+// response decoded by the typed client identifies which endpoint failed,
+// so e.g. a 429 from /v1/simulate and one from /v1/annotate are
+// distinguishable in logs.
+func TestClientErrorCarriesMethodAndPath(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{}))
+	defer ts.Close()
+	cl := service.NewClient(ts.URL, nil)
+
+	_, err := cl.Simulate(context.Background(), service.SimulateRequest{Workload: "no-such-workload"})
+	se := new(service.Error)
+	if !asService(err, &se) {
+		t.Fatalf("want *service.Error, got %v", err)
+	}
+	if se.Method != http.MethodPost || se.Path != "/v1/simulate" {
+		t.Fatalf("error carries %q %q, want POST /v1/simulate", se.Method, se.Path)
+	}
+	if se.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", se.StatusCode)
+	}
+	if msg := se.Error(); !strings.Contains(msg, "POST /v1/simulate") {
+		t.Fatalf("Error() = %q, want the method and path in it", msg)
+	}
+
+	_, err = cl.Annotate(context.Background(), service.AnnotateRequest{Workload: "no-such-workload"})
+	if !asService(err, &se) {
+		t.Fatalf("want *service.Error, got %v", err)
+	}
+	if se.Method != http.MethodPost || se.Path != "/v1/annotate" {
+		t.Fatalf("error carries %q %q, want POST /v1/annotate", se.Method, se.Path)
+	}
+}
