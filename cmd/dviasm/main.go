@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"dvi/internal/isa"
 	"dvi/internal/prog"
 	"dvi/internal/rewrite"
+	"dvi/internal/session"
 	"dvi/internal/workload"
 )
 
@@ -39,11 +41,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q; have %v\n", *bench, workload.Names())
 		os.Exit(2)
 	}
-	opt := workload.BuildOptions{EDVI: !*noEDVI}
-	if *atDeath {
-		opt.Policy = rewrite.KillsAtDeath
+	bopts := []session.RunOption{
+		session.WithScale(*scale),
+		session.WithEDVI(!*noEDVI),
 	}
-	pr, img, err := workload.CompileSpec(spec, *scale, opt)
+	if *atDeath {
+		bopts = append(bopts, session.WithPolicy(rewrite.KillsAtDeath))
+	}
+	pr, img, err := session.New(session.WithWorkers(1)).Build(context.Background(), spec, bopts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -26,6 +26,7 @@ import (
 
 	"dvi/internal/harness"
 	"dvi/internal/runner"
+	"dvi/internal/session"
 )
 
 func main() {
@@ -73,21 +74,21 @@ func main() {
 		}
 	}
 
-	eng := harness.NewEngine(opt, progress)
+	sess := harness.NewSession(opt, progress)
 	start := time.Now()
 	if *asJSON {
-		if err := emitJSON(os.Stdout, eng, opt, ids, start); err != nil {
+		if err := emitJSON(os.Stdout, sess, opt, ids, start); err != nil {
 			fmt.Fprintln(os.Stderr, "dvibench:", err)
 			os.Exit(1)
 		}
-	} else if err := harness.RunFigures(context.Background(), eng, opt, ids, os.Stdout); err != nil {
+	} else if err := harness.RunFigures(context.Background(), sess, opt, ids, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dvibench:", err)
 		os.Exit(1)
 	}
 	if !*quiet {
-		hits, misses := eng.Cache().Stats()
+		hits, misses := sess.Cache().Stats()
 		fmt.Fprintf(os.Stderr, "dvibench: done in %s (%d workers, %d binaries compiled, %d build cache hits)\n",
-			time.Since(start).Round(time.Millisecond), eng.Workers(), misses, hits)
+			time.Since(start).Round(time.Millisecond), sess.Workers(), misses, hits)
 	}
 }
 
@@ -135,18 +136,18 @@ func gridIPC(committed, cycles uint64) float64 {
 	return float64(committed) / float64(cycles)
 }
 
-// buildReport runs the selected figures one at a time (sharing eng's
+// buildReport runs the selected figures one at a time (sharing sess's
 // build cache) so each gets its own wall-clock, and assembles the
 // machine-readable report. A figure's Needs grids re-run inside its
 // measurement — the timing is per-figure cost, not marginal cost.
-func buildReport(eng *runner.Engine, opt harness.Options, ids []string, start time.Time) (benchReport, error) {
+func buildReport(sess *session.Session, opt harness.Options, ids []string, start time.Time) (benchReport, error) {
 	selected := map[string]bool{}
 	for _, id := range ids {
 		selected[id] = true
 	}
 	rep := benchReport{
 		Schema:        "dvibench/v1",
-		Workers:       eng.Workers(),
+		Workers:       sess.Workers(),
 		Scale:         opt.Scale,
 		MaxInsts:      opt.MaxInsts,
 		SweepMaxInsts: opt.SweepMaxInsts,
@@ -156,7 +157,7 @@ func buildReport(eng *runner.Engine, opt harness.Options, ids []string, start ti
 			continue
 		}
 		figStart := time.Now()
-		rs, err := harness.CollectResults(context.Background(), eng, opt, []string{fig.ID})
+		rs, err := harness.CollectResults(context.Background(), sess, opt, []string{fig.ID})
 		if err != nil {
 			return rep, fmt.Errorf("%s: %w", fig.ID, err)
 		}
@@ -186,14 +187,14 @@ func buildReport(eng *runner.Engine, opt harness.Options, ids []string, start ti
 		bf.IPC = gridIPC(bf.Committed, bf.Cycles)
 		rep.Figures = append(rep.Figures, bf)
 	}
-	rep.CacheHits, rep.Compiles = eng.Cache().Stats()
+	rep.CacheHits, rep.Compiles = sess.Cache().Stats()
 	rep.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
 	return rep, nil
 }
 
 // emitJSON writes the machine-readable report for ids to w.
-func emitJSON(w io.Writer, eng *runner.Engine, opt harness.Options, ids []string, start time.Time) error {
-	rep, err := buildReport(eng, opt, ids, start)
+func emitJSON(w io.Writer, sess *session.Session, opt harness.Options, ids []string, start time.Time) error {
+	rep, err := buildReport(sess, opt, ids, start)
 	if err != nil {
 		return err
 	}

@@ -27,8 +27,8 @@ func TestJSONReportNoTimingJobs(t *testing.T) {
 
 	for _, id := range []string{"fig2", "fig6"} {
 		opt := testOptions()
-		eng := harness.NewEngine(opt, nil)
-		rep, err := buildReport(eng, opt, []string{id}, time.Now())
+		sess := harness.NewSession(opt, nil)
+		rep, err := buildReport(sess, opt, []string{id}, time.Now())
 		if err != nil {
 			t.Fatalf("%s: buildReport: %v", id, err)
 		}
@@ -52,9 +52,9 @@ func TestJSONReportNoTimingJobs(t *testing.T) {
 // document with the schema header.
 func TestEmitJSONRoundTrips(t *testing.T) {
 	opt := testOptions()
-	eng := harness.NewEngine(opt, nil)
+	sess := harness.NewSession(opt, nil)
 	var buf bytes.Buffer
-	if err := emitJSON(&buf, eng, opt, []string{"fig2"}, time.Now()); err != nil {
+	if err := emitJSON(&buf, sess, opt, []string{"fig2"}, time.Now()); err != nil {
 		t.Fatal(err)
 	}
 	var rep benchReport

@@ -10,11 +10,13 @@
 //	dvid -concurrent 16 -queue 512        # admission tuning
 //	dvid -cache 128 -max-insts 5000000    # cache + budget ceilings
 //
-// Endpoints: POST /v1/annotate, /v1/simulate, /v1/ctxswitch;
-// GET /v1/workloads, /healthz, /metrics. See internal/service for the
-// wire format. SIGINT/SIGTERM trigger a graceful drain: the listener
-// closes, in-flight requests finish (up to -drain), then the process
-// exits 0.
+// Endpoints: POST /v2/jobs (heterogeneous job batches, NDJSON results
+// streamed in submission order), /v1/annotate, /v1/simulate,
+// /v1/ctxswitch; GET /v1/workloads, /healthz, /metrics. See
+// internal/service (and API.md) for the wire format; the /v1 endpoints
+// are shims over the same execution path as /v2/jobs. SIGINT/SIGTERM
+// trigger a graceful drain: the listener closes, in-flight requests
+// finish (up to -drain), then the process exits 0.
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 		cache      = flag.Int("cache", service.DefaultCacheCapacity, "build cache capacity in binaries (LRU; 0 = default, -1 = unbounded)")
 		maxInsts   = flag.Uint64("max-insts", service.DefaultMaxInsts, "ceiling on per-request instruction budgets")
 		maxScale   = flag.Int("max-scale", service.DefaultMaxScale, "ceiling on per-request workload scale")
+		maxJobs    = flag.Int("max-jobs", service.DefaultMaxJobs, "ceiling on jobs per /v2/jobs batch")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 		verbose    = flag.Bool("v", false, "log individual requests")
 	)
@@ -59,6 +62,7 @@ func main() {
 		CacheCapacity: cacheCap,
 		MaxInsts:      *maxInsts,
 		MaxScale:      *maxScale,
+		MaxJobs:       *maxJobs,
 	})
 
 	var handler http.Handler = svc
@@ -130,4 +134,11 @@ type recorder struct {
 func (r *recorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush keeps /v2/jobs NDJSON streaming line-by-line under -v.
+func (r *recorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }

@@ -14,9 +14,9 @@ import (
 
 	"dvi/internal/core"
 	"dvi/internal/emu"
-	"dvi/internal/isa"
 	"dvi/internal/ooo"
 	"dvi/internal/runner"
+	"dvi/internal/session"
 	"dvi/internal/workload"
 )
 
@@ -40,43 +40,48 @@ func main() {
 		os.Exit(2)
 	}
 
+	var dviLevel core.Level
+	switch *level {
+	case "none":
+		dviLevel = core.None
+	case "idvi":
+		dviLevel = core.IDVI
+	case "full":
+		dviLevel = core.Full
+	default:
+		fmt.Fprintf(os.Stderr, "bad -dvi %q\n", *level)
+		os.Exit(2)
+	}
+	var elim emu.Scheme
+	switch *scheme {
+	case "off":
+		elim = emu.ElimOff
+	case "lvm":
+		elim = emu.ElimLVM
+	case "stack":
+		elim = emu.ElimLVMStack
+	default:
+		fmt.Fprintf(os.Stderr, "bad -scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
 	cfg := ooo.DefaultConfig()
 	cfg.PhysRegs = *regs
 	cfg.CachePorts = *ports
 	cfg.IssueWidth = *width
 	cfg.MaxInsts = *max
 	cfg.WrongPathFetch = *wrong
+	cfg.Emu = session.EmuConfigFor(dviLevel, elim)
 
-	edvi := false
-	switch *level {
-	case "none":
-		cfg.Emu.DVI = core.Config{Level: core.None}
-	case "idvi":
-		cfg.Emu.DVI = core.Config{Level: core.IDVI, ABI: isa.DefaultABI()}
-	case "full":
-		cfg.Emu.DVI = core.DefaultConfig()
-		edvi = true
-	default:
-		fmt.Fprintf(os.Stderr, "bad -dvi %q\n", *level)
-		os.Exit(2)
-	}
-	switch *scheme {
-	case "off":
-		cfg.Emu.Scheme = emu.ElimOff
-	case "lvm":
-		cfg.Emu.Scheme = emu.ElimLVM
-	case "stack":
-		cfg.Emu.Scheme = emu.ElimLVMStack
-	default:
-		fmt.Fprintf(os.Stderr, "bad -scheme %q\n", *scheme)
-		os.Exit(2)
-	}
-
-	eng := runner.New(runner.Options{Workers: 1})
-	results, err := eng.Run(context.Background(), []runner.Job{{
+	// One session, one job: the binary flavour follows the session
+	// layer's central E-DVI rule (annotated binaries iff the level is
+	// full), and KeepMachine retains the simulator instance for the
+	// cache/predictor detail below.
+	sess := session.New(session.WithWorkers(1))
+	results, err := sess.Collect(context.Background(), []session.Job{{
 		Workload:    spec,
 		Scale:       *scale,
-		Build:       workload.BuildOptions{EDVI: edvi},
+		Build:       session.BuildOptionsFor(dviLevel),
 		Kind:        runner.Timing,
 		Machine:     cfg,
 		KeepMachine: true,

@@ -36,6 +36,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"sync"
 
 	"dvi/internal/cacti"
 	"dvi/internal/core"
@@ -47,6 +48,7 @@ import (
 	"dvi/internal/rewrite"
 	"dvi/internal/runner"
 	"dvi/internal/service"
+	"dvi/internal/session"
 	"dvi/internal/workload"
 )
 
@@ -96,6 +98,23 @@ type (
 	// ExperimentFigure is one declarative experiment: a job grid plus a
 	// renderer (see harness.Figures for the registry).
 	ExperimentFigure = harness.Figure
+
+	// Session is the orchestration layer: a long-lived, concurrency-safe
+	// handle owning one execution engine, its single-flight build cache,
+	// and the pooled machine/emulator instances. Every front door — the
+	// one-shot functions here, the harness and CLIs, the HTTP service —
+	// routes through a Session. Construct with NewSession; the one-shot
+	// facade functions share a lazily-initialized DefaultSession.
+	Session = session.Session
+	// SessionOption configures a Session at construction time
+	// (WithWorkers, WithCacheCapacity, WithProgress, WithCompile).
+	SessionOption = session.Option
+	// RunOption configures one Session call (WithScale, WithDVILevel,
+	// WithScheme, WithMachineConfig, ...).
+	RunOption = session.RunOption
+	// CompileFunc compiles one benchmark flavour; sessions, runners and
+	// the service accept overrides for testing.
+	CompileFunc = runner.CompileFunc
 
 	// Runner is the experiment execution engine: a bounded worker pool
 	// over a memoizing, single-flight build cache. Results come back in
@@ -153,6 +172,15 @@ type (
 	// CtxSwitchRequest/CtxSwitchResponse are the /v1/ctxswitch wire types.
 	CtxSwitchRequest  = service.CtxSwitchRequest
 	CtxSwitchResponse = service.CtxSwitchResponse
+
+	// ServiceJobRequest is one entry in a /v2/jobs batch: a kind
+	// ("simulate", "ctxswitch", "annotate") plus the matching payload.
+	ServiceJobRequest = service.JobRequest
+	// ServiceJobsRequest is the /v2/jobs body: a heterogeneous job list.
+	ServiceJobsRequest = service.JobsRequest
+	// ServiceJobResult is one line of the /v2/jobs NDJSON stream,
+	// delivered in submission order; ServiceClient.RunJobs decodes them.
+	ServiceJobResult = service.JobResult
 )
 
 // DVI levels (paper Figure 5's three configurations).
@@ -187,6 +215,76 @@ const (
 	JobBuild = runner.Build
 )
 
+// DefaultSessionCacheCapacity bounds the default Session's build cache;
+// it comfortably holds the benchmark suite in every flavour while keeping
+// a long-lived process that sweeps many scales from pinning every binary
+// it ever compiled.
+const DefaultSessionCacheCapacity = 64
+
+// NewSession builds an orchestration session: one engine, one build
+// cache, one set of simulator pools serving every call made through it.
+// Construct one per process (report, daemon, test suite) so repeated and
+// concurrent calls share memoized builds and warm simulator instances.
+func NewSession(opts ...SessionOption) *Session { return session.New(opts...) }
+
+// Session construction options.
+var (
+	// WithWorkers bounds the session's worker pool
+	// (<=0 = runtime.GOMAXPROCS(0)).
+	WithWorkers = session.WithWorkers
+	// WithCacheCapacity bounds the build cache with LRU eviction
+	// (<=0 = unbounded).
+	WithCacheCapacity = session.WithCacheCapacity
+	// WithProgress installs a per-job lifecycle observer.
+	WithProgress = session.WithProgress
+	// WithCompile overrides the build function (tests, custom toolchains).
+	WithCompile = session.WithCompile
+)
+
+// Per-call run options for Session methods.
+var (
+	// WithScale multiplies the workload's iteration count.
+	WithScale = session.WithScale
+	// WithMachineConfig replaces the timing-machine configuration.
+	WithMachineConfig = session.WithMachineConfig
+	// WithEmulatorConfig replaces the functional-emulator configuration.
+	WithEmulatorConfig = session.WithEmulatorConfig
+	// WithDVILevel selects which DVI sources the hardware honours.
+	WithDVILevel = session.WithDVILevel
+	// WithScheme selects the save/restore elimination scheme.
+	WithScheme = session.WithScheme
+	// WithMaxInsts caps the run's instruction count.
+	WithMaxInsts = session.WithMaxInsts
+	// WithEDVI forces the binary flavour, overriding the central
+	// level-derived rule.
+	WithEDVI = session.WithEDVI
+	// WithPolicy selects the kill placement policy for annotated builds.
+	WithPolicy = session.WithPolicy
+	// WithInterval sets the context-switch sampling interval.
+	WithInterval = session.WithInterval
+	// WithFreshBuild compiles a private, mutable copy outside the cache.
+	WithFreshBuild = session.WithFreshBuild
+	// WithLabel names the call in progress output and errors.
+	WithLabel = session.WithLabel
+)
+
+var (
+	defaultSessionOnce sync.Once
+	defaultSession     *Session
+)
+
+// DefaultSession returns the lazily-initialized Session behind the
+// package's one-shot functions (Simulate, Emulate, Build). Because they
+// share it, repeated one-shot calls hit its build cache and simulator
+// pools instead of recompiling: the first Simulate of a flavour pays the
+// compile, the rest reuse it.
+func DefaultSession() *Session {
+	defaultSessionOnce.Do(func() {
+		defaultSession = session.New(session.WithCacheCapacity(DefaultSessionCacheCapacity))
+	})
+	return defaultSession
+}
+
 // DefaultMachineConfig returns the paper's machine (Figure 2) with full
 // DVI hardware enabled.
 func DefaultMachineConfig() MachineConfig { return ooo.DefaultConfig() }
@@ -202,22 +300,24 @@ func Workloads() []Workload { return workload.All() }
 // "vortex", "perl", "gcc").
 func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
 
-// Build compiles and links one workload. With edvi true the binary carries
-// kill annotations (the paper's DVI-annotated executable).
+// Build compiles and links one workload through the default Session. With
+// edvi true the binary carries kill annotations (the paper's
+// DVI-annotated executable). The artifacts are a private, mutable copy —
+// callers may rewrite and re-link them — so Build always compiles; use
+// Session.Build for cached, shared, read-only artifacts.
 func Build(w Workload, scale int, edvi bool) (*Program, *Image, error) {
-	return workload.CompileSpec(w, scale, workload.BuildOptions{EDVI: edvi})
+	return DefaultSession().Build(context.Background(), w,
+		session.WithScale(scale), session.WithEDVI(edvi), session.WithFreshBuild())
 }
 
 // Simulate builds a workload (with E-DVI annotations when the machine's
-// DVI level honours them) and runs it on the timing simulator.
+// DVI level honours them; see the session layer's BuildOptionsFor rule)
+// and runs it on the timing simulator. It routes through the default
+// Session: repeated calls share one compile per binary flavour and reuse
+// pooled machine instances.
 func Simulate(w Workload, scale int, cfg MachineConfig) (MachineStats, error) {
-	edvi := cfg.Emu.DVI.Level == core.Full
-	pr, img, err := workload.CompileSpec(w, scale, workload.BuildOptions{EDVI: edvi})
-	if err != nil {
-		return MachineStats{}, err
-	}
-	m := ooo.New(pr, img, cfg)
-	return m.Run()
+	return DefaultSession().Simulate(context.Background(), w,
+		session.WithScale(scale), session.WithMachineConfig(cfg))
 }
 
 // NewMachine builds a simulator over an already-linked program.
@@ -226,9 +326,12 @@ func NewMachine(pr *Program, img *Image, cfg MachineConfig) *Machine {
 }
 
 // Emulate runs a workload on the functional reference emulator and returns
-// it for inspection (checksum, statistics, DVI tracker).
+// it for inspection (checksum, statistics, DVI tracker). The binary comes
+// from the default Session's build cache (flavour derived from cfg's DVI
+// level); the emulator itself is fresh so the caller owns it.
 func Emulate(w Workload, scale int, cfg EmulatorConfig) (*Emulator, error) {
-	pr, img, err := workload.CompileSpec(w, scale, workload.BuildOptions{EDVI: cfg.DVI.Level == core.Full})
+	pr, img, err := DefaultSession().Build(context.Background(), w,
+		session.WithScale(scale), session.WithEmulatorConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -287,10 +390,10 @@ func RunAllExperiments(opt ExperimentOptions, w io.Writer) error {
 }
 
 // RunExperiments runs the selected experiments (see ExperimentIDs) plus
-// any dependencies through eng — one shared engine and build cache — and
-// writes their tables to w in report order.
-func RunExperiments(ctx context.Context, eng *Runner, opt ExperimentOptions, ids []string, w io.Writer) error {
-	return harness.RunFigures(ctx, eng, opt, ids, w)
+// any dependencies through sess — one shared session, engine and build
+// cache — and writes their tables to w in report order.
+func RunExperiments(ctx context.Context, sess *Session, opt ExperimentOptions, ids []string, w io.Writer) error {
+	return harness.RunFigures(ctx, sess, opt, ids, w)
 }
 
 // FormatAsm renders a symbolic program as assembly text — the service's

@@ -111,6 +111,45 @@ func TestExperimentReportSmoke(t *testing.T) {
 	}
 }
 
+// TestFacadeSimulateCompilesOnce pins the Session redesign's payoff at
+// the facade: repeated one-shot dvi.Simulate calls for the same
+// (workload, scale, flavour) perform exactly one compile, because they
+// share the default Session's single-flight build cache — mirroring the
+// service's 64-way request-coalescing load test at the library seam.
+func TestFacadeSimulateCompilesOnce(t *testing.T) {
+	w, ok := dvi.WorkloadByName("ijpeg")
+	if !ok {
+		t.Fatal("ijpeg workload missing")
+	}
+	cfg := dvi.DefaultMachineConfig()
+	cfg.MaxInsts = 20_000
+
+	cache := dvi.DefaultSession().Cache()
+	_, missesBefore := cache.Stats()
+
+	const calls = 4
+	var first dvi.MachineStats
+	for i := 0; i < calls; i++ {
+		stats, err := dvi.Simulate(w, 1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = stats
+		} else if stats != first {
+			t.Fatalf("call %d stats differ from call 0", i)
+		}
+	}
+
+	hitsAfter, missesAfter := cache.Stats()
+	if got := missesAfter - missesBefore; got != 1 {
+		t.Fatalf("%d facade Simulate calls compiled %d times, want exactly 1", calls, got)
+	}
+	if hitsAfter < calls-1 {
+		t.Fatalf("expected at least %d build-cache hits, got %d", calls-1, hitsAfter)
+	}
+}
+
 func TestFacadeRunnerSharesBuilds(t *testing.T) {
 	eng := dvi.NewRunner(dvi.RunnerOptions{Workers: 4})
 	w, _ := dvi.WorkloadByName("gcc")
@@ -136,9 +175,9 @@ func TestFacadeRunnerSharesBuilds(t *testing.T) {
 
 func TestFacadeExperimentSubset(t *testing.T) {
 	opt := dvi.ExperimentOptions{Scale: 1, MaxInsts: 30_000, SweepMaxInsts: 15_000, Workers: 2}
-	eng := dvi.NewRunner(dvi.RunnerOptions{Workers: opt.Workers})
+	sess := dvi.NewSession(dvi.WithWorkers(opt.Workers))
 	var buf bytes.Buffer
-	if err := dvi.RunExperiments(context.Background(), eng, opt, []string{"fig2", "fig9"}, &buf); err != nil {
+	if err := dvi.RunExperiments(context.Background(), sess, opt, []string{"fig2", "fig9"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -11,6 +11,7 @@ import (
 	"dvi/internal/ooo"
 	"dvi/internal/rewrite"
 	"dvi/internal/runner"
+	"dvi/internal/session"
 	"dvi/internal/workload"
 )
 
@@ -223,7 +224,7 @@ func fig5Jobs(opt Options) []runner.Job {
 				cfg.PhysRegs = regs
 				jobs = append(jobs, timingJob(
 					fmt.Sprintf("fig5 %s @%d regs %s", s.Name, regs, level),
-					s, opt, level == core.Full, cfg))
+					s, opt, session.BuildOptionsFor(level).EDVI, cfg))
 			}
 		}
 	}
@@ -278,7 +279,7 @@ func fig5Build(opt Options, res []runner.Result) (Table, []Fig5Point, error) {
 // Fig5RegfileIPC sweeps physical register file sizes for the three DVI
 // levels and reports the suite-mean IPC.
 func Fig5RegfileIPC(opt Options) (Table, []Fig5Point, error) {
-	rs, err := CollectResults(context.Background(), NewEngine(opt, nil), opt, []string{"fig5"})
+	rs, err := CollectResults(context.Background(), NewSession(opt, nil), opt, []string{"fig5"})
 	if err != nil {
 		return Table{}, nil, err
 	}

@@ -257,8 +257,8 @@ func TestSharedEngineBuildsOncePerKey(t *testing.T) {
 	}
 	opt := small()
 	opt.Workers = 4
-	eng := NewEngine(opt, nil)
-	rs, err := CollectResults(context.Background(), eng, opt, ReportIDs())
+	sess := NewSession(opt, nil)
+	rs, err := CollectResults(context.Background(), sess, opt, ReportIDs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,13 +267,13 @@ func TestSharedEngineBuildsOncePerKey(t *testing.T) {
 			t.Errorf("no results for %s", id)
 		}
 	}
-	hits, misses := eng.Cache().Stats()
+	hits, misses := sess.Cache().Stats()
 	want := int64(2 * len(workload.All())) // plain + edvi per benchmark
 	if misses != want {
 		t.Errorf("compiled %d distinct binaries, want %d", misses, want)
 	}
-	if int(misses) != eng.Cache().Len() {
-		t.Errorf("misses %d != cache entries %d: some key compiled twice", misses, eng.Cache().Len())
+	if int(misses) != sess.Cache().Len() {
+		t.Errorf("misses %d != cache entries %d: some key compiled twice", misses, sess.Cache().Len())
 	}
 	if hits == 0 {
 		t.Error("no cache hits across a full report")
@@ -286,8 +286,8 @@ func TestSharedEngineBuildsOncePerKey(t *testing.T) {
 func TestRunFiguresSubsetAndUnknown(t *testing.T) {
 	opt := small()
 	var buf bytes.Buffer
-	eng := NewEngine(opt, nil)
-	if err := RunFigures(context.Background(), eng, opt, []string{"fig2", "fig3"}, &buf); err != nil {
+	sess := NewSession(opt, nil)
+	if err := RunFigures(context.Background(), sess, opt, []string{"fig2", "fig3"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -297,7 +297,7 @@ func TestRunFiguresSubsetAndUnknown(t *testing.T) {
 	if strings.Contains(out, "=== fig9") {
 		t.Error("subset output contains unselected figure")
 	}
-	if err := RunFigures(context.Background(), eng, opt, []string{"fig99"}, &buf); err == nil {
+	if err := RunFigures(context.Background(), sess, opt, []string{"fig99"}, &buf); err == nil {
 		t.Error("unknown figure did not error")
 	}
 }

@@ -6,21 +6,22 @@ import (
 	"io"
 
 	"dvi/internal/runner"
+	"dvi/internal/session"
 )
 
-// NewEngine builds a runner engine sized by opt.Workers with an optional
-// progress observer. One engine should serve a whole report so every
-// figure shares its memoized build cache.
-func NewEngine(opt Options, progress runner.ProgressFunc) *runner.Engine {
-	return runner.New(runner.Options{Workers: opt.Workers, Progress: progress})
+// NewSession builds a session sized by opt.Workers with an optional
+// progress observer. One session should serve a whole report so every
+// figure shares its memoized build cache and warm simulator pools.
+func NewSession(opt Options, progress runner.ProgressFunc) *session.Session {
+	return session.New(session.WithWorkers(opt.Workers), session.WithProgress(progress))
 }
 
 // CollectResults resolves ids (plus transitive Needs), submits every
-// required figure's job grid through eng as one batch, and returns the
+// required figure's job grid through sess as one batch, and returns the
 // results keyed by figure ID. Grids are concatenated in registry order,
 // so the batch — and therefore any report rendered from it — is
 // identical at any worker count.
-func CollectResults(ctx context.Context, eng *runner.Engine, opt Options, ids []string) (ResultSet, error) {
+func CollectResults(ctx context.Context, sess *session.Session, opt Options, ids []string) (ResultSet, error) {
 	need := map[string]bool{}
 	var add func(id string) error
 	add = func(id string) error {
@@ -61,7 +62,7 @@ func CollectResults(ctx context.Context, eng *runner.Engine, opt Options, ids []
 		spans = append(spans, span{fig.ID, len(jobs), len(jobs) + len(js)})
 		jobs = append(jobs, js...)
 	}
-	results, err := eng.Run(ctx, jobs)
+	results, err := sess.Collect(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -72,10 +73,10 @@ func CollectResults(ctx context.Context, eng *runner.Engine, opt Options, ids []
 	return rs, nil
 }
 
-// RunFigures runs the selected figures through one shared engine and
+// RunFigures runs the selected figures through one shared session and
 // writes their tables to w in registry order (selection order does not
 // affect the report). Any job or render error aborts the whole run.
-func RunFigures(ctx context.Context, eng *runner.Engine, opt Options, ids []string, w io.Writer) error {
+func RunFigures(ctx context.Context, sess *session.Session, opt Options, ids []string, w io.Writer) error {
 	selected := map[string]bool{}
 	for _, id := range ids {
 		if _, ok := FigureByID(id); !ok {
@@ -83,7 +84,7 @@ func RunFigures(ctx context.Context, eng *runner.Engine, opt Options, ids []stri
 		}
 		selected[id] = true
 	}
-	rs, err := CollectResults(ctx, eng, opt, ids)
+	rs, err := CollectResults(ctx, sess, opt, ids)
 	if err != nil {
 		return err
 	}
@@ -106,14 +107,14 @@ func RunFigures(ctx context.Context, eng *runner.Engine, opt Options, ids []stri
 // opt.Workers concurrent workers over one shared build cache. The report
 // bytes are identical at any worker count.
 func RunAll(opt Options, w io.Writer) error {
-	return RunFigures(context.Background(), NewEngine(opt, nil), opt, ReportIDs(), w)
+	return RunFigures(context.Background(), NewSession(opt, nil), opt, ReportIDs(), w)
 }
 
-// runOne executes a single figure's grid on a fresh engine and renders
+// runOne executes a single figure's grid on a fresh session and renders
 // its table — the implementation behind the exported per-figure
 // convenience functions.
 func runOne(id string, opt Options, build func(Options, []runner.Result) (Table, error)) (Table, error) {
-	rs, err := CollectResults(context.Background(), NewEngine(opt, nil), opt, []string{id})
+	rs, err := CollectResults(context.Background(), NewSession(opt, nil), opt, []string{id})
 	if err != nil {
 		return Table{}, err
 	}

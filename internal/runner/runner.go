@@ -122,6 +122,11 @@ type Result struct {
 
 	// Switch holds the measurement for CtxSwitch jobs.
 	Switch ctxswitch.Result
+
+	// Err is the job's failure, wrapped with its label. Run never returns
+	// results with Err set (it fails fast instead); Stream sets it on the
+	// failed job's result and keeps the batch going.
+	Err error
 }
 
 // Phase tags a progress event.
@@ -206,34 +211,20 @@ func (e *Engine) emit(ev Event) {
 	}
 }
 
-// Run executes jobs on the worker pool and returns results in submission
-// order. On the first job error the run fails fast: the context passed
-// to builds is cancelled, queued jobs are abandoned, in-flight jobs
-// finish, and the triggering error is returned (wrapped with the job's
-// label). External cancellation of ctx aborts the same way and returns
-// ctx's error. A nil error guarantees one Result per job.
-func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
-	if len(jobs) == 0 {
-		return nil, ctx.Err()
-	}
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	results := make([]Result, len(jobs))
+// pool is the shared worker-pool core behind Run and Stream: it spawns
+// up to min(workers, len(jobs)) goroutines, hands out jobs by an atomic
+// counter, emits JobStart plus JobDone/JobFailed events, and calls handle
+// from worker goroutines with each finished job's (index, result, error).
+// A job abandoned by ctx cancellation mid-run is not handled — the batch
+// is over. handle returning false retires the calling worker (fail-fast
+// callers pair it with cancelling ctx). pool returns once every worker
+// has exited.
+func (e *Engine) pool(ctx context.Context, jobs []Job, handle func(i int, res Result, err error) bool) {
 	var (
-		firstErr error
-		errOnce  sync.Once
-		next     atomic.Int64
-		wg       sync.WaitGroup
+		next atomic.Int64
+		wg   sync.WaitGroup
 	)
 	next.Store(-1)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
-
 	workers := e.workers
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -256,16 +247,48 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 						return
 					}
 					e.emit(Event{Phase: JobFailed, Index: i, Total: len(jobs), Label: j.label(), Err: err})
-					fail(fmt.Errorf("%s: %w", j.label(), err))
+				} else {
+					e.emit(Event{Phase: JobDone, Index: i, Total: len(jobs), Label: j.label()})
+				}
+				if !handle(i, res, err) {
 					return
 				}
-				res.Index = i
-				results[i] = res
-				e.emit(Event{Phase: JobDone, Index: i, Total: len(jobs), Label: j.label()})
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// Run executes jobs on the worker pool and returns results in submission
+// order. On the first job error the run fails fast: the context passed
+// to builds is cancelled, queued jobs are abandoned, in-flight jobs
+// finish, and the triggering error is returned (wrapped with the job's
+// label). External cancellation of ctx aborts the same way and returns
+// ctx's error. A nil error guarantees one Result per job.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if len(jobs) == 0 {
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(jobs))
+	var (
+		firstErr error
+		errOnce  sync.Once
+	)
+	e.pool(ctx, jobs, func(i int, res Result, err error) bool {
+		if err != nil {
+			errOnce.Do(func() {
+				firstErr = fmt.Errorf("%s: %w", jobs[i].label(), err)
+				cancel()
+			})
+			return false
+		}
+		res.Index = i
+		results[i] = res
+		return true
+	})
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,0 +1,78 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+)
+
+// Stream executes jobs on the worker pool and delivers results to emit in
+// submission order: result i is emitted only after results 0..i-1, as soon
+// as that prefix is complete, while later jobs are still running. This is
+// the primitive behind batch APIs that stream ordered results (the
+// session layer's Run, the service's /v2/jobs NDJSON endpoint).
+//
+// Unlike Run, Stream is per-job tolerant: a job failure does not abort the
+// batch. The failed job's Result carries the error on Err (wrapped with
+// the job's label, exactly as Run wraps its fail-fast error) and every
+// other job still runs and is emitted. Jobs sharing a failed build fail
+// identically through the build cache.
+//
+// emit is called from the Stream goroutine itself, never concurrently.
+// Returning a non-nil error from emit cancels the batch and returns that
+// error. External cancellation of ctx stops the workers and returns ctx's
+// error; results already emitted stay emitted, the rest are dropped.
+func (e *Engine) Stream(ctx context.Context, jobs []Job, emit func(Result) error) error {
+	if len(jobs) == 0 {
+		return ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(jobs))
+	readyCh := make(chan int, len(jobs))
+	go func() {
+		e.pool(ctx, jobs, func(i int, res Result, err error) bool {
+			if err != nil {
+				res.Err = fmt.Errorf("%s: %w", jobs[i].label(), err)
+			}
+			res.Job = jobs[i]
+			res.Index = i
+			results[i] = res
+			readyCh <- i
+			return true
+		})
+		close(readyCh)
+	}()
+
+	ready := make([]bool, len(jobs))
+	delivered := 0
+	var emitErr error
+	for i := range readyCh {
+		if emitErr != nil {
+			continue // drain the channel; the batch is cancelled
+		}
+		ready[i] = true
+		for delivered < len(jobs) && ready[delivered] {
+			if err := emit(results[delivered]); err != nil {
+				emitErr = err
+				cancel()
+				break
+			}
+			// Release the delivered result's artifacts: a long batch must
+			// not pin every image it has already streamed out.
+			results[delivered] = Result{}
+			delivered++
+		}
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	if delivered < len(jobs) {
+		// Only external cancellation leaves undelivered jobs behind.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return context.Canceled
+	}
+	return nil
+}

@@ -6,7 +6,6 @@ import (
 	"dvi/internal/core"
 	"dvi/internal/ctxswitch"
 	"dvi/internal/emu"
-	"dvi/internal/isa"
 	"dvi/internal/ooo"
 	"dvi/internal/rewrite"
 )
@@ -153,6 +152,39 @@ type CtxSwitchResponse struct {
 	Result   ctxswitch.Result `json:"result"`
 }
 
+// JobRequest is one entry in a /v2/jobs batch. Kind selects the job type
+// ("simulate", "ctxswitch" or "annotate") and exactly the matching
+// payload field must be set; its semantics are identical to the
+// corresponding one-shot endpoint — the /v1 endpoints are in fact shims
+// that submit a one-job batch through the same path.
+type JobRequest struct {
+	Kind      string            `json:"kind"`
+	Simulate  *SimulateRequest  `json:"simulate,omitempty"`
+	CtxSwitch *CtxSwitchRequest `json:"ctxswitch,omitempty"`
+	Annotate  *AnnotateRequest  `json:"annotate,omitempty"`
+}
+
+// JobsRequest is the /v2/jobs body: a heterogeneous job list executed on
+// the daemon's shared session. Identical builds across the batch (and
+// across concurrent batches) coalesce into one compile.
+type JobsRequest struct {
+	Jobs []JobRequest `json:"jobs"`
+}
+
+// JobResult is one line of the /v2/jobs NDJSON response stream. Results
+// stream in submission order — line i is delivered as soon as jobs 0..i
+// have finished, while later jobs still run. Exactly one of the payload
+// fields is set on success; Error carries a per-job failure (the batch
+// keeps going, so one bad job does not poison the rest).
+type JobResult struct {
+	Index     int                `json:"index"`
+	Kind      string             `json:"kind"`
+	Simulate  *SimulateResponse  `json:"simulate,omitempty"`
+	CtxSwitch *CtxSwitchResponse `json:"ctxswitch,omitempty"`
+	Annotate  *AnnotateResponse  `json:"annotate,omitempty"`
+	Error     string             `json:"error,omitempty"`
+}
+
 // WorkloadInfo describes one benchmark the daemon can serve.
 type WorkloadInfo struct {
 	Name     string `json:"name"`
@@ -226,18 +258,4 @@ func parsePolicy(s string) (rewrite.Policy, error) {
 		return rewrite.KillsAtDeath, nil
 	}
 	return 0, fmt.Errorf("unknown policy %q (want before-calls or at-death)", s)
-}
-
-// emuConfig assembles the emulator configuration for a level and scheme.
-func emuConfig(level core.Level, scheme emu.Scheme) emu.Config {
-	cfg := emu.Config{Scheme: scheme}
-	switch level {
-	case core.None:
-		cfg.DVI = core.Config{Level: core.None}
-	case core.IDVI:
-		cfg.DVI = core.Config{Level: core.IDVI, ABI: isa.DefaultABI()}
-	default:
-		cfg.DVI = core.DefaultConfig()
-	}
-	return cfg
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -46,6 +47,53 @@ func (c *Client) CtxSwitch(ctx context.Context, req CtxSwitchRequest) (CtxSwitch
 	var resp CtxSwitchResponse
 	err := c.post(ctx, "/v1/ctxswitch", req, &resp)
 	return resp, err
+}
+
+// RunJobs submits a heterogeneous job batch to /v2/jobs and invokes fn
+// for every result line as it arrives, in submission order — fn sees
+// result i while later jobs are still running server-side. A line's
+// Error field carries a per-job failure; the stream keeps going. A
+// non-nil error from fn abandons the stream (the daemon notices the
+// closed connection and cancels the rest of the batch) and is returned.
+func (c *Client) RunJobs(ctx context.Context, jobs []JobRequest, fn func(JobResult) error) error {
+	body, err := json.Marshal(JobsRequest{Jobs: jobs})
+	if err != nil {
+		return fmt.Errorf("dvid client: encode /v2/jobs request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/jobs", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dvid client: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	res, err := c.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("dvid client: %w", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode/100 != 2 {
+		return decodeError(res)
+	}
+	dec := json.NewDecoder(res.Body)
+	seen := 0
+	for {
+		var line JobResult
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			// Includes io.ErrUnexpectedEOF when the daemon died mid-batch:
+			// a truncated stream must never read as success.
+			return fmt.Errorf("dvid client: decode /v2/jobs stream: %w", err)
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+		seen++
+	}
+	if seen != len(jobs) {
+		return fmt.Errorf("dvid client: /v2/jobs stream truncated: got %d of %d results", seen, len(jobs))
+	}
+	return nil
 }
 
 // Workloads lists the benchmarks the daemon serves.

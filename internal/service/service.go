@@ -4,6 +4,8 @@
 // context-switch liveness sampling (§6) — become endpoints a long-lived
 // daemon (cmd/dvid) serves to many concurrent clients:
 //
+//	POST /v2/jobs       heterogeneous job batch, NDJSON results streamed
+//	                    in submission order
 //	POST /v1/annotate   assembly in, kill-annotated assembly out
 //	POST /v1/simulate   workload or assembly in, timing statistics out
 //	POST /v1/ctxswitch  liveness sampling at preemption points
@@ -11,15 +13,20 @@
 //	GET  /healthz       liveness and cache/queue gauges
 //	GET  /metrics       Prometheus text exposition
 //
-// Every simulation routes through one shared runner.Engine and its
-// single-flight build cache, so concurrent identical requests coalesce
-// into one compile; the cache is LRU-bounded because clients submit
-// arbitrary assembly. Admission control bounds concurrent execution and
-// queue depth (429 once the queue is full). Queued requests honour their
-// HTTP context — an abandoned client frees its queue slot immediately —
-// while a simulation that has already started runs to its clamped
-// instruction budget (MaxInsts bounds the wasted work). Shutdown drains
-// in-flight work via the standard http.Server.Shutdown contract.
+// Every request routes through one shared session.Session — the same
+// orchestration layer behind the dvi facade and the CLIs — so all
+// clients share its single-flight build cache and pooled simulator
+// instances: concurrent identical requests coalesce into one compile.
+// The cache is LRU-bounded because clients submit arbitrary assembly.
+// The /v1 one-shot endpoints are thin shims that submit a one-job batch
+// through the same prepare/execute/render path as /v2/jobs (see jobs.go),
+// so both versions answer byte-identically for the same job. Admission
+// control bounds concurrent execution and queue depth (429 once the
+// queue is full). Queued requests honour their HTTP context — an
+// abandoned client frees its queue slot immediately — while a simulation
+// that has already started runs to its clamped instruction budget
+// (MaxInsts bounds the wasted work). Shutdown drains in-flight work via
+// the standard http.Server.Shutdown contract.
 package service
 
 import (
@@ -37,13 +44,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dvi/internal/core"
-	"dvi/internal/ctxswitch"
-	"dvi/internal/isa"
-	"dvi/internal/ooo"
 	"dvi/internal/prog"
 	"dvi/internal/rewrite"
 	"dvi/internal/runner"
+	"dvi/internal/session"
 	"dvi/internal/workload"
 )
 
@@ -61,6 +65,8 @@ const (
 	DefaultMaxInsts = 2_000_000
 	// DefaultMaxScale caps the workload scale factor per request.
 	DefaultMaxScale = 8
+	// DefaultMaxJobs caps the number of jobs in one /v2/jobs batch.
+	DefaultMaxJobs = 256
 
 	// asmPrefix marks synthetic workload specs backed by client assembly.
 	asmPrefix = "asm:"
@@ -89,6 +95,9 @@ type Config struct {
 	// MaxScale is the ceiling on per-request workload scale
 	// (0 = DefaultMaxScale).
 	MaxScale int
+	// MaxJobs is the ceiling on jobs per /v2/jobs batch
+	// (<=0 = DefaultMaxJobs).
+	MaxJobs int
 	// Compile overrides the workload build function; nil uses
 	// workload.CompileSpec. Client-assembly sources are always handled
 	// by the service itself. Tests use this to count or stall builds.
@@ -100,7 +109,8 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
-	eng     *runner.Engine
+	sess    *session.Session
+	eng     *runner.Engine // the session's engine (cache accounting)
 	met     *metrics
 	adm     *admission
 	start   time.Time
@@ -136,6 +146,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxScale == 0 {
 		cfg.MaxScale = DefaultMaxScale
 	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
 
 	s := &Server{
 		cfg:     cfg,
@@ -147,13 +160,15 @@ func New(cfg Config) *Server {
 	if s.compile == nil {
 		s.compile = workload.CompileSpec
 	}
-	s.eng = runner.New(runner.Options{
-		Workers:       cfg.Workers,
-		Compile:       s.compileFor(s.compile),
-		CacheCapacity: cfg.CacheCapacity,
-	})
+	s.sess = session.New(
+		session.WithWorkers(cfg.Workers),
+		session.WithCacheCapacity(cfg.CacheCapacity),
+		session.WithCompile(s.compileFor(s.compile)),
+	)
+	s.eng = s.sess.Engine()
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/jobs", s.heavy("jobs", s.handleJobs))
 	mux.HandleFunc("POST /v1/annotate", s.heavy("annotate", s.handleAnnotate))
 	mux.HandleFunc("POST /v1/simulate", s.heavy("simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/ctxswitch", s.heavy("ctxswitch", s.handleCtxSwitch))
@@ -166,6 +181,10 @@ func New(cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Session exposes the shared orchestration session every request routes
+// through.
+func (s *Server) Session() *session.Session { return s.sess }
 
 // Engine exposes the shared execution engine (build cache accounting).
 func (s *Server) Engine() *runner.Engine { return s.eng }
@@ -235,6 +254,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streaming handlers
+// (/v2/jobs NDJSON) can push each line out as it completes.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // heavy wraps simulation-class endpoints with admission control, body
@@ -383,6 +410,12 @@ func (s *Server) clampInsts(v uint64) uint64 {
 }
 
 // --- handlers ---
+//
+// The /v1 one-shot endpoints are shims: each validates through the same
+// prepare step and executes through the same session path as a /v2/jobs
+// batch entry of the corresponding kind, then unwraps the single result.
+// Their response bytes are pinned against the pre-shim wire format by
+// TestV1GoldenShims.
 
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	var req AnnotateRequest
@@ -390,66 +423,17 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	policy, err := parsePolicy(req.Policy)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+	pj, herr := s.prepareAnnotate(&req)
+	if herr != nil {
+		s.writeError(w, herr.code, "%s", herr.msg)
 		return
 	}
-	var pr *prog.Program
-	switch {
-	case req.Asm != "" && req.Workload != "":
-		s.writeError(w, http.StatusBadRequest, "set either workload or asm, not both")
-		return
-	case req.Asm != "":
-		if pr, err = prog.ParseAsm(req.Asm); err != nil {
-			s.writeError(w, http.StatusBadRequest, "parse: %v", err)
-			return
-		}
-	case req.Workload != "":
-		spec, scale, rerr := s.resolveSource(req.Workload, "", req.Scale)
-		if rerr != nil {
-			s.writeError(w, http.StatusBadRequest, "%v", rerr)
-			return
-		}
-		// A fresh, un-annotated build — never the cache's: the rewriter
-		// mutates the program, and cached artifacts are shared read-only.
-		if pr, _, err = s.compile(spec, scale, workload.BuildOptions{}); err != nil {
-			s.writeError(w, http.StatusInternalServerError, "build %s: %v", spec.Name, err)
-			return
-		}
-	default:
-		s.writeError(w, http.StatusBadRequest, "one of workload or asm is required")
+	resp, herr := pj.annotate()
+	if herr != nil {
+		s.writeError(w, herr.code, "%s", herr.msg)
 		return
 	}
-
-	inserted, err := rewrite.InsertKills(pr, rewrite.Options{Policy: policy, NoPrune: req.NoPrune})
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "rewrite: %v", err)
-		return
-	}
-	img, err := pr.Link()
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "link: %v", err)
-		return
-	}
-	var perProc []ProcKills
-	for _, p := range pr.Procs {
-		kills := 0
-		for _, in := range p.Insts {
-			if in.Op == isa.KILL {
-				kills++
-			}
-		}
-		if kills > 0 {
-			perProc = append(perProc, ProcKills{Proc: p.Name, Kills: kills})
-		}
-	}
-	s.writeJSON(w, http.StatusOK, AnnotateResponse{
-		Asm:       prog.FormatAsm(pr),
-		Inserted:  inserted,
-		PerProc:   perProc,
-		TextWords: img.TextWords(),
-	})
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -458,63 +442,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	spec, scale, err := s.resolveSource(req.Workload, req.Asm, req.Scale)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+	pj, herr := s.prepareSimulate(&req)
+	if herr != nil {
+		s.writeError(w, herr.code, "%s", herr.msg)
 		return
 	}
-	level, err := parseLevel(req.DVILevel)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	scheme, err := parseScheme(req.Scheme)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	policy, err := parsePolicy(req.Policy)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-
-	cfg := ooo.DefaultConfig()
-	cfg.Emu = emuConfig(level, scheme)
-	req.Machine.apply(&cfg)
-	cfg.MaxInsts = s.clampInsts(req.MaxInsts)
-
-	// Benchmark sources mirror dvi.Simulate: annotations iff the level
-	// honours them. Submitted assembly runs exactly as written unless the
-	// client asks the daemon to annotate it (edvi=true).
-	edvi := req.Asm == "" && cfg.Emu.DVI.Level == core.Full
-	if req.EDVI != nil {
-		edvi = *req.EDVI
-	}
-	bopt := workload.BuildOptions{EDVI: edvi, Policy: policy}
-
-	job := runner.Job{
-		Label:    "simulate " + spec.Key(scale, bopt).String(),
-		Workload: spec,
-		Scale:    scale,
-		Build:    bopt,
-		Kind:     runner.Timing,
-		Machine:  cfg,
-	}
-	results, err := s.eng.Run(r.Context(), []runner.Job{job})
+	line, err := s.executeOne(r.Context(), pj)
 	if err != nil {
 		s.runError(w, r, err)
 		return
 	}
-	st := results[0].Timing
-	s.writeJSON(w, http.StatusOK, SimulateResponse{
-		Workload: spec.Name,
-		Scale:    scale,
-		BuildKey: spec.Key(scale, bopt).String(),
-		MaxInsts: cfg.MaxInsts,
-		IPC:      st.IPC(),
-		Stats:    st,
-	})
+	s.writeJSON(w, http.StatusOK, line.Simulate)
 }
 
 func (s *Server) handleCtxSwitch(w http.ResponseWriter, r *http.Request) {
@@ -523,55 +461,17 @@ func (s *Server) handleCtxSwitch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	spec, scale, err := s.resolveSource(req.Workload, req.Asm, req.Scale)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+	pj, herr := s.prepareCtxSwitch(&req)
+	if herr != nil {
+		s.writeError(w, herr.code, "%s", herr.msg)
 		return
 	}
-	level, err := parseLevel(req.DVILevel)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	scheme, err := parseScheme(req.Scheme)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	policy, err := parsePolicy(req.Policy)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	ecfg := emuConfig(level, scheme)
-	edvi := req.Asm == "" && ecfg.DVI.Level == core.Full
-	if req.EDVI != nil {
-		edvi = *req.EDVI
-	}
-	bopt := workload.BuildOptions{EDVI: edvi, Policy: policy}
-
-	job := runner.Job{
-		Label:     "ctxswitch " + spec.Key(scale, bopt).String(),
-		Workload:  spec,
-		Scale:     scale,
-		Build:     bopt,
-		Kind:      runner.CtxSwitch,
-		Emu:       ecfg,
-		EmuBudget: s.clampInsts(req.MaxInsts),
-		Interval:  req.Interval,
-	}
-	results, err := s.eng.Run(r.Context(), []runner.Job{job})
+	line, err := s.executeOne(r.Context(), pj)
 	if err != nil {
 		s.runError(w, r, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, CtxSwitchResponse{
-		Workload: spec.Name,
-		Scale:    scale,
-		BuildKey: spec.Key(scale, bopt).String(),
-		SaveSet:  ctxswitch.SaveSet,
-		Result:   results[0].Switch,
-	})
+	s.writeJSON(w, http.StatusOK, line.CtxSwitch)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {

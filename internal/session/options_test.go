@@ -1,0 +1,55 @@
+package session
+
+import (
+	"testing"
+
+	"dvi/internal/core"
+	"dvi/internal/emu"
+	"dvi/internal/ooo"
+)
+
+// TestOverlayPreservesEmulatorKnobs pins the documented option-layering
+// contract: WithDVILevel and WithScheme applied on top of an explicit
+// machine or emulator config replace only the DVI hardware block and the
+// elimination scheme — never the config's other knobs (CheckDeadReads,
+// MaxOutputs, a customized stack depth).
+func TestOverlayPreservesEmulatorKnobs(t *testing.T) {
+	base := ooo.DefaultConfig()
+	base.Emu.CheckDeadReads = true
+	base.Emu.MaxOutputs = 7
+
+	rs := resolve([]RunOption{WithMachineConfig(base), WithScheme(emu.ElimOff)})
+	got := rs.machineConfig()
+	if !got.Emu.CheckDeadReads || got.Emu.MaxOutputs != 7 {
+		t.Fatalf("WithScheme dropped emulator knobs: %+v", got.Emu)
+	}
+	if got.Emu.Scheme != emu.ElimOff {
+		t.Fatalf("scheme override not applied: %v", got.Emu.Scheme)
+	}
+	if got.Emu.DVI != base.Emu.DVI {
+		t.Fatalf("scheme override disturbed the DVI config: %+v", got.Emu.DVI)
+	}
+
+	rs = resolve([]RunOption{WithMachineConfig(base), WithDVILevel(core.IDVI)})
+	got = rs.machineConfig()
+	if !got.Emu.CheckDeadReads || got.Emu.MaxOutputs != 7 {
+		t.Fatalf("WithDVILevel dropped emulator knobs: %+v", got.Emu)
+	}
+	if got.Emu.DVI.Level != core.IDVI {
+		t.Fatalf("level override not applied: %v", got.Emu.DVI.Level)
+	}
+	if got.Emu.Scheme != base.Emu.Scheme {
+		t.Fatalf("level override disturbed the scheme: %v", got.Emu.Scheme)
+	}
+
+	ecfg := EmuConfigFor(core.Full, emu.ElimLVMStack)
+	ecfg.CheckDeadReads = true
+	rs = resolve([]RunOption{WithEmulatorConfig(ecfg), WithDVILevel(core.None)})
+	egot := rs.emulatorConfig()
+	if !egot.CheckDeadReads {
+		t.Fatalf("emulator overlay dropped CheckDeadReads: %+v", egot)
+	}
+	if egot.DVI.Level != core.None {
+		t.Fatalf("emulator level override not applied: %v", egot.DVI.Level)
+	}
+}
