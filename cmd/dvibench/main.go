@@ -10,6 +10,7 @@
 //	dvibench -list                    # show selectable experiment IDs
 //	dvibench -scale 2 -maxinsts 2000000
 //	dvibench -json > bench.json       # machine-readable per-figure stats
+//	dvibench -cpuprofile cpu.pprof    # profile the run (go tool pprof)
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +32,12 @@ import (
 )
 
 func main() {
+	// run carries the real work so its defers (the pprof writers) flush
+	// before the process exits; os.Exit here would discard them.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		figures = flag.String("figures", "", "comma-separated experiment subset (IDs from -list, or all|ablations); default all")
 		exp     = flag.String("experiment", "", "deprecated alias for -figures")
@@ -40,6 +48,8 @@ func main() {
 		max     = flag.Uint64("maxinsts", 400_000, "instruction budget per timing run")
 		sweep   = flag.Uint64("sweepinsts", 150_000, "instruction budget per sweep point (fig5)")
 		asJSON  = flag.Bool("json", false, "emit machine-readable per-figure stats as JSON on stdout")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -47,13 +57,45 @@ func main() {
 		for _, f := range harness.Figures() {
 			fmt.Printf("%-18s %s\n", f.ID, f.Title)
 		}
-		return
+		return 0
 	}
 
 	ids, err := selectIDs(*figures, *exp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvibench:", err)
-		os.Exit(2)
+		return 2
+	}
+
+	// Profiling hooks: scheduler and engine work is measured with the
+	// standard pprof toolchain instead of ad-hoc harnesses. The profiles
+	// are flushed by defer even when the run fails — that is when they
+	// are most wanted.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvibench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dvibench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvibench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transients
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dvibench:", err)
+			}
+		}()
 	}
 
 	opt := harness.Options{Scale: *scale, MaxInsts: *max, SweepMaxInsts: *sweep, Workers: *jobs}
@@ -79,17 +121,18 @@ func main() {
 	if *asJSON {
 		if err := emitJSON(os.Stdout, sess, opt, ids, start); err != nil {
 			fmt.Fprintln(os.Stderr, "dvibench:", err)
-			os.Exit(1)
+			return 1
 		}
 	} else if err := harness.RunFigures(context.Background(), sess, opt, ids, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dvibench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if !*quiet {
 		hits, misses := sess.Cache().Stats()
 		fmt.Fprintf(os.Stderr, "dvibench: done in %s (%d workers, %d binaries compiled, %d build cache hits)\n",
 			time.Since(start).Round(time.Millisecond), sess.Workers(), misses, hits)
 	}
+	return 0
 }
 
 // benchFigure is one figure's machine-readable record: per-figure
@@ -106,6 +149,10 @@ type benchFigure struct {
 	IPC          float64 `json:"ipc,omitempty"` // committed/cycles over the grid
 	ElimSaves    uint64  `json:"elim_saves,omitempty"`
 	ElimRestores uint64  `json:"elim_restores,omitempty"`
+	// MinstPerS is simulator throughput: committed (simulated) timing
+	// instructions per wall-clock second of this figure's run — the
+	// engineering metric the perf trajectory tracks (schema dvibench/v2).
+	MinstPerS float64 `json:"minst_per_s,omitempty"`
 
 	Tables []harness.Table `json:"tables"`
 }
@@ -146,7 +193,7 @@ func buildReport(sess *session.Session, opt harness.Options, ids []string, start
 		selected[id] = true
 	}
 	rep := benchReport{
-		Schema:        "dvibench/v1",
+		Schema:        "dvibench/v2",
 		Workers:       sess.Workers(),
 		Scale:         opt.Scale,
 		MaxInsts:      opt.MaxInsts,
@@ -185,6 +232,9 @@ func buildReport(sess *session.Session, opt harness.Options, ids []string, start
 			}
 		}
 		bf.IPC = gridIPC(bf.Committed, bf.Cycles)
+		if bf.WallMS > 0 {
+			bf.MinstPerS = float64(bf.Committed) / (bf.WallMS / 1000) / 1e6
+		}
 		rep.Figures = append(rep.Figures, bf)
 	}
 	rep.CacheHits, rep.Compiles = sess.Cache().Stats()

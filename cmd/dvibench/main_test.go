@@ -42,9 +42,37 @@ func TestJSONReportNoTimingJobs(t *testing.T) {
 		if math.IsNaN(bf.IPC) || math.IsInf(bf.IPC, 0) || bf.IPC != 0 {
 			t.Fatalf("%s: IPC = %v, want 0 for a zero-cycle grid", id, bf.IPC)
 		}
+		if bf.MinstPerS != 0 {
+			t.Fatalf("%s: minst_per_s = %v, want 0 with no timing jobs", id, bf.MinstPerS)
+		}
 		if _, err := json.Marshal(rep); err != nil {
 			t.Fatalf("%s: marshal: %v", id, err)
 		}
+	}
+}
+
+// TestJSONReportThroughputAggregate pins the dvibench/v2 addition: a
+// figure with timing jobs reports its simulator throughput (committed
+// simulated instructions per wall second) alongside IPC.
+func TestJSONReportThroughputAggregate(t *testing.T) {
+	opt := testOptions()
+	sess := harness.NewSession(opt, nil)
+	rep, err := buildReport(sess, opt, []string{"fig10"}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Figures) != 1 {
+		t.Fatalf("%d figures, want 1", len(rep.Figures))
+	}
+	bf := rep.Figures[0]
+	if bf.Committed == 0 || bf.WallMS <= 0 {
+		t.Fatalf("fig10 grid ran nothing: %+v", bf)
+	}
+	if bf.MinstPerS <= 0 || math.IsInf(bf.MinstPerS, 0) || math.IsNaN(bf.MinstPerS) {
+		t.Fatalf("minst_per_s = %v, want a positive finite throughput", bf.MinstPerS)
+	}
+	if want := float64(bf.Committed) / (bf.WallMS / 1000) / 1e6; math.Abs(bf.MinstPerS-want) > 1e-9 {
+		t.Fatalf("minst_per_s = %v, want %v", bf.MinstPerS, want)
 	}
 }
 
@@ -61,7 +89,7 @@ func TestEmitJSONRoundTrips(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if rep.Schema != "dvibench/v1" {
-		t.Fatalf("schema %q, want dvibench/v1", rep.Schema)
+	if rep.Schema != "dvibench/v2" {
+		t.Fatalf("schema %q, want dvibench/v2", rep.Schema)
 	}
 }

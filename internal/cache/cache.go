@@ -129,6 +129,13 @@ func (c *Cache) Access(addr uint64, write bool) int {
 	set, tag, way := c.find(addr)
 	if way >= 0 {
 		set[way].used = c.tick
+		if way != 0 {
+			// Move-to-front so the next access to this line (the common
+			// case: sequential fetch, hot loops) hits on the first tag
+			// compare. Replacement is by the used timestamps, so the
+			// within-set order carries no semantics.
+			set[0], set[way] = set[way], set[0]
+		}
 		return c.cfg.HitLatency
 	}
 	c.Stats.Misses++

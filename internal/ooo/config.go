@@ -7,6 +7,32 @@ import (
 	"dvi/internal/emu"
 )
 
+// Scheduler selects the simulator's internal scheduling algorithm. Both
+// produce bit-identical Stats on every program and configuration (pinned
+// by the differential tests in sched_test.go); they differ only in host
+// cost per simulated cycle.
+type Scheduler uint8
+
+const (
+	// SchedEventDriven (the default, zero value) drives issue and
+	// writeback from events: a completion wheel keyed by finish cycle,
+	// per-physical-register wakeup lists, and an age-ordered ready set,
+	// so each cycle touches only the instructions something happened to.
+	SchedEventDriven Scheduler = iota
+	// SchedPolled is the original sim-outorder-style implementation that
+	// rescans the whole window every cycle. Kept as the differential
+	// reference for the event-driven scheduler.
+	SchedPolled
+)
+
+// String names the scheduler for logs and test labels.
+func (s Scheduler) String() string {
+	if s == SchedPolled {
+		return "polled"
+	}
+	return "event"
+}
+
 // Config parameterizes the simulated machine. DefaultConfig reproduces the
 // paper's Figure 2.
 type Config struct {
@@ -14,6 +40,10 @@ type Config struct {
 	WindowSize int // unified instruction window / reorder buffer (RUU)
 	IFQSize    int // fetch queue depth
 	PhysRegs   int // integer physical register file size (§4 sweeps this)
+
+	// Scheduler selects the simulation algorithm (not a property of the
+	// modelled machine: results are identical either way).
+	Scheduler Scheduler
 
 	IntALUs    int // total integer units
 	IntMulDiv  int // units capable of mul/div

@@ -12,6 +12,49 @@
 // instructions from the static image, which consume fetch and decode
 // bandwidth, window slots, physical registers, functional units and cache
 // ports before being squashed.
+//
+// # Scheduling
+//
+// Two interchangeable schedulers drive issue and writeback; both produce
+// bit-identical Stats on every program and configuration (Config.Scheduler
+// selects one; the differential tests in sched_test.go pin the
+// equivalence).
+//
+// SchedPolled is the textbook implementation: every cycle it rescans the
+// whole window for issuable and completing instructions and walks older
+// entries to detect store-to-load conflicts — O(window) host work per
+// simulated cycle no matter how little happens.
+//
+// SchedEventDriven (the default) restructures the same semantics around
+// events, so each cycle touches only the instructions something happened
+// to:
+//
+//   - Completion wheel: instructions entering execution are dropped into a
+//     calendar queue keyed by their finish cycle; writeback pops exactly
+//     the instructions finishing now (sorted by age, so predictor training
+//     and recovery order match the polled scan) instead of scanning the
+//     window. Latencies beyond the wheel horizon park in their slot and
+//     are revisited one wheel turn later.
+//   - Wakeup lists: at dispatch an instruction counts its not-yet-ready
+//     sources and registers a watcher on each with the rename table
+//     (rename.Watch); when a result is produced, writeback drains the
+//     register's watchers (rename.TakeWatchers) and decrements their
+//     counts. An instruction is examined for issue only when its last
+//     outstanding source arrives, entering an age-ordered ready set (a
+//     bitset over window slots walked oldest-first) that preserves
+//     seniority arbitration for issue width, functional units and cache
+//     ports.
+//   - Last-store table: an 8-byte-granular hash of the youngest in-flight
+//     store per block. A dispatching load records its conflicting store
+//     (if any) once, making the per-issue conflict check O(1); in-order
+//     commit guarantees that when that store leaves the window no older
+//     matching store can remain.
+//
+// Misprediction recovery truncates the window, clears squashed ready bits
+// and purges squashed watchers (rename.PurgeWatchers); wheel entries and
+// last-store records are invalidated lazily by sequence-number checks.
+// All event structures are rebuilt by Reset and reuse their storage, so a
+// pooled machine's steady state allocates nothing per instruction.
 package ooo
 
 import (
@@ -71,6 +114,12 @@ type robEntry struct {
 	histAtFetch uint32
 	rasSnap     bpred.RASSnapshot
 	mapSnap     [rename.NumArch]rename.PhysReg // recovery checkpoint (mispredicts only)
+
+	// Event-driven scheduler state (SchedEventDriven only).
+	waits        uint8  // outstanding not-yet-ready sources
+	hasConflict  bool   // a possibly conflicting older store was recorded
+	conflictSlot int32  // window slot of that store
+	conflictSeq  uint64 // its seq (validates the slot hasn't been recycled)
 }
 
 type fetchRec struct {
@@ -119,6 +168,9 @@ type Machine struct {
 	aluUsed, mdUsed, portUsed, issued int
 
 	dispatchHalted bool // correct-path HALT reached; drain and finish
+
+	// Event-driven scheduler structures (see sched.go).
+	es evSched
 
 	Stats Stats
 }
@@ -169,6 +221,7 @@ func (m *Machine) Reset(pr *prog.Program, img *prog.Image, cfg Config) {
 		m.rob = make([]robEntry, cfg.WindowSize)
 	}
 	m.cfg = cfg
+	m.es.reset(m)
 	m.cycle, m.seq = 0, 0
 	m.fetchPC = img.EntryPC
 	m.fetchStallUntil = 0
@@ -190,15 +243,35 @@ func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
 // Predictor exposes branch predictor statistics.
 func (m *Machine) Predictor() *bpred.Predictor { return m.pred }
 
-// robAt returns the i-th oldest entry (0 = head). head+i never exceeds
-// twice the window, so the wrap is a compare instead of a division (this
-// runs once per window entry per cycle).
-func (m *Machine) robAt(i int) *robEntry {
+// robIdx maps the i-th oldest position (0 = head) to its slot in the
+// circular buffer. head+i never exceeds twice the window, so the wrap is
+// a compare instead of a division (this runs once per window entry per
+// cycle under the polled scheduler).
+func (m *Machine) robIdx(i int) int {
 	idx := m.robHead + i
 	if idx >= len(m.rob) {
 		idx -= len(m.rob)
 	}
-	return &m.rob[idx]
+	return idx
+}
+
+// robAt returns the i-th oldest entry (0 = head).
+func (m *Machine) robAt(i int) *robEntry {
+	return &m.rob[m.robIdx(i)]
+}
+
+// robOffset is robIdx's inverse: the age position of a slot (0 = oldest).
+func (m *Machine) robOffset(slot int) int {
+	off := slot - m.robHead
+	if off < 0 {
+		off += len(m.rob)
+	}
+	return off
+}
+
+// inWindow reports whether slot currently holds a live window entry.
+func (m *Machine) inWindow(slot int) bool {
+	return m.robOffset(slot) < m.robLen
 }
 
 // done reports whether simulation has finished.
@@ -244,8 +317,13 @@ func (m *Machine) step() {
 	m.aluUsed, m.mdUsed, m.portUsed, m.issued = 0, 0, 0, 0
 
 	m.commit()
-	m.writeback()
-	m.issue()
+	if m.cfg.Scheduler == SchedPolled {
+		m.writebackPolled()
+		m.issuePolled()
+	} else {
+		m.writebackEvent()
+		m.issueEvent()
+	}
 	m.dispatch()
 	m.fetch()
 
@@ -447,7 +525,8 @@ func (m *Machine) dispatch() {
 		// would copy the embedded RAS/map checkpoints (a few hundred
 		// bytes) on every dispatch. Checkpoint fields are written only
 		// when needed and only read behind the flags set here.
-		e := m.robAt(m.robLen)
+		slot := m.robIdx(m.robLen)
+		e := &m.rob[slot]
 		e.valid = true
 		e.seq = m.seq
 		e.pc = rec.pc
@@ -473,7 +552,11 @@ func (m *Machine) dispatch() {
 		if rec.isCtl {
 			e.bpInfo = rec.bpInfo
 			e.histAtFetch = rec.histAtFetch
-			e.rasSnap = rec.rasSnap
+			// rec.rasSnap is NOT copied here: it is only ever read when
+			// recovering a mispredicted branch, which dispatchCorrect
+			// detects below — copying the ~270-byte snapshot there, only
+			// for actual mispredicts, keeps it off the per-control-
+			// instruction fast path.
 		}
 		m.seq++
 
@@ -495,6 +578,9 @@ func (m *Machine) dispatch() {
 				return
 			}
 			m.dispatchCorrect(e, rec)
+		}
+		if m.cfg.Scheduler != SchedPolled {
+			m.schedDispatch(e, slot)
 		}
 
 		m.popIFQ()
@@ -574,6 +660,7 @@ func (m *Machine) dispatchCorrect(e *robEntry, rec *fetchRec) {
 		if rec.predNPC != st.NextPC {
 			// Misprediction detected at dispatch; recovery at writeback.
 			e.mispredict = true
+			e.rasSnap = rec.rasSnap
 			e.mapSnap = m.rt.MapSnapshot()
 			m.pendingMisp = true
 			m.pendingMispSeq = e.seq
@@ -624,7 +711,7 @@ func (m *Machine) dispatchWrongPath(e *robEntry, rec *fetchRec) {
 	}
 }
 
-// --- issue ---
+// --- issue (polled scheduler; see sched.go for the event-driven one) ---
 
 func (m *Machine) srcsReady(e *robEntry) bool {
 	for i := 0; i < e.nSrc; i++ {
@@ -651,7 +738,7 @@ func (m *Machine) olderStoreConflict(i int, addr uint64) (conflict, dataReady bo
 	return false, false
 }
 
-func (m *Machine) issue() {
+func (m *Machine) issuePolled() {
 	for i := 0; i < m.robLen && m.issued < m.cfg.IssueWidth; i++ {
 		e := m.robAt(i)
 		if e.st != stDispatched || !m.srcsReady(e) {
@@ -726,9 +813,9 @@ func (m *Machine) issue() {
 	}
 }
 
-// --- writeback ---
+// --- writeback (polled scheduler) ---
 
-func (m *Machine) writeback() {
+func (m *Machine) writebackPolled() {
 	for i := 0; i < m.robLen; i++ {
 		e := m.robAt(i)
 		if e.st != stIssued || e.doneCycle > m.cycle {
@@ -768,7 +855,11 @@ func (m *Machine) resolveControl(e *robEntry, idx int) {
 	m.Stats.Recoveries++
 
 	// Squash everything younger than the branch.
+	oldLen := m.robLen
 	m.robLen = idx + 1
+	if m.cfg.Scheduler != SchedPolled {
+		m.schedSquash(oldLen)
+	}
 
 	// Restore the rename map and rebuild the free list from surviving
 	// in-flight state.

@@ -549,25 +549,33 @@ func TestResetMatchesFresh(t *testing.T) {
 }
 
 // TestMachineSteadyStateZeroAlloc pins the 0 allocs/op invariant of the
-// simulation loop: re-running a job on a warm machine allocates nothing.
+// simulation loop for both schedulers: re-running a job on a warm machine
+// allocates nothing — under the event-driven scheduler the completion
+// wheel, ready set, wakeup lists and last-store table must all reuse
+// their storage.
 func TestMachineSteadyStateZeroAlloc(t *testing.T) {
 	pr := fibProgram(14)
 	img, err := pr.Link()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := DefaultConfig()
-	m := New(pr, img, cfg)
-	if _, err := m.Run(); err != nil {
-		t.Fatal(err) // warm pages, ring buffers and victim lists
-	}
-	allocs := testing.AllocsPerRun(3, func() {
-		m.Reset(pr, img, cfg)
-		if _, err := m.Run(); err != nil {
-			t.Error(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("steady-state run allocated %.1f objects, want 0", allocs)
+	for _, sched := range []Scheduler{SchedEventDriven, SchedPolled} {
+		t.Run(sched.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Scheduler = sched
+			m := New(pr, img, cfg)
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err) // warm pages, ring buffers and victim lists
+			}
+			allocs := testing.AllocsPerRun(3, func() {
+				m.Reset(pr, img, cfg)
+				if _, err := m.Run(); err != nil {
+					t.Error(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state run allocated %.1f objects, want 0", allocs)
+			}
+		})
 	}
 }

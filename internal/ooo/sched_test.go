@@ -1,0 +1,148 @@
+package ooo
+
+import (
+	"testing"
+
+	"dvi/internal/core"
+	"dvi/internal/emu"
+	"dvi/internal/prog"
+	"dvi/internal/workload"
+)
+
+// The scheduler equivalence property: SchedPolled and SchedEventDriven
+// are two implementations of the same machine, so on every program and
+// every configuration they must produce identical Stats — not just the
+// same architectural results, but the same cycle counts, stall
+// breakdowns, forwarding counts and register high-water marks.
+
+// runScheduler builds one machine with the given scheduler and runs it.
+func runScheduler(t *testing.T, pr *prog.Program, img *prog.Image, cfg Config, s Scheduler) Stats {
+	t.Helper()
+	cfg.Scheduler = s
+	st, err := New(pr, img, cfg).Run()
+	if err != nil {
+		t.Fatalf("%v scheduler: %v", s, err)
+	}
+	return st
+}
+
+// schedFuzzConfigs is the differential corpus's machine-shape axis: the
+// shared fuzzConfigs shapes (wide/narrow window, fetch-stall ablation,
+// all DVI schemes, starved renaming) plus shapes that stress the event
+// structures specifically.
+func schedFuzzConfigs() []Config {
+	out := fuzzConfigs()
+	tiny := DefaultConfig() // tiny window: constant squash/recycle traffic
+	tiny.WindowSize = 8
+	tiny.IFQSize = 4
+	out = append(out, tiny)
+	narrow := DefaultConfig() // 1-port, 1-ALU: arbitration-bound issue
+	narrow.CachePorts = 1
+	narrow.IntALUs = 1
+	narrow.IntMulDiv = 1
+	out = append(out, narrow)
+	// Windows larger than 64 entries: the ready bitset spans multiple
+	// words, exercising issueRange's word-boundary masks and the
+	// two-range wrap walk (the service wire API lets clients configure
+	// any window size).
+	for _, ws := range []int{65, 200} {
+		big := DefaultConfig()
+		big.WindowSize = ws
+		big.IssueWidth = 8
+		big.PhysRegs = 160
+		out = append(out, big)
+	}
+	return out
+}
+
+// TestSchedulerDifferentialFuzz runs both schedulers over random programs
+// (calls, frames, loops, kills, memory traffic, mispredicted branches) ×
+// machine shapes and asserts bit-identical Stats.
+func TestSchedulerDifferentialFuzz(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		pr := buildFuzzProgram(seed)
+		img, err := pr.Link()
+		if err != nil {
+			t.Fatalf("seed %d: link: %v", seed, err)
+		}
+		for ci, cfg := range schedFuzzConfigs() {
+			polled := runScheduler(t, pr, img, cfg, SchedPolled)
+			event := runScheduler(t, pr, img, cfg, SchedEventDriven)
+			if polled != event {
+				t.Fatalf("seed %d cfg %d: schedulers diverge:\npolled %+v\nevent  %+v",
+					seed, ci, polled, event)
+			}
+		}
+	}
+}
+
+// TestSchedulerDifferentialWorkloads runs both schedulers over the real
+// benchmark binaries (bounded), covering the elimination fast paths and
+// cache behaviour the synthetic fuzz programs exercise less.
+func TestSchedulerDifferentialWorkloads(t *testing.T) {
+	names := []string{"compress", "gcc", "li"}
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		w, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %s", name)
+		}
+		pr, img, err := workload.CompileSpec(w, 1, workload.BuildOptions{EDVI: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, scheme := range []emu.Scheme{emu.ElimOff, emu.ElimLVMStack} {
+			cfg := DefaultConfig()
+			cfg.Emu.Scheme = scheme
+			if scheme == emu.ElimOff {
+				cfg.Emu.DVI = core.Config{Level: core.None}
+			}
+			cfg.MaxInsts = 60_000
+			polled := runScheduler(t, pr, img, cfg, SchedPolled)
+			event := runScheduler(t, pr, img, cfg, SchedEventDriven)
+			if polled != event {
+				t.Fatalf("%s scheme %v: schedulers diverge:\npolled %+v\nevent  %+v",
+					name, scheme, polled, event)
+			}
+		}
+	}
+}
+
+// TestSchedulerResetAcrossKinds pins pooling across scheduler switches: a
+// machine reused via Reset with the other scheduler produces exactly a
+// fresh machine's statistics (the event structures rebuild from any prior
+// state).
+func TestSchedulerResetAcrossKinds(t *testing.T) {
+	pr := fibProgram(12)
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgE := DefaultConfig()
+	cfgP := DefaultConfig()
+	cfgP.Scheduler = SchedPolled
+
+	fresh, err := New(pr, img, cfgE).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(pr, img, cfgP)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(pr, img, cfgE)
+	reused, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != fresh {
+		t.Fatalf("event machine reused after polled run diverges:\n got %+v\nwant %+v", reused, fresh)
+	}
+}

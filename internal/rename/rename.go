@@ -6,7 +6,10 @@
 // the next redefinition to commit.
 package rename
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // PhysReg names a physical register.
 type PhysReg uint16
@@ -35,9 +38,7 @@ func (b *Bits) Has(p PhysReg) bool { return b[p>>6]&(1<<(p&63)) != 0 }
 func (b *Bits) Count() int {
 	n := 0
 	for _, w := range b {
-		for v := w; v != 0; v &= v - 1 {
-			n++
-		}
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -49,6 +50,13 @@ type Table struct {
 	free  Bits
 	nFree int
 	ready []bool
+
+	// watch holds, per physical register, the wakeup tokens registered by
+	// an event-driven scheduler: opaque consumer identities to be handed
+	// back (TakeWatchers) when the register's value is produced. The
+	// slices are retained across Reset so a warm table's steady state
+	// registers and drains watchers without allocating.
+	watch [][]uint32
 }
 
 // NewTable builds a table with nPhys physical registers. At least
@@ -59,7 +67,7 @@ func NewTable(nPhys int) *Table {
 	if nPhys < NumArch+1 || nPhys > MaxPhys {
 		panic(fmt.Sprintf("rename: nPhys %d out of range [%d,%d]", nPhys, NumArch+1, MaxPhys))
 	}
-	t := &Table{nPhys: nPhys, ready: make([]bool, nPhys)}
+	t := &Table{nPhys: nPhys, ready: make([]bool, nPhys), watch: make([][]uint32, nPhys)}
 	t.Reset()
 	return t
 }
@@ -77,6 +85,9 @@ func (t *Table) Reset() {
 		t.free.Set(PhysReg(p))
 		t.ready[p] = false
 		t.nFree++
+	}
+	for i := range t.watch {
+		t.watch[i] = t.watch[i][:0]
 	}
 }
 
@@ -100,14 +111,12 @@ func (t *Table) allocate() (PhysReg, bool) {
 	}
 	for i, w := range t.free {
 		if w != 0 {
-			bit := uint(0)
-			for ; w&1 == 0; w >>= 1 {
-				bit++
-			}
+			bit := uint(bits.TrailingZeros64(w))
 			p := PhysReg(i*64) + PhysReg(bit)
 			t.free[i] &^= 1 << bit
 			t.nFree--
 			t.ready[p] = false
+			t.watch[p] = t.watch[p][:0] // a recycled register starts with no watchers
 			return p, true
 		}
 	}
@@ -165,6 +174,39 @@ func (t *Table) Ready(p PhysReg) bool {
 // SetReady marks p's value produced (writeback).
 func (t *Table) SetReady(p PhysReg) { t.ready[p] = true }
 
+// Watch registers a wakeup token on p: TakeWatchers(p) will hand it back
+// when p's value is produced. The scheduler registers a token per unready
+// source at dispatch instead of re-polling Ready every cycle.
+func (t *Table) Watch(p PhysReg, token uint32) {
+	t.watch[p] = append(t.watch[p], token)
+}
+
+// TakeWatchers returns the tokens watching p and clears the list. The
+// returned slice aliases internal storage: the caller must finish with it
+// before registering new watchers on p.
+func (t *Table) TakeWatchers(p PhysReg) []uint32 {
+	w := t.watch[p]
+	t.watch[p] = w[:0]
+	return w
+}
+
+// PurgeWatchers drops every registered token the predicate rejects
+// (misprediction recovery: squashed consumers must not be woken). It
+// walks all physical registers, which recovery already does to rebuild
+// the free list.
+func (t *Table) PurgeWatchers(live func(token uint32) bool) {
+	for p := range t.watch {
+		w := t.watch[p]
+		kept := w[:0]
+		for _, tok := range w {
+			if live(tok) {
+				kept = append(kept, tok)
+			}
+		}
+		t.watch[p] = kept
+	}
+}
+
 // MapSnapshot copies the architectural mapping (taken when a mispredicted
 // branch dispatches).
 func (t *Table) MapSnapshot() [NumArch]PhysReg { return t.amap }
@@ -186,11 +228,13 @@ func (t *Table) RebuildFree(used *Bits) {
 	}
 	t.free = Bits{}
 	t.nFree = 0
-	for p := 0; p < t.nPhys; p++ {
-		if !used.Has(PhysReg(p)) {
-			t.free.Set(PhysReg(p))
-			t.nFree++
+	for w := 0; w*64 < t.nPhys; w++ {
+		m := ^used[w]
+		if hi := t.nPhys - w*64; hi < 64 {
+			m &= 1<<uint(hi) - 1
 		}
+		t.free[w] = m
+		t.nFree += bits.OnesCount64(m)
 	}
 }
 

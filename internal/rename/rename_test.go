@@ -281,3 +281,63 @@ func TestBitsSetHasCount(t *testing.T) {
 		t.Errorf("count = %d", b.Count())
 	}
 }
+
+// TestWatchers covers the event-scheduler wakeup hooks: registration,
+// drain-on-take, recovery purge, and the clear-on-reallocation rule that
+// stops a recycled register from waking stale consumers.
+func TestWatchers(t *testing.T) {
+	tb := NewTable(40)
+	p, _, ok := tb.Rename(3)
+	if !ok {
+		t.Fatal("rename failed")
+	}
+	tb.Watch(p, 7)
+	tb.Watch(p, 9)
+	got := tb.TakeWatchers(p)
+	if len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Fatalf("TakeWatchers = %v, want [7 9]", got)
+	}
+	if len(tb.TakeWatchers(p)) != 0 {
+		t.Fatal("watchers not cleared by take")
+	}
+
+	tb.Watch(p, 1)
+	tb.Watch(p, 2)
+	tb.Watch(p, 3)
+	tb.PurgeWatchers(func(tok uint32) bool { return tok != 2 })
+	if got := tb.TakeWatchers(p); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("after purge = %v, want [1 3]", got)
+	}
+
+	// A register freed and reallocated must come back watcher-free.
+	tb.Watch(p, 5)
+	q, prev, ok := tb.Rename(3) // p becomes prev, still watched
+	if !ok || prev != p {
+		t.Fatalf("rename: q=%d prev=%d ok=%v", q, prev, ok)
+	}
+	tb.Free(p)
+	var reallocated bool
+	for i := 0; i < tb.NPhys(); i++ { // drain the free list until p returns
+		r, _, ok := tb.Rename(4)
+		if !ok {
+			break
+		}
+		if r == p {
+			reallocated = true
+			break
+		}
+	}
+	if !reallocated {
+		t.Fatal("p never reallocated")
+	}
+	if len(tb.TakeWatchers(p)) != 0 {
+		t.Fatal("reallocated register kept stale watchers")
+	}
+
+	// Reset clears every list.
+	tb.Watch(p, 11)
+	tb.Reset()
+	if len(tb.TakeWatchers(p)) != 0 {
+		t.Fatal("Reset kept watchers")
+	}
+}

@@ -188,6 +188,31 @@ type Engine struct {
 
 	machines sync.Pool // *ooo.Machine
 	emus     sync.Pool // *emu.Emulator
+
+	// Pool effectiveness accounting: how often a job ran on a reset warm
+	// instance versus having to build a fresh one (PoolStats; exported by
+	// the service as /metrics counters).
+	machineReuse, machineFresh atomic.Int64
+	emuReuse, emuFresh         atomic.Int64
+}
+
+// PoolStats reports instance pool effectiveness: jobs served by resetting
+// a pooled warm machine/emulator versus constructing a fresh one. (The GC
+// may empty a sync.Pool at any time, so fresh counts are an upper bound
+// on true misses.)
+type PoolStats struct {
+	MachineReuse, MachineFresh int64
+	EmuReuse, EmuFresh         int64
+}
+
+// PoolStats returns the engine's instance pool counters.
+func (e *Engine) PoolStats() PoolStats {
+	return PoolStats{
+		MachineReuse: e.machineReuse.Load(),
+		MachineFresh: e.machineFresh.Load(),
+		EmuReuse:     e.emuReuse.Load(),
+		EmuFresh:     e.emuFresh.Load(),
+	}
 }
 
 // New builds an engine.
@@ -302,9 +327,11 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 // a fresh one when the pool is empty.
 func (e *Engine) getMachine(pr *prog.Program, img *prog.Image, cfg ooo.Config) *ooo.Machine {
 	if m, ok := e.machines.Get().(*ooo.Machine); ok {
+		e.machineReuse.Add(1)
 		m.Reset(pr, img, cfg)
 		return m
 	}
+	e.machineFresh.Add(1)
 	return ooo.New(pr, img, cfg)
 }
 
@@ -312,9 +339,11 @@ func (e *Engine) getMachine(pr *prog.Program, img *prog.Image, cfg ooo.Config) *
 // one when the pool is empty.
 func (e *Engine) getEmu(pr *prog.Program, img *prog.Image, cfg emu.Config) *emu.Emulator {
 	if em, ok := e.emus.Get().(*emu.Emulator); ok {
+		e.emuReuse.Add(1)
 		em.ResetFor(pr, img, cfg)
 		return em
 	}
+	e.emuFresh.Add(1)
 	return emu.New(pr, img, cfg)
 }
 

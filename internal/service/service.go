@@ -500,6 +500,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.eng.Cache().Stats()
+	pool := s.eng.PoolStats()
 	body := s.met.render([]gauge{
 		{name: "dvid_uptime_seconds", help: "Seconds since the server started.", value: time.Since(s.start).Seconds()},
 		{name: "dvid_inflight_requests", help: "Requests currently executing.", value: float64(s.adm.inflight.Load())},
@@ -509,6 +510,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{name: "dvid_build_cache_misses_total", help: "Build cache misses (compiles).", value: float64(misses), counter: true},
 		{name: "dvid_build_cache_evictions_total", help: "Build cache LRU evictions.", value: float64(s.eng.Cache().Evictions()), counter: true},
 		{name: "dvid_build_cache_entries", help: "Distinct binaries cached or building.", value: float64(s.eng.Cache().Len())},
+		{name: "dvid_machine_pool_reuse_total", help: "Timing jobs served by resetting a pooled warm machine.", value: float64(pool.MachineReuse), counter: true},
+		{name: "dvid_machine_pool_fresh_total", help: "Timing jobs that had to construct a fresh machine.", value: float64(pool.MachineFresh), counter: true},
+		{name: "dvid_emulator_pool_reuse_total", help: "Functional/ctxswitch jobs served by resetting a pooled warm emulator.", value: float64(pool.EmuReuse), counter: true},
+		{name: "dvid_emulator_pool_fresh_total", help: "Functional/ctxswitch jobs that had to construct a fresh emulator.", value: float64(pool.EmuFresh), counter: true},
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(body))

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -398,6 +399,12 @@ func TestWorkloadsHealthMetrics(t *testing.T) {
 		t.Fatalf("got %d workloads, want 7", len(ws))
 	}
 
+	// Two identical simulations: the first builds a fresh machine (cold
+	// pool), the second must run on the same instance via Reset — the
+	// pool-effectiveness counters on /metrics expose exactly that.
+	if _, err := cl.Simulate(ctx, service.SimulateRequest{Workload: "compress", MaxInsts: 20_000}); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := cl.Simulate(ctx, service.SimulateRequest{Workload: "compress", MaxInsts: 20_000}); err != nil {
 		t.Fatal(err)
 	}
@@ -416,15 +423,43 @@ func TestWorkloadsHealthMetrics(t *testing.T) {
 	defer res.Body.Close()
 	body, _ := io.ReadAll(res.Body)
 	for _, want := range []string{
-		`dvid_requests_total{endpoint="simulate",code="200"} 1`,
-		`dvid_request_duration_seconds_count{endpoint="simulate"} 1`,
+		`dvid_requests_total{endpoint="simulate",code="200"} 2`,
+		`dvid_request_duration_seconds_count{endpoint="simulate"} 2`,
 		"dvid_build_cache_misses_total 1",
 		"dvid_queue_capacity",
+		"dvid_emulator_pool_fresh_total 0",
+		"dvid_emulator_pool_reuse_total 0",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
 	}
+	// Two timing jobs ran: normally 1 fresh + 1 reuse, but a GC cycle
+	// between the calls may drain the sync.Pool (2 fresh). Assert the
+	// invariant parts: every job is accounted for, and the first was
+	// necessarily a fresh build.
+	fresh := metricValue(t, string(body), "dvid_machine_pool_fresh_total")
+	reuse := metricValue(t, string(body), "dvid_machine_pool_reuse_total")
+	if fresh+reuse != 2 || fresh < 1 {
+		t.Fatalf("machine pool counters fresh=%d reuse=%d, want 2 jobs with >=1 fresh", fresh, reuse)
+	}
+}
+
+// metricValue extracts an un-labelled counter's value from a Prometheus
+// text exposition.
+func metricValue(t *testing.T, body, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, v)
+			}
+			return n
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return 0
 }
 
 // TestRequestValidation covers the 4xx surface.

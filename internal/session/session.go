@@ -84,6 +84,13 @@ func (s *Session) Workers() int { return s.eng.Workers() }
 // Cache exposes the session's build cache (hit/miss/eviction accounting).
 func (s *Session) Cache() *runner.BuildCache { return s.eng.Cache() }
 
+// PoolStats reports the session's simulator instance pool effectiveness:
+// how many jobs ran on a reset warm machine or emulator versus having to
+// construct a fresh one. A healthy steady state (daemon or report run)
+// reuses nearly always; a low reuse ratio means instances are being
+// dropped (oversized client programs) or the pool is cold.
+func (s *Session) PoolStats() runner.PoolStats { return s.eng.PoolStats() }
+
 // Build compiles and links one workload, or returns the shared artifacts
 // from the build cache. The binary flavour follows the session's central
 // E-DVI rule (BuildOptionsFor) applied to the effective DVI level —
