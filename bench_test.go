@@ -19,6 +19,7 @@ import (
 	"dvi/internal/emu"
 	"dvi/internal/harness"
 	"dvi/internal/ooo"
+	"dvi/internal/sample"
 	"dvi/internal/workload"
 )
 
@@ -367,6 +368,23 @@ func BenchmarkFullReport(b *testing.B) {
 	harness.Fig5Sizes = []int{34, 64, 96}
 	defer func() { harness.Fig5Sizes = saved }()
 	opt := harness.Options{Scale: 1, MaxInsts: 25_000, SweepMaxInsts: 12_000}
+	for i := 0; i < b.N; i++ {
+		if err := dvi.RunAllExperiments(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampledReport regenerates the same reduced report in sampled
+// mode: timing figures are estimated from checkpointed intervals instead
+// of exact detailed simulation. Compare against BenchmarkFullReport for
+// the sampling speedup at this scale.
+func BenchmarkSampledReport(b *testing.B) {
+	saved := harness.Fig5Sizes
+	harness.Fig5Sizes = []int{34, 64, 96}
+	defer func() { harness.Fig5Sizes = saved }()
+	opt := harness.Options{Scale: 1, MaxInsts: 25_000, SweepMaxInsts: 12_000}
+	opt.Sampling = &sample.Options{Interval: 4000, Warmup: 1000, Period: 4}
 	for i := 0; i < b.N; i++ {
 		if err := dvi.RunAllExperiments(opt, io.Discard); err != nil {
 			b.Fatal(err)

@@ -28,6 +28,7 @@ import (
 
 	"dvi/internal/harness"
 	"dvi/internal/runner"
+	"dvi/internal/sample"
 	"dvi/internal/session"
 )
 
@@ -39,17 +40,21 @@ func main() {
 
 func run() int {
 	var (
-		figures = flag.String("figures", "", "comma-separated experiment subset (IDs from -list, or all|ablations); default all")
-		exp     = flag.String("experiment", "", "deprecated alias for -figures")
-		list    = flag.Bool("list", false, "print selectable experiment IDs and exit")
-		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation workers")
-		quiet   = flag.Bool("q", false, "suppress per-job progress on stderr")
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		max     = flag.Uint64("maxinsts", 400_000, "instruction budget per timing run")
-		sweep   = flag.Uint64("sweepinsts", 150_000, "instruction budget per sweep point (fig5)")
-		asJSON  = flag.Bool("json", false, "emit machine-readable per-figure stats as JSON on stdout")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+		figures  = flag.String("figures", "", "comma-separated experiment subset (IDs from -list, or all|ablations); default all")
+		exp      = flag.String("experiment", "", "deprecated alias for -figures")
+		list     = flag.Bool("list", false, "print selectable experiment IDs and exit")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+		quiet    = flag.Bool("q", false, "suppress per-job progress on stderr")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		max      = flag.Uint64("maxinsts", 400_000, "instruction budget per timing run")
+		sweep    = flag.Uint64("sweepinsts", 150_000, "instruction budget per sweep point (fig5)")
+		asJSON   = flag.Bool("json", false, "emit machine-readable per-figure stats as JSON on stdout")
+		sampled  = flag.Bool("sampling", false, "estimate timing figures by statistical sampling (checkpointed intervals simulated in parallel, ±CI columns)")
+		interval = flag.Uint64("interval", 0, "sampled-interval length in instructions (0 = default; implies -sampling)")
+		warmup   = flag.Uint64("warmup", 0, "detailed warmup before each measured interval (0 = interval/5; implies -sampling)")
+		targetCI = flag.Float64("ci", 0, "target relative CI half-width, e.g. 0.05; sampler densifies until met (implies -sampling)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -99,6 +104,9 @@ func run() int {
 	}
 
 	opt := harness.Options{Scale: *scale, MaxInsts: *max, SweepMaxInsts: *sweep, Workers: *jobs}
+	if *sampled || *interval != 0 || *warmup != 0 || *targetCI > 0 {
+		opt.Sampling = &sample.Options{Interval: *interval, Warmup: *warmup, TargetCI: *targetCI}
+	}
 
 	var progress runner.ProgressFunc
 	if !*quiet {
@@ -151,24 +159,43 @@ type benchFigure struct {
 	ElimRestores uint64  `json:"elim_restores,omitempty"`
 	// MinstPerS is simulator throughput: committed (simulated) timing
 	// instructions per wall-clock second of this figure's run — the
-	// engineering metric the perf trajectory tracks (schema dvibench/v2).
+	// engineering metric the perf trajectory tracks (since dvibench/v2).
 	MinstPerS float64 `json:"minst_per_s,omitempty"`
+	// Sampled-mode error bounds (dvibench/v3, absent in exact mode):
+	// the worst-case confidence-interval half-width over the figure's
+	// grid, and how much detail the sampler actually simulated.
+	CIHalfWidth       float64 `json:"ci_half_width,omitempty"` // on IPC, worst row
+	RelCI             float64 `json:"rel_ci,omitempty"`        // worst relative half-width
+	IntervalsMeasured int     `json:"intervals_measured,omitempty"`
+	IntervalsTotal    int     `json:"intervals_total,omitempty"`
 
 	Tables []harness.Table `json:"tables"`
+}
+
+// benchSampling records the effective sampling plan a -sampling run used
+// (dvibench/v3). Absent in exact mode, so v2 consumers that ignore
+// unknown fields keep working.
+type benchSampling struct {
+	Interval   uint64  `json:"interval"`
+	Warmup     uint64  `json:"warmup"`
+	Period     int     `json:"period"`
+	TargetCI   float64 `json:"target_ci,omitempty"`
+	Confidence float64 `json:"confidence"`
 }
 
 // benchReport is the -json document: the perf trajectory format the
 // BENCH_*.json history records.
 type benchReport struct {
-	Schema        string        `json:"schema"`
-	Workers       int           `json:"workers"`
-	Scale         int           `json:"scale"`
-	MaxInsts      uint64        `json:"max_insts"`
-	SweepMaxInsts uint64        `json:"sweep_max_insts"`
-	Figures       []benchFigure `json:"figures"`
-	Compiles      int64         `json:"compiles"`
-	CacheHits     int64         `json:"cache_hits"`
-	TotalWallMS   float64       `json:"total_wall_ms"`
+	Schema        string         `json:"schema"`
+	Workers       int            `json:"workers"`
+	Scale         int            `json:"scale"`
+	MaxInsts      uint64         `json:"max_insts"`
+	SweepMaxInsts uint64         `json:"sweep_max_insts"`
+	Sampling      *benchSampling `json:"sampling,omitempty"`
+	Figures       []benchFigure  `json:"figures"`
+	Compiles      int64          `json:"compiles"`
+	CacheHits     int64          `json:"cache_hits"`
+	TotalWallMS   float64        `json:"total_wall_ms"`
 }
 
 // gridIPC aggregates committed/cycles over a figure's grid. A figure
@@ -193,11 +220,21 @@ func buildReport(sess *session.Session, opt harness.Options, ids []string, start
 		selected[id] = true
 	}
 	rep := benchReport{
-		Schema:        "dvibench/v2",
+		Schema:        "dvibench/v3",
 		Workers:       sess.Workers(),
 		Scale:         opt.Scale,
 		MaxInsts:      opt.MaxInsts,
 		SweepMaxInsts: opt.SweepMaxInsts,
+	}
+	if opt.Sampling != nil {
+		eff := opt.Sampling.WithDefaults()
+		rep.Sampling = &benchSampling{
+			Interval:   eff.Interval,
+			Warmup:     eff.Warmup,
+			Period:     eff.Period,
+			TargetCI:   eff.TargetCI,
+			Confidence: sample.Confidence,
+		}
 	}
 	for _, fig := range harness.Figures() {
 		if !selected[fig.ID] {
@@ -229,6 +266,16 @@ func buildReport(sess *session.Session, opt harness.Options, ids []string, start
 			case runner.Functional:
 				bf.ElimSaves += res.Func.SavesElim
 				bf.ElimRestores += res.Func.RestoresElim
+			}
+			if est := res.Sampled; est != nil {
+				if est.CIHalfWidth > bf.CIHalfWidth {
+					bf.CIHalfWidth = est.CIHalfWidth
+				}
+				if est.RelCI > bf.RelCI {
+					bf.RelCI = est.RelCI
+				}
+				bf.IntervalsMeasured += est.Measured
+				bf.IntervalsTotal += est.Intervals
 			}
 		}
 		bf.IPC = gridIPC(bf.Committed, bf.Cycles)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dvi/internal/harness"
+	"dvi/internal/sample"
 )
 
 // testOptions keeps the grids tiny so the derived-figure selections run in
@@ -89,7 +90,67 @@ func TestEmitJSONRoundTrips(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if rep.Schema != "dvibench/v2" {
-		t.Fatalf("schema %q, want dvibench/v2", rep.Schema)
+	if rep.Schema != "dvibench/v3" {
+		t.Fatalf("schema %q, want dvibench/v3", rep.Schema)
+	}
+	if rep.Sampling != nil {
+		t.Fatalf("exact-mode report carries a sampling block: %+v", rep.Sampling)
+	}
+}
+
+// TestJSONReportSampling pins the dvibench/v3 additions: a -sampling run
+// records its effective plan in the report header and each timing figure
+// reports its worst-case error bound and measured/total interval counts.
+// Exact runs omit all of it (checked by TestEmitJSONRoundTrips above), so
+// v2 consumers that ignore unknown fields keep working.
+func TestJSONReportSampling(t *testing.T) {
+	opt := testOptions()
+	opt.MaxInsts = 120_000
+	opt.Sampling = &sample.Options{Interval: 4000, Warmup: 1000, Period: 4}
+	sess := harness.NewSession(opt, nil)
+	rep, err := buildReport(sess, opt, []string{"fig10"}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sampling == nil {
+		t.Fatal("sampled report missing the sampling block")
+	}
+	if rep.Sampling.Interval != 4000 || rep.Sampling.Warmup != 1000 || rep.Sampling.Period != 4 {
+		t.Fatalf("sampling block %+v does not record the effective plan", rep.Sampling)
+	}
+	if rep.Sampling.Confidence != sample.Confidence {
+		t.Fatalf("confidence %v, want %v", rep.Sampling.Confidence, sample.Confidence)
+	}
+	if len(rep.Figures) != 1 {
+		t.Fatalf("%d figures, want 1", len(rep.Figures))
+	}
+	bf := rep.Figures[0]
+	if bf.RelCI <= 0 || math.IsNaN(bf.RelCI) {
+		t.Fatalf("rel_ci = %v, want a positive error bound on a sampled timing figure", bf.RelCI)
+	}
+	if bf.IntervalsMeasured <= 0 || bf.IntervalsTotal < bf.IntervalsMeasured {
+		t.Fatalf("interval counts measured=%d total=%d are not a sane sample plan",
+			bf.IntervalsMeasured, bf.IntervalsTotal)
+	}
+	if bf.Cycles == 0 || bf.Committed == 0 {
+		t.Fatalf("sampled figure lost its timing aggregates: %+v", bf)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+// TestSamplingDefaultsInReport checks a bare -sampling run (zero-valued
+// Options) records the defaulted plan, not zeros.
+func TestSamplingDefaultsInReport(t *testing.T) {
+	opt := testOptions()
+	opt.Sampling = &sample.Options{}
+	sess := harness.NewSession(opt, nil)
+	rep, err := buildReport(sess, opt, []string{"fig2"}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sampling == nil || rep.Sampling.Interval == 0 || rep.Sampling.Warmup == 0 || rep.Sampling.Period == 0 {
+		t.Fatalf("sampling block %+v should carry WithDefaults values", rep.Sampling)
 	}
 }

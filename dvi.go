@@ -47,6 +47,7 @@ import (
 	"dvi/internal/prog"
 	"dvi/internal/rewrite"
 	"dvi/internal/runner"
+	"dvi/internal/sample"
 	"dvi/internal/service"
 	"dvi/internal/session"
 	"dvi/internal/workload"
@@ -149,6 +150,14 @@ type (
 	// RegfileTiming is the CACTI-derived register file access time model
 	// used by Figure 6.
 	RegfileTiming = cacti.Model
+
+	// SamplingOptions parameterizes statistical sampling (interval
+	// length, warmup, selection period/seed, target CI).
+	SamplingOptions = sample.Options
+	// SampledEstimate is a whole-program estimate produced by the
+	// sampler: estimated cycles/IPC with a confidence interval, plus the
+	// exact architectural counts from the functional pass.
+	SampledEstimate = sample.Estimate
 
 	// Service is the HTTP/JSON server exposing annotation, simulation
 	// and context-switch sampling to remote clients (DVI-as-a-service).
@@ -266,6 +275,13 @@ var (
 	WithFreshBuild = session.WithFreshBuild
 	// WithLabel names the call in progress output and errors.
 	WithLabel = session.WithLabel
+	// WithSampling switches Simulate to statistical sampling: a fast
+	// functional pass captures checkpoints, selected intervals run in
+	// detail in parallel, and the result is an estimate with a
+	// confidence interval (see SimulateSampled for the full estimate).
+	WithSampling = session.WithSampling
+	// WithSamplingOptions is WithSampling with full control of the plan.
+	WithSamplingOptions = session.WithSamplingOptions
 )
 
 var (
@@ -318,6 +334,17 @@ func Build(w Workload, scale int, edvi bool) (*Program, *Image, error) {
 func Simulate(w Workload, scale int, cfg MachineConfig) (MachineStats, error) {
 	return DefaultSession().Simulate(context.Background(), w,
 		session.WithScale(scale), session.WithMachineConfig(cfg))
+}
+
+// SimulateSampled estimates a workload's timing by statistical sampling
+// through the default Session: checkpointed intervals are simulated in
+// detail on the worker pool and combined into a whole-program estimate
+// with a confidence interval. Architectural counts (eliminations, kills,
+// faults) are exact; cycles and IPC carry the reported error bound.
+func SimulateSampled(w Workload, scale int, cfg MachineConfig, opt SamplingOptions) (SampledEstimate, error) {
+	return DefaultSession().SimulateSampled(context.Background(), w,
+		session.WithScale(scale), session.WithMachineConfig(cfg),
+		session.WithSamplingOptions(opt))
 }
 
 // NewMachine builds a simulator over an already-linked program.

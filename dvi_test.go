@@ -28,6 +28,34 @@ func TestFacadeSimulate(t *testing.T) {
 	}
 }
 
+func TestFacadeSimulateSampled(t *testing.T) {
+	w, ok := dvi.WorkloadByName("gcc")
+	if !ok {
+		t.Fatal("gcc workload missing")
+	}
+	cfg := dvi.DefaultMachineConfig()
+	cfg.MaxInsts = 100_000
+	exact, err := dvi.Simulate(w, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := dvi.SimulateSampled(w, 1, cfg, dvi.SamplingOptions{Interval: 4000, Warmup: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Measured == 0 || est.RelCI <= 0 {
+		t.Fatalf("estimate %+v carries no sample plan or error bound", est)
+	}
+	if diff := est.IPC - exact.IPC(); diff > est.CIHalfWidth || -diff > est.CIHalfWidth {
+		t.Errorf("sampled IPC %.4f vs exact %.4f exceeds CI half-width %.4f",
+			est.IPC, exact.IPC(), est.CIHalfWidth)
+	}
+	if est.DetailedInsts >= est.TotalInsts {
+		t.Errorf("sampler simulated %d of %d instructions in detail — no savings",
+			est.DetailedInsts, est.TotalInsts)
+	}
+}
+
 func TestFacadeEmulate(t *testing.T) {
 	w, _ := dvi.WorkloadByName("compress")
 	e, err := dvi.Emulate(w, 1, dvi.EmulatorConfig{DVI: dvi.DefaultDVIConfig(), Scheme: dvi.ElimLVMStack})

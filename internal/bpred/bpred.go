@@ -182,6 +182,39 @@ func (p *Predictor) RestoreHistory(hist uint32, actual bool) {
 // transfer, which never shifted history itself).
 func (p *Predictor) SetHistory(hist uint32) { p.hist = hist }
 
+// PredictorSnapshot captures the full direction-predictor state — all
+// three counter tables, the history register, statistics — so a
+// functionally-warmed predictor can be transplanted into a pooled machine
+// at a sampled-simulation checkpoint. Table slices are reused across
+// captures.
+type PredictorSnapshot struct {
+	bimod, gshare, choice []counter
+	hist                  uint32
+	lookups, mispredicts  uint64
+}
+
+// Capture fills dst with the predictor's current state.
+func (p *Predictor) Capture(dst *PredictorSnapshot) {
+	dst.bimod = append(dst.bimod[:0], p.bimod...)
+	dst.gshare = append(dst.gshare[:0], p.gshare...)
+	dst.choice = append(dst.choice[:0], p.choice...)
+	dst.hist = p.hist
+	dst.lookups, dst.mispredicts = p.Lookups, p.Mispredicts
+}
+
+// Restore reinstates a captured state into an identically configured
+// predictor.
+func (p *Predictor) Restore(s *PredictorSnapshot) {
+	if len(s.bimod) != len(p.bimod) || len(s.gshare) != len(p.gshare) || len(s.choice) != len(p.choice) {
+		panic("bpred: restoring predictor snapshot with mismatched geometry")
+	}
+	copy(p.bimod, s.bimod)
+	copy(p.gshare, s.gshare)
+	copy(p.choice, s.choice)
+	p.hist = s.hist
+	p.Lookups, p.Mispredicts = s.lookups, s.mispredicts
+}
+
 // MispredictRate returns mispredicts/lookups.
 func (p *Predictor) MispredictRate() float64 {
 	if p.Lookups == 0 {
@@ -270,6 +303,42 @@ func (b *BTB) Update(pc, target uint64) {
 		}
 	}
 	set[victim] = btbEntry{tag: pc, target: target, valid: true, used: b.tick}
+}
+
+// BTBSnapshot captures the branch target buffer's content; the entry
+// array is reused across captures.
+type BTBSnapshot struct {
+	entries       []btbEntry
+	tick          uint64
+	lookups, hits uint64
+}
+
+// Capture fills dst with the BTB's current state.
+func (b *BTB) Capture(dst *BTBSnapshot) {
+	assoc := len(b.sets[0])
+	need := len(b.sets) * assoc
+	if cap(dst.entries) < need {
+		dst.entries = make([]btbEntry, need)
+	}
+	dst.entries = dst.entries[:need]
+	for i, set := range b.sets {
+		copy(dst.entries[i*assoc:], set)
+	}
+	dst.tick = b.tick
+	dst.lookups, dst.hits = b.Lookups, b.Hits
+}
+
+// Restore reinstates a captured state into an identically configured BTB.
+func (b *BTB) Restore(s *BTBSnapshot) {
+	assoc := len(b.sets[0])
+	if len(s.entries) != len(b.sets)*assoc {
+		panic("bpred: restoring BTB snapshot with mismatched geometry")
+	}
+	for i, set := range b.sets {
+		copy(set, s.entries[i*assoc:(i+1)*assoc])
+	}
+	b.tick = s.tick
+	b.Lookups, b.Hits = s.lookups, s.hits
 }
 
 // --- RAS ---

@@ -264,3 +264,71 @@ func TestDeepCallChainWithinDepth(t *testing.T) {
 		}
 	}
 }
+
+func TestPredictorCaptureRestoreRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	for i := uint64(0); i < 500; i++ {
+		pc := (i % 13) * 4
+		_, info := p.Predict(pc)
+		taken := i%3 != 0
+		p.Resolve(pc, taken, info)
+		if info.Pred != taken {
+			p.RestoreHistory(info.Hist, taken)
+		}
+	}
+
+	var snap PredictorSnapshot
+	p.Capture(&snap)
+
+	twin := New(cfg)
+	twin.Restore(&snap)
+	if twin.hist != p.hist || twin.Lookups != p.Lookups || twin.Mispredicts != p.Mispredicts {
+		t.Fatal("restore did not reinstate predictor state")
+	}
+	// Identical state must keep predicting identically.
+	for i := uint64(0); i < 50; i++ {
+		pc := (i % 7) * 4
+		a, _ := p.Predict(pc)
+		b, _ := twin.Predict(pc)
+		if a != b {
+			t.Fatalf("prediction diverged at %d", i)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(10, func() { p.Capture(&snap) })
+	if allocs > 0 {
+		t.Errorf("steady-state capture allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestBTBCaptureRestoreRoundTrip(t *testing.T) {
+	b := NewBTB(64, 2)
+	for i := uint64(0); i < 300; i++ {
+		pc := (i % 90) * 4
+		if _, ok := b.Lookup(pc); !ok {
+			b.Update(pc, pc+100)
+		}
+	}
+
+	var snap BTBSnapshot
+	b.Capture(&snap)
+
+	twin := NewBTB(64, 2)
+	twin.Restore(&snap)
+	if twin.Lookups != b.Lookups || twin.Hits != b.Hits || twin.tick != b.tick {
+		t.Fatal("restore did not reinstate BTB counters")
+	}
+	for i := uint64(0); i < 90; i++ {
+		ta, oka := b.Lookup(i * 4)
+		tb, okb := twin.Lookup(i * 4)
+		if ta != tb || oka != okb {
+			t.Fatalf("BTB diverged at pc %#x", i*4)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(10, func() { b.Capture(&snap) })
+	if allocs > 0 {
+		t.Errorf("steady-state capture allocates %.1f/op, want 0", allocs)
+	}
+}

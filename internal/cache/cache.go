@@ -176,6 +176,68 @@ func (c *Cache) Reset() {
 // LineAddr returns the line-aligned address containing addr.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
 
+// Snapshot captures one cache's full content — tags, validity, LRU
+// timestamps, statistics — so a functionally-warmed cache can be
+// transplanted into a pooled machine at a sampled-simulation checkpoint.
+// The line array is reused across captures (pooled checkpoint buffers
+// reach a zero-allocation steady state).
+type Snapshot struct {
+	lines []line
+	tick  uint64
+	stats Stats
+}
+
+// Capture fills dst with the cache's current state.
+func (c *Cache) Capture(dst *Snapshot) {
+	need := len(c.sets) * c.cfg.Assoc
+	if cap(dst.lines) < need {
+		dst.lines = make([]line, need)
+	}
+	dst.lines = dst.lines[:need]
+	for i, set := range c.sets {
+		copy(dst.lines[i*c.cfg.Assoc:], set)
+	}
+	dst.tick = c.tick
+	dst.stats = c.Stats
+}
+
+// Restore reinstates a captured state. The cache's geometry must match
+// the capturing cache's (the sampler snapshots and restores under one
+// machine configuration).
+func (c *Cache) Restore(s *Snapshot) {
+	if len(s.lines) != len(c.sets)*c.cfg.Assoc {
+		panic(fmt.Sprintf("cache %s: restoring snapshot of %d lines into %d", c.cfg.Name, len(s.lines), len(c.sets)*c.cfg.Assoc))
+	}
+	for i, set := range c.sets {
+		copy(set, s.lines[i*c.cfg.Assoc:(i+1)*c.cfg.Assoc])
+	}
+	c.tick = s.tick
+	c.Stats = s.stats
+}
+
+// HierarchySnapshot captures a whole memory system's warm state.
+type HierarchySnapshot struct {
+	L1I, L1D, L2 Snapshot
+	MemAccesses  uint64
+}
+
+// Capture fills dst with every level's state.
+func (h *Hierarchy) Capture(dst *HierarchySnapshot) {
+	h.L1I.Capture(&dst.L1I)
+	h.L1D.Capture(&dst.L1D)
+	h.L2.Capture(&dst.L2)
+	dst.MemAccesses = h.Mem.Accesses
+}
+
+// Restore reinstates every level from a snapshot of an identically
+// configured hierarchy.
+func (h *Hierarchy) Restore(s *HierarchySnapshot) {
+	h.L1I.Restore(&s.L1I)
+	h.L1D.Restore(&s.L1D)
+	h.L2.Restore(&s.L2)
+	h.Mem.Accesses = s.MemAccesses
+}
+
 // Hierarchy bundles the full memory system of one simulated core.
 type Hierarchy struct {
 	L1I *Cache

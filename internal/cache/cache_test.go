@@ -199,3 +199,41 @@ func TestLineAddr(t *testing.T) {
 		t.Errorf("LineAddr(0x47) = %#x", c.LineAddr(0x47))
 	}
 }
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	h := NewHierarchy(HierarchyConfig{
+		L1I:        Config{Name: "il1", SizeBytes: 1 << 12, Assoc: 2, LineBytes: 32, HitLatency: 1},
+		L1D:        Config{Name: "dl1", SizeBytes: 1 << 12, Assoc: 2, LineBytes: 32, HitLatency: 1},
+		L2:         Config{Name: "ul2", SizeBytes: 1 << 14, Assoc: 4, LineBytes: 64, HitLatency: 8},
+		MemLatency: 50,
+	})
+	for i := uint64(0); i < 200; i++ {
+		h.L1I.Access(i*32, false)
+		h.L1D.Access(i*64, i%3 == 0)
+	}
+
+	var snap HierarchySnapshot
+	h.Capture(&snap)
+	statsI, statsD, stats2 := h.L1I.Stats, h.L1D.Stats, h.L2.Stats
+
+	// Trash the state, then restore.
+	h.Reset()
+	h.L1D.Access(0x9999, true)
+	h.Restore(&snap)
+
+	if h.L1I.Stats != statsI || h.L1D.Stats != statsD || h.L2.Stats != stats2 {
+		t.Fatal("restore did not reinstate statistics")
+	}
+	// A line hot at capture time must hit again without a miss.
+	miss := h.L1D.Stats.Misses
+	h.L1D.Access(199*64, false)
+	if h.L1D.Stats.Misses != miss {
+		t.Fatal("hot line lost across capture/restore")
+	}
+
+	// Steady-state captures into a warm snapshot must not allocate.
+	allocs := testing.AllocsPerRun(10, func() { h.Capture(&snap) })
+	if allocs > 0 {
+		t.Errorf("steady-state capture allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -500,9 +500,22 @@ var ErrBudget = fmt.Errorf("emu: instruction budget exhausted")
 
 // Run executes until HALT or until maxInsts instructions have executed
 // (0 = unlimited). It returns ErrBudget if the budget expired.
+//
+// A HALT (clean exit or the synthetic fault for control flow that left
+// the text segment) sitting exactly on the budget boundary is still
+// executed: like Step, Run treats the halt as the simulation boundary
+// rather than work, so a run whose budget equals the program's step count
+// classifies its exit — in particular, the Faults count lands in this
+// run, not in a later resumption of the same emulator. Interval-based
+// accounting (internal/sample) depends on faults being attributed to the
+// interval containing the faulting fetch.
 func (e *Emulator) Run(maxInsts uint64) error {
 	for n := uint64(0); !e.Halted; n++ {
 		if maxInsts != 0 && n >= maxInsts {
+			if in, _, _ := e.img.AtMeta(e.PC); in.Op == isa.HALT {
+				e.Step() // boundary classification, not work
+				return nil
+			}
 			return ErrBudget
 		}
 		e.Step()

@@ -1,0 +1,68 @@
+package emu
+
+import (
+	"dvi/internal/core"
+	"dvi/internal/isa"
+	"dvi/internal/mem"
+)
+
+// Snapshot captures the complete mid-run state of an Emulator: resuming
+// from a snapshot is bit-identical to never having stopped (pinned by the
+// fidelity fuzz test). Memory is stored as a page delta against a baseline
+// — for checkpoints of a running program the natural baseline is the
+// pristine loaded image, which keeps snapshots at a few dirty pages
+// instead of the whole footprint.
+//
+// The statistical sampler (internal/sample) captures one Snapshot per
+// selected interval boundary; restoring it into a pooled machine's
+// embedded emulator positions the detailed simulation mid-program.
+type Snapshot struct {
+	Regs     [isa.NumRegs]uint64
+	PC       uint64
+	Halted   bool
+	Stats    Stats
+	Checksum uint64
+	Outputs  []uint64
+	Tracker  core.Snapshot
+
+	Violations []Violation
+
+	// Mem is the page delta against the baseline memory passed to
+	// CaptureSnapshot.
+	Mem []mem.PageDelta
+}
+
+// CaptureSnapshot fills dst with the emulator's current state. The memory
+// is captured as a delta against base — pass the pristine image-loaded
+// memory of the same program (or an empty Memory for a full capture). The
+// snapshot's slices are reused across captures, so a pooled checkpoint
+// buffer settles into a steady state with no per-capture allocation.
+func (e *Emulator) CaptureSnapshot(dst *Snapshot, base *mem.Memory) {
+	dst.Regs = e.Regs
+	dst.PC = e.PC
+	dst.Halted = e.Halted
+	dst.Stats = e.Stats
+	dst.Checksum = e.Checksum
+	dst.Outputs = append(dst.Outputs[:0], e.Outputs...)
+	dst.Tracker = e.Tracker.Snapshot()
+	dst.Violations = append(dst.Violations[:0], e.Violations...)
+	dst.Mem = e.Mem.DeltaFrom(base, dst.Mem)
+}
+
+// RestoreSnapshot reinstates a captured state. The emulator's memory must
+// currently equal the baseline the snapshot was captured against — the
+// state ResetFor leaves a pooled emulator in for the same program — so the
+// page delta lands on the right foundation. Program, image and
+// configuration must match the capturing emulator's; the snapshot carries
+// only dynamic state.
+func (e *Emulator) RestoreSnapshot(s *Snapshot) {
+	e.Regs = s.Regs
+	e.PC = s.PC
+	e.Halted = s.Halted
+	e.Stats = s.Stats
+	e.Checksum = s.Checksum
+	e.Outputs = append(e.Outputs[:0], s.Outputs...)
+	e.Tracker.Restore(s.Tracker)
+	e.Violations = append(e.Violations[:0], s.Violations...)
+	e.Mem.ApplyDelta(s.Mem)
+}

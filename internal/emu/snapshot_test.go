@@ -1,0 +1,184 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvi/internal/core"
+	"dvi/internal/isa"
+	"dvi/internal/mem"
+	"dvi/internal/prog"
+	"dvi/internal/workload"
+)
+
+// stepN advances e by at most n steps, stopping at halt, and returns the
+// steps actually taken.
+func stepN(e *Emulator, n uint64) uint64 {
+	var taken uint64
+	for ; taken < n && !e.Halted; taken++ {
+		e.Step()
+	}
+	return taken
+}
+
+// assertSameState fails unless got and want are in bit-identical
+// architectural state.
+func assertSameState(t *testing.T, label string, got, want *Emulator) {
+	t.Helper()
+	if got.Stats != want.Stats {
+		t.Errorf("%s: stats %+v, want %+v", label, got.Stats, want.Stats)
+	}
+	if got.Regs != want.Regs {
+		t.Errorf("%s: register files differ", label)
+	}
+	if got.PC != want.PC || got.Halted != want.Halted {
+		t.Errorf("%s: pc %#x halted %v, want %#x %v", label, got.PC, got.Halted, want.PC, want.Halted)
+	}
+	if got.Checksum != want.Checksum {
+		t.Errorf("%s: checksum %#x, want %#x", label, got.Checksum, want.Checksum)
+	}
+	if len(got.Outputs) != len(want.Outputs) {
+		t.Errorf("%s: %d outputs, want %d", label, len(got.Outputs), len(want.Outputs))
+	}
+	if !got.Mem.Equal(want.Mem) {
+		t.Errorf("%s: memory images differ", label)
+	}
+}
+
+// TestSnapshotRestoreFidelityFuzz pins the checkpoint contract behind the
+// statistical sampler: snapshotting an emulator at an arbitrary mid-run
+// boundary and resuming in a different (pooled, previously-used) emulator
+// is bit-identical to never having stopped — same Stats, registers,
+// checksum and memory image — across every workload and elimination
+// scheme.
+func TestSnapshotRestoreFidelityFuzz(t *testing.T) {
+	const limit = 120_000 // steps per combination; bounds test cost
+	rng := rand.New(rand.NewSource(0xD11))
+	schemes := []Scheme{ElimOff, ElimLVM, ElimLVMStack}
+
+	// One reused emulator across all combinations exercises the pooled
+	// ResetFor path the engine uses for interval machines.
+	resumed := &Emulator{}
+
+	for _, w := range workload.All() {
+		for _, scheme := range schemes {
+			pr, img, err := workload.CompileSpec(w, 1, workload.BuildOptions{EDVI: true})
+			if err != nil {
+				t.Fatalf("%s: compile: %v", w.Name, err)
+			}
+			cfg := Config{DVI: core.DefaultConfig(), Scheme: scheme}
+
+			ref := New(pr, img, cfg)
+			total := stepN(ref, limit)
+			if total < 2 {
+				t.Fatalf("%s/%v: program too short to split", w.Name, scheme)
+			}
+
+			base := mem.New()
+			img.LoadInto(base, pr.Data)
+
+			cut := uint64(rng.Int63n(int64(total-1))) + 1
+			head := New(pr, img, cfg)
+			stepN(head, cut)
+			var snap Snapshot
+			head.CaptureSnapshot(&snap, base)
+
+			resumed.ResetFor(pr, img, cfg)
+			resumed.RestoreSnapshot(&snap)
+			stepN(resumed, total-cut)
+			assertSameState(t, w.Name+"/"+scheme.String(), resumed, ref)
+		}
+	}
+}
+
+// TestSnapshotCaptureReusesBuffers pins that repeated captures into one
+// checkpoint buffer settle into a zero-allocation steady state (the
+// sampler pools checkpoint buffers through the engine).
+func TestSnapshotCaptureReusesBuffers(t *testing.T) {
+	pr := fibProgram(12)
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mem.New()
+	img.LoadInto(base, pr.Data)
+	e := New(pr, img, defaultCfg())
+	stepN(e, 500)
+
+	var snap Snapshot
+	e.CaptureSnapshot(&snap, base)
+	allocs := testing.AllocsPerRun(20, func() {
+		e.CaptureSnapshot(&snap, base)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state capture allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestRunBudgetBoundaryClassifiesFault pins the interval-boundary fix: a
+// budget that expires exactly at a faulting fetch still executes the
+// synthetic HALT, so the fault is counted in this run (this interval),
+// not deferred to a resumption.
+func TestRunBudgetBoundaryClassifiesFault(t *testing.T) {
+	pr := wildJumpProgram(0x40_0000)
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Count the steps up to (excluding) the halting fault.
+	probe := New(pr, img, defaultCfg())
+	var steps uint64
+	for !probe.Halted {
+		probe.Step()
+		steps++
+	}
+	work := steps - 1 // the final step is the synthetic HALT
+
+	e := New(pr, img, defaultCfg())
+	if err := e.Run(work); err != nil {
+		t.Fatalf("Run at fault boundary = %v, want nil", err)
+	}
+	if !e.Halted || e.Stats.Faults != 1 {
+		t.Fatalf("halted %v faults %d, want true 1", e.Halted, e.Stats.Faults)
+	}
+
+	// One instruction earlier the budget genuinely expires mid-program.
+	e2 := New(pr, img, defaultCfg())
+	if err := e2.Run(work - 1); err != ErrBudget {
+		t.Fatalf("Run one before boundary = %v, want ErrBudget", err)
+	}
+	if e2.Stats.Faults != 0 {
+		t.Fatalf("early budget run counted %d faults, want 0", e2.Stats.Faults)
+	}
+}
+
+// TestRunBudgetBoundaryClassifiesCleanExit is the clean-HALT twin: a
+// budget equal to the program's work count reports a normal exit, not
+// ErrBudget.
+func TestRunBudgetBoundaryClassifiesCleanExit(t *testing.T) {
+	pr := prog.New()
+	m := pr.Assembler("main")
+	m.Li(isa.T0, 1).Addi(isa.T0, isa.T0, 1)
+	m.Ret()
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := New(pr, img, defaultCfg())
+	var steps uint64
+	for !probe.Halted {
+		probe.Step()
+		steps++
+	}
+	work := steps - 1
+
+	e := New(pr, img, defaultCfg())
+	if err := e.Run(work); err != nil {
+		t.Fatalf("Run at clean exit boundary = %v, want nil", err)
+	}
+	if !e.Halted || e.Stats.Faults != 0 {
+		t.Fatalf("halted %v faults %d, want true 0", e.Halted, e.Stats.Faults)
+	}
+}

@@ -266,10 +266,20 @@ func fig5Build(opt Options, res []runner.Result) (Table, []Fig5Point, error) {
 	if err != nil {
 		return t, nil, err
 	}
+	ci := anySampled(res)
+	if ci {
+		t.Header = append(t.Header, "±CI")
+		t.Notes = append(t.Notes, sampledNote(res))
+	}
+	suite := len(workload.All())
 	for i, regs := range Fig5Sizes {
 		row := []string{fmt.Sprintf("%d", regs)}
 		for j := range dviLevels {
 			row = append(row, f3(points[i*len(dviLevels)+j].IPC))
+		}
+		if ci {
+			lo := i * len(dviLevels) * suite
+			row = append(row, pct(maxRelCI(res[lo:lo+len(dviLevels)*suite]...)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -429,13 +439,22 @@ func fig10Build(opt Options, res []runner.Result) (Table, error) {
 		Title:  "IPC speedups from dead save/restore elimination",
 		Header: []string{"Benchmark", "Base IPC", "LVM (saves)", "LVM-Stack (saves+restores)"},
 	}
+	ci := anySampled(res)
+	if ci {
+		t.Header = append(t.Header, "±CI")
+		t.Notes = append(t.Notes, sampledNote(res))
+	}
 	for i := 0; i+2 < len(res); i += 3 {
 		base, lvm, stack := res[i].Timing, res[i+1].Timing, res[i+2].Timing
-		t.Rows = append(t.Rows, []string{
+		row := []string{
 			res[i].Job.Workload.Name, f2(base.IPC()),
 			fmt.Sprintf("%+.1f%%", 100*(lvm.IPC()/base.IPC()-1)),
 			fmt.Sprintf("%+.1f%%", 100*(stack.IPC()/base.IPC()-1)),
-		})
+		}
+		if ci {
+			row = append(row, pct(maxRelCI(res[i], res[i+1], res[i+2])))
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }
@@ -481,14 +500,23 @@ func fig11Build(opt Options, res []runner.Result) (Table, error) {
 		Title:  "Cache bandwidth sensitivity of save/restore elimination",
 		Header: []string{"Benchmark", "Width", "1 Port", "2 Ports", "3 Ports"},
 	}
+	ci := anySampled(res)
+	if ci {
+		t.Header = append(t.Header, "±CI")
+		t.Notes = append(t.Notes, sampledNote(res))
+	}
 	idx := 0
 	for _, name := range fig11Benchmarks {
 		for _, width := range fig11Widths {
 			row := []string{name, fmt.Sprintf("%d-way", width)}
+			rowLo := idx
 			for range fig11Ports {
 				base, st := res[idx].Timing, res[idx+1].Timing
 				idx += 2
 				row = append(row, fmt.Sprintf("%+.1f%%", 100*(st.IPC()/base.IPC()-1)))
+			}
+			if ci {
+				row = append(row, pct(maxRelCI(res[rowLo:idx]...)))
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -737,10 +765,19 @@ func ablationWrongPathBuild(opt Options, res []runner.Result) (Table, error) {
 		Title:  "Wrong-path fetch modelling (38-register file, full DVI)",
 		Header: []string{"Benchmark", "IPC (wrong-path fetch)", "IPC (fetch stall)", "Wrong-path insts"},
 	}
+	ci := anySampled(res)
+	if ci {
+		t.Header = append(t.Header, "±CI")
+		t.Notes = append(t.Notes, sampledNote(res))
+	}
 	for i := 0; i+1 < len(res); i += 2 {
 		stOn, stOff := res[i].Timing, res[i+1].Timing
-		t.Rows = append(t.Rows, []string{res[i].Job.Workload.Name,
-			f3(stOn.IPC()), f3(stOff.IPC()), u64(stOn.WrongPath)})
+		row := []string{res[i].Job.Workload.Name,
+			f3(stOn.IPC()), f3(stOff.IPC()), u64(stOn.WrongPath)}
+		if ci {
+			row = append(row, pct(maxRelCI(res[i], res[i+1])))
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }

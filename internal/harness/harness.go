@@ -17,6 +17,8 @@ import (
 	"dvi/internal/emu"
 	"dvi/internal/isa"
 	"dvi/internal/ooo"
+	"dvi/internal/runner"
+	"dvi/internal/sample"
 )
 
 // Options scales the experiments.
@@ -34,6 +36,12 @@ type Options struct {
 	// (<=0 = runtime.GOMAXPROCS(0)). Results are deterministic at any
 	// setting; only wall-clock changes.
 	Workers int
+	// Sampling, when set, runs every timing job through the statistical
+	// sampler (internal/sample) instead of exact detailed simulation:
+	// IPC figures become estimates, gain ±CI error-bound columns, and
+	// the report runs several times faster. Exact mode (nil) is the
+	// default and its output is byte-identical to previous releases.
+	Sampling *sample.Options
 }
 
 // DefaultOptions returns a configuration that regenerates every figure in
@@ -97,6 +105,42 @@ func (t Table) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// anySampled reports whether a figure's results came through the
+// statistical sampler (Options.Sampling). Renderers use it to gate the
+// ±CI error-bound column so exact-mode tables stay byte-identical.
+func anySampled(res []runner.Result) bool {
+	for _, r := range res {
+		if r.Sampled != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// maxRelCI returns the widest relative confidence-interval half-width
+// among the results' sampled estimates — the worst-case error bound for a
+// table row derived from them. Exact results contribute zero.
+func maxRelCI(res ...runner.Result) float64 {
+	var worst float64
+	for _, r := range res {
+		if r.Sampled != nil && r.Sampled.RelCI > worst {
+			worst = r.Sampled.RelCI
+		}
+	}
+	return worst
+}
+
+// sampledNote describes a sampled figure's plan for the table notes.
+func sampledNote(res []runner.Result) string {
+	for _, r := range res {
+		if r.Sampled != nil {
+			return fmt.Sprintf("sampled: interval %d, warmup %d; ±CI is the row's worst-case %.0f%% relative half-width",
+				r.Sampled.Interval, r.Sampled.Warmup, 100*r.Sampled.Confidence)
+		}
+	}
+	return ""
 }
 
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -62,7 +62,15 @@ func CollectResults(ctx context.Context, sess *session.Session, opt Options, ids
 		spans = append(spans, span{fig.ID, len(jobs), len(jobs) + len(js)})
 		jobs = append(jobs, js...)
 	}
-	results, err := sess.Collect(ctx, jobs)
+	var (
+		results []runner.Result
+		err     error
+	)
+	if opt.Sampling != nil {
+		results, err = sess.CollectSampled(ctx, jobs, *opt.Sampling)
+	} else {
+		results, err = sess.Collect(ctx, jobs)
+	}
 	if err != nil {
 		return nil, err
 	}

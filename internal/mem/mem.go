@@ -3,7 +3,10 @@
 // so workloads can scatter data across a 64-bit address space.
 package mem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"slices"
+)
 
 const (
 	pageShift = 12
@@ -148,6 +151,84 @@ func (m *Memory) Reset() {
 	for _, p := range m.pages {
 		*p = [PageSize]byte{}
 	}
+}
+
+// PageDelta is one page whose contents diverge from a baseline memory.
+// A slice of deltas is the compact representation of "this memory, given
+// that baseline": checkpoints of a running program against its pristine
+// loaded image stay small because code and read-mostly data pages are
+// shared with the baseline and never appear in the delta.
+type PageDelta struct {
+	Key  uint64 // page index (address >> log2(PageSize))
+	Data [PageSize]byte
+}
+
+// DeltaFrom appends to dst (sliced to length zero first, so a pooled
+// buffer's capacity is reused) every page of m whose contents differ from
+// base, sorted by page key, and returns the slice. A page absent from one
+// side compares as all-zero — Reset zeroes pages in place, so a zeroed
+// page and a never-touched one are the same memory state. The common case
+// — m grown from base by execution — never loses pages, but the scan
+// covers base-only pages too so the delta is exact for any pair.
+func (m *Memory) DeltaFrom(base *Memory, dst []PageDelta) []PageDelta {
+	dst = dst[:0]
+	var zero [PageSize]byte
+	for key, p := range m.pages {
+		bp := base.pages[key]
+		if bp == nil {
+			bp = &zero
+		}
+		if *p != *bp {
+			dst = append(dst, PageDelta{Key: key, Data: *p})
+		}
+	}
+	for key, bp := range base.pages {
+		if m.pages[key] == nil && *bp != zero {
+			dst = append(dst, PageDelta{Key: key, Data: zero})
+		}
+	}
+	slices.SortFunc(dst, func(a, b PageDelta) int {
+		switch {
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		}
+		return 0
+	})
+	return dst
+}
+
+// ApplyDelta overwrites whole pages from a delta. Applying a delta taken
+// with DeltaFrom(base) to a memory currently in the base state reproduces
+// the captured memory exactly.
+func (m *Memory) ApplyDelta(delta []PageDelta) {
+	for i := range delta {
+		p := m.page(delta[i].Key<<pageShift, true)
+		*p = delta[i].Data
+	}
+}
+
+// Equal reports whether two memories hold identical contents. Pages absent
+// on one side compare as all-zero, so a zeroed-in-place page never breaks
+// equality with a never-allocated one.
+func (m *Memory) Equal(o *Memory) bool {
+	var zero [PageSize]byte
+	for key, p := range m.pages {
+		op := o.pages[key]
+		if op == nil {
+			op = &zero
+		}
+		if *p != *op {
+			return false
+		}
+	}
+	for key, op := range o.pages {
+		if m.pages[key] == nil && *op != zero {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone returns a deep copy of the memory. Used to replay a program image

@@ -197,3 +197,70 @@ func TestOversizedTracksResetBound(t *testing.T) {
 		t.Fatal("oversized after Reset released the pages")
 	}
 }
+
+func TestDeltaFromApplyDeltaRoundTrip(t *testing.T) {
+	base := New()
+	base.Write64(0x1000, 0xAABB)
+	base.Write64(0x5000, 77)
+	base.Store8(0x9000, 3)
+
+	m := base.Clone()
+	m.Write64(0x1008, 42)       // modify a base page
+	m.Write64(0x2_0000, 0xDEAD) // add a new page
+	m.Store8(0x9000, 0)         // zero the only non-zero byte of a page
+
+	delta := m.DeltaFrom(base, nil)
+	if len(delta) != 3 {
+		t.Fatalf("delta has %d pages, want 3", len(delta))
+	}
+	for i := 1; i < len(delta); i++ {
+		if delta[i-1].Key >= delta[i].Key {
+			t.Fatal("delta pages not sorted by key")
+		}
+	}
+
+	restored := base.Clone()
+	restored.ApplyDelta(delta)
+	if !restored.Equal(m) {
+		t.Fatal("base + delta does not reproduce the captured memory")
+	}
+}
+
+func TestDeltaFromCoversBaseOnlyPages(t *testing.T) {
+	base := New()
+	base.Write64(0x7000, 123)
+	m := New() // page 0x7 never allocated: reads as zero
+	delta := m.DeltaFrom(base, nil)
+	restored := base.Clone()
+	restored.ApplyDelta(delta)
+	if got := restored.Read64(0x7000); got != 0 {
+		t.Fatalf("base-only page not cleared by delta: %#x", got)
+	}
+	if !restored.Equal(m) {
+		t.Fatal("restored memory differs from captured")
+	}
+}
+
+func TestDeltaFromReusesBuffer(t *testing.T) {
+	base := New()
+	m := base.Clone()
+	m.Write64(0x3000, 9)
+	buf := make([]PageDelta, 0, 8)
+	delta := m.DeltaFrom(base, buf)
+	if cap(delta) != cap(buf) {
+		t.Fatalf("delta reallocated: cap %d, want %d", cap(delta), cap(buf))
+	}
+}
+
+func TestEqualTreatsMissingPagesAsZero(t *testing.T) {
+	a := New()
+	b := New()
+	a.Store8(0x4000, 0) // allocates a zero page
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("zero page vs missing page reported unequal")
+	}
+	a.Store8(0x4000, 1)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("differing memories reported equal")
+	}
+}

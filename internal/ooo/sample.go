@@ -1,0 +1,73 @@
+package ooo
+
+import (
+	"fmt"
+
+	"dvi/internal/bpred"
+	"dvi/internal/cache"
+	"dvi/internal/emu"
+)
+
+// WarmState bundles the functionally-warmed microarchitectural state a
+// sampled-simulation checkpoint carries alongside the architectural
+// snapshot: the cache hierarchy, the direction predictor, the branch
+// target buffer and the return address stack. The sampler fills it from
+// structures it warms during the functional fast-forward pass; Boot
+// transplants it into a pooled machine so a detailed interval does not
+// start from cold caches.
+type WarmState struct {
+	Hier cache.HierarchySnapshot
+	Pred bpred.PredictorSnapshot
+	BTB  bpred.BTBSnapshot
+	RAS  bpred.RASSnapshot
+}
+
+// Boot positions a freshly Reset machine at a checkpointed mid-program
+// point: the embedded emulator's architectural state is restored from
+// arch (the machine's memory must still be the pristine loaded image
+// Reset left it with — arch carries a page delta against that baseline),
+// the warm microarchitectural state is transplanted, and fetch is
+// redirected to the restored PC. The pipeline itself starts empty; the
+// sampler's detailed warmup run absorbs the fill transient.
+func (m *Machine) Boot(arch *emu.Snapshot, warm *WarmState) {
+	if m.cycle != 0 || m.Stats.Committed != 0 {
+		panic("ooo: Boot on a machine that already ran; Reset first")
+	}
+	m.emu.RestoreSnapshot(arch)
+	if warm != nil {
+		m.hier.Restore(&warm.Hier)
+		m.pred.Restore(&warm.Pred)
+		m.btb.Restore(&warm.BTB)
+		m.ras.Restore(warm.RAS)
+	}
+	m.fetchPC = m.emu.PC
+	if m.emu.Halted {
+		m.dispatchHalted = true
+	}
+}
+
+// RunUntil simulates until the committed original-instruction count
+// reaches target or the program halts, and returns the statistics so
+// far. Unlike Run it ignores the configured MaxInsts: the sampler calls
+// it twice per interval — once to the end of the detailed warmup, once to
+// the end of the measured region — and differences the two Stats. The
+// machine stays in a resumable state between calls.
+func (m *Machine) RunUntil(target uint64) (Stats, error) {
+	idleCycles := 0
+	lastCommitted := m.Stats.Committed
+	for !(m.dispatchHalted && m.robLen == 0) && m.Stats.Committed < target {
+		m.step()
+		if m.Stats.Committed == lastCommitted {
+			idleCycles++
+			if idleCycles > 100000 {
+				return m.Stats, fmt.Errorf("%w at cycle %d (pc %#x, rob %d, free %d)",
+					ErrDeadlock, m.cycle, m.fetchPC, m.robLen, m.rt.FreeCount())
+			}
+		} else {
+			idleCycles = 0
+			lastCommitted = m.Stats.Committed
+		}
+	}
+	m.Stats.Emu = m.emu.Stats
+	return m.Stats, nil
+}

@@ -23,6 +23,7 @@ import (
 	"dvi/internal/emu"
 	"dvi/internal/ooo"
 	"dvi/internal/prog"
+	"dvi/internal/sample"
 	"dvi/internal/workload"
 )
 
@@ -41,6 +42,11 @@ const (
 	// Build compiles and links only; the result carries the artifacts.
 	// Figure 13 uses it for static code-size ratios.
 	Build
+	// SampledInterval runs one checkpointed interval of a sampled
+	// simulation in detail (sample.RunInterval). The sampler submits one
+	// job per selected interval; they are independent, so a batch spreads
+	// across the pool like any other grid.
+	SampledInterval
 )
 
 // String returns the progress label for the kind.
@@ -52,6 +58,8 @@ func (k Kind) String() string {
 		return "functional"
 	case CtxSwitch:
 		return "ctxswitch"
+	case SampledInterval:
+		return "interval"
 	default:
 		return "build"
 	}
@@ -85,6 +93,11 @@ type Job struct {
 	EmuBudget uint64
 	// Interval is the CtxSwitch preemption sampling interval.
 	Interval uint64
+
+	// Sample is the checkpoint a SampledInterval job simulates. The
+	// checkpoint is read-only during the run and owned by the submitting
+	// sampler (typically acquired from AcquireCheckpoint).
+	Sample *sample.Checkpoint
 
 	// KeepMachine retains the Timing simulator instance on the Result
 	// for callers that need cache/predictor detail (cmd/dvisim). Off by
@@ -122,6 +135,15 @@ type Result struct {
 
 	// Switch holds the measurement for CtxSwitch jobs.
 	Switch ctxswitch.Result
+
+	// Interval holds the measurement for SampledInterval jobs.
+	Interval sample.IntervalResult
+
+	// Sampled carries the whole-program estimate when the session ran a
+	// Timing job through the statistical sampler instead of an exact
+	// detailed run; Timing then holds the estimate rendered as machine
+	// stats. Exact runs leave it nil.
+	Sampled *sample.Estimate
 
 	// Err is the job's failure, wrapped with its label. Run never returns
 	// results with Err set (it fails fast instead); Stream sets it on the
@@ -186,14 +208,16 @@ type Engine struct {
 	progress ProgressFunc
 	cache    *BuildCache
 
-	machines sync.Pool // *ooo.Machine
-	emus     sync.Pool // *emu.Emulator
+	machines    sync.Pool // *ooo.Machine
+	emus        sync.Pool // *emu.Emulator
+	checkpoints sync.Pool // *sample.Checkpoint
 
 	// Pool effectiveness accounting: how often a job ran on a reset warm
 	// instance versus having to build a fresh one (PoolStats; exported by
 	// the service as /metrics counters).
 	machineReuse, machineFresh atomic.Int64
 	emuReuse, emuFresh         atomic.Int64
+	ckReuse, ckFresh           atomic.Int64
 }
 
 // PoolStats reports instance pool effectiveness: jobs served by resetting
@@ -203,15 +227,22 @@ type Engine struct {
 type PoolStats struct {
 	MachineReuse, MachineFresh int64
 	EmuReuse, EmuFresh         int64
+	// Checkpoint buffer pool effectiveness: a reused checkpoint keeps its
+	// grown snapshot slices (memory delta, cache lines, predictor
+	// tables), so a steady stream of sampled runs allocates nothing per
+	// capture.
+	CheckpointReuse, CheckpointFresh int64
 }
 
 // PoolStats returns the engine's instance pool counters.
 func (e *Engine) PoolStats() PoolStats {
 	return PoolStats{
-		MachineReuse: e.machineReuse.Load(),
-		MachineFresh: e.machineFresh.Load(),
-		EmuReuse:     e.emuReuse.Load(),
-		EmuFresh:     e.emuFresh.Load(),
+		MachineReuse:    e.machineReuse.Load(),
+		MachineFresh:    e.machineFresh.Load(),
+		EmuReuse:        e.emuReuse.Load(),
+		EmuFresh:        e.emuFresh.Load(),
+		CheckpointReuse: e.ckReuse.Load(),
+		CheckpointFresh: e.ckFresh.Load(),
 	}
 }
 
@@ -410,6 +441,17 @@ func (e *Engine) runJob(ctx context.Context, j Job) (Result, error) {
 		}
 		res.Switch = sw
 		e.putEmu(em)
+	case SampledInterval:
+		if j.Sample == nil {
+			return res, fmt.Errorf("runner: SampledInterval job without a checkpoint")
+		}
+		m := e.getMachine(pr, img, j.Machine)
+		iv, err := sample.RunInterval(m, j.Sample)
+		if err != nil {
+			return res, err
+		}
+		res.Interval = iv
+		e.putMachine(m)
 	case Build:
 		// Artifacts only.
 	default:

@@ -1,0 +1,44 @@
+package runner
+
+import (
+	"dvi/internal/emu"
+	"dvi/internal/prog"
+	"dvi/internal/sample"
+)
+
+// The sampler's functional scan and its checkpoint buffers run through
+// the same pools as the engine's job instances: the scan borrows a pooled
+// emulator, and every checkpoint buffer is recycled so repeated sampled
+// runs reach the same zero-allocation steady state as exact ones.
+
+// AcquireEmulator returns a pooled emulator reset for (pr, img, cfg) for
+// callers that drive a functional pass themselves (the sampler's scan).
+// Pair with ReleaseEmulator.
+func (e *Engine) AcquireEmulator(pr *prog.Program, img *prog.Image, cfg emu.Config) *emu.Emulator {
+	return e.getEmu(pr, img, cfg)
+}
+
+// ReleaseEmulator returns an emulator obtained from AcquireEmulator to
+// the pool.
+func (e *Engine) ReleaseEmulator(em *emu.Emulator) { e.putEmu(em) }
+
+// AcquireCheckpoint returns a checkpoint buffer whose internal slices
+// (memory page delta, cache line arrays, predictor tables) are reused
+// from a previous sampled run when possible.
+func (e *Engine) AcquireCheckpoint() *sample.Checkpoint {
+	if ck, ok := e.checkpoints.Get().(*sample.Checkpoint); ok {
+		e.ckReuse.Add(1)
+		return ck
+	}
+	e.ckFresh.Add(1)
+	return new(sample.Checkpoint)
+}
+
+// ReleaseCheckpoint returns a checkpoint buffer to the pool once no
+// in-flight job references it.
+func (e *Engine) ReleaseCheckpoint(ck *sample.Checkpoint) {
+	if ck == nil {
+		return
+	}
+	e.checkpoints.Put(ck)
+}

@@ -113,6 +113,39 @@ type SimulateRequest struct {
 	// "before-calls" (default) or "at-death".
 	Policy  string            `json:"policy,omitempty"`
 	Machine *MachineOverrides `json:"machine,omitempty"`
+	// Sampling, when set, answers with a statistical estimate instead of
+	// an exact detailed run: checkpointed intervals are simulated on the
+	// daemon's worker pool and the response carries a confidence
+	// interval. Architectural counts stay exact either way.
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
+}
+
+// SamplingSpec selects statistical sampling for a simulate job. Zero
+// fields pick the server's defaults (internal/sample).
+type SamplingSpec struct {
+	// Interval is the sampling-unit length in instructions.
+	Interval uint64 `json:"interval,omitempty"`
+	// Warmup is the detailed warmup run before each measured interval.
+	Warmup uint64 `json:"warmup,omitempty"`
+	// TargetCI, when positive, densifies the sample until the estimate's
+	// relative CI half-width reaches it (or the plan is a full census).
+	TargetCI float64 `json:"target_ci,omitempty"`
+}
+
+// SampledSummary reports how a sampled estimate was formed and how tight
+// it is. IPC and cycle counts in the enclosing response are estimates;
+// everything the functional pass counts exactly (eliminations, kills,
+// faults, committed instructions) is exact.
+type SampledSummary struct {
+	Interval      uint64  `json:"interval"`       // effective plan
+	Warmup        uint64  `json:"warmup"`         //
+	Intervals     int     `json:"intervals"`      // program length in intervals
+	Measured      int     `json:"measured"`       // intervals simulated in detail
+	TotalInsts    uint64  `json:"total_insts"`    // whole program
+	DetailedInsts uint64  `json:"detailed_insts"` // instructions simulated in detail
+	CIHalfWidth   float64 `json:"ci_half_width"`  // absolute, on IPC
+	RelCI         float64 `json:"rel_ci"`         // CIHalfWidth / estimated IPC
+	Confidence    float64 `json:"confidence"`     // e.g. 0.95
 }
 
 // SimulateResponse returns the timing statistics.
@@ -125,6 +158,9 @@ type SimulateResponse struct {
 	MaxInsts uint64    `json:"max_insts"`
 	IPC      float64   `json:"ipc"`
 	Stats    ooo.Stats `json:"stats"`
+	// Sampled is present iff the request asked for sampling: the
+	// estimate's error bound and plan.
+	Sampled *SampledSummary `json:"sampled,omitempty"`
 }
 
 // CtxSwitchRequest samples live-register counts at preemption points

@@ -15,6 +15,7 @@ import (
 	"dvi/internal/prog"
 	"dvi/internal/rewrite"
 	"dvi/internal/runner"
+	"dvi/internal/sample"
 	"dvi/internal/session"
 	"dvi/internal/workload"
 )
@@ -51,19 +52,22 @@ func errf(code int, format string, args ...any) *httpError {
 }
 
 // preparedJob is one validated, ready-to-run unit of work. Engine-backed
-// kinds (simulate, ctxswitch) carry a runner job plus a render hook;
-// annotate jobs carry a self-contained thunk, because the binary
-// rewriter mutates its program and therefore works on private builds
-// outside the shared cache.
+// kinds (exact simulate, ctxswitch) carry a runner job plus a render
+// hook; the rest carry a self-contained inline thunk that fills its
+// result line directly. Annotate is inline because the binary rewriter
+// mutates its program and therefore works on private builds outside the
+// shared cache; sampled simulate is inline because the sampler is its
+// own orchestration — it fans interval jobs out across the engine's
+// worker pool itself.
 type preparedJob struct {
-	kind     string
-	job      runner.Job
-	render   func(runner.Result, *JobResult)
-	annotate func() (*AnnotateResponse, *httpError)
+	kind   string
+	job    runner.Job
+	render func(runner.Result, *JobResult)
+	inline func(context.Context, *JobResult) *httpError
 }
 
 // engineBacked reports whether the job executes on the session's engine.
-func (pj *preparedJob) engineBacked() bool { return pj.annotate == nil }
+func (pj *preparedJob) engineBacked() bool { return pj.inline == nil }
 
 // prepareJob validates one /v2 batch entry.
 func (s *Server) prepareJob(jr JobRequest) (*preparedJob, *httpError) {
@@ -158,16 +162,54 @@ func (s *Server) prepareSimulate(req *SimulateRequest) (*preparedJob, *httpError
 	cfg.MaxInsts = s.clampInsts(req.MaxInsts)
 
 	key := spec.Key(scale, bopt).String()
+	job := runner.Job{
+		Label:    "simulate " + key,
+		Workload: spec,
+		Scale:    scale,
+		Build:    bopt,
+		Kind:     runner.Timing,
+		Machine:  cfg,
+	}
+	if req.Sampling != nil {
+		so := sample.Options{
+			Interval: req.Sampling.Interval,
+			Warmup:   req.Sampling.Warmup,
+			TargetCI: req.Sampling.TargetCI,
+		}
+		return &preparedJob{
+			kind: "simulate",
+			inline: func(ctx context.Context, line *JobResult) *httpError {
+				out, err := s.sess.CollectSampled(ctx, []runner.Job{job}, so)
+				if err != nil {
+					return errf(http.StatusBadRequest, "%v", err)
+				}
+				res, est := out[0], out[0].Sampled
+				line.Simulate = &SimulateResponse{
+					Workload: spec.Name,
+					Scale:    scale,
+					BuildKey: key,
+					MaxInsts: cfg.MaxInsts,
+					IPC:      est.IPC,
+					Stats:    res.Timing,
+					Sampled: &SampledSummary{
+						Interval:      est.Interval,
+						Warmup:        est.Warmup,
+						Intervals:     est.Intervals,
+						Measured:      est.Measured,
+						TotalInsts:    est.TotalInsts,
+						DetailedInsts: est.DetailedInsts,
+						CIHalfWidth:   est.CIHalfWidth,
+						RelCI:         est.RelCI,
+						Confidence:    est.Confidence,
+					},
+				}
+				return nil
+			},
+		}, nil
+	}
 	return &preparedJob{
 		kind: "simulate",
-		job: runner.Job{
-			Label:    "simulate " + key,
-			Workload: spec,
-			Scale:    scale,
-			Build:    bopt,
-			Kind:     runner.Timing,
-			Machine:  cfg,
-		},
+		job:  job,
 		render: func(res runner.Result, line *JobResult) {
 			st := res.Timing
 			line.Simulate = &SimulateResponse{
@@ -287,18 +329,34 @@ func (s *Server) prepareAnnotate(req *AnnotateRequest) (*preparedJob, *httpError
 	default:
 		return nil, errf(http.StatusBadRequest, "one of workload or asm is required")
 	}
-	return &preparedJob{kind: "annotate", annotate: thunk}, nil
+	return &preparedJob{kind: "annotate", inline: func(_ context.Context, line *JobResult) *httpError {
+		resp, herr := thunk()
+		if herr != nil {
+			return herr
+		}
+		line.Annotate = resp
+		return nil
+	}}, nil
 }
 
-// executeOne runs a single engine-backed prepared job through the shared
-// session — the /v1 shim path. The returned error is either the job's
-// failure (wrapped with its label, for runError to map onto a status) or
-// the request context's cancellation.
+// executeOne runs a single prepared job through the shared session — the
+// /v1 shim path. Inline jobs (annotate, sampled simulate) run on the
+// calling goroutine; engine-backed jobs submit a one-job batch. The
+// returned error is either the job's failure (an *httpError for inline
+// jobs; otherwise wrapped with its label, for runError to map onto a
+// status) or the request context's cancellation.
 func (s *Server) executeOne(ctx context.Context, pj *preparedJob) (*JobResult, error) {
 	var (
 		line   JobResult
 		jobErr error
 	)
+	if !pj.engineBacked() {
+		line.Kind = pj.kind
+		if herr := pj.inline(ctx, &line); herr != nil {
+			return nil, herr
+		}
+		return &line, nil
+	}
 	err := s.sess.Run(ctx, []runner.Job{pj.job}, func(res runner.Result) error {
 		if res.Err != nil {
 			jobErr = res.Err
@@ -367,13 +425,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Engine-backed jobs are submitted to the session immediately and run
-	// concurrently on its worker pool, so a leading annotate never delays
-	// engine submission. Annotate jobs execute inline on this goroutine
-	// at their slot in the stream: they are compile-bound and cheap, and
-	// running them serially here keeps a single batch from spawning
-	// unbounded compile work outside the engine's bounded pool (at the
-	// cost that an annotate behind a slow simulation starts only when its
-	// slot comes up).
+	// concurrently on its worker pool, so a leading inline job never
+	// delays engine submission. Inline jobs execute on this goroutine at
+	// their slot in the stream: annotate is compile-bound and cheap, and
+	// a sampled simulate fans its interval jobs out across the same
+	// worker pool itself, so running them serially here keeps a single
+	// batch from oversubscribing the machine (at the cost that an inline
+	// job behind a slow simulation starts only when its slot comes up).
 	var engJobs []runner.Job
 	for _, pj := range prepared {
 		if pj.engineBacked() {
@@ -415,13 +473,8 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			} else {
 				pj.render(res, &line)
 			}
-		} else {
-			resp, herr := pj.annotate()
-			if herr != nil {
-				line.Error = herr.msg
-			} else {
-				line.Annotate = resp
-			}
+		} else if herr := pj.inline(r.Context(), &line); herr != nil {
+			line.Error = herr.msg
 		}
 		if err := writeLine(line); err != nil {
 			// The stream broke mid-batch; the response cannot change

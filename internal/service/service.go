@@ -428,12 +428,12 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, herr.code, "%s", herr.msg)
 		return
 	}
-	resp, herr := pj.annotate()
-	if herr != nil {
+	var line JobResult
+	if herr := pj.inline(r.Context(), &line); herr != nil {
 		s.writeError(w, herr.code, "%s", herr.msg)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, line.Annotate)
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -514,17 +514,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{name: "dvid_machine_pool_fresh_total", help: "Timing jobs that had to construct a fresh machine.", value: float64(pool.MachineFresh), counter: true},
 		{name: "dvid_emulator_pool_reuse_total", help: "Functional/ctxswitch jobs served by resetting a pooled warm emulator.", value: float64(pool.EmuReuse), counter: true},
 		{name: "dvid_emulator_pool_fresh_total", help: "Functional/ctxswitch jobs that had to construct a fresh emulator.", value: float64(pool.EmuFresh), counter: true},
+		{name: "dvid_checkpoint_pool_reuse_total", help: "Sampling checkpoints served from the recycled-checkpoint pool.", value: float64(pool.CheckpointReuse), counter: true},
+		{name: "dvid_checkpoint_pool_fresh_total", help: "Sampling checkpoints that had to be freshly allocated.", value: float64(pool.CheckpointFresh), counter: true},
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(body))
 }
 
 // runError maps an engine failure onto an HTTP status: client-abandoned
-// contexts get 503 (nobody is reading anyway), everything else is a bad
-// build or run rooted in the request (400).
+// contexts get 503 (nobody is reading anyway), inline jobs carry their
+// own status, everything else is a bad build or run rooted in the
+// request (400).
 func (s *Server) runError(w http.ResponseWriter, r *http.Request, err error) {
 	if r.Context().Err() != nil {
 		s.writeError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+		return
+	}
+	var herr *httpError
+	if errors.As(err, &herr) {
+		s.writeError(w, herr.code, "%s", herr.msg)
 		return
 	}
 	s.writeError(w, http.StatusBadRequest, "%v", err)

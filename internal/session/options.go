@@ -6,6 +6,7 @@ import (
 	"dvi/internal/ooo"
 	"dvi/internal/rewrite"
 	"dvi/internal/runner"
+	"dvi/internal/sample"
 )
 
 // Option configures a Session at construction time.
@@ -72,6 +73,10 @@ type runSettings struct {
 	interval uint64
 	fresh    bool
 	label    string
+
+	// sampling, when set, routes Simulate through the statistical
+	// sampler (WithSampling / WithSamplingOptions).
+	sampling *sample.Options
 }
 
 // resolve folds opts over the defaults: scale 1, the paper's Figure 2

@@ -1,0 +1,217 @@
+package session_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"dvi/internal/core"
+	"dvi/internal/emu"
+	"dvi/internal/ooo"
+	"dvi/internal/runner"
+	"dvi/internal/sample"
+	"dvi/internal/session"
+	"dvi/internal/workload"
+)
+
+// samplingTestOpts is a small plan sized for test workloads (scale 1 runs
+// are a few hundred thousand instructions).
+func samplingTestOpts() sample.Options {
+	return sample.Options{Interval: 4000, Warmup: 1000, Period: 4}
+}
+
+// TestSampledAccuracyAcrossSuite is the headline acceptance gate: on
+// every workload and elimination scheme, the sampled IPC estimate lands
+// within its own reported confidence interval of the exact detailed IPC,
+// and the exact-side architectural statistics are identical to a
+// functional run's.
+func TestSampledAccuracyAcrossSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-suite accuracy sweep is not short")
+	}
+	sess := session.New()
+	ctx := context.Background()
+	schemes := []emu.Scheme{emu.ElimOff, emu.ElimLVM, emu.ElimLVMStack}
+
+	for _, w := range workload.All() {
+		for _, scheme := range schemes {
+			so := samplingTestOpts()
+			est, err := sess.SimulateSampled(ctx, w,
+				session.WithScheme(scheme),
+				session.WithSamplingOptions(so))
+			if err != nil {
+				t.Fatalf("%s/%v: sampled: %v", w.Name, scheme, err)
+			}
+			exact, err := sess.Simulate(ctx, w, session.WithScheme(scheme))
+			if err != nil {
+				t.Fatalf("%s/%v: exact: %v", w.Name, scheme, err)
+			}
+			if diff := math.Abs(est.IPC - exact.IPC()); diff > est.CIHalfWidth {
+				t.Errorf("%s/%v: estimate %.4f off exact %.4f by %.4f, CI half-width %.4f",
+					w.Name, scheme, est.IPC, exact.IPC(), diff, est.CIHalfWidth)
+			}
+			// Architectural counts come from the functional pass: exact.
+			if est.Stats.ElimSaves != exact.ElimSaves || est.Stats.ElimRests != exact.ElimRests {
+				t.Errorf("%s/%v: sampled eliminations %d/%d, exact %d/%d",
+					w.Name, scheme, est.Stats.ElimSaves, est.Stats.ElimRests,
+					exact.ElimSaves, exact.ElimRests)
+			}
+			if est.Stats.Committed != exact.Committed {
+				t.Errorf("%s/%v: sampled committed %d, exact %d",
+					w.Name, scheme, est.Stats.Committed, exact.Committed)
+			}
+			if est.DetailedInsts >= est.TotalInsts {
+				t.Errorf("%s/%v: %d detailed instructions of %d total — sampling saved nothing",
+					w.Name, scheme, est.DetailedInsts, est.TotalInsts)
+			}
+		}
+	}
+}
+
+// TestSampledDeterministicAcrossWorkerCounts pins the scheduling
+// determinism contract: the same plan yields bit-identical estimates at
+// one worker and at eight.
+func TestSampledDeterministicAcrossWorkerCounts(t *testing.T) {
+	ctx := context.Background()
+	w, _ := workload.ByName("go")
+	so := samplingTestOpts()
+
+	run := func(workers int) sample.Estimate {
+		t.Helper()
+		sess := session.New(session.WithWorkers(workers))
+		est, err := sess.SimulateSampled(ctx, w,
+			session.WithScheme(emu.ElimLVMStack),
+			session.WithSamplingOptions(so))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return est
+	}
+
+	one := run(1)
+	eight := run(8)
+	if !reflect.DeepEqual(one, eight) {
+		t.Errorf("estimates differ across worker counts:\n-j1: %+v\n-j8: %+v", one, eight)
+	}
+	// And re-running in the same session (pooled, warm instances) is
+	// also identical.
+	again := run(1)
+	if !reflect.DeepEqual(one, again) {
+		t.Errorf("estimate changed between runs:\nfirst: %+v\nagain: %+v", one, again)
+	}
+}
+
+// TestSimulateRoutesThroughSampler pins that WithSampling changes
+// Simulate's path: the returned stats are the estimate's rendering
+// (identical to SimulateSampled's Stats), not an exact run.
+func TestSimulateRoutesThroughSampler(t *testing.T) {
+	ctx := context.Background()
+	sess := session.New()
+	w, _ := workload.ByName("li")
+	so := samplingTestOpts()
+
+	est, err := sess.SimulateSampled(ctx, w, session.WithSamplingOptions(so))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSimulate, err := sess.Simulate(ctx, w, session.WithSamplingOptions(so))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSimulate != est.Stats {
+		t.Errorf("Simulate(WithSampling) = %+v\nwant %+v", viaSimulate, est.Stats)
+	}
+}
+
+// TestSampledTargetCIDensifies pins adaptive densification: demanding a
+// tighter CI than the initial sparse plan delivers makes the sampler
+// measure more intervals, and the final estimate reports a CI no wider
+// than the target (or a full census).
+func TestSampledTargetCIDensifies(t *testing.T) {
+	ctx := context.Background()
+	sess := session.New()
+	w, _ := workload.ByName("go")
+
+	loose, err := sess.SimulateSampled(ctx, w,
+		session.WithSamplingOptions(sample.Options{Interval: 4000, Warmup: 1000, Period: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := sess.SimulateSampled(ctx, w,
+		session.WithSamplingOptions(sample.Options{
+			Interval: 4000, Warmup: 1000, Period: 8,
+			TargetCI: loose.RelCI * 0.9,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Measured <= loose.Measured {
+		t.Errorf("target CI %.4f did not densify: measured %d, loose plan measured %d",
+			loose.RelCI*0.9, tight.Measured, loose.Measured)
+	}
+	if tight.RelCI > loose.RelCI*0.9 && tight.Measured < tight.Intervals {
+		t.Errorf("final RelCI %.4f misses target %.4f with %d/%d intervals measured",
+			tight.RelCI, loose.RelCI*0.9, tight.Measured, tight.Intervals)
+	}
+}
+
+// TestCollectSampledMixedBatch pins CollectSampled's contract: Timing
+// jobs come back with estimates and rendered stats, non-Timing jobs run
+// exactly, and results keep submission order.
+func TestCollectSampledMixedBatch(t *testing.T) {
+	ctx := context.Background()
+	sess := session.New()
+	li, _ := workload.ByName("li")
+	goW, _ := workload.ByName("go")
+
+	timing := func(w workload.Spec, scheme emu.Scheme) session.Job {
+		cfg := ooo.DefaultConfig()
+		cfg.Emu = session.EmuConfigFor(core.Full, scheme)
+		return session.Job{
+			Workload: w, Scale: 1,
+			Build:   session.BuildOptionsFor(core.Full),
+			Kind:    runner.Timing,
+			Machine: cfg,
+		}
+	}
+	functional := func(w workload.Spec, scheme emu.Scheme) session.Job {
+		return session.Job{
+			Workload: w, Scale: 1,
+			Build: session.BuildOptionsFor(core.Full),
+			Kind:  runner.Functional,
+			Emu:   session.EmuConfigFor(core.Full, scheme),
+		}
+	}
+
+	jobs := []session.Job{
+		timing(li, emu.ElimLVMStack),
+		functional(goW, emu.ElimLVMStack),
+		timing(goW, emu.ElimOff),
+	}
+
+	results, err := sess.CollectSampled(ctx, jobs, samplingTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, res := range results {
+		if res.Index != i {
+			t.Errorf("result %d has index %d", i, res.Index)
+		}
+	}
+	if results[0].Sampled == nil || results[2].Sampled == nil {
+		t.Error("timing results missing sampled estimates")
+	}
+	if results[1].Sampled != nil {
+		t.Error("functional result carries a sampled estimate")
+	}
+	if results[0].Timing != results[0].Sampled.Stats {
+		t.Error("timing stats do not match the estimate's rendering")
+	}
+	if results[1].Func.Original() == 0 {
+		t.Error("functional job did not run")
+	}
+}

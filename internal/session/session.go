@@ -112,10 +112,24 @@ func (s *Session) Build(ctx context.Context, w workload.Spec, opts ...RunOption)
 
 // Simulate builds a workload (E-DVI annotations iff the machine's DVI
 // level honours them; see BuildOptionsFor) and runs it on the out-of-order
-// timing simulator, drawn from the session's machine pool.
+// timing simulator, drawn from the session's machine pool. With
+// WithSampling the run goes through the statistical sampler instead and
+// the returned stats are the estimate rendered in machine-stat shape
+// (SimulateSampled returns the estimate itself, CI included).
 func (s *Session) Simulate(ctx context.Context, w workload.Spec, opts ...RunOption) (ooo.Stats, error) {
 	rs := resolve(opts)
 	cfg := rs.machineConfig()
+	if rs.sampling != nil {
+		est, _, err := s.sampleJob(ctx, Job{
+			Label:    rs.label,
+			Workload: w,
+			Scale:    rs.scale,
+			Build:    rs.buildOptions(cfg.Emu.DVI.Level),
+			Kind:     runner.Timing,
+			Machine:  cfg,
+		}, *rs.sampling)
+		return est.Stats, err
+	}
 	res, err := s.one(ctx, Job{
 		Label:    rs.label,
 		Workload: w,
