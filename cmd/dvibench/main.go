@@ -22,11 +22,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"dvi/internal/harness"
+	"dvi/internal/obs"
 	"dvi/internal/runner"
 	"dvi/internal/sample"
 	"dvi/internal/session"
@@ -55,6 +57,7 @@ func run() int {
 		targetCI = flag.Float64("ci", 0, "target relative CI half-width, e.g. 0.05; sampler densifies until met (implies -sampling)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+		phases   = flag.Bool("phases", false, "print a per-phase wall-clock breakdown (build, scan, interval, render, ...) on stderr after the run")
 	)
 	flag.Parse()
 
@@ -124,14 +127,27 @@ func run() int {
 		}
 	}
 
+	// -phases installs a span recorder on the run's context: every job
+	// the engine executes becomes a root span whose children (build,
+	// scan, interval, render, ...) are folded into per-phase totals as
+	// the trees complete.
+	ctx := context.Background()
+	var acc *phaseAcc
+	if *phases {
+		acc = newPhaseAcc()
+		rec := obs.NewRecorder(1) // the ring is unused; OnRecord does the work
+		rec.OnRecord = acc.fold
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+
 	sess := harness.NewSession(opt, progress)
 	start := time.Now()
 	if *asJSON {
-		if err := emitJSON(os.Stdout, sess, opt, ids, start); err != nil {
+		if err := emitJSON(ctx, os.Stdout, sess, opt, ids, start); err != nil {
 			fmt.Fprintln(os.Stderr, "dvibench:", err)
 			return 1
 		}
-	} else if err := harness.RunFigures(context.Background(), sess, opt, ids, os.Stdout); err != nil {
+	} else if err := harness.RunFigures(ctx, sess, opt, ids, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dvibench:", err)
 		return 1
 	}
@@ -140,7 +156,51 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "dvibench: done in %s (%d workers, %d binaries compiled, %d build cache hits)\n",
 			time.Since(start).Round(time.Millisecond), sess.Workers(), misses, hits)
 	}
+	if acc != nil {
+		acc.print(os.Stderr)
+	}
 	return 0
+}
+
+// phaseAcc accumulates span durations by phase name across all recorded
+// span trees. fold runs on engine worker goroutines as trees complete.
+type phaseAcc struct {
+	mu     sync.Mutex
+	totals map[string]time.Duration
+	counts map[string]int
+}
+
+func newPhaseAcc() *phaseAcc {
+	return &phaseAcc{totals: map[string]time.Duration{}, counts: map[string]int{}}
+}
+
+func (a *phaseAcc) fold(root *obs.Span) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	root.Visit(func(s *obs.Span) {
+		a.totals[s.Name()] += s.Duration()
+		a.counts[s.Name()]++
+	})
+}
+
+// print writes the per-phase breakdown, widest total first. Phase totals
+// overlap (a job span contains its build span; workers run in parallel),
+// so the column sums to more than wall-clock by design.
+func (a *phaseAcc) print(w io.Writer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.totals))
+	for name := range a.totals {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return a.totals[names[i]] > a.totals[names[j]] })
+	fmt.Fprintf(w, "dvibench: per-phase breakdown (cumulative across workers; phases nest)\n")
+	for _, name := range names {
+		n := a.counts[name]
+		total := a.totals[name]
+		fmt.Fprintf(w, "dvibench:   %-12s %10s  %6d spans  avg %s\n",
+			name, total.Round(time.Microsecond), n, (total / time.Duration(n)).Round(time.Microsecond))
+	}
 }
 
 // benchFigure is one figure's machine-readable record: per-figure
@@ -214,7 +274,7 @@ func gridIPC(committed, cycles uint64) float64 {
 // build cache) so each gets its own wall-clock, and assembles the
 // machine-readable report. A figure's Needs grids re-run inside its
 // measurement — the timing is per-figure cost, not marginal cost.
-func buildReport(sess *session.Session, opt harness.Options, ids []string, start time.Time) (benchReport, error) {
+func buildReport(ctx context.Context, sess *session.Session, opt harness.Options, ids []string, start time.Time) (benchReport, error) {
 	selected := map[string]bool{}
 	for _, id := range ids {
 		selected[id] = true
@@ -241,7 +301,7 @@ func buildReport(sess *session.Session, opt harness.Options, ids []string, start
 			continue
 		}
 		figStart := time.Now()
-		rs, err := harness.CollectResults(context.Background(), sess, opt, []string{fig.ID})
+		rs, err := harness.CollectResults(ctx, sess, opt, []string{fig.ID})
 		if err != nil {
 			return rep, fmt.Errorf("%s: %w", fig.ID, err)
 		}
@@ -290,8 +350,8 @@ func buildReport(sess *session.Session, opt harness.Options, ids []string, start
 }
 
 // emitJSON writes the machine-readable report for ids to w.
-func emitJSON(w io.Writer, sess *session.Session, opt harness.Options, ids []string, start time.Time) error {
-	rep, err := buildReport(sess, opt, ids, start)
+func emitJSON(ctx context.Context, w io.Writer, sess *session.Session, opt harness.Options, ids []string, start time.Time) error {
+	rep, err := buildReport(ctx, sess, opt, ids, start)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"testing"
@@ -29,7 +30,7 @@ func TestJSONReportNoTimingJobs(t *testing.T) {
 	for _, id := range []string{"fig2", "fig6"} {
 		opt := testOptions()
 		sess := harness.NewSession(opt, nil)
-		rep, err := buildReport(sess, opt, []string{id}, time.Now())
+		rep, err := buildReport(context.Background(), sess, opt, []string{id}, time.Now())
 		if err != nil {
 			t.Fatalf("%s: buildReport: %v", id, err)
 		}
@@ -58,7 +59,7 @@ func TestJSONReportNoTimingJobs(t *testing.T) {
 func TestJSONReportThroughputAggregate(t *testing.T) {
 	opt := testOptions()
 	sess := harness.NewSession(opt, nil)
-	rep, err := buildReport(sess, opt, []string{"fig10"}, time.Now())
+	rep, err := buildReport(context.Background(), sess, opt, []string{"fig10"}, time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestEmitJSONRoundTrips(t *testing.T) {
 	opt := testOptions()
 	sess := harness.NewSession(opt, nil)
 	var buf bytes.Buffer
-	if err := emitJSON(&buf, sess, opt, []string{"fig2"}, time.Now()); err != nil {
+	if err := emitJSON(context.Background(), &buf, sess, opt, []string{"fig2"}, time.Now()); err != nil {
 		t.Fatal(err)
 	}
 	var rep benchReport
@@ -108,7 +109,7 @@ func TestJSONReportSampling(t *testing.T) {
 	opt.MaxInsts = 120_000
 	opt.Sampling = &sample.Options{Interval: 4000, Warmup: 1000, Period: 4}
 	sess := harness.NewSession(opt, nil)
-	rep, err := buildReport(sess, opt, []string{"fig10"}, time.Now())
+	rep, err := buildReport(context.Background(), sess, opt, []string{"fig10"}, time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestSamplingDefaultsInReport(t *testing.T) {
 	opt := testOptions()
 	opt.Sampling = &sample.Options{}
 	sess := harness.NewSession(opt, nil)
-	rep, err := buildReport(sess, opt, []string{"fig2"}, time.Now())
+	rep, err := buildReport(context.Background(), sess, opt, []string{"fig2"}, time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,18 +12,20 @@
 //
 // Endpoints: POST /v2/jobs (heterogeneous job batches, NDJSON results
 // streamed in submission order), /v1/annotate, /v1/simulate,
-// /v1/ctxswitch; GET /v1/workloads, /healthz, /metrics. See
-// internal/service (and API.md) for the wire format; the /v1 endpoints
-// are shims over the same execution path as /v2/jobs. SIGINT/SIGTERM
-// trigger a graceful drain: the listener closes, in-flight requests
-// finish (up to -drain), then the process exits 0.
+// /v1/ctxswitch; GET /v1/workloads, /healthz, /metrics,
+// /debug/trace/recent (recent request span trees) and /debug/pprof/*
+// (runtime profiling). See internal/service (and API.md) for the wire
+// format; the /v1 endpoints are shims over the same execution path as
+// /v2/jobs. SIGINT/SIGTERM trigger a graceful drain: the listener
+// closes, in-flight requests finish (up to -drain), then the process
+// exits 0.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,31 +46,38 @@ func main() {
 		maxInsts   = flag.Uint64("max-insts", service.DefaultMaxInsts, "ceiling on per-request instruction budgets")
 		maxScale   = flag.Int("max-scale", service.DefaultMaxScale, "ceiling on per-request workload scale")
 		maxJobs    = flag.Int("max-jobs", service.DefaultMaxJobs, "ceiling on jobs per /v2/jobs batch")
+		traceRing  = flag.Int("trace-ring", service.DefaultTraceRing, "request span trees retained for /debug/trace/recent (-1 disables)")
+		maxTrace   = flag.Int("max-trace-records", service.DefaultMaxTraceRecords, "ceiling on per-request pipeline trace records")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 		verbose    = flag.Bool("v", false, "log individual requests")
 	)
 	flag.Parse()
-	log.SetPrefix("dvid: ")
-	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	// The service logs each request at Debug; -v surfaces them. Server
+	// errors log at Warn and are visible either way.
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	cacheCap := *cache
 	if cacheCap < 0 {
 		cacheCap = -1 // service.Config: negative = unbounded
 	}
 	svc := service.New(service.Config{
-		Workers:       *workers,
-		MaxConcurrent: *concurrent,
-		MaxQueue:      *queue,
-		CacheCapacity: cacheCap,
-		MaxInsts:      *maxInsts,
-		MaxScale:      *maxScale,
-		MaxJobs:       *maxJobs,
+		Workers:         *workers,
+		MaxConcurrent:   *concurrent,
+		MaxQueue:        *queue,
+		CacheCapacity:   cacheCap,
+		MaxInsts:        *maxInsts,
+		MaxScale:        *maxScale,
+		MaxJobs:         *maxJobs,
+		TraceRing:       *traceRing,
+		MaxTraceRecords: *maxTrace,
+		Logger:          logger,
 	})
 
-	var handler http.Handler = svc
-	if *verbose {
-		handler = logRequests(svc)
-	}
 	// ReadTimeout bounds the whole request read: the service buffers each
 	// body before taking an execution slot, so a slow upload times out
 	// here instead of starving admission. WriteTimeout stays unset —
@@ -77,7 +86,7 @@ func main() {
 	// context instead.
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           svc,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
@@ -85,8 +94,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s (%d workers, queue %d, cache %d binaries)",
-			*addr, svc.Engine().Workers(), *queue, *cache)
+		logger.Info("serving", "addr", *addr, "workers", svc.Engine().Workers(),
+			"queue", *queue, "cache_binaries", *cache)
 		errCh <- hs.ListenAndServe()
 	}()
 
@@ -96,49 +105,23 @@ func main() {
 	select {
 	case err := <-errCh:
 		// Listener failed before any signal (port in use, ...).
-		log.Fatal(err)
+		logger.Error("listen", "err", err)
+		os.Exit(1)
 	case sig := <-sigCh:
-		log.Printf("received %s; draining (timeout %s)", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "timeout", drain.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("drain incomplete: %v", err)
+		logger.Error("drain incomplete", "err", err)
 		os.Exit(1)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("serve: %v", err)
+		logger.Error("serve", "err", err)
 		os.Exit(1)
 	}
 	hits, misses := svc.Engine().Cache().Stats()
-	log.Printf("drained cleanly (%d compiles, %d cache hits, %d evictions)",
-		misses, hits, svc.Engine().Cache().Evictions())
-}
-
-// logRequests is a minimal access log for -v.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		rec := &recorder{ResponseWriter: w, code: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.code, time.Since(start).Round(time.Microsecond))
-	})
-}
-
-type recorder struct {
-	http.ResponseWriter
-	code int
-}
-
-func (r *recorder) WriteHeader(code int) {
-	r.code = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
-// Flush keeps /v2/jobs NDJSON streaming line-by-line under -v.
-func (r *recorder) Flush() {
-	if f, ok := r.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
+	logger.Info("drained cleanly", "compiles", misses, "cache_hits", hits,
+		"evictions", svc.Engine().Cache().Evictions())
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 
 	"dvi/internal/core"
 	"dvi/internal/emu"
+	"dvi/internal/obs"
 	"dvi/internal/ooo"
 	"dvi/internal/runner"
 	"dvi/internal/session"
@@ -31,8 +33,17 @@ func main() {
 		width  = flag.Int("width", 4, "issue width")
 		max    = flag.Uint64("maxinsts", 0, "instruction budget (0 = to completion)")
 		wrong  = flag.Bool("wrongpath", true, "model wrong-path fetch")
+
+		pipetrace = flag.String("pipetrace", "", "write a per-instruction pipeline trace to FILE")
+		traceFmt  = flag.String("pipetrace-format", "chrome", "pipeline trace format: chrome|konata")
+		traceMax  = flag.Int("pipetrace-limit", 0, "max trace records (0 = unbounded)")
 	)
 	flag.Parse()
+
+	if *traceFmt != "chrome" && *traceFmt != "konata" {
+		fmt.Fprintf(os.Stderr, "bad -pipetrace-format %q (want chrome or konata)\n", *traceFmt)
+		os.Exit(2)
+	}
 
 	spec, ok := workload.ByName(*bench)
 	if !ok {
@@ -73,6 +84,12 @@ func main() {
 	cfg.WrongPathFetch = *wrong
 	cfg.Emu = session.EmuConfigFor(dviLevel, elim)
 
+	var traceBuf *obs.PipeBuffer
+	if *pipetrace != "" {
+		traceBuf = obs.NewPipeBuffer(*traceMax)
+		cfg.Trace = traceBuf
+	}
+
 	// One session, one job: the binary flavour follows the session
 	// layer's central E-DVI rule (annotated binaries iff the level is
 	// full), and KeepMachine retains the simulator instance for the
@@ -107,4 +124,39 @@ func main() {
 		100*h.L1I.Stats.MissRate(), 100*h.L1D.Stats.MissRate(), 100*h.L2.Stats.MissRate())
 	fmt.Printf("branch predictor %.2f%% mispredict\n", 100*m.Predictor().MispredictRate())
 	fmt.Printf("checksum         %#x\n", m.Emu().Checksum)
+
+	if traceBuf != nil {
+		if err := writeTrace(*pipetrace, *traceFmt, traceBuf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pipetrace        %s (%s, %d records", *pipetrace, *traceFmt, traceBuf.Len())
+		if d := traceBuf.Dropped(); d > 0 {
+			fmt.Printf(", %d dropped past -pipetrace-limit", d)
+		}
+		fmt.Printf(")\n")
+	}
+}
+
+// writeTrace renders the captured pipeline records to path: Chrome
+// trace_event JSON (load in chrome://tracing or Perfetto) or a Kanata
+// pipeline-viewer log.
+func writeTrace(path, format string, buf *obs.PipeBuffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if format == "konata" {
+		err = obs.WriteKonata(w, buf.Records())
+	} else {
+		err = obs.WriteChromeTrace(w, buf.Records())
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeEvent is one complete ("ph":"X") event in Chrome's trace_event
+// JSON format, the schema consumed by chrome://tracing, Perfetto and
+// speedscope. Timestamps are in "microseconds"; the pipeline renderer
+// maps one simulated cycle to one microsecond.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeLanes is the number of display rows pipeline records are spread
+// over (trace viewers stack events with the same tid, so a fixed lane
+// count keeps overlapping instructions visible side by side).
+const chromeLanes = 16
+
+// ChromeTraceEvents converts pipeline records to trace_event complete
+// events: one event per occupied stage (fetch, dispatch, execute,
+// complete), with the instruction's identity attached to its fetch
+// stage. Squashed instructions carry a squash arg naming the cause.
+func ChromeTraceEvents(recs []PipeRecord) []ChromeEvent {
+	evs := make([]ChromeEvent, 0, len(recs)*2)
+	for i := range recs {
+		r := &recs[i]
+		tid := int(r.ID % chromeLanes)
+		end := r.Retire
+		args := map[string]any{
+			"pc":   r.PC,
+			"inst": r.Inst.String(),
+			"kind": r.Kind.String(),
+			"seq":  r.ID,
+		}
+		if r.Squash != SquashNone {
+			args["squash"] = r.Squash.String()
+		}
+		if r.WrongPath {
+			args["wrong_path"] = true
+		}
+		stage := func(name string, from, to uint64, a map[string]any) {
+			if from == 0 {
+				return
+			}
+			dur := uint64(1)
+			if to > from {
+				dur = to - from
+			}
+			evs = append(evs, ChromeEvent{
+				Name: name, Cat: "pipeline", Ph: "X",
+				TS: from, Dur: dur, PID: 0, TID: tid, Args: a,
+			})
+		}
+		next := func(candidates ...uint64) uint64 {
+			for _, c := range candidates {
+				if c != 0 {
+					return c
+				}
+			}
+			return end
+		}
+		stage("fetch "+r.Inst.String(), r.Fetch, next(r.Dispatch, r.Issue, r.Complete), args)
+		stage("dispatch", r.Dispatch, next(r.Issue, r.Complete), nil)
+		stage("execute", r.Issue, next(r.Complete), nil)
+		stage("complete", r.Complete, end, nil)
+	}
+	return evs
+}
+
+// chromeTrace is the top-level trace_event JSON object.
+type chromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders records as a complete trace_event JSON
+// document ({"traceEvents": [...]}).
+func WriteChromeTrace(w io.Writer, recs []PipeRecord) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     ChromeTraceEvents(recs),
+		DisplayTimeUnit: "ms",
+	})
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteKonata renders pipeline records in the Kanata log format
+// understood by the Konata pipeline viewer (and Onikiri2's Kanata): a
+// `Kanata\t0004` header followed by cycle-ordered commands — I (insert),
+// L (label), S (stage start), R (retire). Stages are F (fetch), D
+// (dispatch / window wait), X (execute) and Cm (complete → retire); a
+// new S in lane 0 ends the previous stage, and R type 1 marks squashed
+// instructions so flushes render distinctly from commits.
+//
+// Records may arrive in any order; the writer sorts by fetch cycle (then
+// ID) and interleaves per-record stage events into one global timeline.
+func WriteKonata(w io.Writer, recs []PipeRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "Kanata\t0004\n"); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return bw.Flush()
+	}
+
+	order := make([]int, len(recs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := &recs[order[a]], &recs[order[b]]
+		if ra.Fetch != rb.Fetch {
+			return ra.Fetch < rb.Fetch
+		}
+		return ra.ID < rb.ID
+	})
+
+	// One event per stage transition, merged into a single timeline.
+	// seq breaks cycle ties: all events of an older instruction precede a
+	// younger one's, and within an instruction stages are generated in
+	// pipeline order.
+	type event struct {
+		cycle uint64
+		seq   int
+		emit  func() error
+	}
+	evs := make([]event, 0, len(recs)*4)
+	seq := 0
+	add := func(cycle uint64, emit func() error) {
+		evs = append(evs, event{cycle: cycle, seq: seq, emit: emit})
+		seq++
+	}
+	for n, idx := range order {
+		r := &recs[idx]
+		id := n // Konata ids must be dense and appear in order
+		add(r.Fetch, func() error {
+			if _, err := fmt.Fprintf(bw, "I\t%d\t%d\t0\n", id, id); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(bw, "L\t%d\t0\t%#x: %s\n", id, r.PC, r.Inst.String()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(bw, "L\t%d\t1\tkind=%s squash=%q wrong_path=%v seq=%d\n",
+				id, r.Kind, r.Squash.String(), r.WrongPath, r.ID); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(bw, "S\t%d\t0\tF\n", id)
+			return err
+		})
+		if r.Dispatch != 0 {
+			add(r.Dispatch, func() error {
+				_, err := fmt.Fprintf(bw, "S\t%d\t0\tD\n", id)
+				return err
+			})
+		}
+		if r.Issue != 0 {
+			add(r.Issue, func() error {
+				_, err := fmt.Fprintf(bw, "S\t%d\t0\tX\n", id)
+				return err
+			})
+		}
+		if r.Complete != 0 && r.Complete != r.Retire {
+			add(r.Complete, func() error {
+				_, err := fmt.Fprintf(bw, "S\t%d\t0\tCm\n", id)
+				return err
+			})
+		}
+		retireType := 0
+		if r.Squash != SquashNone {
+			retireType = 1
+		}
+		add(r.Retire, func() error {
+			_, err := fmt.Fprintf(bw, "R\t%d\t%d\t%d\n", id, id, retireType)
+			return err
+		})
+	}
+
+	sort.SliceStable(evs, func(a, b int) bool {
+		if evs[a].cycle != evs[b].cycle {
+			return evs[a].cycle < evs[b].cycle
+		}
+		return evs[a].seq < evs[b].seq
+	})
+
+	cur := evs[0].cycle
+	if _, err := fmt.Fprintf(bw, "C=\t%d\n", cur); err != nil {
+		return err
+	}
+	for i := range evs {
+		if d := evs[i].cycle - cur; d > 0 {
+			if _, err := fmt.Fprintf(bw, "C\t%d\n", d); err != nil {
+				return err
+			}
+			cur = evs[i].cycle
+		}
+		if err := evs[i].emit(); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

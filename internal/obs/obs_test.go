@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"dvi/internal/isa"
+)
+
+// syntheticRecords is a small hand-built pipeline: two committed
+// instructions, one squashed wrong-path instruction, and one
+// decode-stage elimination (no window stages).
+func syntheticRecords() []PipeRecord {
+	add := isa.Inst{Op: isa.ADD, Rd: isa.T0, Rs1: isa.T1, Rs2: isa.T2}
+	return []PipeRecord{
+		{ID: 0, PC: 0x100, Inst: add, Fetch: 1, Dispatch: 2, Issue: 3, Complete: 4, Retire: 5, Kind: KindInst},
+		{ID: 1, PC: 0x104, Inst: add, Fetch: 1, Dispatch: 2, Issue: 4, Complete: 5, Retire: 6, Kind: KindInst},
+		{ID: 2, PC: 0x200, Inst: add, Fetch: 3, Dispatch: 4, Retire: 6, Kind: KindInst, Squash: SquashRecovery, WrongPath: true},
+		{ID: 3, PC: 0x108, Inst: add, Fetch: 4, Retire: 5, Kind: KindElimSave},
+	}
+}
+
+func TestPipeBufferBounds(t *testing.T) {
+	b := NewPipeBuffer(2)
+	for i := 0; i < 5; i++ {
+		rec := PipeRecord{ID: uint64(i)}
+		b.Emit(&rec)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	if b.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", b.Dropped())
+	}
+	// Emit passes a reused pointer; the buffer must have copied.
+	if b.Records()[0].ID != 0 || b.Records()[1].ID != 1 {
+		t.Fatalf("records not copied: %+v", b.Records())
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Dropped() != 0 {
+		t.Fatalf("Reset left Len=%d Dropped=%d", b.Len(), b.Dropped())
+	}
+}
+
+func TestWriteKonataShape(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteKonata(&sb, syntheticRecords()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if lines[0] != "Kanata\t0004" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "C=\t1" {
+		t.Fatalf("first cycle = %q, want C=\\t1", lines[1])
+	}
+	// Every instruction retires exactly once; the squashed one with
+	// type 1.
+	var retires, flushes int
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "R\t") {
+			retires++
+			if strings.HasSuffix(ln, "\t1") {
+				flushes++
+			}
+		}
+	}
+	if retires != 4 {
+		t.Errorf("retire commands = %d, want 4", retires)
+	}
+	if flushes != 1 {
+		t.Errorf("flush retires = %d, want 1", flushes)
+	}
+	// Cycle advancement is monotonic: C deltas are positive by
+	// construction; the absolute timeline must cover fetch 1 .. retire 6.
+	total := uint64(1)
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "C\t") {
+			var d uint64
+			if _, err := fmtSscan(ln[2:], &d); err != nil || d == 0 {
+				t.Fatalf("bad cycle delta line %q", ln)
+			}
+			total += d
+		}
+	}
+	if total != 6 {
+		t.Errorf("timeline ends at cycle %d, want 6", total)
+	}
+}
+
+// fmtSscan parses one uint64 (avoids importing fmt just for tests'
+// delta check readability).
+func fmtSscan(s string, d *uint64) (int, error) {
+	var v uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	*d = v
+	return 1, nil
+}
+
+func TestChromeTraceEvents(t *testing.T) {
+	evs := ChromeTraceEvents(syntheticRecords())
+	// rec0: fetch+dispatch+execute+complete; rec1: same (4); rec2:
+	// fetch+dispatch (2); rec3: fetch only (1).
+	if len(evs) != 11 {
+		t.Fatalf("events = %d, want 11", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Ph != "X" {
+			t.Errorf("ph = %q, want X", ev.Ph)
+		}
+		if ev.Dur == 0 {
+			t.Errorf("%s: zero duration", ev.Name)
+		}
+		if ev.TID < 0 || ev.TID >= chromeLanes {
+			t.Errorf("%s: tid %d out of range", ev.Name, ev.TID)
+		}
+	}
+	// The squashed record's fetch event carries the cause.
+	found := false
+	for _, ev := range evs {
+		if ev.Args != nil && ev.Args["squash"] == "recovery" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no event carries squash=recovery")
+	}
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, syntheticRecords()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid trace_event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	// No Recorder in context: StartSpan must return a nil span whose
+	// methods are all no-ops, and must not allocate.
+	ctx := context.Background()
+	ctx2, span := StartSpan(ctx, "noop")
+	if span != nil {
+		t.Fatal("expected nil span without a recorder")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context must pass through unchanged without a recorder")
+	}
+	span.SetAttr("k", 1) // must not panic
+	span.End()
+	if span.Duration() != 0 {
+		t.Fatal("nil span duration")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		_, s := StartSpan(ctx, "noop")
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled StartSpan allocated %.1f objects", allocs)
+	}
+}
+
+func TestSpanTreeAndRecorder(t *testing.T) {
+	rec := NewRecorder(2)
+	var recorded []*Span
+	rec.OnRecord = func(s *Span) { recorded = append(recorded, s) }
+
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "root")
+	if root == nil {
+		t.Fatal("expected a live root span with a recorder installed")
+	}
+	root.SetAttr("request_id", "r1")
+	cctx, child := StartSpan(ctx, "child")
+	_, grand := StartSpan(cctx, "grandchild")
+	grand.End()
+	child.End()
+	time.Sleep(time.Millisecond)
+	root.End()
+
+	if len(recorded) != 1 || recorded[0] != root {
+		t.Fatalf("OnRecord saw %d spans", len(recorded))
+	}
+	snaps := rec.Recent()
+	if len(snaps) != 1 {
+		t.Fatalf("Recent = %d trees", len(snaps))
+	}
+	s := snaps[0]
+	if s.Name != "root" || len(s.Children) != 1 || s.Children[0].Name != "child" {
+		t.Fatalf("bad tree: %+v", s)
+	}
+	if s.Children[0].Children[0].Name != "grandchild" {
+		t.Fatalf("missing grandchild: %+v", s.Children[0])
+	}
+	if s.DurationMS <= 0 {
+		t.Errorf("root duration = %v", s.DurationMS)
+	}
+	if s.Attrs["request_id"] != "r1" {
+		t.Errorf("attrs = %v", s.Attrs)
+	}
+
+	// Visit walks depth-first: root, child, grandchild.
+	var names []string
+	root.Visit(func(sp *Span) { names = append(names, sp.Name()) })
+	want := []string{"root", "child", "grandchild"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Visit order = %v, want %v", names, want)
+		}
+	}
+
+	// Ring bound: a third root evicts the first.
+	for i := 0; i < 2; i++ {
+		_, r2 := StartSpan(WithRecorder(context.Background(), rec), "later")
+		r2.End()
+	}
+	snaps = rec.Recent()
+	if len(snaps) != 2 {
+		t.Fatalf("ring retained %d, want 2", len(snaps))
+	}
+	if snaps[0].Name != "later" || snaps[1].Name != "later" {
+		t.Fatalf("ring should hold the newest trees: %v, %v", snaps[0].Name, snaps[1].Name)
+	}
+	// End after root delivery is idempotent — no double record.
+	root.End()
+	if len(recorded) != 3 {
+		t.Fatalf("re-End recorded again: %d", len(recorded))
+	}
+}

@@ -1,0 +1,166 @@
+// Package obs is the instrumentation layer: a zero-overhead-when-off
+// tracing subsystem with two planes.
+//
+// The microarchitectural plane records per-instruction pipeline
+// lifecycles from the ooo core (PipeRecord / PipeSink / PipeBuffer) and
+// renders them for standard viewers: the Konata pipeline viewer
+// (WriteKonata) and Chrome's about:tracing / Perfetto trace_event JSON
+// (WriteChromeTrace).
+//
+// The orchestration plane wraps jobs in timed spans (Span / StartSpan)
+// collected by a ring-buffered in-process Recorder, the backing store for
+// dvid's /debug/trace/recent endpoint and its per-phase latency metrics.
+//
+// Both planes share one discipline: when tracing is off — a nil PipeSink,
+// a context without a Recorder — the hot path does no allocation and no
+// locking, so the simulator's 0 allocs/op steady-state gates and report
+// byte-identity are preserved.
+package obs
+
+import "dvi/internal/isa"
+
+// PipeKind classifies a pipeline trace record.
+type PipeKind uint8
+
+const (
+	// KindInst is an instruction that occupied a window slot.
+	KindInst PipeKind = iota
+	// KindElimSave is a save (LVST) eliminated at dispatch by dead-value
+	// information: it consumed fetch/decode bandwidth but no window slot,
+	// functional unit or commit slot.
+	KindElimSave
+	// KindElimRestore is a restore (LVLD) eliminated at dispatch.
+	KindElimRestore
+	// KindKill is an E-DVI kill annotation: decode bandwidth only.
+	KindKill
+)
+
+// String names the kind for renderers and JSON.
+func (k PipeKind) String() string {
+	switch k {
+	case KindElimSave:
+		return "elim-save"
+	case KindElimRestore:
+		return "elim-restore"
+	case KindKill:
+		return "kill"
+	default:
+		return "inst"
+	}
+}
+
+// SquashCause says why an instruction left the pipeline without
+// committing.
+type SquashCause uint8
+
+const (
+	// SquashNone: the instruction committed (or, for eliminated
+	// saves/restores and kills, completed at decode).
+	SquashNone SquashCause = iota
+	// SquashRecovery: squashed from the window by misprediction recovery.
+	SquashRecovery
+	// SquashFetch: flushed from the fetch queue before dispatch by a
+	// fetch redirect.
+	SquashFetch
+	// SquashWrongPath: a wrong-path kill annotation, discarded at decode.
+	SquashWrongPath
+	// SquashDrain: still in flight when the run ended (instruction-budget
+	// cutoff); drained, not architecturally committed.
+	SquashDrain
+)
+
+// String names the cause for renderers and JSON.
+func (c SquashCause) String() string {
+	switch c {
+	case SquashRecovery:
+		return "recovery"
+	case SquashFetch:
+		return "fetch-flush"
+	case SquashWrongPath:
+		return "wrong-path"
+	case SquashDrain:
+		return "drain"
+	default:
+		return ""
+	}
+}
+
+// PipeRecord is one instruction's pipeline lifetime. Cycle stamps are
+// 1-based (the machine's first cycle is 1); a zero stamp means the
+// instruction never reached that stage. Retire is the cycle the
+// instruction left the machine — by commit when Squash is SquashNone,
+// otherwise by squash, flush or drain.
+//
+// Records are emitted in retirement order (the order instructions leave
+// the machine), not fetch order; renderers re-sort as needed.
+type PipeRecord struct {
+	ID   uint64   // fetch sequence number, unique within a run
+	PC   uint64   // fetch program counter
+	Inst isa.Inst // the instruction (flat value; String() disassembles)
+
+	Fetch    uint64 // entered the fetch queue
+	Dispatch uint64 // renamed into the window (0: eliminated/killed/flushed)
+	Issue    uint64 // left for a functional unit (0: e.g. NOPs, stores done at dispatch)
+	Complete uint64 // result written back
+	Retire   uint64 // left the machine (commit or squash; see Squash)
+
+	Kind      PipeKind
+	Squash    SquashCause
+	WrongPath bool  // fetched beyond an unresolved mispredicted branch
+	Victims   uint8 // physical registers freed early by this kill (KindKill)
+}
+
+// PipeSink receives pipeline records from a machine. The pointer is
+// reused by the emitter across calls: implementations must copy the
+// record, not retain it.
+//
+// Sinks are driven by a single machine goroutine and need no internal
+// locking. A nil PipeSink disables the plane entirely: the core's only
+// per-instruction overhead is a handful of integer stamps.
+type PipeSink interface {
+	Emit(*PipeRecord)
+}
+
+// PipeBuffer is the standard PipeSink: an in-memory bounded buffer.
+// Records past the cap are counted as dropped rather than appended, so a
+// runaway trace request cannot exhaust memory. Not safe for concurrent
+// use (machines are single-threaded).
+type PipeBuffer struct {
+	recs    []PipeRecord
+	max     int
+	dropped uint64
+}
+
+// NewPipeBuffer returns a buffer holding at most max records (max <= 0
+// means unbounded).
+func NewPipeBuffer(max int) *PipeBuffer {
+	return &PipeBuffer{max: max}
+}
+
+// Emit copies the record into the buffer, or counts it as dropped once
+// the cap is reached. Appending within previously grown capacity does
+// not allocate, so a warm buffer sustains the machine's zero-alloc
+// steady state.
+func (b *PipeBuffer) Emit(r *PipeRecord) {
+	if b.max > 0 && len(b.recs) >= b.max {
+		b.dropped++
+		return
+	}
+	b.recs = append(b.recs, *r)
+}
+
+// Records returns the buffered records (the live slice, not a copy).
+func (b *PipeBuffer) Records() []PipeRecord { return b.recs }
+
+// Dropped reports how many records were discarded at the cap.
+func (b *PipeBuffer) Dropped() uint64 { return b.dropped }
+
+// Len reports the number of buffered records.
+func (b *PipeBuffer) Len() int { return len(b.recs) }
+
+// Reset empties the buffer, keeping its storage, so a pooled buffer can
+// be reused run after run without allocating.
+func (b *PipeBuffer) Reset() {
+	b.recs = b.recs[:0]
+	b.dropped = 0
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// The orchestration plane: jobs and requests are wrapped in Spans that
+// form trees (queue-wait → build → scan → intervals → render), delivered
+// on completion to a ring-buffered Recorder. Propagation is by context:
+// code holding a context just calls StartSpan; when no Recorder was
+// installed upstream, StartSpan returns a nil *Span whose methods are
+// no-ops, so instrumented paths cost two context lookups and nothing
+// else when tracing is off.
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Span is one timed operation. Spans are created by StartSpan, annotated
+// with SetAttr, and closed with End; all methods are safe on a nil
+// receiver and safe for concurrent use (children are attached from
+// worker goroutines).
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+	rec      *Recorder // non-nil on roots only; End delivers the tree
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr annotates the span. No-op on nil.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span. Ending a root span delivers the completed tree to
+// its Recorder. No-op on nil; a second End is ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.end.IsZero() {
+		s.mu.Unlock()
+		return
+	}
+	s.end = time.Now()
+	rec := s.rec
+	s.mu.Unlock()
+	if rec != nil {
+		rec.record(s)
+	}
+}
+
+// Duration returns the span's elapsed time (to now if still open; 0 on
+// nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	spanKey
+)
+
+// WithRecorder installs a Recorder so spans started under ctx are
+// collected.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// RecorderFrom returns the Recorder installed on ctx, or nil.
+func RecorderFrom(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey).(*Recorder)
+	return r
+}
+
+// SpanFrom returns the current span on ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan starts a span as a child of the current span on ctx, or as a
+// new root if none. When ctx carries neither a span nor a Recorder,
+// tracing is off: StartSpan returns (ctx, nil) without allocating, and
+// every method on the nil span is a no-op.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	var rec *Recorder
+	if parent == nil {
+		if rec = RecorderFrom(ctx); rec == nil {
+			return ctx, nil
+		}
+	}
+	s := &Span{name: name, start: time.Now(), rec: rec}
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SpanSnapshot is the JSON form of a completed span tree, served by
+// /debug/trace/recent.
+type SpanSnapshot struct {
+	Name       string          `json:"name"`
+	Start      time.Time       `json:"start"`
+	DurationMS float64         `json:"duration_ms"`
+	Attrs      map[string]any  `json:"attrs,omitempty"`
+	Children   []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot deep-copies the span tree into its JSON form. Open spans
+// report their duration so far.
+func (s *Span) Snapshot() *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	snap := &SpanSnapshot{
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(s.durationLocked()) / float64(time.Millisecond),
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			snap.Attrs[a.Key] = a.Value
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}
+
+// durationLocked is Duration without locking; callers must hold s.mu.
+func (s *Span) durationLocked() time.Duration {
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Visit walks the completed span tree depth-first, calling fn on every
+// span (the receiver first). Used to fold span trees into metrics.
+func (s *Span) Visit(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	s.mu.Lock()
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		c.Visit(fn)
+	}
+}
+
+// Recorder keeps the last N completed root span trees in a ring.
+type Recorder struct {
+	// OnRecord, when set before the Recorder is used, is called with each
+	// completed root span tree (after it is stored). dvid uses it to fold
+	// per-phase durations into Prometheus histograms.
+	OnRecord func(*Span)
+
+	mu   sync.Mutex
+	ring []*Span
+	next int
+	n    int
+}
+
+// NewRecorder returns a Recorder retaining the last n root spans
+// (n <= 0 defaults to 64).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = 64
+	}
+	return &Recorder{ring: make([]*Span, n)}
+}
+
+func (r *Recorder) record(s *Span) {
+	r.mu.Lock()
+	r.ring[r.next] = s
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+	r.mu.Unlock()
+	if r.OnRecord != nil {
+		r.OnRecord(s)
+	}
+}
+
+// Recent snapshots the retained span trees, newest first.
+func (r *Recorder) Recent() []*SpanSnapshot {
+	r.mu.Lock()
+	roots := make([]*Span, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		idx := (r.next - 1 - i + len(r.ring)) % len(r.ring)
+		roots = append(roots, r.ring[idx])
+	}
+	r.mu.Unlock()
+	out := make([]*SpanSnapshot, len(roots))
+	for i, s := range roots {
+		out[i] = s.Snapshot()
+	}
+	return out
+}

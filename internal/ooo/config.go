@@ -5,6 +5,7 @@ import (
 	"dvi/internal/cache"
 	"dvi/internal/core"
 	"dvi/internal/emu"
+	"dvi/internal/obs"
 )
 
 // Scheduler selects the simulator's internal scheduling algorithm. Both
@@ -68,6 +69,15 @@ type Config struct {
 	// MaxInsts stops simulation after this many committed original
 	// instructions (0 = run to completion).
 	MaxInsts uint64
+
+	// Trace, when non-nil, receives a per-instruction pipeline lifecycle
+	// record for every instruction that leaves the machine (commit,
+	// squash, flush, drain), under either scheduler. Tracing does not
+	// change timing: with it off (nil, the default) the core's only
+	// overhead is a few integer stamps per instruction and the
+	// steady-state zero-alloc gates still hold. Not a property of the
+	// modelled machine — excluded from cache keys and report identity.
+	Trace obs.PipeSink
 }
 
 // DefaultConfig returns the paper's machine: 4-wide, 64-entry window,

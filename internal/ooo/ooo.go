@@ -65,6 +65,7 @@ import (
 	"dvi/internal/cache"
 	"dvi/internal/emu"
 	"dvi/internal/isa"
+	"dvi/internal/obs"
 	"dvi/internal/prog"
 	"dvi/internal/rename"
 )
@@ -87,6 +88,13 @@ type robEntry struct {
 	wrongPath bool
 	st        state
 	doneCycle uint64
+
+	// Pipeline trace stamps (cheap unconditional stores; the records they
+	// feed are built only when Config.Trace is set).
+	traceID       uint64 // fetch sequence number (fetchRec.traceID)
+	fetchCycle    uint64
+	dispatchCycle uint64
+	issueCycle    uint64
 
 	// Renaming.
 	hasDest  bool
@@ -127,6 +135,8 @@ type fetchRec struct {
 	inst        isa.Inst
 	meta        *prog.Meta // predecoded metadata for inst (shared, read-only)
 	faulted     bool       // pc was outside the text segment (synthetic HALT)
+	traceID     uint64     // per-run fetch sequence number (trace identity)
+	fetchCycle  uint64     // cycle this record entered the fetch queue
 	predNPC     uint64
 	isCtl       bool
 	bpInfo      bpred.Info
@@ -171,6 +181,13 @@ type Machine struct {
 
 	// Event-driven scheduler structures (see sched.go).
 	es evSched
+
+	// Pipeline tracing (trace.go). trace mirrors cfg.Trace; traceRec is
+	// the reusable record passed to the sink so emitting does not
+	// allocate; traceSeq numbers fetched instructions within the run.
+	trace    obs.PipeSink
+	traceSeq uint64
+	traceRec obs.PipeRecord
 
 	Stats Stats
 }
@@ -231,6 +248,8 @@ func (m *Machine) Reset(pr *prog.Program, img *prog.Image, cfg Config) {
 	m.pendingMisp, m.pendingMispSeq = false, 0
 	m.aluUsed, m.mdUsed, m.portUsed, m.issued = 0, 0, 0, 0
 	m.dispatchHalted = false
+	m.trace = cfg.Trace // always reassigned: a pooled machine must not keep a previous job's sink
+	m.traceSeq = 0
 	m.Stats = Stats{}
 }
 
@@ -303,6 +322,9 @@ func (m *Machine) Run() (Stats, error) {
 			idleCycles = 0
 			lastCommitted = m.Stats.Committed
 		}
+	}
+	if m.trace != nil {
+		m.drainTrace()
 	}
 	m.Stats.Emu = m.emu.Stats
 	return m.Stats, nil
@@ -379,6 +401,8 @@ func (m *Machine) fetch() {
 		}
 		rec := &m.ifq[idx]
 		rec.pc, rec.inst, rec.meta, rec.faulted = pc, in, meta, !inText
+		rec.traceID, rec.fetchCycle = m.traceSeq, m.cycle
+		m.traceSeq++
 		rec.predNPC = pc + isa.InstBytes
 		rec.isCtl, rec.hasBpInfo = false, false
 		taken := false
@@ -461,6 +485,9 @@ func (m *Machine) dispatch() {
 				m.assertStep(rec, st, true)
 				m.Stats.ElimSaves++
 				m.Stats.Committed++
+				if m.trace != nil {
+					m.emitDecode(rec, obs.KindElimSave, obs.SquashNone, false, 0)
+				}
 				continue
 			}
 			if in.Op == isa.LVLD && m.cfg.Emu.Scheme == emu.ElimLVMStack &&
@@ -470,6 +497,9 @@ func (m *Machine) dispatch() {
 				m.assertStep(rec, st, true)
 				m.Stats.ElimRests++
 				m.Stats.Committed++
+				if m.trace != nil {
+					m.emitDecode(rec, obs.KindElimRestore, obs.SquashNone, false, 0)
+				}
 				continue
 			}
 		}
@@ -487,16 +517,21 @@ func (m *Machine) dispatch() {
 			m.popIFQ()
 			if m.pendingMisp {
 				// Wrong-path kills have no lasting effect (see DESIGN.md).
+				if m.trace != nil {
+					m.emitDecode(rec, obs.KindKill, obs.SquashWrongPath, true, 0)
+				}
 				continue
 			}
 			st := m.emu.Step()
 			m.assertStep(rec, st, false)
 			m.Stats.KillsSeen++
+			victims := uint8(0)
 			for k := uint32(st.Killed); k != 0; k &= k - 1 {
 				victim, ok := m.rt.Unmap(uint8(bits.TrailingZeros32(k)))
 				if !ok {
 					continue
 				}
+				victims++
 				if m.robLen > 0 {
 					y := m.robAt(m.robLen - 1)
 					y.killVictims = append(y.killVictims, victim)
@@ -506,6 +541,9 @@ func (m *Machine) dispatch() {
 					m.rt.Free(victim)
 					m.Stats.EarlyReclaimed++
 				}
+			}
+			if m.trace != nil {
+				m.emitDecode(rec, obs.KindKill, obs.SquashNone, false, victims)
 			}
 			continue
 		}
@@ -536,6 +574,10 @@ func (m *Machine) dispatch() {
 		e.wrongPath = false
 		e.st = stDispatched
 		e.doneCycle = 0
+		e.traceID = rec.traceID
+		e.fetchCycle = rec.fetchCycle
+		e.dispatchCycle = m.cycle
+		e.issueCycle = 0
 		e.hasDest = false
 		e.destArch = 0
 		e.destPhys = rename.None
@@ -752,6 +794,7 @@ func (m *Machine) issuePolled() {
 			// an issue slot for address generation.
 			m.issued++
 			e.st = stDone
+			e.issueCycle = m.cycle
 			e.doneCycle = m.cycle
 			continue
 		case isa.ClassLoad:
@@ -763,6 +806,7 @@ func (m *Machine) issuePolled() {
 				m.issued++
 				m.Stats.WrongPathLoads++
 				e.st = stIssued
+				e.issueCycle = m.cycle
 				e.doneCycle = m.cycle + uint64(m.cfg.Hierarchy.L1D.HitLatency)
 				continue
 			}
@@ -775,6 +819,7 @@ func (m *Machine) issuePolled() {
 				m.issued++
 				m.Stats.LoadForwarded++
 				e.st = stIssued
+				e.issueCycle = m.cycle
 				e.doneCycle = m.cycle + 1
 				continue
 			}
@@ -786,6 +831,7 @@ func (m *Machine) issuePolled() {
 			m.Stats.LoadsIssued++
 			lat := m.hier.L1D.Access(e.addr, false)
 			e.st = stIssued
+			e.issueCycle = m.cycle
 			e.doneCycle = m.cycle + uint64(lat)
 			continue
 		case isa.ClassIntMul, isa.ClassIntDiv:
@@ -795,6 +841,7 @@ func (m *Machine) issuePolled() {
 			m.mdUsed++
 			m.issued++
 			e.st = stIssued
+			e.issueCycle = m.cycle
 			if cls == isa.ClassIntMul {
 				e.doneCycle = m.cycle + uint64(m.cfg.MulLatency)
 			} else {
@@ -808,6 +855,7 @@ func (m *Machine) issuePolled() {
 			m.aluUsed++
 			m.issued++
 			e.st = stIssued
+			e.issueCycle = m.cycle
 			e.doneCycle = m.cycle + uint64(e.lat)
 		}
 	}
@@ -857,6 +905,13 @@ func (m *Machine) resolveControl(e *robEntry, idx int) {
 	// Squash everything younger than the branch.
 	oldLen := m.robLen
 	m.robLen = idx + 1
+	if m.trace != nil {
+		// Squashed entries stay intact in their slots until reuse; record
+		// them before the scheduler forgets about them.
+		for i := m.robLen; i < oldLen; i++ {
+			m.emitRob(m.robAt(i), obs.SquashRecovery)
+		}
+	}
 	if m.cfg.Scheduler != SchedPolled {
 		m.schedSquash(oldLen)
 	}
@@ -889,7 +944,13 @@ func (m *Machine) resolveControl(e *robEntry, idx int) {
 		m.pred.SetHistory(e.histAtFetch)
 	}
 
-	// Redirect fetch.
+	// Redirect fetch. Everything still in the fetch queue was fetched on
+	// the mispredicted path and is flushed without dispatching.
+	if m.trace != nil {
+		for i := 0; i < m.ifqLen; i++ {
+			m.emitDecode(m.ifqAt(i), obs.KindInst, obs.SquashFetch, true, 0)
+		}
+	}
 	m.ifqHead, m.ifqLen = 0, 0
 	m.fetchPC = e.actualNPC
 	m.fetchHalted = false
@@ -925,6 +986,9 @@ func (m *Machine) commit() {
 			m.Stats.EarlyReclaimed++
 		}
 		m.Stats.Committed++
+		if m.trace != nil {
+			m.emitRob(e, obs.SquashNone)
+		}
 		e.valid = false
 		m.robHead++
 		if m.robHead == len(m.rob) {

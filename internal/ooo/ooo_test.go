@@ -7,6 +7,7 @@ import (
 	"dvi/internal/core"
 	"dvi/internal/emu"
 	"dvi/internal/isa"
+	"dvi/internal/obs"
 	"dvi/internal/prog"
 )
 
@@ -575,6 +576,32 @@ func TestMachineSteadyStateZeroAlloc(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Fatalf("steady-state run allocated %.1f objects, want 0", allocs)
+			}
+
+			// With a live pipeline-trace sink attached the steady state
+			// must hold too: the machine writes records through the
+			// reusable traceRec field, and a warm PipeBuffer (capacity
+			// grown by a first traced run) reuses its backing array on
+			// Reset, so re-running a traced job allocates nothing.
+			tcfg := cfg
+			buf := obs.NewPipeBuffer(0)
+			tcfg.Trace = buf
+			m.Reset(pr, img, tcfg)
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err) // grow the trace buffer
+			}
+			if buf.Len() == 0 {
+				t.Fatal("traced warm-up run emitted no records")
+			}
+			allocs = testing.AllocsPerRun(3, func() {
+				buf.Reset()
+				m.Reset(pr, img, tcfg)
+				if _, err := m.Run(); err != nil {
+					t.Error(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("traced steady-state run allocated %.1f objects, want 0", allocs)
 			}
 		})
 	}

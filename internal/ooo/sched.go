@@ -286,6 +286,7 @@ func (m *Machine) tryIssue(slot int) {
 		// an issue slot for address generation.
 		m.issued++
 		e.st = stDone
+		e.issueCycle = m.cycle
 		e.doneCycle = m.cycle
 		m.es.clearReady(slot)
 	case isa.ClassLoad:
@@ -297,6 +298,7 @@ func (m *Machine) tryIssue(slot int) {
 			m.issued++
 			m.Stats.WrongPathLoads++
 			e.st = stIssued
+			e.issueCycle = m.cycle
 			e.doneCycle = m.cycle + uint64(m.cfg.Hierarchy.L1D.HitLatency)
 			m.es.clearReady(slot)
 			m.schedComplete(e, slot)
@@ -311,6 +313,7 @@ func (m *Machine) tryIssue(slot int) {
 			m.issued++
 			m.Stats.LoadForwarded++
 			e.st = stIssued
+			e.issueCycle = m.cycle
 			e.doneCycle = m.cycle + 1
 			m.es.clearReady(slot)
 			m.schedComplete(e, slot)
@@ -324,6 +327,7 @@ func (m *Machine) tryIssue(slot int) {
 		m.Stats.LoadsIssued++
 		lat := m.hier.L1D.Access(e.addr, false)
 		e.st = stIssued
+		e.issueCycle = m.cycle
 		e.doneCycle = m.cycle + uint64(lat)
 		m.es.clearReady(slot)
 		m.schedComplete(e, slot)
@@ -334,6 +338,7 @@ func (m *Machine) tryIssue(slot int) {
 		m.mdUsed++
 		m.issued++
 		e.st = stIssued
+		e.issueCycle = m.cycle
 		if e.class == isa.ClassIntMul {
 			e.doneCycle = m.cycle + uint64(m.cfg.MulLatency)
 		} else {
@@ -348,6 +353,7 @@ func (m *Machine) tryIssue(slot int) {
 		m.aluUsed++
 		m.issued++
 		e.st = stIssued
+		e.issueCycle = m.cycle
 		e.doneCycle = m.cycle + uint64(e.lat)
 		m.es.clearReady(slot)
 		m.schedComplete(e, slot)

@@ -18,9 +18,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dvi/internal/ctxswitch"
 	"dvi/internal/emu"
+	"dvi/internal/obs"
 	"dvi/internal/ooo"
 	"dvi/internal/prog"
 	"dvi/internal/sample"
@@ -175,13 +177,24 @@ type Event struct {
 
 // ProgressFunc observes job lifecycle events. It is called from worker
 // goroutines and must be safe for concurrent use.
+//
+// Ordering contract: for any single job, its JobStart happens-before its
+// JobDone or JobFailed (delivered on the same goroutine, so a callback
+// that tracks per-job state needs no synchronization per Index). Events
+// for different jobs carry no ordering at all — a batch running on N
+// workers interleaves up to N jobs' events arbitrarily, and Index values
+// do not arrive monotonically. Callbacks must not block: every event is
+// delivered inline on a worker goroutine, so a slow callback stalls that
+// worker's job pipeline.
 type ProgressFunc func(Event)
 
 // Options configures an Engine.
 type Options struct {
 	// Workers bounds the pool (<=0 means runtime.GOMAXPROCS(0)).
 	Workers int
-	// Progress, when non-nil, receives per-job lifecycle events.
+	// Progress, when non-nil, receives per-job lifecycle events. It is
+	// invoked concurrently from worker goroutines; see ProgressFunc for
+	// the exact ordering contract.
 	Progress ProgressFunc
 	// Compile overrides the build function (nil = workload.CompileSpec).
 	Compile CompileFunc
@@ -281,6 +294,7 @@ func (e *Engine) pool(ctx context.Context, jobs []Job, handle func(i int, res Re
 		wg   sync.WaitGroup
 	)
 	next.Store(-1)
+	submitted := time.Now() // queue-wait baseline for the batch's spans
 	workers := e.workers
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -296,7 +310,7 @@ func (e *Engine) pool(ctx context.Context, jobs []Job, handle func(i int, res Re
 				}
 				j := jobs[i]
 				e.emit(Event{Phase: JobStart, Index: i, Total: len(jobs), Label: j.label()})
-				res, err := e.runJob(ctx, j)
+				res, err := e.runJob(ctx, j, time.Since(submitted))
 				if err != nil {
 					if ctx.Err() != nil {
 						// Abandoned by cancellation; not this job's fault.
@@ -397,13 +411,27 @@ func (e *Engine) putEmu(em *emu.Emulator) {
 	e.emus.Put(em)
 }
 
-// runJob builds (or fetches) the binary and executes one job.
-func (e *Engine) runJob(ctx context.Context, j Job) (Result, error) {
-	pr, img, err := e.cache.Get(ctx, j.Workload, j.Scale, j.Build)
+// runJob builds (or fetches) the binary and executes one job. queueWait
+// is how long the job sat queued behind the batch before a worker picked
+// it up; it only annotates the job's span (zero cost with tracing off).
+func (e *Engine) runJob(ctx context.Context, j Job, queueWait time.Duration) (Result, error) {
+	ctx, span := obs.StartSpan(ctx, "job")
+	if span != nil {
+		span.SetAttr("label", j.label())
+		span.SetAttr("kind", j.Kind.String())
+		span.SetAttr("queue_wait_ms", float64(queueWait)/float64(time.Millisecond))
+		defer span.End()
+	}
+
+	bctx, bspan := obs.StartSpan(ctx, "build")
+	pr, img, err := e.cache.Get(bctx, j.Workload, j.Scale, j.Build)
+	bspan.End()
 	if err != nil {
 		return Result{}, err
 	}
 	res := Result{Job: j, Program: pr, Image: img}
+	_, kspan := obs.StartSpan(ctx, j.Kind.String())
+	defer kspan.End()
 	switch j.Kind {
 	case Timing:
 		m := e.getMachine(pr, img, j.Machine)

@@ -6,6 +6,7 @@ import (
 	"dvi/internal/core"
 	"dvi/internal/ctxswitch"
 	"dvi/internal/emu"
+	"dvi/internal/obs"
 	"dvi/internal/ooo"
 	"dvi/internal/rewrite"
 )
@@ -118,6 +119,38 @@ type SimulateRequest struct {
 	// daemon's worker pool and the response carries a confidence
 	// interval. Architectural counts stay exact either way.
 	Sampling *SamplingSpec `json:"sampling,omitempty"`
+	// Trace, when set, attaches a pipeline tracer to the run and returns
+	// per-instruction lifecycle events in the response. Mutually
+	// exclusive with Sampling: a sampled estimate has no single
+	// contiguous pipeline to trace.
+	Trace *TraceSpec `json:"trace,omitempty"`
+}
+
+// TraceSpec asks for a pipeline-event trace of a simulate run.
+type TraceSpec struct {
+	// Format is "chrome" (default; chrome://tracing / Perfetto
+	// trace_event JSON) or "konata" (the Kanata pipeline-viewer log,
+	// returned as one text blob).
+	Format string `json:"format,omitempty"`
+	// MaxRecords bounds the trace buffer (0 = the server's per-request
+	// default; the server's ceiling clamps larger asks). Tracing stops
+	// recording past the bound; the run itself is unaffected and
+	// Dropped reports what was cut.
+	MaxRecords int `json:"max_records,omitempty"`
+}
+
+// TraceSummary carries the rendered pipeline trace in a
+// SimulateResponse.
+type TraceSummary struct {
+	Format  string `json:"format"`
+	Records int    `json:"records"` // records captured
+	Dropped uint64 `json:"dropped"` // records past MaxRecords, not captured
+	// Events is the Chrome trace_event list (format "chrome"). Wrap it
+	// as {"traceEvents": events} for chrome://tracing, or load the file
+	// written by `dvisim -pipetrace` directly.
+	Events []obs.ChromeEvent `json:"events,omitempty"`
+	// Konata is the complete Kanata log text (format "konata").
+	Konata string `json:"konata,omitempty"`
 }
 
 // SamplingSpec selects statistical sampling for a simulate job. Zero
@@ -161,6 +194,14 @@ type SimulateResponse struct {
 	// Sampled is present iff the request asked for sampling: the
 	// estimate's error bound and plan.
 	Sampled *SampledSummary `json:"sampled,omitempty"`
+	// Trace is present iff the request asked for a pipeline trace.
+	Trace *TraceSummary `json:"trace,omitempty"`
+}
+
+// TraceRecent is the /debug/trace/recent body: the last-N completed
+// request span trees, newest first.
+type TraceRecent struct {
+	Traces []*obs.SpanSnapshot `json:"traces"`
 }
 
 // CtxSwitchRequest samples live-register counts at preemption points

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 
 	"dvi/internal/ctxswitch"
 	"dvi/internal/emu"
 	"dvi/internal/isa"
+	"dvi/internal/obs"
 	"dvi/internal/ooo"
 	"dvi/internal/prog"
 	"dvi/internal/rewrite"
@@ -147,6 +149,26 @@ func (s *Server) resolveSimSource(wl, asm string, reqScale int, dviLevel, scheme
 	return simSource{spec: spec, scale: scale, bopt: bopt, ecfg: session.EmuConfigFor(level, sch)}, nil
 }
 
+// renderTrace shapes a finished run's pipeline buffer into the wire
+// summary.
+func renderTrace(buf *obs.PipeBuffer, format string) (*TraceSummary, error) {
+	ts := &TraceSummary{
+		Format:  format,
+		Records: buf.Len(),
+		Dropped: buf.Dropped(),
+	}
+	if format == "konata" {
+		var sb strings.Builder
+		if err := obs.WriteKonata(&sb, buf.Records()); err != nil {
+			return nil, err
+		}
+		ts.Konata = sb.String()
+		return ts, nil
+	}
+	ts.Events = obs.ChromeTraceEvents(buf.Records())
+	return ts, nil
+}
+
 // prepareSimulate validates a timing-simulation request and freezes it
 // into an engine job.
 func (s *Server) prepareSimulate(req *SimulateRequest) (*preparedJob, *httpError) {
@@ -160,6 +182,33 @@ func (s *Server) prepareSimulate(req *SimulateRequest) (*preparedJob, *httpError
 	cfg.Emu = src.ecfg
 	req.Machine.apply(&cfg)
 	cfg.MaxInsts = s.clampInsts(req.MaxInsts)
+
+	var traceBuf *obs.PipeBuffer
+	traceFormat := ""
+	if req.Trace != nil {
+		if req.Sampling != nil {
+			return nil, errf(http.StatusBadRequest,
+				"trace and sampling are mutually exclusive: a sampled estimate has no contiguous pipeline to trace")
+		}
+		switch req.Trace.Format {
+		case "", "chrome":
+			traceFormat = "chrome"
+		case "konata":
+			traceFormat = "konata"
+		default:
+			return nil, errf(http.StatusBadRequest,
+				"unknown trace format %q (want chrome or konata)", req.Trace.Format)
+		}
+		limit := req.Trace.MaxRecords
+		if limit <= 0 {
+			limit = defaultTraceRecords
+		}
+		if limit > s.cfg.MaxTraceRecords {
+			limit = s.cfg.MaxTraceRecords
+		}
+		traceBuf = obs.NewPipeBuffer(limit)
+		cfg.Trace = traceBuf
+	}
 
 	key := spec.Key(scale, bopt).String()
 	job := runner.Job{
@@ -184,6 +233,10 @@ func (s *Server) prepareSimulate(req *SimulateRequest) (*preparedJob, *httpError
 					return errf(http.StatusBadRequest, "%v", err)
 				}
 				res, est := out[0], out[0].Sampled
+				s.met.observeSim(res.Timing)
+				s.met.observeSampled(est.RelCI)
+				_, rspan := obs.StartSpan(ctx, "render")
+				defer rspan.End()
 				line.Simulate = &SimulateResponse{
 					Workload: spec.Name,
 					Scale:    scale,
@@ -212,6 +265,7 @@ func (s *Server) prepareSimulate(req *SimulateRequest) (*preparedJob, *httpError
 		job:  job,
 		render: func(res runner.Result, line *JobResult) {
 			st := res.Timing
+			s.met.observeSim(st)
 			line.Simulate = &SimulateResponse{
 				Workload: spec.Name,
 				Scale:    scale,
@@ -219,6 +273,18 @@ func (s *Server) prepareSimulate(req *SimulateRequest) (*preparedJob, *httpError
 				MaxInsts: cfg.MaxInsts,
 				IPC:      st.IPC(),
 				Stats:    st,
+			}
+			if traceBuf != nil {
+				ts, err := renderTrace(traceBuf, traceFormat)
+				if err != nil {
+					// Rendering is pure formatting over an in-memory
+					// buffer; a failure means a renderer bug, not a bad
+					// request. Surface it on the line rather than
+					// dropping the whole result.
+					line.Error = fmt.Sprintf("render trace: %v", err)
+					return
+				}
+				line.Simulate.Trace = ts
 			}
 		},
 	}, nil
@@ -363,7 +429,9 @@ func (s *Server) executeOne(ctx context.Context, pj *preparedJob) (*JobResult, e
 			return nil
 		}
 		line.Kind = pj.kind
+		_, rspan := obs.StartSpan(ctx, "render")
 		pj.render(res, &line)
+		rspan.End()
 		return nil
 	})
 	if err != nil {
@@ -471,7 +539,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			if res.Err != nil {
 				line.Error = res.Err.Error()
 			} else {
+				_, rspan := obs.StartSpan(r.Context(), "render")
 				pj.render(res, &line)
+				rspan.End()
 			}
 		} else if herr := pj.inline(r.Context(), &line); herr != nil {
 			line.Error = herr.msg

@@ -6,21 +6,55 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"dvi/internal/obs"
+	"dvi/internal/ooo"
 )
 
-// metrics aggregates per-endpoint request counts and latency histograms
-// for GET /metrics. The exposition format is the Prometheus text format,
+// metrics aggregates per-endpoint request counts, latency histograms,
+// per-phase orchestration timings and simulator-derived counters for
+// GET /metrics. The exposition format is the Prometheus text format,
 // hand-rolled: the daemon must not grow dependencies for a handful of
 // counters.
 type metrics struct {
-	mu   sync.Mutex
-	reqs map[reqKey]int64
-	lat  map[string]*histogram
+	mu       sync.Mutex
+	reqs     map[reqKey]int64
+	rejected map[string]int64 // admission 429s, by endpoint
+	lat      map[string]*histogram
+	phases   map[string]*histogram // span-tree phase durations, by phase name
+
+	// Simulator counters, accumulated from every timing result the
+	// service renders (exact and sampled): where the simulated cycles
+	// went, aggregated from the microarchitectural plane's Stats.
+	sim simCounters
+
+	// Sampling quality: how many sampled estimates were served and the
+	// relative CI half-width of the most recent one.
+	sampledRuns  int64
+	sampledRelCI float64
 }
 
 type reqKey struct {
 	endpoint string
 	code     int
+}
+
+// simCounters are monotonic totals over every timing simulation the
+// service has answered.
+type simCounters struct {
+	runs          int64
+	cycles        uint64
+	instructions  uint64
+	mispredicts   uint64
+	wrongPath     uint64
+	renameStalls  uint64
+	windowStalls  uint64
+	portStalls    uint64
+	elimSaves     uint64
+	elimRestores  uint64
+	kills         uint64
+	earlyReclaims uint64
+	faults        uint64
 }
 
 // latBuckets are the histogram upper bounds in seconds. Simulations run
@@ -33,13 +67,28 @@ type histogram struct {
 	total  int64
 }
 
-func newMetrics() *metrics {
-	return &metrics{reqs: map[reqKey]int64{}, lat: map[string]*histogram{}}
+func (h *histogram) observe(secs float64) {
+	i := sort.SearchFloat64s(latBuckets[:], secs)
+	h.counts[i]++
+	h.sum += secs
+	h.total++
 }
 
-// observe records one finished request.
+func newMetrics() *metrics {
+	return &metrics{
+		reqs:     map[reqKey]int64{},
+		rejected: map[string]int64{},
+		lat:      map[string]*histogram{},
+		phases:   map[string]*histogram{},
+	}
+}
+
+// observe records one finished request in the latency histogram. Callers
+// must route admission rejections through reject instead: a 429 is
+// answered in microseconds and would drag the endpoint's p99 toward
+// zero, masking real latency regressions during overload — exactly when
+// the dashboards matter.
 func (m *metrics) observe(endpoint string, code int, d time.Duration) {
-	secs := d.Seconds()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.reqs[reqKey{endpoint, code}]++
@@ -48,10 +97,72 @@ func (m *metrics) observe(endpoint string, code int, d time.Duration) {
 		h = &histogram{}
 		m.lat[endpoint] = h
 	}
-	i := sort.SearchFloat64s(latBuckets[:], secs)
-	h.counts[i]++
-	h.sum += secs
-	h.total++
+	h.observe(d.Seconds())
+}
+
+// reject records an admission-rejected (429) request: counted in
+// dvid_requests_total and dvid_admission_rejected_total, excluded from
+// the latency histogram.
+func (m *metrics) reject(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reqs[reqKey{endpoint, 429}]++
+	m.rejected[endpoint]++
+}
+
+// observeSpans folds one completed request span tree into the per-phase
+// duration histograms (the Recorder's OnRecord hook). The root span is
+// skipped — its duration is already the request latency histogram.
+func (m *metrics) observeSpans(root *obs.Span) {
+	type sample struct {
+		phase string
+		secs  float64
+	}
+	var samples []sample
+	root.Visit(func(s *obs.Span) {
+		if s == root {
+			return
+		}
+		samples = append(samples, sample{s.Name(), s.Duration().Seconds()})
+	})
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sm := range samples {
+		h := m.phases[sm.phase]
+		if h == nil {
+			h = &histogram{}
+			m.phases[sm.phase] = h
+		}
+		h.observe(sm.secs)
+	}
+}
+
+// observeSim accumulates one timing run's statistics.
+func (m *metrics) observeSim(st ooo.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sim.runs++
+	m.sim.cycles += st.Cycles
+	m.sim.instructions += st.Committed
+	m.sim.mispredicts += st.Mispredicts
+	m.sim.wrongPath += st.WrongPath
+	m.sim.renameStalls += st.RenameStallCycles
+	m.sim.windowStalls += st.WindowFullCycles
+	m.sim.portStalls += st.PortStallCycles
+	m.sim.elimSaves += st.ElimSaves
+	m.sim.elimRestores += st.ElimRests
+	m.sim.kills += st.KillsSeen
+	m.sim.earlyReclaims += st.EarlyReclaimed
+	m.sim.faults += st.Faults
+}
+
+// observeSampled records one served sampled estimate and its relative CI
+// half-width.
+func (m *metrics) observeSampled(relCI float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sampledRuns++
+	m.sampledRelCI = relCI
 }
 
 // gauge is one instantaneous value appended by the server at render time.
@@ -63,8 +174,32 @@ type gauge struct {
 	counter    bool
 }
 
-// render writes the exposition text: request counters, latency
-// histograms, then the provided gauges (queue depth, cache traffic, ...).
+// writeHistogram emits one histogram family member under name with the
+// given label.
+func writeHistogram(b *strings.Builder, name, labelKey, labelVal string, h *histogram) {
+	cum := int64(0)
+	for i, ub := range latBuckets {
+		cum += h.counts[i]
+		fmt.Fprintf(b, "%s_bucket{%s=%q,le=\"%g\"} %d\n", name, labelKey, labelVal, ub, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, labelKey, labelVal, h.total)
+	fmt.Fprintf(b, "%s_sum{%s=%q} %g\n", name, labelKey, labelVal, h.sum)
+	fmt.Fprintf(b, "%s_count{%s=%q} %d\n", name, labelKey, labelVal, h.total)
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// render writes the exposition text: request counters, admission
+// rejections, latency and phase histograms, simulator totals, then the
+// provided gauges (queue depth, cache traffic, ...).
 func (m *metrics) render(gauges []gauge) string {
 	var b strings.Builder
 	m.mu.Lock()
@@ -85,27 +220,48 @@ func (m *metrics) render(gauges []gauge) string {
 		fmt.Fprintf(&b, "dvid_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.reqs[k])
 	}
 
-	eps := make([]string, 0, len(m.lat))
-	for ep := range m.lat {
-		eps = append(eps, ep)
-	}
-	sort.Strings(eps)
-	b.WriteString("# HELP dvid_request_duration_seconds Request latency.\n")
-	b.WriteString("# TYPE dvid_request_duration_seconds histogram\n")
-	for _, ep := range eps {
-		h := m.lat[ep]
-		cum := int64(0)
-		for i, ub := range latBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(&b, "dvid_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, cum)
+	if len(m.rejected) > 0 {
+		b.WriteString("# HELP dvid_admission_rejected_total Requests rejected by admission control (429), excluded from the latency histogram.\n")
+		b.WriteString("# TYPE dvid_admission_rejected_total counter\n")
+		for _, ep := range sortedKeys(m.rejected) {
+			fmt.Fprintf(&b, "dvid_admission_rejected_total{endpoint=%q} %d\n", ep, m.rejected[ep])
 		}
-		fmt.Fprintf(&b, "dvid_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.total)
-		fmt.Fprintf(&b, "dvid_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
-		fmt.Fprintf(&b, "dvid_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+
+	b.WriteString("# HELP dvid_request_duration_seconds Request latency (admission rejections excluded).\n")
+	b.WriteString("# TYPE dvid_request_duration_seconds histogram\n")
+	for _, ep := range sortedKeys(m.lat) {
+		writeHistogram(&b, "dvid_request_duration_seconds", "endpoint", ep, m.lat[ep])
+	}
+
+	if len(m.phases) > 0 {
+		b.WriteString("# HELP dvid_phase_duration_seconds Per-phase orchestration latency from request span trees (queue-wait, execute, build, scan, interval, render, ...).\n")
+		b.WriteString("# TYPE dvid_phase_duration_seconds histogram\n")
+		for _, ph := range sortedKeys(m.phases) {
+			writeHistogram(&b, "dvid_phase_duration_seconds", "phase", ph, m.phases[ph])
+		}
+	}
+
+	simCounters := []gauge{
+		{name: "dvid_sim_runs_total", help: "Timing simulations answered (exact runs and sampled intervals aggregate alike).", value: float64(m.sim.runs), counter: true},
+		{name: "dvid_sim_cycles_total", help: "Simulated cycles across all timing runs.", value: float64(m.sim.cycles), counter: true},
+		{name: "dvid_sim_instructions_total", help: "Committed original instructions across all timing runs.", value: float64(m.sim.instructions), counter: true},
+		{name: "dvid_sim_mispredicts_total", help: "Recovered branch mispredictions across all timing runs.", value: float64(m.sim.mispredicts), counter: true},
+		{name: "dvid_sim_wrong_path_total", help: "Wrong-path instructions dispatched (squashed at recovery).", value: float64(m.sim.wrongPath), counter: true},
+		{name: "dvid_sim_rename_stall_cycles_total", help: "Dispatch cycles stalled on an empty free list.", value: float64(m.sim.renameStalls), counter: true},
+		{name: "dvid_sim_window_full_cycles_total", help: "Dispatch cycles stalled on a full instruction window.", value: float64(m.sim.windowStalls), counter: true},
+		{name: "dvid_sim_port_stall_cycles_total", help: "Commit cycles stalled waiting for a cache port.", value: float64(m.sim.portStalls), counter: true},
+		{name: "dvid_sim_elim_saves_total", help: "Saves eliminated at dispatch by dead-value information.", value: float64(m.sim.elimSaves), counter: true},
+		{name: "dvid_sim_elim_restores_total", help: "Restores eliminated at dispatch by dead-value information.", value: float64(m.sim.elimRestores), counter: true},
+		{name: "dvid_sim_kills_total", help: "E-DVI kill annotations committed.", value: float64(m.sim.kills), counter: true},
+		{name: "dvid_sim_early_reclaims_total", help: "Physical registers reclaimed early by DVI kills.", value: float64(m.sim.earlyReclaims), counter: true},
+		{name: "dvid_sim_faults_total", help: "Correct-path fetches outside the text segment (wild jumps).", value: float64(m.sim.faults), counter: true},
+		{name: "dvid_sampled_runs_total", help: "Sampled (statistical) simulations served.", value: float64(m.sampledRuns), counter: true},
+		{name: "dvid_sampled_rel_ci", help: "Relative CI half-width of the most recently served sampled estimate.", value: m.sampledRelCI},
 	}
 	m.mu.Unlock()
 
-	for _, g := range gauges {
+	for _, g := range append(simCounters, gauges...) {
 		typ := "gauge"
 		if g.counter {
 			typ = "counter"

@@ -38,12 +38,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"dvi/internal/obs"
 	"dvi/internal/prog"
 	"dvi/internal/rewrite"
 	"dvi/internal/runner"
@@ -67,6 +71,17 @@ const (
 	DefaultMaxScale = 8
 	// DefaultMaxJobs caps the number of jobs in one /v2/jobs batch.
 	DefaultMaxJobs = 256
+	// DefaultTraceRing is how many recent request span trees
+	// /debug/trace/recent retains.
+	DefaultTraceRing = 64
+	// DefaultMaxTraceRecords is the ceiling on pipeline-trace records a
+	// /v1/simulate request may ask for; requests asking for more are
+	// clamped. Traces are held in memory until rendered into the
+	// response, so the bound is a memory bound.
+	DefaultMaxTraceRecords = 50_000
+	// defaultTraceRecords is the per-request record budget when the
+	// client enables tracing without choosing one.
+	defaultTraceRecords = 5_000
 
 	// asmPrefix marks synthetic workload specs backed by client assembly.
 	asmPrefix = "asm:"
@@ -102,6 +117,16 @@ type Config struct {
 	// workload.CompileSpec. Client-assembly sources are always handled
 	// by the service itself. Tests use this to count or stall builds.
 	Compile runner.CompileFunc
+	// Logger receives structured request logs (nil = discard). Normal
+	// requests log at Debug, server errors at Warn.
+	Logger *slog.Logger
+	// TraceRing is how many recent request span trees
+	// /debug/trace/recent retains (0 = DefaultTraceRing, negative =
+	// disable the recorder entirely).
+	TraceRing int
+	// MaxTraceRecords is the per-request pipeline-trace record ceiling
+	// (0 = DefaultMaxTraceRecords).
+	MaxTraceRecords int
 }
 
 // Server implements the DVI service over HTTP. Construct with New; it is
@@ -115,6 +140,9 @@ type Server struct {
 	adm     *admission
 	start   time.Time
 	compile runner.CompileFunc // resolved Config.Compile (benchmark specs)
+	log     *slog.Logger
+	rec     *obs.Recorder // recent request span trees (may be nil)
+	reqID   atomic.Uint64 // request-ID counter for generated X-Request-Id values
 }
 
 // New builds a Server, resolving zero Config fields to defaults.
@@ -149,6 +177,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = DefaultMaxJobs
 	}
+	if cfg.MaxTraceRecords == 0 {
+		cfg.MaxTraceRecords = DefaultMaxTraceRecords
+	}
 
 	s := &Server{
 		cfg:     cfg,
@@ -156,6 +187,20 @@ func New(cfg Config) *Server {
 		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
 		start:   time.Now(),
 		compile: cfg.Compile,
+		log:     cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.TraceRing >= 0 {
+		ring := cfg.TraceRing
+		if ring == 0 {
+			ring = DefaultTraceRing
+		}
+		s.rec = obs.NewRecorder(ring)
+		// Fold every finished request's span tree into the per-phase
+		// latency histograms as it is recorded.
+		s.rec.OnRecord = s.met.observeSpans
 	}
 	if s.compile == nil {
 		s.compile = workload.CompileSpec
@@ -175,6 +220,15 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/workloads", s.light("workloads", s.handleWorkloads))
 	mux.HandleFunc("GET /healthz", s.light("healthz", s.handleHealth))
 	mux.HandleFunc("GET /metrics", s.light("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/trace/recent", s.light("trace", s.handleTraceRecent))
+	// net/http/pprof registers only on http.DefaultServeMux; mount its
+	// handlers explicitly so profiling works on this mux without pulling
+	// in whatever else the default mux has accumulated.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	s.mux = mux
 	return s
 }
@@ -264,14 +318,35 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// requestID returns the request's correlation ID: the inbound
+// X-Request-Id when the client supplied one, else a fresh server-local
+// ID. Either way the value is echoed on the response, so clients can
+// correlate server logs and span trees with their own.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" && len(id) <= 128 {
+		return id
+	}
+	return "dvid-" + strconv.FormatUint(s.reqID.Add(1), 16)
+}
+
 // heavy wraps simulation-class endpoints with admission control, body
-// limits, and metrics. The body is read in full — and bounded — before
-// an execution slot is acquired, so a client trickling a slow upload
-// never holds a slot, and over-limit bodies answer 413 rather than
-// consuming admission capacity.
+// limits, spans, logging, and metrics. The body is read in full — and
+// bounded — before an execution slot is acquired, so a client trickling
+// a slow upload never holds a slot, and over-limit bodies answer 413
+// rather than consuming admission capacity.
+//
+// Each admitted request runs under a root span (named after the
+// endpoint) with a "queue-wait" child covering admission and an
+// "execute" child covering the handler; the orchestration layers hang
+// their own children (build, scan, interval, render, ...) off the
+// execute span via the request context. Completed trees land in the
+// ring served by /debug/trace/recent and fold into the per-phase
+// histograms.
 func (s *Server) heavy(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := s.requestID(r)
+		w.Header().Set("X-Request-Id", reqID)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
 		switch {
@@ -282,7 +357,19 @@ func (s *Server) heavy(name string, h http.HandlerFunc) http.HandlerFunc {
 			s.writeError(sw, http.StatusBadRequest, "read request body: %v", err)
 		default:
 			r.Body = io.NopCloser(bytes.NewReader(body))
-			if err := s.adm.acquire(r.Context()); err != nil {
+			ctx := r.Context()
+			if s.rec != nil {
+				ctx = obs.WithRecorder(ctx, s.rec)
+			}
+			ctx, span := obs.StartSpan(ctx, name)
+			if span != nil {
+				span.SetAttr("request_id", reqID)
+				span.SetAttr("bytes", len(body))
+			}
+			qctx, qspan := obs.StartSpan(ctx, "queue-wait")
+			err := s.adm.acquire(qctx)
+			qspan.End()
+			if err != nil {
 				if errors.Is(err, errBusy) {
 					s.writeError(sw, http.StatusTooManyRequests,
 						"admission queue full (%d executing, %d queued); retry later",
@@ -293,22 +380,51 @@ func (s *Server) heavy(name string, h http.HandlerFunc) http.HandlerFunc {
 			} else {
 				func() {
 					defer s.adm.release()
-					h(sw, r)
+					ectx, espan := obs.StartSpan(ctx, "execute")
+					defer espan.End()
+					h(sw, r.WithContext(ectx))
 				}()
 			}
+			if span != nil {
+				span.SetAttr("code", sw.code)
+				span.End()
+			}
 		}
-		s.met.observe(name, sw.code, time.Since(start))
+		// Admission rejections are counted but kept out of the latency
+		// histogram: a flood of instant 429s must not mask the latency
+		// of the work that was actually admitted.
+		if sw.code == http.StatusTooManyRequests {
+			s.met.reject(name)
+		} else {
+			s.met.observe(name, sw.code, time.Since(start))
+		}
+		s.logRequest(name, reqID, sw.code, time.Since(start))
 	}
 }
 
-// light wraps cheap read-only endpoints with metrics only.
+// light wraps cheap read-only endpoints with metrics and logging only.
 func (s *Server) light(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := s.requestID(r)
+		w.Header().Set("X-Request-Id", reqID)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		s.met.observe(name, sw.code, time.Since(start))
+		s.logRequest(name, reqID, sw.code, time.Since(start))
 	}
+}
+
+// logRequest writes one structured line per request: Debug normally,
+// Warn for server-side errors so they surface at default log levels.
+func (s *Server) logRequest(name, reqID string, code int, d time.Duration) {
+	lvl := slog.LevelDebug
+	if code >= 500 {
+		lvl = slog.LevelWarn
+	}
+	s.log.Log(context.Background(), lvl, "request",
+		"endpoint", name, "request_id", reqID, "code", code,
+		"duration_ms", float64(d.Microseconds())/1000)
 }
 
 // --- JSON helpers ---
@@ -519,6 +635,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(body))
+}
+
+// handleTraceRecent serves the last-N completed request span trees,
+// newest first. It answers from the in-process ring — no storage, no
+// exporter — which is exactly enough to ask "where did that slow
+// request spend its time?" against a live daemon.
+func (s *Server) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		s.writeError(w, http.StatusNotFound, "trace recorder disabled")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, TraceRecent{Traces: s.rec.Recent()})
 }
 
 // runError maps an engine failure onto an HTTP status: client-abandoned

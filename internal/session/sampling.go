@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"dvi/internal/mem"
+	"dvi/internal/obs"
 	"dvi/internal/runner"
 	"dvi/internal/sample"
 	"dvi/internal/workload"
@@ -115,7 +116,15 @@ func (s *Session) sampleJob(ctx context.Context, j Job, so sample.Options) (samp
 		return sample.Estimate{}, Result{}, fmt.Errorf("%s: %w", label, err)
 	}
 
-	pr, img, err := s.eng.Cache().Get(ctx, j.Workload, j.Scale, j.Build)
+	ctx, span := obs.StartSpan(ctx, "sample")
+	if span != nil {
+		span.SetAttr("label", label)
+		defer span.End()
+	}
+
+	bctx, bspan := obs.StartSpan(ctx, "build")
+	pr, img, err := s.eng.Cache().Get(bctx, j.Workload, j.Scale, j.Build)
+	bspan.End()
 	if err != nil {
 		return fail(err)
 	}
@@ -149,6 +158,7 @@ func (s *Session) sampleJob(ctx context.Context, j Job, so sample.Options) (samp
 	)
 	period := opt.Period
 	for round := 0; ; round++ {
+		_, sspan := obs.StartSpan(ctx, "scan")
 		em := s.eng.AcquireEmulator(pr, img, mcfg.Emu)
 		scan = scanner.Scan(em, base, mcfg, opt, func(idx int) bool {
 			if _, done := measured[idx]; done {
@@ -157,6 +167,11 @@ func (s *Session) sampleJob(ctx context.Context, j Job, so sample.Options) (samp
 			return sample.Selected(idx, period, opt.Seed)
 		}, s.eng.AcquireCheckpoint)
 		s.eng.ReleaseEmulator(em)
+		if sspan != nil {
+			sspan.SetAttr("round", round)
+			sspan.SetAttr("checkpoints", len(scan.Checkpoints))
+			sspan.End()
+		}
 		retained = append(retained, scan.Checkpoints...)
 
 		var ivJobs []Job
@@ -193,7 +208,9 @@ func (s *Session) sampleJob(ctx context.Context, j Job, so sample.Options) (samp
 		for i, idx := range keys {
 			ordered[i] = measured[idx]
 		}
+		_, aspan := obs.StartSpan(ctx, "aggregate")
 		est, err = sample.Aggregate(scan, ordered, opt)
+		aspan.End()
 		if err != nil {
 			return fail(err)
 		}
