@@ -228,6 +228,15 @@ type benchFigure struct {
 	RelCI             float64 `json:"rel_ci,omitempty"`        // worst relative half-width
 	IntervalsMeasured int     `json:"intervals_measured,omitempty"`
 	IntervalsTotal    int     `json:"intervals_total,omitempty"`
+	// Multi-context aggregates (dvibench/v4, absent when the grid has no
+	// multi-context timing jobs): the widest machine in the grid, and per
+	// hardware context — summed over the grid's multi-context jobs —
+	// committed instructions and save/restore eliminations. Entry i is
+	// context i; per-context sums always add up to the corresponding
+	// share of the aggregate counters above.
+	MaxContexts  int      `json:"max_contexts,omitempty"`
+	CtxCommitted []uint64 `json:"ctx_committed,omitempty"`
+	CtxElim      []uint64 `json:"ctx_elim,omitempty"`
 
 	Tables []harness.Table `json:"tables"`
 }
@@ -280,7 +289,7 @@ func buildReport(ctx context.Context, sess *session.Session, opt harness.Options
 		selected[id] = true
 	}
 	rep := benchReport{
-		Schema:        "dvibench/v3",
+		Schema:        "dvibench/v4",
 		Workers:       sess.Workers(),
 		Scale:         opt.Scale,
 		MaxInsts:      opt.MaxInsts,
@@ -326,6 +335,19 @@ func buildReport(ctx context.Context, sess *session.Session, opt harness.Options
 			case runner.Functional:
 				bf.ElimSaves += res.Func.SavesElim
 				bf.ElimRestores += res.Func.RestoresElim
+			}
+			if n := len(res.CtxStats); n > 1 {
+				if n > bf.MaxContexts {
+					bf.MaxContexts = n
+				}
+				for len(bf.CtxCommitted) < n {
+					bf.CtxCommitted = append(bf.CtxCommitted, 0)
+					bf.CtxElim = append(bf.CtxElim, 0)
+				}
+				for i, c := range res.CtxStats {
+					bf.CtxCommitted[i] += c.Committed
+					bf.CtxElim[i] += c.ElimSaves + c.ElimRests
+				}
 			}
 			if est := res.Sampled; est != nil {
 				if est.CIHalfWidth > bf.CIHalfWidth {

@@ -91,8 +91,8 @@ func TestEmitJSONRoundTrips(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if rep.Schema != "dvibench/v3" {
-		t.Fatalf("schema %q, want dvibench/v3", rep.Schema)
+	if rep.Schema != "dvibench/v4" {
+		t.Fatalf("schema %q, want dvibench/v4", rep.Schema)
 	}
 	if rep.Sampling != nil {
 		t.Fatalf("exact-mode report carries a sampling block: %+v", rep.Sampling)
@@ -135,6 +135,47 @@ func TestJSONReportSampling(t *testing.T) {
 	}
 	if bf.Cycles == 0 || bf.Committed == 0 {
 		t.Fatalf("sampled figure lost its timing aggregates: %+v", bf)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+// TestJSONReportMultiContext pins the dvibench/v4 additions: the smt
+// figure's record carries per-context aggregates — the widest machine in
+// the grid and per-context committed/elimination sums — while
+// single-context figures omit the fields entirely, so v3 consumers that
+// ignore unknown fields keep working in exact mode.
+func TestJSONReportMultiContext(t *testing.T) {
+	opt := testOptions()
+	sess := harness.NewSession(opt, nil)
+	rep, err := buildReport(context.Background(), sess, opt, []string{"smt", "fig10"}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Figures) != 2 {
+		t.Fatalf("%d figures, want 2", len(rep.Figures))
+	}
+	byID := map[string]benchFigure{}
+	for _, bf := range rep.Figures {
+		byID[bf.ID] = bf
+	}
+	smt := byID["smt"]
+	if smt.MaxContexts != 8 {
+		t.Fatalf("smt max_contexts = %d, want 8", smt.MaxContexts)
+	}
+	if len(smt.CtxCommitted) != 8 || len(smt.CtxElim) != 8 {
+		t.Fatalf("smt per-context slices have %d/%d entries, want 8",
+			len(smt.CtxCommitted), len(smt.CtxElim))
+	}
+	for i, c := range smt.CtxCommitted {
+		if c == 0 {
+			t.Errorf("context %d committed nothing across the smt grid", i)
+		}
+	}
+	fig10 := byID["fig10"]
+	if fig10.MaxContexts != 0 || fig10.CtxCommitted != nil || fig10.CtxElim != nil {
+		t.Errorf("single-context figure carries multi-context fields: %+v", fig10)
 	}
 	if _, err := json.Marshal(rep); err != nil {
 		t.Fatalf("marshal: %v", err)

@@ -48,6 +48,7 @@ func main() {
 		maxJobs    = flag.Int("max-jobs", service.DefaultMaxJobs, "ceiling on jobs per /v2/jobs batch")
 		traceRing  = flag.Int("trace-ring", service.DefaultTraceRing, "request span trees retained for /debug/trace/recent (-1 disables)")
 		maxTrace   = flag.Int("max-trace-records", service.DefaultMaxTraceRecords, "ceiling on per-request pipeline trace records")
+		maxCtx     = flag.Int("max-contexts", service.DefaultMaxContexts, "ceiling on per-request SMT hardware contexts")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 		verbose    = flag.Bool("v", false, "log individual requests")
 	)
@@ -75,6 +76,7 @@ func main() {
 		MaxJobs:         *maxJobs,
 		TraceRing:       *traceRing,
 		MaxTraceRecords: *maxTrace,
+		MaxContexts:     *maxCtx,
 		Logger:          logger,
 	})
 

@@ -4,6 +4,10 @@
 // Usage:
 //
 //	dvisim -bench perl -scale 2 -dvi full -scheme stack -regs 96 -ports 2
+//
+// With -contexts N > 1 the machine runs N SMT hardware contexts, each
+// executing its own copy of the benchmark through one shared core, and
+// the report gains a per-context breakdown.
 package main
 
 import (
@@ -11,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dvi/internal/core"
@@ -22,33 +27,54 @@ import (
 	"dvi/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the whole program behind exit-code plumbing, so tests can drive
+// the real flag parsing, validation and report paths in-process. It
+// returns the process exit code: 0 on success, 2 for flag/usage errors,
+// 1 for runtime failures.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dvisim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench  = flag.String("bench", "gcc", "benchmark: compress|go|ijpeg|li|vortex|perl|gcc")
-		scale  = flag.Int("scale", 1, "workload scale factor")
-		level  = flag.String("dvi", "full", "DVI level: none|idvi|full")
-		scheme = flag.String("scheme", "stack", "elimination scheme: off|lvm|stack")
-		regs   = flag.Int("regs", 96, "physical register file size")
-		ports  = flag.Int("ports", 2, "cache ports")
-		width  = flag.Int("width", 4, "issue width")
-		max    = flag.Uint64("maxinsts", 0, "instruction budget (0 = to completion)")
-		wrong  = flag.Bool("wrongpath", true, "model wrong-path fetch")
+		bench  = fs.String("bench", "gcc", "benchmark: compress|go|ijpeg|li|vortex|perl|gcc")
+		scale  = fs.Int("scale", 1, "workload scale factor")
+		level  = fs.String("dvi", "full", "DVI level: none|idvi|full")
+		scheme = fs.String("scheme", "stack", "elimination scheme: off|lvm|stack")
+		regs   = fs.Int("regs", 96, "physical register file size")
+		ports  = fs.Int("ports", 2, "cache ports")
+		width  = fs.Int("width", 4, "issue width")
+		max    = fs.Uint64("maxinsts", 0, "instruction budget (0 = to completion)")
+		wrong  = fs.Bool("wrongpath", true, "model wrong-path fetch")
 
-		pipetrace = flag.String("pipetrace", "", "write a per-instruction pipeline trace to FILE")
-		traceFmt  = flag.String("pipetrace-format", "chrome", "pipeline trace format: chrome|konata")
-		traceMax  = flag.Int("pipetrace-limit", 0, "max trace records (0 = unbounded)")
+		contexts = fs.Int("contexts", 1, "SMT hardware contexts sharing the core")
+		fetchPol = fs.String("fetch-policy", "round-robin", "multi-context fetch arbitration: round-robin|icount")
+
+		pipetrace = fs.String("pipetrace", "", "write a per-instruction pipeline trace to FILE")
+		traceFmt  = fs.String("pipetrace-format", "chrome", "pipeline trace format: chrome|konata")
+		traceMax  = fs.Int("pipetrace-limit", 0, "max trace records (0 = unbounded)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, format+"\n", a...)
+		return 2
+	}
 	if *traceFmt != "chrome" && *traceFmt != "konata" {
-		fmt.Fprintf(os.Stderr, "bad -pipetrace-format %q (want chrome or konata)\n", *traceFmt)
-		os.Exit(2)
+		return fail("bad -pipetrace-format %q (want chrome or konata)", *traceFmt)
+	}
+	if *traceMax < 0 {
+		return fail("bad -pipetrace-limit %d (want >= 0; 0 means unbounded)", *traceMax)
+	}
+	if *contexts < 1 {
+		return fail("bad -contexts %d (want >= 1)", *contexts)
 	}
 
 	spec, ok := workload.ByName(*bench)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q; have %v\n", *bench, workload.Names())
-		os.Exit(2)
+		return fail("unknown benchmark %q; have %v", *bench, workload.Names())
 	}
 
 	var dviLevel core.Level
@@ -60,8 +86,7 @@ func main() {
 	case "full":
 		dviLevel = core.Full
 	default:
-		fmt.Fprintf(os.Stderr, "bad -dvi %q\n", *level)
-		os.Exit(2)
+		return fail("bad -dvi %q (want none, idvi or full)", *level)
 	}
 	var elim emu.Scheme
 	switch *scheme {
@@ -72,8 +97,16 @@ func main() {
 	case "stack":
 		elim = emu.ElimLVMStack
 	default:
-		fmt.Fprintf(os.Stderr, "bad -scheme %q\n", *scheme)
-		os.Exit(2)
+		return fail("bad -scheme %q (want off, lvm or stack)", *scheme)
+	}
+	var policy ooo.FetchPolicy
+	switch *fetchPol {
+	case "round-robin":
+		policy = ooo.FetchRoundRobin
+	case "icount":
+		policy = ooo.FetchICOUNT
+	default:
+		return fail("bad -fetch-policy %q (want round-robin or icount)", *fetchPol)
 	}
 
 	cfg := ooo.DefaultConfig()
@@ -82,7 +115,12 @@ func main() {
 	cfg.IssueWidth = *width
 	cfg.MaxInsts = *max
 	cfg.WrongPathFetch = *wrong
+	cfg.Contexts = *contexts
+	cfg.FetchPolicy = policy
 	cfg.Emu = session.EmuConfigFor(dviLevel, elim)
+	if err := cfg.CheckContexts(); err != nil {
+		return fail("%v (raise -regs: %d contexts need at least %d)", err, *contexts, 32**contexts+1)
+	}
 
 	var traceBuf *obs.PipeBuffer
 	if *pipetrace != "" {
@@ -104,38 +142,46 @@ func main() {
 		KeepMachine: true,
 	}})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	st, m := results[0].Timing, results[0].Machine
 
-	fmt.Printf("benchmark        %s (scale %d, %s, scheme %s)\n", spec.Name, *scale, cfg.Emu.DVI.Level, cfg.Emu.Scheme)
-	fmt.Printf("cycles           %d\n", st.Cycles)
-	fmt.Printf("insts committed  %d (IPC %.3f)\n", st.Committed, st.IPC())
-	fmt.Printf("kills committed  %d\n", st.KillsSeen)
-	fmt.Printf("saves/restores   eliminated %d/%d\n", st.ElimSaves, st.ElimRests)
-	fmt.Printf("early reclaims   %d physical registers\n", st.EarlyReclaimed)
-	fmt.Printf("mispredicts      %d (wrong-path insts %d)\n", st.Mispredicts, st.WrongPath)
-	fmt.Printf("stall cycles     rename %d, window %d, ports %d\n",
+	fmt.Fprintf(stdout, "benchmark        %s (scale %d, %s, scheme %s)\n", spec.Name, *scale, cfg.Emu.DVI.Level, cfg.Emu.Scheme)
+	if *contexts > 1 {
+		fmt.Fprintf(stdout, "contexts         %d (%s fetch)\n", *contexts, policy)
+	}
+	fmt.Fprintf(stdout, "cycles           %d\n", st.Cycles)
+	fmt.Fprintf(stdout, "insts committed  %d (IPC %.3f)\n", st.Committed, st.IPC())
+	fmt.Fprintf(stdout, "kills committed  %d\n", st.KillsSeen)
+	fmt.Fprintf(stdout, "saves/restores   eliminated %d/%d\n", st.ElimSaves, st.ElimRests)
+	fmt.Fprintf(stdout, "early reclaims   %d physical registers\n", st.EarlyReclaimed)
+	fmt.Fprintf(stdout, "mispredicts      %d (wrong-path insts %d)\n", st.Mispredicts, st.WrongPath)
+	fmt.Fprintf(stdout, "stall cycles     rename %d, window %d, ports %d\n",
 		st.RenameStallCycles, st.WindowFullCycles, st.PortStallCycles)
-	fmt.Printf("phys regs in use max %d of %d\n", st.MaxPhysInUse, cfg.PhysRegs)
+	fmt.Fprintf(stdout, "phys regs in use max %d of %d\n", st.MaxPhysInUse, cfg.PhysRegs)
 	h := m.Hierarchy()
-	fmt.Printf("caches           il1 %.2f%% miss, dl1 %.2f%% miss, l2 %.2f%% miss\n",
+	fmt.Fprintf(stdout, "caches           il1 %.2f%% miss, dl1 %.2f%% miss, l2 %.2f%% miss\n",
 		100*h.L1I.Stats.MissRate(), 100*h.L1D.Stats.MissRate(), 100*h.L2.Stats.MissRate())
-	fmt.Printf("branch predictor %.2f%% mispredict\n", 100*m.Predictor().MispredictRate())
-	fmt.Printf("checksum         %#x\n", m.Emu().Checksum)
+	fmt.Fprintf(stdout, "branch predictor %.2f%% mispredict\n", 100*m.Predictor().MispredictRate())
+	fmt.Fprintf(stdout, "checksum         %#x\n", m.Emu().Checksum)
+	for i, c := range results[0].CtxStats {
+		fmt.Fprintf(stdout, "context %-8d committed %d (IPC %.3f), elim %d/%d, mispredicts %d, checksum %#x\n",
+			i, c.Committed, c.IPC(), c.ElimSaves, c.ElimRests, c.Mispredicts, m.EmuCtx(i).Checksum)
+	}
 
 	if traceBuf != nil {
 		if err := writeTrace(*pipetrace, *traceFmt, traceBuf); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("pipetrace        %s (%s, %d records", *pipetrace, *traceFmt, traceBuf.Len())
+		fmt.Fprintf(stdout, "pipetrace        %s (%s, %d records", *pipetrace, *traceFmt, traceBuf.Len())
 		if d := traceBuf.Dropped(); d > 0 {
-			fmt.Printf(", %d dropped past -pipetrace-limit", d)
+			fmt.Fprintf(stdout, ", %d dropped past -pipetrace-limit", d)
 		}
-		fmt.Printf(")\n")
+		fmt.Fprintf(stdout, ")\n")
 	}
+	return 0
 }
 
 // writeTrace renders the captured pipeline records to path: Chrome

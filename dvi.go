@@ -63,6 +63,9 @@ type (
 	MachineStats = ooo.Stats
 	// Machine is the out-of-order simulator instance.
 	Machine = ooo.Machine
+	// FetchPolicy selects how a multi-context machine arbitrates its one
+	// fetch slot per cycle.
+	FetchPolicy = ooo.FetchPolicy
 
 	// DVIConfig selects the DVI hardware behaviour.
 	DVIConfig = core.Config
@@ -206,6 +209,16 @@ const (
 	ElimLVMStack = emu.ElimLVMStack
 )
 
+// Multi-context (SMT) fetch arbitration policies.
+const (
+	// FetchRoundRobin rotates the fetch slot over the eligible contexts.
+	FetchRoundRobin = ooo.FetchRoundRobin
+	// FetchICOUNT fetches for the context with the fewest in-flight
+	// instructions (fetch queue + window) — the starvation-resistant
+	// policy.
+	FetchICOUNT = ooo.FetchICOUNT
+)
+
 // Kill placement policies for the binary rewriter.
 const (
 	KillsBeforeCalls = rewrite.KillsBeforeCalls
@@ -282,6 +295,14 @@ var (
 	WithSampling = session.WithSampling
 	// WithSamplingOptions is WithSampling with full control of the plan.
 	WithSamplingOptions = session.WithSamplingOptions
+	// WithContexts runs N SMT hardware contexts — each executing its own
+	// copy of the workload — through one shared core. Per-context stats
+	// come from Session.SimulateContexts; the machine needs 32·N+1 or
+	// more physical registers.
+	WithContexts = session.WithContexts
+	// WithFetchPolicy selects the multi-context fetch arbitration
+	// (FetchRoundRobin or FetchICOUNT).
+	WithFetchPolicy = session.WithFetchPolicy
 )
 
 var (

@@ -28,6 +28,49 @@ func TestFacadeSimulate(t *testing.T) {
 	}
 }
 
+func TestFacadeSimulateContexts(t *testing.T) {
+	w, ok := dvi.WorkloadByName("li")
+	if !ok {
+		t.Fatal("li workload missing")
+	}
+	sess := dvi.NewSession()
+	agg, ctxStats, err := sess.SimulateContexts(context.Background(), w,
+		dvi.WithContexts(2), dvi.WithFetchPolicy(dvi.FetchICOUNT),
+		dvi.WithMaxInsts(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctxStats) != 2 {
+		t.Fatalf("%d per-context stats, want 2", len(ctxStats))
+	}
+	var sum uint64
+	for i, cs := range ctxStats {
+		if cs.Committed == 0 {
+			t.Errorf("ctx %d committed nothing", i)
+		}
+		sum += cs.Committed
+	}
+	if sum != agg.Committed {
+		t.Errorf("per-context commits sum to %d, aggregate %d", sum, agg.Committed)
+	}
+
+	// Single-context machines answer with a nil breakdown, matching the
+	// wire format's omitted ctx_stats.
+	_, single, err := sess.SimulateContexts(context.Background(), w, dvi.WithMaxInsts(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single != nil {
+		t.Errorf("single-context breakdown = %v, want nil", single)
+	}
+
+	// Sampling is single-context; the multi-context front door rejects it.
+	if _, _, err := sess.SimulateContexts(context.Background(), w,
+		dvi.WithContexts(2), dvi.WithSampling(4000, 1000, 0)); err == nil {
+		t.Error("SimulateContexts accepted a sampling request")
+	}
+}
+
 func TestFacadeSimulateSampled(t *testing.T) {
 	w, ok := dvi.WorkloadByName("gcc")
 	if !ok {

@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"dvi/internal/cacti"
 	"dvi/internal/core"
@@ -63,6 +64,7 @@ func Figures() []Figure {
 		{ID: "fig11", Title: "cache bandwidth sensitivity", Jobs: fig11Jobs, Render: one("fig11", fig11Build)},
 		{ID: "fig12", Title: "context switch traffic reduction", Jobs: fig12Jobs, Render: one("fig12", fig12Build)},
 		{ID: "fig13", Title: "E-DVI annotation overhead", Jobs: fig13Jobs, Render: one("fig13", fig13Build)},
+		{ID: "smt", Title: "multi-context (SMT) throughput and DVI benefit", Jobs: smtJobs, Render: one("smt", smtBuild)},
 		{ID: "ablation-stack", Title: "LVM-Stack depth sweep", Jobs: ablationStackJobs, Render: one("ablation-stack", ablationStackBuild)},
 		{ID: "ablation-kills", Title: "kill placement policies", Jobs: ablationKillsJobs, Render: one("ablation-kills", ablationKillsBuild)},
 		{ID: "ablation-wrongpath", Title: "wrong-path fetch modelling", Jobs: ablationWrongPathJobs, Render: one("ablation-wrongpath", ablationWrongPathBuild)},
@@ -641,6 +643,151 @@ func fig13Build(opt Options, res []runner.Result) (Table, error) {
 
 // Fig13EDVIOverhead measures the cost of the kill annotations.
 func Fig13EDVIOverhead(opt Options) (Table, error) { return runOne("fig13", opt, fig13Build) }
+
+// --- smt (multi-context) ---
+
+var (
+	// smtContexts is the hardware-context sweep (the single-context point
+	// anchors the curves to the paper machine).
+	smtContexts = []int{1, 2, 4, 8}
+	// smtPolicies are the fetch arbitration policies compared at each
+	// context count.
+	smtPolicies = []ooo.FetchPolicy{ooo.FetchRoundRobin, ooo.FetchICOUNT}
+	// smtBenchmarks are the multiprogramming workloads: both are
+	// save/restore-active, so DVI's elimination benefit is visible per
+	// context.
+	smtBenchmarks = []string{"li", "gcc"}
+)
+
+// smtPoliciesFor returns the fetch policies worth running at n contexts:
+// arbitration cannot matter with one context, so the single-context
+// anchor runs once under the default policy.
+func smtPoliciesFor(n int) []ooo.FetchPolicy {
+	if n == 1 {
+		return smtPolicies[:1]
+	}
+	return smtPolicies
+}
+
+// smtLevels are the two DVI configurations each grid cell compares.
+var smtLevels = []core.Level{core.None, core.Full}
+
+// smtJobs declares the multiprogramming grid: per benchmark and context
+// count, a (fetch policy × DVI level) block where every context runs its
+// own copy of the workload through one shared core. The physical register
+// file scales as 32·N architectural mappings plus the paper machine's 64
+// renaming registers, so rename headroom per context is constant across
+// the sweep and DVI's early reclamation stays comparable to the
+// single-context runs.
+func smtJobs(opt Options) []runner.Job {
+	var jobs []runner.Job
+	for _, name := range smtBenchmarks {
+		s, _ := workload.ByName(name)
+		for _, n := range smtContexts {
+			for _, policy := range smtPoliciesFor(n) {
+				for _, level := range smtLevels {
+					scheme := emu.ElimOff
+					if level == core.Full {
+						scheme = emu.ElimLVMStack
+					}
+					cfg := timingConfig(level, scheme, opt.MaxInsts)
+					cfg.Contexts = n
+					cfg.FetchPolicy = policy
+					cfg.PhysRegs = 32*n + 64
+					jobs = append(jobs, timingJob(
+						fmt.Sprintf("smt %s %dctx %s %s", name, n, policy, level),
+						s, opt, session.BuildOptionsFor(level).EDVI, cfg))
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// smtCheck enforces the per-context accounting invariant the figure
+// reports: context committed-instruction and save/restore-elimination
+// counts must sum to the machine's aggregate.
+func smtCheck(r runner.Result) error {
+	if len(r.CtxStats) == 0 {
+		return nil
+	}
+	var committed, elim uint64
+	for _, c := range r.CtxStats {
+		committed += c.Committed
+		elim += c.ElimSaves + c.ElimRests
+	}
+	if committed != r.Timing.Committed || elim != r.Timing.ElimSaves+r.Timing.ElimRests {
+		return fmt.Errorf("smt %s: per-context accounting (committed %d, elim %d) does not sum to aggregate (committed %d, elim %d)",
+			r.Job.Label, committed, elim, r.Timing.Committed, r.Timing.ElimSaves+r.Timing.ElimRests)
+	}
+	return nil
+}
+
+// smtPerCtx renders one column value per hardware context, separated by
+// "/" (single-context machines report the aggregate, which is the only
+// context).
+func smtPerCtx(r runner.Result, f func(ooo.Stats) string) string {
+	if len(r.CtxStats) == 0 {
+		return f(r.Timing)
+	}
+	parts := make([]string, len(r.CtxStats))
+	for i, c := range r.CtxStats {
+		parts[i] = f(c)
+	}
+	return strings.Join(parts, "/")
+}
+
+// smtBuild renders the multi-context study: aggregate throughput without
+// and with DVI, the DVI speedup, each context's share of the throughput,
+// each context's save/restore eliminations, and the change in L1 D-cache
+// misses per thousand committed instructions (elimination removes stack
+// traffic, so the delta should be negative where saves/restores are hot).
+func smtBuild(opt Options, res []runner.Result) (Table, error) {
+	t := Table{
+		ID:    "smt",
+		Title: "Multi-context (SMT) throughput and DVI benefit",
+		Header: []string{"Benchmark", "Ctxs", "Fetch", "IPC no DVI", "IPC full DVI", "DVI gain",
+			"Per-ctx IPC (full)", "S/R elim per ctx", "dL1D miss/kI"},
+		Notes: []string{
+			"each context runs its own copy of the benchmark through one shared core; PhysRegs = 32*N + 64",
+			"dL1D miss/kI: L1 D-cache misses per 1000 committed instructions, full DVI minus no DVI",
+		},
+	}
+	mpki := func(st ooo.Stats) float64 { return 1000 * ratio(st.L1D.Misses, st.Committed) }
+	idx := 0
+	for _, name := range smtBenchmarks {
+		for _, n := range smtContexts {
+			for _, policy := range smtPoliciesFor(n) {
+				if idx+1 >= len(res) {
+					return t, fmt.Errorf("smt: %d results, grid needs more", len(res))
+				}
+				base, full := res[idx], res[idx+1]
+				idx += 2
+				if err := smtCheck(base); err != nil {
+					return t, err
+				}
+				if err := smtCheck(full); err != nil {
+					return t, err
+				}
+				t.Rows = append(t.Rows, []string{
+					name,
+					fmt.Sprintf("%d", n),
+					policy.String(),
+					f3(base.Timing.IPC()),
+					f3(full.Timing.IPC()),
+					fmt.Sprintf("%+.1f%%", 100*(full.Timing.IPC()/base.Timing.IPC()-1)),
+					smtPerCtx(full, func(st ooo.Stats) string { return f2(st.IPC()) }),
+					smtPerCtx(full, func(st ooo.Stats) string { return u64(st.ElimSaves + st.ElimRests) }),
+					fmt.Sprintf("%+.2f", mpki(full.Timing)-mpki(base.Timing)),
+				})
+			}
+		}
+	}
+	return t, nil
+}
+
+// SMTThroughput runs the multi-context study.
+func SMTThroughput(opt Options) (Table, error) { return runOne("smt", opt, smtBuild) }
 
 // --- ablations ---
 

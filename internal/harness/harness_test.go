@@ -224,6 +224,62 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+// TestSMTFigure runs a reduced multi-context study and pins its
+// contracts: the renderer verifies per-context elim/commit accounting
+// sums to the aggregate (it errors otherwise), multi-context rows report
+// one IPC per hardware context, and the table is byte-identical at any
+// worker count.
+func TestSMTFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing studies in -short mode")
+	}
+	savedCtx, savedBench := smtContexts, smtBenchmarks
+	smtContexts = []int{1, 2, 4}
+	smtBenchmarks = []string{"li"}
+	defer func() { smtContexts, smtBenchmarks = savedCtx, savedBench }()
+
+	opt := small()
+	opt.Workers = 1
+	tab, err := SMTThroughput(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=1 runs one policy; n=2 and n=4 run both.
+	if len(tab.Rows) != 5 {
+		t.Fatalf("smt rows = %d, want 5", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		n, _ := strconv.Atoi(row[1])
+		perCtx := strings.Split(row[6], "/")
+		if len(perCtx) != n {
+			t.Errorf("%d-context row reports %d per-ctx IPC values: %q", n, len(perCtx), row[6])
+		}
+		for _, v := range perCtx {
+			ipc, err := strconv.ParseFloat(v, 64)
+			if err != nil || ipc <= 0 {
+				t.Errorf("per-ctx IPC %q not a positive number", v)
+			}
+		}
+	}
+	// The DVI gain column must be a sane percentage (its sign depends on
+	// how much kill-annotation fetch overhead the register headroom hides
+	// at this budget).
+	for _, row := range tab.Rows {
+		if gain := parsePct(t, row[5]); gain < -50 || gain > 100 {
+			t.Errorf("%s ctx=%s %s: DVI gain %.1f%% out of range", row[0], row[1], row[2], gain)
+		}
+	}
+
+	opt.Workers = 8
+	tab8, err := SMTThroughput(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.String() != tab8.String() {
+		t.Errorf("smt table differs between -j1 and -j8:\n%s\n---\n%s", tab, tab8)
+	}
+}
+
 // TestRunAllDeterministicAcrossWorkers asserts the byte-identical-report
 // contract: the full RunAll report at -j 1 equals the report at -j 8.
 func TestRunAllDeterministicAcrossWorkers(t *testing.T) {

@@ -28,7 +28,9 @@ const chromeLanes = 16
 // ChromeTraceEvents converts pipeline records to trace_event complete
 // events: one event per occupied stage (fetch, dispatch, execute,
 // complete), with the instruction's identity attached to its fetch
-// stage. Squashed instructions carry a squash arg naming the cause.
+// stage. Squashed instructions carry a squash arg naming the cause. The
+// process ID is the hardware context, so multi-context pipelines group
+// into one labelled lane block per context in the viewer.
 func ChromeTraceEvents(recs []PipeRecord) []ChromeEvent {
 	evs := make([]ChromeEvent, 0, len(recs)*2)
 	for i := range recs {
@@ -40,6 +42,7 @@ func ChromeTraceEvents(recs []PipeRecord) []ChromeEvent {
 			"inst": r.Inst.String(),
 			"kind": r.Kind.String(),
 			"seq":  r.ID,
+			"ctx":  r.Ctx,
 		}
 		if r.Squash != SquashNone {
 			args["squash"] = r.Squash.String()
@@ -57,7 +60,7 @@ func ChromeTraceEvents(recs []PipeRecord) []ChromeEvent {
 			}
 			evs = append(evs, ChromeEvent{
 				Name: name, Cat: "pipeline", Ph: "X",
-				TS: from, Dur: dur, PID: 0, TID: tid, Args: a,
+				TS: from, Dur: dur, PID: int(r.Ctx), TID: tid, Args: a,
 			})
 		}
 		next := func(candidates ...uint64) uint64 {

@@ -57,14 +57,16 @@ func WriteKonata(w io.Writer, recs []PipeRecord) error {
 		r := &recs[idx]
 		id := n // Konata ids must be dense and appear in order
 		add(r.Fetch, func() error {
-			if _, err := fmt.Fprintf(bw, "I\t%d\t%d\t0\n", id, id); err != nil {
+			// The third I field is Konata's thread ID: one lane group per
+			// hardware context, so SMT pipelines render side by side.
+			if _, err := fmt.Fprintf(bw, "I\t%d\t%d\t%d\n", id, id, r.Ctx); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintf(bw, "L\t%d\t0\t%#x: %s\n", id, r.PC, r.Inst.String()); err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(bw, "L\t%d\t1\tkind=%s squash=%q wrong_path=%v seq=%d\n",
-				id, r.Kind, r.Squash.String(), r.WrongPath, r.ID); err != nil {
+			if _, err := fmt.Fprintf(bw, "L\t%d\t1\tctx=%d kind=%s squash=%q wrong_path=%v seq=%d\n",
+				id, r.Ctx, r.Kind, r.Squash.String(), r.WrongPath, r.ID); err != nil {
 				return err
 			}
 			_, err := fmt.Fprintf(bw, "S\t%d\t0\tF\n", id)

@@ -11,14 +11,15 @@ import (
 )
 
 // syntheticRecords is a small hand-built pipeline: two committed
-// instructions, one squashed wrong-path instruction, and one
-// decode-stage elimination (no window stages).
+// instructions, one squashed wrong-path instruction (on hardware context
+// 1 — the multi-context lane case), and one decode-stage elimination (no
+// window stages).
 func syntheticRecords() []PipeRecord {
 	add := isa.Inst{Op: isa.ADD, Rd: isa.T0, Rs1: isa.T1, Rs2: isa.T2}
 	return []PipeRecord{
 		{ID: 0, PC: 0x100, Inst: add, Fetch: 1, Dispatch: 2, Issue: 3, Complete: 4, Retire: 5, Kind: KindInst},
 		{ID: 1, PC: 0x104, Inst: add, Fetch: 1, Dispatch: 2, Issue: 4, Complete: 5, Retire: 6, Kind: KindInst},
-		{ID: 2, PC: 0x200, Inst: add, Fetch: 3, Dispatch: 4, Retire: 6, Kind: KindInst, Squash: SquashRecovery, WrongPath: true},
+		{ID: 2, PC: 0x200, Inst: add, Ctx: 1, Fetch: 3, Dispatch: 4, Retire: 6, Kind: KindInst, Squash: SquashRecovery, WrongPath: true},
 		{ID: 3, PC: 0x108, Inst: add, Fetch: 4, Retire: 5, Kind: KindElimSave},
 	}
 }
@@ -92,6 +93,38 @@ func TestWriteKonataShape(t *testing.T) {
 	}
 }
 
+// TestWriteKonataContextLanes pins the per-context lane labelling: the I
+// command's thread field is the record's hardware context, and the L
+// detail line names it.
+func TestWriteKonataContextLanes(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteKonata(&sb, syntheticRecords()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var tids []string
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "I\t") {
+			f := strings.Split(ln, "\t")
+			tids = append(tids, f[3])
+		}
+	}
+	// Records sort by fetch cycle: ids 0,1 (ctx 0), then 2 (ctx 1), then
+	// 3 (ctx 0).
+	want := []string{"0", "0", "1", "0"}
+	if len(tids) != len(want) {
+		t.Fatalf("I commands = %d, want %d", len(tids), len(want))
+	}
+	for i := range want {
+		if tids[i] != want[i] {
+			t.Errorf("I command %d: thread id %s, want %s", i, tids[i], want[i])
+		}
+	}
+	if !strings.Contains(out, "ctx=1 kind=inst") {
+		t.Error("detail label does not name the record's context")
+	}
+}
+
 // fmtSscan parses one uint64 (avoids importing fmt just for tests'
 // delta check readability).
 func fmtSscan(s string, d *uint64) (int, error) {
@@ -124,15 +157,27 @@ func TestChromeTraceEvents(t *testing.T) {
 			t.Errorf("%s: tid %d out of range", ev.Name, ev.TID)
 		}
 	}
-	// The squashed record's fetch event carries the cause.
+	// The squashed record's fetch event carries the cause, and its events
+	// land in its context's process group; everything else is ctx 0.
 	found := false
 	for _, ev := range evs {
 		if ev.Args != nil && ev.Args["squash"] == "recovery" {
 			found = true
+			if ev.PID != 1 {
+				t.Errorf("ctx-1 record rendered in pid %d, want 1", ev.PID)
+			}
+			if ev.Args["ctx"] != uint8(1) {
+				t.Errorf("ctx arg = %v, want 1", ev.Args["ctx"])
+			}
 		}
 	}
 	if !found {
 		t.Error("no event carries squash=recovery")
+	}
+	for _, ev := range evs {
+		if ev.Name == "execute" && ev.PID != 0 {
+			t.Errorf("ctx-0 record rendered in pid %d", ev.PID)
+		}
 	}
 }
 

@@ -97,6 +97,7 @@ type PipeRecord struct {
 	ID   uint64   // fetch sequence number, unique within a run
 	PC   uint64   // fetch program counter
 	Inst isa.Inst // the instruction (flat value; String() disassembles)
+	Ctx  uint8    // hardware context that fetched it (0 on a single-context machine)
 
 	Fetch    uint64 // entered the fetch queue
 	Dispatch uint64 // renamed into the window (0: eliminated/killed/flushed)

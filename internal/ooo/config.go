@@ -1,11 +1,14 @@
 package ooo
 
 import (
+	"fmt"
+
 	"dvi/internal/bpred"
 	"dvi/internal/cache"
 	"dvi/internal/core"
 	"dvi/internal/emu"
 	"dvi/internal/obs"
+	"dvi/internal/rename"
 )
 
 // Scheduler selects the simulator's internal scheduling algorithm. Both
@@ -34,6 +37,31 @@ func (s Scheduler) String() string {
 	return "event"
 }
 
+// FetchPolicy selects how the fetch stage arbitrates its one I-cache
+// access per cycle among hardware contexts (meaningful only when
+// Config.Contexts > 1; a single-context machine always fetches its only
+// context).
+type FetchPolicy uint8
+
+const (
+	// FetchRoundRobin (the default, zero value) rotates fetch among the
+	// eligible contexts cycle by cycle.
+	FetchRoundRobin FetchPolicy = iota
+	// FetchICOUNT fetches for the eligible context with the fewest
+	// instructions in its fetch queue plus the shared window (Tullsen's
+	// ICOUNT heuristic: feed the context draining fastest), ties broken
+	// toward the lower context ID.
+	FetchICOUNT
+)
+
+// String names the policy for flags, wire enums and test labels.
+func (p FetchPolicy) String() string {
+	if p == FetchICOUNT {
+		return "icount"
+	}
+	return "round-robin"
+}
+
 // Config parameterizes the simulated machine. DefaultConfig reproduces the
 // paper's Figure 2.
 type Config struct {
@@ -41,6 +69,15 @@ type Config struct {
 	WindowSize int // unified instruction window / reorder buffer (RUU)
 	IFQSize    int // fetch queue depth
 	PhysRegs   int // integer physical register file size (§4 sweeps this)
+
+	// Contexts is the number of SMT hardware contexts sharing the core
+	// (0 or 1 = the single-context machine). Each context runs its own
+	// copy of the program in its own address space and rename map; the
+	// window, physical register file, caches and predictor are shared.
+	// PhysRegs must be at least Contexts*32+1 (CheckContexts).
+	Contexts int
+	// FetchPolicy arbitrates fetch among contexts (Contexts > 1 only).
+	FetchPolicy FetchPolicy
 
 	// Scheduler selects the simulation algorithm (not a property of the
 	// modelled machine: results are identical either way).
@@ -105,6 +142,32 @@ func DefaultConfig() Config {
 	}
 }
 
+// ContextCount returns the effective number of hardware contexts (0 and 1
+// both mean the single-context machine).
+func (c Config) ContextCount() int {
+	if c.Contexts < 1 {
+		return 1
+	}
+	return c.Contexts
+}
+
+// CheckContexts validates the context configuration: a front door (CLI,
+// service, session) calls it to reject impossible machines with an error
+// instead of letting Machine construction panic. Each context pins 32
+// physical registers for its architectural state, so PhysRegs must leave
+// at least one register to rename.
+func (c Config) CheckContexts() error {
+	if c.Contexts < 0 {
+		return fmt.Errorf("ooo: contexts %d < 0", c.Contexts)
+	}
+	n := c.ContextCount()
+	if need := n*rename.NumArch + 1; c.PhysRegs < need {
+		return fmt.Errorf("ooo: %d contexts need at least %d physical registers, have %d",
+			n, need, c.PhysRegs)
+	}
+	return nil
+}
+
 // Stats aggregates timing results for one run.
 type Stats struct {
 	Cycles uint64
@@ -139,7 +202,38 @@ type Stats struct {
 	// corrupted control flow from a clean exit.
 	Faults uint64
 
+	// Shared cache hierarchy behaviour, filled at the end of a run. In a
+	// multi-context machine these aggregate over all contexts: the caches
+	// are shared structures, so per-context attribution is not meaningful
+	// (contexts' footprints are disjoint by address-space tagging but
+	// compete for the same sets).
+	L1I, L1D, L2 cache.Stats
+
 	Emu emu.Stats // architectural counts from the embedded emulator
+}
+
+// addEmu accumulates architectural counts from one context's emulator
+// into the aggregate (a single-context machine's aggregate is exactly its
+// only emulator's counts).
+func addEmu(dst *emu.Stats, s emu.Stats) {
+	dst.Total += s.Total
+	dst.Kills += s.Kills
+	dst.Calls += s.Calls
+	dst.Returns += s.Returns
+	dst.CondBr += s.CondBr
+	dst.TakenBr += s.TakenBr
+	dst.Jumps += s.Jumps
+	dst.MemRefs += s.MemRefs
+	dst.Loads += s.Loads
+	dst.Stores += s.Stores
+	dst.LvmOps += s.LvmOps
+	dst.ALUOps += s.ALUOps
+	dst.MulDiv += s.MulDiv
+	dst.SavesExec += s.SavesExec
+	dst.SavesElim += s.SavesElim
+	dst.RestoresExec += s.RestoresExec
+	dst.RestoresElim += s.RestoresElim
+	dst.Faults += s.Faults
 }
 
 // IPC returns committed original program instructions per cycle. Original

@@ -13,6 +13,32 @@
 // bandwidth, window slots, physical registers, functional units and cache
 // ports before being squashed.
 //
+// # Hardware contexts
+//
+// The machine runs Config.Contexts SMT hardware contexts through one core.
+// Per-context architectural state — the fetch PC and fetch queue, return
+// address stack, branch-history register, rename map (a per-context map
+// inside the shared rename.Table) and the bound functional emulator — lives
+// in a hwContext; the window/ROB (entries carry a context tag), physical
+// register file, caches, predictor tables, BTB and the event-scheduler
+// structures are shared. Fetch arbitration picks one context per cycle
+// (Config.FetchPolicy: round-robin or ICOUNT); dispatch rotates its
+// starting context cycle by cycle and shares the machine width. Each
+// context executes its own copy of the program in a disjoint address space
+// (cache and store-queue addresses are tagged with the context ID above
+// the program's address range), so contexts compete for shared capacity
+// and bandwidth without aliasing each other's data.
+//
+// Misprediction recovery is context-scoped: the recovering context's
+// younger window entries are marked squashed in place ("holes" — a
+// different context's younger entries are unaffected and keep their slots)
+// and the maximal squashed suffix is popped; remaining holes drain at the
+// window head without consuming commit bandwidth. Only wrong-path entries
+// are ever squashed, so holes pin no kill victims and publish no values. A
+// single-context machine never leaves a hole (its squash is always a pure
+// tail truncation) and is bit-identical to the pre-SMT machine (pinned by
+// golden_test.go).
+//
 // # Scheduling
 //
 // Two interchangeable schedulers drive issue and writeback; both produce
@@ -48,13 +74,15 @@
 //     store per block. A dispatching load records its conflicting store
 //     (if any) once, making the per-issue conflict check O(1); in-order
 //     commit guarantees that when that store leaves the window no older
-//     matching store can remain.
+//     matching store can remain. Only correct-path stores enter the table,
+//     and correct-path entries are never squashed, so context-scoped
+//     recovery cannot invalidate a recorded conflict.
 //
-// Misprediction recovery truncates the window, clears squashed ready bits
-// and purges squashed watchers (rename.PurgeWatchers); wheel entries and
-// last-store records are invalidated lazily by sequence-number checks.
-// All event structures are rebuilt by Reset and reuse their storage, so a
-// pooled machine's steady state allocates nothing per instruction.
+// Misprediction recovery clears squashed ready bits and purges squashed
+// watchers (rename.PurgeWatchers); wheel events and last-store records are
+// invalidated lazily by sequence-number checks. All event structures are
+// rebuilt by Reset and reuse their storage, so a pooled machine's steady
+// state allocates nothing per instruction at any context count.
 package ooo
 
 import (
@@ -85,7 +113,9 @@ type robEntry struct {
 	inst      isa.Inst
 	class     isa.Class // predecoded pipeline class (prog.Meta)
 	lat       uint8     // predecoded fixed latency (prog.Meta)
+	ctx       uint8     // owning hardware context
 	wrongPath bool
+	squashed  bool // context-scoped recovery hole: dead, drains at commit
 	st        state
 	doneCycle uint64
 
@@ -145,20 +175,21 @@ type fetchRec struct {
 	rasSnap     bpred.RASSnapshot
 }
 
-// Machine is one simulated core executing one program.
-type Machine struct {
-	cfg Config
-	img *prog.Image
+// hwContext is the per-context architectural state of one SMT hardware
+// context: the private half of the machine. Everything here belongs to
+// exactly one software thread — its fetch stream, return-address stack,
+// branch-history register, functional emulator (own memory image), and
+// its slice of the statistics. Shared structures live on Machine.
+type hwContext struct {
+	id  uint8
 	emu *emu.Emulator
+	ras *bpred.RAS
 
-	hier *cache.Hierarchy
-	pred *bpred.Predictor
-	btb  *bpred.BTB
-	ras  *bpred.RAS
-	rt   *rename.Table
-
-	cycle uint64
-	seq   uint64
+	// hist is the context's branch-history register. The direction
+	// predictor's tables are shared; its live history register is swapped
+	// to the fetching context around each fetch group and re-seeded by
+	// that context's recovery.
+	hist uint32
 
 	// Fetch state.
 	fetchPC         uint64
@@ -167,17 +198,82 @@ type Machine struct {
 	ifq             []fetchRec
 	ifqHead, ifqLen int
 
-	// Window (circular).
-	rob            []robEntry
-	robHead        int // oldest
-	robLen         int
+	// fillPC/fillValid model the in-flight I-fetch fill on a multi-context
+	// machine: when a miss completes, the context consumes the returned
+	// line directly instead of re-probing the shared L1I. Without it, N
+	// contexts at the same entry PC alias into one L1I set (the context
+	// tag sits above the index bits) and N > associativity livelocks: each
+	// retry re-probes, finds its line evicted by the other contexts'
+	// fills, and stalls again without ever fetching.
+	fillPC    uint64
+	fillValid bool
+
 	pendingMisp    bool // an unresolved correct-path mispredicted branch exists
 	pendingMispSeq uint64
 
+	dispatchHalted bool // correct-path HALT reached; drain and finish
+	winCount       int  // live (non-squashed) window entries owned by this context
+
+	// stats is this context's view of the run. Additive fields (fetch,
+	// dispatch, commit, elimination, stall and memory counts) sum to the
+	// aggregate Machine.Stats across contexts; shared-structure fields
+	// (Cycles, MaxPhysInUse, cache stats) are copies of the aggregate.
+	stats Stats
+}
+
+// ifqAt returns the i-th oldest fetch queue record (0 = head).
+func (c *hwContext) ifqAt(i int) *fetchRec {
+	idx := c.ifqHead + i
+	if idx >= len(c.ifq) {
+		idx -= len(c.ifq)
+	}
+	return &c.ifq[idx]
+}
+
+func (c *hwContext) popIFQ() {
+	c.ifqHead++
+	if c.ifqHead == len(c.ifq) {
+		c.ifqHead = 0
+	}
+	c.ifqLen--
+}
+
+// ctxAddr tags an architectural address with its owning context so the
+// shared caches and the store-conflict structures never alias across the
+// contexts' separate address spaces. The tag sits above any program
+// address, leaving the cache index bits intact: contexts compete for the
+// same sets (capacity and conflict pressure are modelled) but cannot hit
+// each other's lines. Context 0's addresses are untagged, so the
+// single-context machine is bit-identical to the pre-SMT one.
+func ctxAddr(addr uint64, ctx uint8) uint64 { return addr | uint64(ctx)<<44 }
+
+// Machine is one simulated core executing Config.Contexts hardware
+// contexts, each running its own copy of one program.
+type Machine struct {
+	cfg Config
+	img *prog.Image
+
+	ctxs []hwContext
+
+	hier *cache.Hierarchy
+	pred *bpred.Predictor
+	btb  *bpred.BTB
+	rt   *rename.Table
+
+	cycle uint64
+	seq   uint64
+
+	// Arbitration rotors (invisible at Contexts=1).
+	fetchRR int // context after the one that fetched last
+	dispRR  int // context dispatch starts from this cycle
+
+	// Window (circular, shared; entries carry their context tag).
+	rob     []robEntry
+	robHead int // oldest
+	robLen  int
+
 	// Per-cycle resource counters.
 	aluUsed, mdUsed, portUsed, issued int
-
-	dispatchHalted bool // correct-path HALT reached; drain and finish
 
 	// Event-driven scheduler structures (see sched.go).
 	es evSched
@@ -201,38 +297,65 @@ func New(pr *prog.Program, img *prog.Image, cfg Config) *Machine {
 
 // Reset retargets the machine to a (possibly different) program, image
 // and configuration and rewinds it to cycle zero. Allocations whose shape
-// still fits the new configuration — the embedded emulator's memory
-// pages, cache arrays, predictor tables, the window and fetch queue — are
-// reused, so a pooled machine runs job after job without rebuilding its
-// footprint. The reset machine is observably identical to a New one.
+// still fits the new configuration — the embedded emulators' memory
+// pages, cache arrays, predictor tables, the window and fetch queues —
+// are reused, so a pooled machine runs job after job without rebuilding
+// its footprint, including across context-count changes. The reset
+// machine is observably identical to a New one.
 func (m *Machine) Reset(pr *prog.Program, img *prog.Image, cfg Config) {
 	m.img = img
-	if m.emu == nil {
-		m.emu = emu.New(pr, img, cfg.Emu)
+	nCtx := cfg.ContextCount()
+	predChanged := m.pred == nil || m.cfg.Pred != cfg.Pred
+	if cap(m.ctxs) >= nCtx {
+		m.ctxs = m.ctxs[:nCtx]
 	} else {
-		m.emu.ResetFor(pr, img, cfg.Emu)
+		grown := make([]hwContext, nCtx)
+		copy(grown, m.ctxs)
+		m.ctxs = grown
+	}
+	for i := range m.ctxs {
+		c := &m.ctxs[i]
+		c.id = uint8(i)
+		if c.emu == nil {
+			c.emu = emu.New(pr, img, cfg.Emu)
+		} else {
+			c.emu.ResetFor(pr, img, cfg.Emu)
+		}
+		if c.ras == nil || predChanged {
+			c.ras = bpred.NewRAS(cfg.Pred.RASDepth)
+		} else {
+			c.ras.Reset()
+		}
+		if len(c.ifq) != cfg.IFQSize {
+			c.ifq = make([]fetchRec, cfg.IFQSize)
+		}
+		c.hist = 0
+		c.fetchPC = img.EntryPC
+		c.fetchStallUntil = 0
+		c.fetchHalted = false
+		c.fillPC, c.fillValid = 0, false
+		c.ifqHead, c.ifqLen = 0, 0
+		c.pendingMisp, c.pendingMispSeq = false, 0
+		c.dispatchHalted = false
+		c.winCount = 0
+		c.stats = Stats{}
 	}
 	if m.hier == nil || m.cfg.Hierarchy != cfg.Hierarchy {
 		m.hier = cache.NewHierarchy(cfg.Hierarchy)
 	} else {
 		m.hier.Reset()
 	}
-	if m.pred == nil || m.cfg.Pred != cfg.Pred {
+	if predChanged {
 		m.pred = bpred.New(cfg.Pred)
 		m.btb = bpred.NewBTB(cfg.Pred.BTBSets, cfg.Pred.BTBAssoc)
-		m.ras = bpred.NewRAS(cfg.Pred.RASDepth)
 	} else {
 		m.pred.Reset()
 		m.btb.Reset()
-		m.ras.Reset()
 	}
-	if m.rt == nil || m.rt.NPhys() != cfg.PhysRegs {
-		m.rt = rename.NewTable(cfg.PhysRegs)
+	if m.rt == nil || m.rt.NPhys() != cfg.PhysRegs || m.rt.NCtx() != nCtx {
+		m.rt = rename.NewTableCtx(cfg.PhysRegs, nCtx)
 	} else {
 		m.rt.Reset()
-	}
-	if len(m.ifq) != cfg.IFQSize {
-		m.ifq = make([]fetchRec, cfg.IFQSize)
 	}
 	if len(m.rob) != cfg.WindowSize {
 		m.rob = make([]robEntry, cfg.WindowSize)
@@ -240,21 +363,35 @@ func (m *Machine) Reset(pr *prog.Program, img *prog.Image, cfg Config) {
 	m.cfg = cfg
 	m.es.reset(m)
 	m.cycle, m.seq = 0, 0
-	m.fetchPC = img.EntryPC
-	m.fetchStallUntil = 0
-	m.fetchHalted = false
-	m.ifqHead, m.ifqLen = 0, 0
+	m.fetchRR, m.dispRR = 0, 0
 	m.robHead, m.robLen = 0, 0
-	m.pendingMisp, m.pendingMispSeq = false, 0
 	m.aluUsed, m.mdUsed, m.portUsed, m.issued = 0, 0, 0, 0
-	m.dispatchHalted = false
 	m.trace = cfg.Trace // always reassigned: a pooled machine must not keep a previous job's sink
 	m.traceSeq = 0
 	m.Stats = Stats{}
 }
 
-// Emu exposes the embedded emulator (checksum and architectural stats).
-func (m *Machine) Emu() *emu.Emulator { return m.emu }
+// Emu exposes context 0's embedded emulator (checksum and architectural
+// stats; the single-context machine's only emulator).
+func (m *Machine) Emu() *emu.Emulator { return m.ctxs[0].emu }
+
+// EmuCtx exposes hardware context ctx's embedded emulator.
+func (m *Machine) EmuCtx(ctx int) *emu.Emulator { return m.ctxs[ctx].emu }
+
+// Contexts returns the number of hardware contexts the machine runs.
+func (m *Machine) Contexts() int { return len(m.ctxs) }
+
+// CtxStats returns a copy of the per-context statistics. Additive fields
+// sum to the aggregate Stats across contexts; Cycles, MaxPhysInUse and
+// the cache stats are shared-structure copies of the aggregate. Call
+// after Run (the finalized counters include per-context emulator stats).
+func (m *Machine) CtxStats() []Stats {
+	out := make([]Stats, len(m.ctxs))
+	for i := range m.ctxs {
+		out[i] = m.ctxs[i].stats
+	}
+	return out
+}
 
 // Hierarchy exposes the cache hierarchy statistics.
 func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
@@ -298,15 +435,42 @@ func (m *Machine) done() bool {
 	if m.cfg.MaxInsts != 0 && m.Stats.Committed >= m.cfg.MaxInsts {
 		return true
 	}
-	return m.dispatchHalted && m.robLen == 0
+	if m.robLen != 0 {
+		return false
+	}
+	for i := range m.ctxs {
+		if !m.ctxs[i].dispatchHalted {
+			return false
+		}
+	}
+	return true
 }
 
 // ErrDeadlock reports a wedged pipeline (an internal error, not a program
 // property).
 var ErrDeadlock = fmt.Errorf("ooo: pipeline deadlock")
 
-// Run simulates until the program halts or the configured instruction
-// budget is reached, and returns the final statistics.
+// finalize fills the end-of-run fields: each context's shared-structure
+// copies and emulator stats, the aggregate's summed emulator stats, and
+// the shared cache hierarchy counters.
+func (m *Machine) finalize() {
+	m.Stats.L1I = m.hier.L1I.Stats
+	m.Stats.L1D = m.hier.L1D.Stats
+	m.Stats.L2 = m.hier.L2.Stats
+	m.Stats.Emu = emu.Stats{}
+	for i := range m.ctxs {
+		c := &m.ctxs[i]
+		c.stats.Cycles = m.Stats.Cycles
+		c.stats.MaxPhysInUse = m.Stats.MaxPhysInUse
+		c.stats.L1I, c.stats.L1D, c.stats.L2 = m.Stats.L1I, m.Stats.L1D, m.Stats.L2
+		c.stats.Emu = c.emu.Stats
+		addEmu(&m.Stats.Emu, c.emu.Stats)
+	}
+}
+
+// Run simulates until every context's program halts or the configured
+// aggregate instruction budget is reached, and returns the final
+// statistics.
 func (m *Machine) Run() (Stats, error) {
 	idleCycles := 0
 	lastCommitted := uint64(0)
@@ -316,7 +480,7 @@ func (m *Machine) Run() (Stats, error) {
 			idleCycles++
 			if idleCycles > 100000 {
 				return m.Stats, fmt.Errorf("%w at cycle %d (pc %#x, rob %d, free %d)",
-					ErrDeadlock, m.cycle, m.fetchPC, m.robLen, m.rt.FreeCount())
+					ErrDeadlock, m.cycle, m.ctxs[0].fetchPC, m.robLen, m.rt.FreeCount())
 			}
 		} else {
 			idleCycles = 0
@@ -326,7 +490,7 @@ func (m *Machine) Run() (Stats, error) {
 	if m.trace != nil {
 		m.drainTrace()
 	}
-	m.Stats.Emu = m.emu.Stats
+	m.finalize()
 	return m.Stats, nil
 }
 
@@ -356,36 +520,102 @@ func (m *Machine) step() {
 
 // --- fetch ---
 
+// fetchEligible reports whether context c can use the fetch stage this
+// cycle: not finished, not parked at a wrong-path HALT, not serving an
+// I-cache miss, has fetch-queue room, and (in the no-wrong-path-fetch
+// ablation) no unresolved misprediction.
+func (m *Machine) fetchEligible(c *hwContext) bool {
+	return !c.dispatchHalted && !c.fetchHalted &&
+		m.cycle >= c.fetchStallUntil &&
+		c.ifqLen < len(c.ifq) &&
+		(m.cfg.WrongPathFetch || !c.pendingMisp)
+}
+
+// fetchArb picks the context that fetches this cycle: the single context
+// when there is one, else round-robin rotation or the ICOUNT minimum over
+// the eligible contexts.
+func (m *Machine) fetchArb() *hwContext {
+	if len(m.ctxs) == 1 {
+		c := &m.ctxs[0]
+		if m.fetchEligible(c) {
+			return c
+		}
+		return nil
+	}
+	n := len(m.ctxs)
+	if m.cfg.FetchPolicy == FetchICOUNT {
+		var best *hwContext
+		bestCount := 0
+		for i := 0; i < n; i++ {
+			c := &m.ctxs[i]
+			if !m.fetchEligible(c) {
+				continue
+			}
+			if count := c.ifqLen + c.winCount; best == nil || count < bestCount {
+				best, bestCount = c, count
+			}
+		}
+		return best
+	}
+	for k := 0; k < n; k++ {
+		c := &m.ctxs[(m.fetchRR+k)%n]
+		if m.fetchEligible(c) {
+			m.fetchRR = int(c.id) + 1
+			if m.fetchRR == n {
+				m.fetchRR = 0
+			}
+			return c
+		}
+	}
+	return nil
+}
+
+// fetch runs one context's fetch group. The shared predictor's history
+// register is swapped to the fetching context around the group (a no-op
+// at Contexts=1: the register already holds the only context's history).
 func (m *Machine) fetch() {
-	if m.dispatchHalted || m.fetchHalted {
+	c := m.fetchArb()
+	if c == nil {
 		return
 	}
-	if m.cycle < m.fetchStallUntil {
-		return
-	}
-	if !m.cfg.WrongPathFetch && m.pendingMisp {
-		return // ablation mode: stall fetch until the branch resolves
-	}
+	m.pred.SetHistory(c.hist)
+	m.fetchGroup(c)
+	c.hist = m.pred.History()
+}
+
+func (m *Machine) fetchGroup(c *hwContext) {
 	// One I-cache access per cycle at the group's start; the group runs to
 	// the machine width or the first predicted-taken transfer
 	// (sim-outorder's fetch model: no break at line boundaries, so small
 	// code-layout shifts from inserted annotations do not perturb fetch).
 	first := true
-	for n := 0; n < m.cfg.IssueWidth && m.ifqLen < len(m.ifq); n++ {
-		pc := m.fetchPC
+	for n := 0; n < m.cfg.IssueWidth && c.ifqLen < len(c.ifq); n++ {
+		pc := c.fetchPC
 		if first {
-			lat := m.hier.L1I.Access(pc, false)
-			if lat > m.cfg.Hierarchy.L1I.HitLatency {
-				m.fetchStallUntil = m.cycle + uint64(lat)
-				return
+			// A completed miss forwards its fill once; any other PC
+			// (redirect while the fill was in flight) probes normally.
+			forwarded := c.fillValid && c.fillPC == pc
+			c.fillValid = false
+			if !forwarded {
+				lat := m.hier.L1I.Access(ctxAddr(pc, c.id), false)
+				if lat > m.cfg.Hierarchy.L1I.HitLatency {
+					c.fetchStallUntil = m.cycle + uint64(lat)
+					if len(m.ctxs) > 1 {
+						// Single-context keeps probe-on-retry (the retry
+						// always hits: no other fetch stream can evict
+						// the fill), preserving the pre-SMT cache stats.
+						c.fillPC, c.fillValid = pc, true
+					}
+					return
+				}
 			}
 			first = false
 		}
 
 		in, meta, inText := m.img.AtMeta(pc)
-		if in.Op == isa.HALT && m.pendingMisp {
+		if in.Op == isa.HALT && c.pendingMisp {
 			// Wrong-path fetch ran off the program; wait for redirect.
-			m.fetchHalted = true
+			c.fetchHalted = true
 			return
 		}
 
@@ -395,11 +625,11 @@ func (m *Machine) fetch() {
 		// (bpInfo, histAtFetch, rasSnap) are written only for control
 		// instructions and only read behind isCtl/hasBpInfo, so stale
 		// values in a reused slot are never observed.
-		idx := m.ifqHead + m.ifqLen
-		if idx >= len(m.ifq) {
-			idx -= len(m.ifq)
+		idx := c.ifqHead + c.ifqLen
+		if idx >= len(c.ifq) {
+			idx -= len(c.ifq)
 		}
-		rec := &m.ifq[idx]
+		rec := &c.ifq[idx]
 		rec.pc, rec.inst, rec.meta, rec.faulted = pc, in, meta, !inText
 		rec.traceID, rec.fetchCycle = m.traceSeq, m.cycle
 		m.traceSeq++
@@ -416,7 +646,7 @@ func (m *Machine) fetch() {
 				rec.predNPC = meta.Target
 				taken = true
 			}
-			rec.rasSnap = m.ras.Snapshot()
+			rec.rasSnap = c.ras.Snapshot()
 		case isa.ClassJump:
 			rec.isCtl = true
 			rec.histAtFetch = m.pred.History()
@@ -425,10 +655,10 @@ func (m *Machine) fetch() {
 			case isa.J, isa.JAL:
 				rec.predNPC = meta.Target
 				if in.Op == isa.JAL {
-					m.ras.Push(pc + isa.InstBytes)
+					c.ras.Push(pc + isa.InstBytes)
 				}
 			case isa.JALR:
-				m.ras.Push(pc + isa.InstBytes)
+				c.ras.Push(pc + isa.InstBytes)
 				if t, ok := m.btb.Lookup(pc); ok {
 					rec.predNPC = t
 				} else {
@@ -436,7 +666,7 @@ func (m *Machine) fetch() {
 				}
 			case isa.JR:
 				if in.IsReturn {
-					if t, ok := m.ras.Pop(); ok {
+					if t, ok := c.ras.Pop(); ok {
 						rec.predNPC = t
 					} else {
 						taken = false
@@ -447,12 +677,13 @@ func (m *Machine) fetch() {
 					taken = false
 				}
 			}
-			rec.rasSnap = m.ras.Snapshot()
+			rec.rasSnap = c.ras.Snapshot()
 		}
 
-		m.ifqLen++
+		c.ifqLen++
 		m.Stats.Fetched++
-		m.fetchPC = rec.predNPC
+		c.stats.Fetched++
+		c.fetchPC = rec.predNPC
 		if taken {
 			break // fetch group breaks on a predicted-taken transfer
 		}
@@ -461,45 +692,76 @@ func (m *Machine) fetch() {
 
 // --- dispatch (decode + rename) ---
 
+// dispatch shares the machine's decode/rename bandwidth among the
+// contexts, starting from a per-cycle rotating context. Global structural
+// stalls (window full, empty free list) stop dispatch for every context;
+// per-context conditions (drained fetch queue, the no-wrong-path-fetch
+// ablation, a reached HALT) only move arbitration to the next context.
 func (m *Machine) dispatch() {
-	if m.dispatchHalted {
-		return
+	nc := len(m.ctxs)
+	start := m.dispRR
+	if m.dispRR++; m.dispRR == nc {
+		m.dispRR = 0
 	}
-	for n := 0; n < m.cfg.IssueWidth && m.ifqLen > 0; n++ {
-		if m.pendingMisp && !m.cfg.WrongPathFetch {
-			// Ablation mode: no wrong-path execution at all. Whatever is
-			// in the IFQ past the branch waits to be flushed at recovery.
-			return
+	n := 0 // decode slots consumed this cycle (shared width)
+	for k := 0; k < nc && n < m.cfg.IssueWidth; k++ {
+		c := &m.ctxs[(start+k)%nc]
+		if c.dispatchHalted {
+			continue
 		}
-		rec := &m.ifq[m.ifqHead]
+		if !m.dispatchCtx(c, &n) {
+			return // global structural stall
+		}
+	}
+}
+
+// dispatchCtx dispatches from context c until its fetch queue drains, a
+// per-context condition stops it (returning true: the next context may
+// use the remaining width), or a global structural stall blocks the
+// machine (returning false).
+func (m *Machine) dispatchCtx(c *hwContext, n *int) bool {
+	for *n < m.cfg.IssueWidth && c.ifqLen > 0 {
+		if c.pendingMisp && !m.cfg.WrongPathFetch {
+			// Ablation mode: no wrong-path execution at all. Whatever is
+			// in the fetch queue past the branch waits to be flushed at
+			// recovery.
+			return true
+		}
+		rec := &c.ifq[c.ifqHead]
 		in := rec.inst
 
 		// Save/restore elimination happens at decode and consumes no
 		// window slot (paper §5: dead saves and restores "are not
 		// dispatched"). Only meaningful on the correct path.
-		if !m.pendingMisp {
+		if !c.pendingMisp {
 			if in.Op == isa.LVST && m.cfg.Emu.Scheme != emu.ElimOff &&
-				m.emu.Tracker.SaveEliminable(in.Rs2) {
-				m.popIFQ()
-				st := m.emu.Step()
+				c.emu.Tracker.SaveEliminable(in.Rs2) {
+				c.popIFQ()
+				st := c.emu.Step()
 				m.assertStep(rec, st, true)
 				m.Stats.ElimSaves++
 				m.Stats.Committed++
+				c.stats.ElimSaves++
+				c.stats.Committed++
 				if m.trace != nil {
-					m.emitDecode(rec, obs.KindElimSave, obs.SquashNone, false, 0)
+					m.emitDecode(rec, c.id, obs.KindElimSave, obs.SquashNone, false, 0)
 				}
+				*n++
 				continue
 			}
 			if in.Op == isa.LVLD && m.cfg.Emu.Scheme == emu.ElimLVMStack &&
-				m.emu.Tracker.RestoreEliminable(in.Rd) {
-				m.popIFQ()
-				st := m.emu.Step()
+				c.emu.Tracker.RestoreEliminable(in.Rd) {
+				c.popIFQ()
+				st := c.emu.Step()
 				m.assertStep(rec, st, true)
 				m.Stats.ElimRests++
 				m.Stats.Committed++
+				c.stats.ElimRests++
+				c.stats.Committed++
 				if m.trace != nil {
-					m.emitDecode(rec, obs.KindElimRestore, obs.SquashNone, false, 0)
+					m.emitDecode(rec, c.id, obs.KindElimRestore, obs.SquashNone, false, 0)
 				}
+				*n++
 				continue
 			}
 		}
@@ -508,55 +770,60 @@ func (m *Machine) dispatch() {
 		// slot, functional unit, or commit slot (paper §7: they are
 		// effectively no-ops; the checkpoint mechanism tracks reclaimed
 		// registers, "conserving space in the reorder buffer"). Their
-		// victims ride on the youngest in-flight instruction and are
-		// freed when it commits — at most one commit group before the
+		// victims ride on the context's youngest in-flight instruction and
+		// are freed when it commits — at most one commit group before the
 		// kill's own notional commit. Correct-path instructions are never
 		// squashed in this simulator (misprediction is detected at
 		// dispatch), so the early free is safe.
 		if in.Op == isa.KILL {
-			m.popIFQ()
-			if m.pendingMisp {
+			c.popIFQ()
+			if c.pendingMisp {
 				// Wrong-path kills have no lasting effect (see DESIGN.md).
 				if m.trace != nil {
-					m.emitDecode(rec, obs.KindKill, obs.SquashWrongPath, true, 0)
+					m.emitDecode(rec, c.id, obs.KindKill, obs.SquashWrongPath, true, 0)
 				}
+				*n++
 				continue
 			}
-			st := m.emu.Step()
+			st := c.emu.Step()
 			m.assertStep(rec, st, false)
 			m.Stats.KillsSeen++
+			c.stats.KillsSeen++
 			victims := uint8(0)
 			for k := uint32(st.Killed); k != 0; k &= k - 1 {
-				victim, ok := m.rt.Unmap(uint8(bits.TrailingZeros32(k)))
+				victim, ok := m.rt.UnmapCtx(int(c.id), uint8(bits.TrailingZeros32(k)))
 				if !ok {
 					continue
 				}
 				victims++
-				if m.robLen > 0 {
-					y := m.robAt(m.robLen - 1)
+				if y := m.youngestLive(c); y != nil {
 					y.killVictims = append(y.killVictims, victim)
 				} else {
-					// Empty window: the kill is trivially
-					// non-speculative; reclaim now.
+					// No in-flight instruction of this context: the kill
+					// is trivially non-speculative; reclaim now.
 					m.rt.Free(victim)
 					m.Stats.EarlyReclaimed++
+					c.stats.EarlyReclaimed++
 				}
 			}
 			if m.trace != nil {
-				m.emitDecode(rec, obs.KindKill, obs.SquashNone, false, victims)
+				m.emitDecode(rec, c.id, obs.KindKill, obs.SquashNone, false, victims)
 			}
+			*n++
 			continue
 		}
 
 		// Window slot required for everything else.
 		if m.robLen == len(m.rob) {
 			m.Stats.WindowFullCycles++
-			return
+			c.stats.WindowFullCycles++
+			return false
 		}
 		// Physical register required for destinations.
 		if rec.meta.HasDest && m.rt.FreeCount() == 0 {
 			m.Stats.RenameStallCycles++
-			return
+			c.stats.RenameStallCycles++
+			return false
 		}
 
 		// Initialize the window entry field by field: a struct literal
@@ -571,7 +838,9 @@ func (m *Machine) dispatch() {
 		e.inst = in
 		e.class = rec.meta.Class
 		e.lat = rec.meta.Lat
+		e.ctx = c.id
 		e.wrongPath = false
+		e.squashed = false
 		e.st = stDispatched
 		e.doneCycle = 0
 		e.traceID = rec.traceID
@@ -602,41 +871,53 @@ func (m *Machine) dispatch() {
 		}
 		m.seq++
 
-		if m.pendingMisp {
-			m.dispatchWrongPath(e, rec)
+		if c.pendingMisp {
+			m.dispatchWrongPath(c, e, rec)
 		} else {
-			if rec.pc != m.emu.PC {
-				panic(fmt.Sprintf("ooo: correct-path fetch diverged: fetched %#x, emulator at %#x", rec.pc, m.emu.PC))
+			if rec.pc != c.emu.PC {
+				panic(fmt.Sprintf("ooo: correct-path fetch diverged: fetched %#x, emulator at %#x", rec.pc, c.emu.PC))
 			}
 			if in.Op == isa.HALT {
 				if rec.faulted {
 					// Synthetic HALT: correct-path control flow left the
 					// text segment. Halt as before, but report it.
 					m.Stats.Faults++
+					c.stats.Faults++
 				}
-				m.dispatchHalted = true
-				m.popIFQ()
+				c.dispatchHalted = true
+				c.popIFQ()
 				e.valid = false
-				return
+				return true
 			}
-			m.dispatchCorrect(e, rec)
+			m.dispatchCorrect(c, e, rec)
 		}
 		if m.cfg.Scheduler != SchedPolled {
 			m.schedDispatch(e, slot)
 		}
 
-		m.popIFQ()
+		c.popIFQ()
 		m.robLen++
+		c.winCount++
 		m.Stats.Dispatched++
+		c.stats.Dispatched++
+		*n++
 	}
+	return true
 }
 
-func (m *Machine) popIFQ() {
-	m.ifqHead++
-	if m.ifqHead == len(m.ifq) {
-		m.ifqHead = 0
+// youngestLive returns context c's youngest live (non-squashed) window
+// entry, or nil when it has none in flight. At Contexts=1 the youngest
+// entry overall always matches (holes never exist), so the walk is O(1).
+func (m *Machine) youngestLive(c *hwContext) *robEntry {
+	if c.winCount == 0 {
+		return nil
 	}
-	m.ifqLen--
+	for i := m.robLen - 1; i >= 0; i-- {
+		if y := m.robAt(i); y.ctx == c.id && !y.squashed {
+			return y
+		}
+	}
+	return nil
 }
 
 func (m *Machine) assertStep(rec *fetchRec, st emu.Step, wantElim bool) {
@@ -649,12 +930,13 @@ func (m *Machine) assertStep(rec *fetchRec, st emu.Step, wantElim bool) {
 }
 
 // dispatchCorrect renames and functionally executes a correct-path
-// instruction.
-func (m *Machine) dispatchCorrect(e *robEntry, rec *fetchRec) {
-	st := m.emu.Step()
+// instruction of context c.
+func (m *Machine) dispatchCorrect(c *hwContext, e *robEntry, rec *fetchRec) {
+	st := c.emu.Step()
 	m.assertStep(rec, st, false)
 	in := e.inst
 	meta := rec.meta
+	ctx := int(c.id)
 
 	// Sources first (read old mappings), then kill victims, then the
 	// destination: a kill mask plus destination write at a call (jal
@@ -665,7 +947,7 @@ func (m *Machine) dispatchCorrect(e *robEntry, rec *fetchRec) {
 		if r == isa.Zero {
 			continue
 		}
-		p, mapped := m.rt.Map(uint8(r))
+		p, mapped := m.rt.MapCtx(ctx, uint8(r))
 		if mapped {
 			e.srcPhys[e.nSrc] = p
 			e.nSrc++
@@ -677,13 +959,13 @@ func (m *Machine) dispatchCorrect(e *robEntry, rec *fetchRec) {
 	// are pinned in the entry and freed when it commits (paper §4.1:
 	// reclamation only when non-speculative).
 	for k := uint32(st.Killed); k != 0; k &= k - 1 {
-		if victim, ok := m.rt.Unmap(uint8(bits.TrailingZeros32(k))); ok {
+		if victim, ok := m.rt.UnmapCtx(ctx, uint8(bits.TrailingZeros32(k))); ok {
 			e.killVictims = append(e.killVictims, victim)
 		}
 	}
 
 	if meta.HasDest {
-		newP, prevP, renamed := m.rt.Rename(uint8(meta.Dest))
+		newP, prevP, renamed := m.rt.RenameCtx(ctx, uint8(meta.Dest))
 		if !renamed {
 			panic("ooo: rename failed after free-list check")
 		}
@@ -692,9 +974,9 @@ func (m *Machine) dispatchCorrect(e *robEntry, rec *fetchRec) {
 
 	switch meta.Class {
 	case isa.ClassLoad:
-		e.isLoad, e.addr = true, st.Addr
+		e.isLoad, e.addr = true, ctxAddr(st.Addr, c.id)
 	case isa.ClassStore:
-		e.isStore, e.addr = true, st.Addr
+		e.isStore, e.addr = true, ctxAddr(st.Addr, c.id)
 	}
 
 	e.actualNPC = st.NextPC
@@ -703,9 +985,9 @@ func (m *Machine) dispatchCorrect(e *robEntry, rec *fetchRec) {
 			// Misprediction detected at dispatch; recovery at writeback.
 			e.mispredict = true
 			e.rasSnap = rec.rasSnap
-			e.mapSnap = m.rt.MapSnapshot()
-			m.pendingMisp = true
-			m.pendingMispSeq = e.seq
+			e.mapSnap = m.rt.MapSnapshotCtx(ctx)
+			c.pendingMisp = true
+			c.pendingMispSeq = e.seq
 		}
 	}
 
@@ -719,23 +1001,25 @@ func (m *Machine) dispatchCorrect(e *robEntry, rec *fetchRec) {
 // dispatchWrongPath renames a wrong-path instruction without functional
 // execution. Its DVI decode effects are skipped (equivalent to perfect
 // checkpoint recovery of the LVM structures, see DESIGN.md).
-func (m *Machine) dispatchWrongPath(e *robEntry, rec *fetchRec) {
+func (m *Machine) dispatchWrongPath(c *hwContext, e *robEntry, rec *fetchRec) {
 	m.Stats.WrongPath++
+	c.stats.WrongPath++
 	e.wrongPath = true
 	in := e.inst
 	meta := rec.meta
+	ctx := int(c.id)
 	for i := 0; i < int(meta.NSrc); i++ {
 		r := meta.Srcs[i]
 		if r == isa.Zero {
 			continue
 		}
-		if p, mapped := m.rt.Map(uint8(r)); mapped {
+		if p, mapped := m.rt.MapCtx(ctx, uint8(r)); mapped {
 			e.srcPhys[e.nSrc] = p
 			e.nSrc++
 		}
 	}
 	if meta.HasDest {
-		newP, prevP, renamed := m.rt.Rename(uint8(meta.Dest))
+		newP, prevP, renamed := m.rt.RenameCtx(ctx, uint8(meta.Dest))
 		if !renamed {
 			panic("ooo: rename failed after free-list check")
 		}
@@ -764,13 +1048,16 @@ func (m *Machine) srcsReady(e *robEntry) bool {
 	return true
 }
 
-// olderStoreConflict scans entries older than index i for stores whose
-// (8-byte aligned) address overlaps addr. It returns the youngest match.
+// olderStoreConflict scans entries older than index i for live stores
+// whose (8-byte aligned) address overlaps addr. It returns the youngest
+// match. Context-tagged addresses keep contexts' separate address spaces
+// from aliasing; squashed holes are skipped (their register references
+// are stale).
 func (m *Machine) olderStoreConflict(i int, addr uint64) (conflict, dataReady bool) {
 	a := addr &^ 7
 	for j := i - 1; j >= 0; j-- {
 		o := m.robAt(j)
-		if !o.isStore {
+		if !o.isStore || o.squashed {
 			continue
 		}
 		if o.addr&^7 == a {
@@ -783,7 +1070,7 @@ func (m *Machine) olderStoreConflict(i int, addr uint64) (conflict, dataReady bo
 func (m *Machine) issuePolled() {
 	for i := 0; i < m.robLen && m.issued < m.cfg.IssueWidth; i++ {
 		e := m.robAt(i)
-		if e.st != stDispatched || !m.srcsReady(e) {
+		if e.squashed || e.st != stDispatched || !m.srcsReady(e) {
 			continue
 		}
 		cls := e.class
@@ -805,6 +1092,7 @@ func (m *Machine) issuePolled() {
 				m.portUsed++
 				m.issued++
 				m.Stats.WrongPathLoads++
+				m.ctxs[e.ctx].stats.WrongPathLoads++
 				e.st = stIssued
 				e.issueCycle = m.cycle
 				e.doneCycle = m.cycle + uint64(m.cfg.Hierarchy.L1D.HitLatency)
@@ -818,6 +1106,7 @@ func (m *Machine) issuePolled() {
 				// Store-to-load forwarding: one cycle, no cache port.
 				m.issued++
 				m.Stats.LoadForwarded++
+				m.ctxs[e.ctx].stats.LoadForwarded++
 				e.st = stIssued
 				e.issueCycle = m.cycle
 				e.doneCycle = m.cycle + 1
@@ -829,6 +1118,7 @@ func (m *Machine) issuePolled() {
 			m.portUsed++
 			m.issued++
 			m.Stats.LoadsIssued++
+			m.ctxs[e.ctx].stats.LoadsIssued++
 			lat := m.hier.L1D.Access(e.addr, false)
 			e.st = stIssued
 			e.issueCycle = m.cycle
@@ -866,7 +1156,7 @@ func (m *Machine) issuePolled() {
 func (m *Machine) writebackPolled() {
 	for i := 0; i < m.robLen; i++ {
 		e := m.robAt(i)
-		if e.st != stIssued || e.doneCycle > m.cycle {
+		if e.squashed || e.st != stIssued || e.doneCycle > m.cycle {
 			continue
 		}
 		e.st = stDone
@@ -875,9 +1165,10 @@ func (m *Machine) writebackPolled() {
 		}
 		if e.isCtl && !e.wrongPath {
 			m.resolveControl(e, i)
-			if e.mispredict {
-				return // recovery flushed younger entries; stop scanning
-			}
+			// On a mispredict, recovery marked the context's younger
+			// entries squashed (skipped above) and popped the squashed
+			// suffix (robLen shrank, ending the scan at Contexts=1);
+			// other contexts' younger entries still complete this cycle.
 		}
 	}
 }
@@ -895,33 +1186,56 @@ func (m *Machine) resolveControl(e *robEntry, idx int) {
 	if !e.mispredict {
 		return
 	}
-	if !m.pendingMisp || e.seq != m.pendingMispSeq {
+	c := &m.ctxs[e.ctx]
+	if !c.pendingMisp || e.seq != c.pendingMispSeq {
 		panic("ooo: recovering a branch that is not the pending misprediction")
 	}
 
 	m.Stats.Mispredicts++
 	m.Stats.Recoveries++
+	c.stats.Mispredicts++
+	c.stats.Recoveries++
 
-	// Squash everything younger than the branch.
-	oldLen := m.robLen
-	m.robLen = idx + 1
-	if m.trace != nil {
-		// Squashed entries stay intact in their slots until reuse; record
-		// them before the scheduler forgets about them.
-		for i := m.robLen; i < oldLen; i++ {
-			m.emitRob(m.robAt(i), obs.SquashRecovery)
+	// Squash everything younger than the branch in its context. Another
+	// context's younger entries keep their slots: squashed same-context
+	// entries become holes that drain at the window head. All of them are
+	// wrong-path (within a context, everything dispatched after the
+	// mispredicted branch is wrong-path), so they pin no kill victims and
+	// publish no values.
+	for i := idx + 1; i < m.robLen; i++ {
+		o := m.robAt(i)
+		if o.ctx != e.ctx || o.squashed {
+			continue
+		}
+		o.squashed = true
+		c.winCount--
+		if m.trace != nil {
+			// Squashed entries stay intact in their slots until reuse;
+			// record them before the scheduler forgets about them.
+			m.emitRob(o, obs.SquashRecovery)
+		}
+		if m.cfg.Scheduler != SchedPolled {
+			m.es.clearReady(m.robIdx(i))
 		}
 	}
+	// Pop the maximal squashed suffix so the tail slot is reusable; at
+	// Contexts=1 this is the whole squashed range (a pure truncation).
+	for m.robLen > idx+1 && m.robAt(m.robLen-1).squashed {
+		m.robLen--
+	}
 	if m.cfg.Scheduler != SchedPolled {
-		m.schedSquash(oldLen)
+		m.rt.PurgeWatchers(m.es.liveTok)
 	}
 
-	// Restore the rename map and rebuild the free list from surviving
-	// in-flight state.
-	m.rt.RestoreMap(e.mapSnap)
+	// Restore the context's rename map and rebuild the shared free list
+	// from every context's surviving in-flight state.
+	m.rt.RestoreMapCtx(int(e.ctx), e.mapSnap)
 	var used rename.Bits
 	for i := 0; i < m.robLen; i++ {
 		o := m.robAt(i)
+		if o.squashed {
+			continue
+		}
 		if o.hasDest {
 			used.Set(o.destPhys)
 			if o.prevPhys != rename.None {
@@ -935,7 +1249,7 @@ func (m *Machine) resolveControl(e *robEntry, idx int) {
 	m.rt.RebuildFree(&used)
 
 	// Restore fetch structures to the state just after this instruction.
-	m.ras.Restore(e.rasSnap)
+	c.ras.Restore(e.rasSnap)
 	if e.isCondBr {
 		m.pred.RestoreHistory(e.bpInfo.Hist, e.actualNPC != e.pc+isa.InstBytes)
 	} else {
@@ -943,39 +1257,56 @@ func (m *Machine) resolveControl(e *robEntry, idx int) {
 		// history, so reinstate the fetch-time value as-is.
 		m.pred.SetHistory(e.histAtFetch)
 	}
+	c.hist = m.pred.History()
 
-	// Redirect fetch. Everything still in the fetch queue was fetched on
-	// the mispredicted path and is flushed without dispatching.
+	// Redirect the context's fetch. Everything still in its fetch queue
+	// was fetched on the mispredicted path and is flushed without
+	// dispatching.
 	if m.trace != nil {
-		for i := 0; i < m.ifqLen; i++ {
-			m.emitDecode(m.ifqAt(i), obs.KindInst, obs.SquashFetch, true, 0)
+		for i := 0; i < c.ifqLen; i++ {
+			m.emitDecode(c.ifqAt(i), c.id, obs.KindInst, obs.SquashFetch, true, 0)
 		}
 	}
-	m.ifqHead, m.ifqLen = 0, 0
-	m.fetchPC = e.actualNPC
-	m.fetchHalted = false
-	m.fetchStallUntil = 0
-	m.pendingMisp = false
+	c.ifqHead, c.ifqLen = 0, 0
+	c.fetchPC = e.actualNPC
+	c.fetchHalted = false
+	c.fetchStallUntil = 0
+	c.pendingMisp = false
 }
 
 // --- commit ---
 
 func (m *Machine) commit() {
-	for n := 0; n < m.cfg.IssueWidth && m.robLen > 0; n++ {
+	for n := 0; n < m.cfg.IssueWidth && m.robLen > 0; {
 		e := m.robAt(0)
+		if e.squashed {
+			// A recovery hole reaching the head drains for free: it holds
+			// no resources (its registers were reclaimed when the free
+			// list was rebuilt) and consumes no commit bandwidth.
+			e.valid = false
+			m.robHead++
+			if m.robHead == len(m.rob) {
+				m.robHead = 0
+			}
+			m.robLen--
+			continue
+		}
 		if e.st != stDone {
 			return
 		}
 		if e.wrongPath {
 			panic(fmt.Sprintf("ooo: wrong-path instruction at commit: %v @%#x", e.inst, e.pc))
 		}
+		c := &m.ctxs[e.ctx]
 		if e.isStore {
 			if m.portUsed >= m.cfg.CachePorts {
 				m.Stats.PortStallCycles++
+				c.stats.PortStallCycles++
 				return
 			}
 			m.portUsed++
 			m.Stats.StoresCommit++
+			c.stats.StoresCommit++
 			m.hier.L1D.Access(e.addr, true)
 		}
 		if e.prevPhys != rename.None {
@@ -984,16 +1315,20 @@ func (m *Machine) commit() {
 		for _, v := range e.killVictims {
 			m.rt.Free(v)
 			m.Stats.EarlyReclaimed++
+			c.stats.EarlyReclaimed++
 		}
 		m.Stats.Committed++
+		c.stats.Committed++
 		if m.trace != nil {
 			m.emitRob(e, obs.SquashNone)
 		}
 		e.valid = false
+		c.winCount--
 		m.robHead++
 		if m.robHead == len(m.rob) {
 			m.robHead = 0
 		}
 		m.robLen--
+		n++
 	}
 }

@@ -29,20 +29,31 @@ type WarmState struct {
 // the warm microarchitectural state is transplanted, and fetch is
 // redirected to the restored PC. The pipeline itself starts empty; the
 // sampler's detailed warmup run absorbs the fill transient.
+//
+// Sampling is a single-context protocol: a checkpoint captures one
+// program's architectural state and the sampler's interval accounting
+// assumes one committed-instruction stream, so Boot rejects a
+// multi-context machine (the front doors validate the combination and
+// return an error before any machine is built).
 func (m *Machine) Boot(arch *emu.Snapshot, warm *WarmState) {
 	if m.cycle != 0 || m.Stats.Committed != 0 {
 		panic("ooo: Boot on a machine that already ran; Reset first")
 	}
-	m.emu.RestoreSnapshot(arch)
+	if len(m.ctxs) != 1 {
+		panic("ooo: Boot on a multi-context machine; sampling is single-context")
+	}
+	c := &m.ctxs[0]
+	c.emu.RestoreSnapshot(arch)
 	if warm != nil {
 		m.hier.Restore(&warm.Hier)
 		m.pred.Restore(&warm.Pred)
 		m.btb.Restore(&warm.BTB)
-		m.ras.Restore(warm.RAS)
+		c.ras.Restore(warm.RAS)
+		c.hist = m.pred.History()
 	}
-	m.fetchPC = m.emu.PC
-	if m.emu.Halted {
-		m.dispatchHalted = true
+	c.fetchPC = c.emu.PC
+	if c.emu.Halted {
+		c.dispatchHalted = true
 	}
 }
 
@@ -51,23 +62,25 @@ func (m *Machine) Boot(arch *emu.Snapshot, warm *WarmState) {
 // far. Unlike Run it ignores the configured MaxInsts: the sampler calls
 // it twice per interval — once to the end of the detailed warmup, once to
 // the end of the measured region — and differences the two Stats. The
-// machine stays in a resumable state between calls.
+// machine stays in a resumable state between calls. Single-context only
+// (the machine was positioned by Boot).
 func (m *Machine) RunUntil(target uint64) (Stats, error) {
+	c := &m.ctxs[0]
 	idleCycles := 0
 	lastCommitted := m.Stats.Committed
-	for !(m.dispatchHalted && m.robLen == 0) && m.Stats.Committed < target {
+	for !(c.dispatchHalted && m.robLen == 0) && m.Stats.Committed < target {
 		m.step()
 		if m.Stats.Committed == lastCommitted {
 			idleCycles++
 			if idleCycles > 100000 {
 				return m.Stats, fmt.Errorf("%w at cycle %d (pc %#x, rob %d, free %d)",
-					ErrDeadlock, m.cycle, m.fetchPC, m.robLen, m.rt.FreeCount())
+					ErrDeadlock, m.cycle, c.fetchPC, m.robLen, m.rt.FreeCount())
 			}
 		} else {
 			idleCycles = 0
 			lastCommitted = m.Stats.Committed
 		}
 	}
-	m.Stats.Emu = m.emu.Stats
+	m.Stats.Emu = c.emu.Stats
 	return m.Stats, nil
 }

@@ -78,7 +78,9 @@ func (s *evSched) reset(m *Machine) {
 	s.due = s.due[:0]
 	s.stores.reset()
 	if s.liveTok == nil {
-		s.liveTok = func(token uint32) bool { return m.inWindow(int(token)) }
+		s.liveTok = func(token uint32) bool {
+			return m.inWindow(int(token)) && !m.rob[token].squashed
+		}
 	}
 }
 
@@ -138,17 +140,11 @@ func (m *Machine) schedComplete(e *robEntry, slot int) {
 	*w = append(*w, wheelEvent{due: due, seq: e.seq, slot: int32(slot)})
 }
 
-// schedSquash cleans up after misprediction recovery truncated the window
-// (robLen is already the new length; oldLen the previous one): squashed
-// entries leave the ready set, and their wakeup registrations are purged
-// so a recycled slot cannot be woken by a stale token. Wheel events and
-// last-store records are invalidated lazily by their seq checks.
-func (m *Machine) schedSquash(oldLen int) {
-	for i := m.robLen; i < oldLen; i++ {
-		m.es.clearReady(m.robIdx(i))
-	}
-	m.rt.PurgeWatchers(m.es.liveTok)
-}
+// Recovery cleanup (resolveControl): squashed entries leave the ready set
+// as they are marked, and their wakeup registrations are purged with
+// rename.PurgeWatchers(liveTok) so a recycled slot cannot be woken by a
+// stale token. Wheel events and last-store records are invalidated lazily
+// by their seq and squashed checks.
 
 // wakeup publishes a produced result: the ready bit plus the watchers
 // registered on the register. A watcher whose last outstanding source
@@ -194,9 +190,9 @@ func (m *Machine) writebackEvent() {
 		ev := &due[i]
 		e := &m.rob[ev.slot]
 		// A recovery earlier in this loop (or cycle) may have squashed
-		// the entry, or it may have been squashed and its slot recycled;
-		// in both cases the event is stale.
-		if e.seq != ev.seq || e.st != stIssued || !m.inWindow(int(ev.slot)) {
+		// the entry — in place (a hole) or with its slot popped and
+		// recycled; in every case the event is stale.
+		if e.seq != ev.seq || e.squashed || e.st != stIssued || !m.inWindow(int(ev.slot)) {
 			continue
 		}
 		e.st = stDone
@@ -205,8 +201,9 @@ func (m *Machine) writebackEvent() {
 		}
 		if e.isCtl && !e.wrongPath {
 			m.resolveControl(e, m.robOffset(int(ev.slot)))
-			// On a mispredict, recovery squashed everything younger; the
-			// remaining (younger) due events fail validation above.
+			// On a mispredict, recovery squashed the context's younger
+			// entries; their remaining due events fail validation above.
+			// Other contexts' younger completions still fire this cycle.
 		}
 	}
 }
@@ -297,6 +294,7 @@ func (m *Machine) tryIssue(slot int) {
 			m.portUsed++
 			m.issued++
 			m.Stats.WrongPathLoads++
+			m.ctxs[e.ctx].stats.WrongPathLoads++
 			e.st = stIssued
 			e.issueCycle = m.cycle
 			e.doneCycle = m.cycle + uint64(m.cfg.Hierarchy.L1D.HitLatency)
@@ -312,6 +310,7 @@ func (m *Machine) tryIssue(slot int) {
 			// Store-to-load forwarding: one cycle, no cache port.
 			m.issued++
 			m.Stats.LoadForwarded++
+			m.ctxs[e.ctx].stats.LoadForwarded++
 			e.st = stIssued
 			e.issueCycle = m.cycle
 			e.doneCycle = m.cycle + 1
@@ -325,6 +324,7 @@ func (m *Machine) tryIssue(slot int) {
 		m.portUsed++
 		m.issued++
 		m.Stats.LoadsIssued++
+		m.ctxs[e.ctx].stats.LoadsIssued++
 		lat := m.hier.L1D.Access(e.addr, false)
 		e.st = stIssued
 		e.issueCycle = m.cycle

@@ -9,16 +9,9 @@ import "dvi/internal/obs"
 // misprediction squash, fetch-queue flush, decode-time elimination, and
 // the end-of-run drain. Records are written into the reusable traceRec
 // and passed by pointer, so a warm sink (obs.PipeBuffer with grown
-// capacity) keeps the zero-allocation steady state.
-
-// ifqAt returns the i-th oldest fetch queue record (0 = head).
-func (m *Machine) ifqAt(i int) *fetchRec {
-	idx := m.ifqHead + i
-	if idx >= len(m.ifq) {
-		idx -= len(m.ifq)
-	}
-	return &m.ifq[idx]
-}
+// capacity) keeps the zero-allocation steady state. Every record carries
+// its hardware context ID, so the renderers can lay multi-context
+// pipelines out in per-context lanes.
 
 // emitRob records a window entry leaving the machine at the current
 // cycle — by commit (cause SquashNone) or by squash/drain.
@@ -31,6 +24,7 @@ func (m *Machine) emitRob(e *robEntry, cause obs.SquashCause) {
 		ID:        e.traceID,
 		PC:        e.pc,
 		Inst:      e.inst,
+		Ctx:       e.ctx,
 		Fetch:     e.fetchCycle,
 		Dispatch:  e.dispatchCycle,
 		Issue:     e.issueCycle,
@@ -46,11 +40,12 @@ func (m *Machine) emitRob(e *robEntry, cause obs.SquashCause) {
 // emitDecode records an instruction disposed of before entering the
 // window: eliminated saves/restores, kill annotations, and fetch-queue
 // flushes/drains.
-func (m *Machine) emitDecode(rec *fetchRec, kind obs.PipeKind, cause obs.SquashCause, wrongPath bool, victims uint8) {
+func (m *Machine) emitDecode(rec *fetchRec, ctx uint8, kind obs.PipeKind, cause obs.SquashCause, wrongPath bool, victims uint8) {
 	m.traceRec = obs.PipeRecord{
 		ID:        rec.traceID,
 		PC:        rec.pc,
 		Inst:      rec.inst,
+		Ctx:       ctx,
 		Fetch:     rec.fetchCycle,
 		Retire:    m.cycle,
 		Kind:      kind,
@@ -62,12 +57,20 @@ func (m *Machine) emitDecode(rec *fetchRec, kind obs.PipeKind, cause obs.SquashC
 }
 
 // drainTrace records everything still in flight when the run ends (the
-// instruction-budget cutoff leaves a populated window and fetch queue).
+// instruction-budget cutoff leaves a populated window and fetch queues).
+// Squashed holes were already recorded when their recovery marked them.
 func (m *Machine) drainTrace() {
 	for i := 0; i < m.robLen; i++ {
-		m.emitRob(m.robAt(i), obs.SquashDrain)
+		e := m.robAt(i)
+		if e.squashed {
+			continue
+		}
+		m.emitRob(e, obs.SquashDrain)
 	}
-	for i := 0; i < m.ifqLen; i++ {
-		m.emitDecode(m.ifqAt(i), obs.KindInst, obs.SquashDrain, m.pendingMisp, 0)
+	for ci := range m.ctxs {
+		c := &m.ctxs[ci]
+		for i := 0; i < c.ifqLen; i++ {
+			m.emitDecode(c.ifqAt(i), c.id, obs.KindInst, obs.SquashDrain, c.pendingMisp, 0)
+		}
 	}
 }

@@ -43,10 +43,15 @@ func (b *Bits) Count() int {
 	return n
 }
 
-// Table is the rename state.
+// Table is the rename state. One table serves nCtx hardware contexts:
+// each context owns a private architectural map (its NumArch-entry slice
+// of amap) while the physical register file, free list, ready bits and
+// wakeup lists are shared — exactly the SMT split, where renaming keeps
+// contexts' in-flight values apart in one physical file.
 type Table struct {
 	nPhys int
-	amap  [NumArch]PhysReg
+	nCtx  int
+	amap  []PhysReg // nCtx×NumArch, context c's map at [c*NumArch, (c+1)*NumArch)
 	free  Bits
 	nFree int
 	ready []bool
@@ -59,29 +64,44 @@ type Table struct {
 	watch [][]uint32
 }
 
-// NewTable builds a table with nPhys physical registers. At least
-// NumArch+1 are required for forward progress (the paper's "minimum of 32
-// required to avoid deadlock" counts the architectural state; one more is
-// needed to rename anything).
-func NewTable(nPhys int) *Table {
-	if nPhys < NumArch+1 || nPhys > MaxPhys {
-		panic(fmt.Sprintf("rename: nPhys %d out of range [%d,%d]", nPhys, NumArch+1, MaxPhys))
+// NewTable builds a single-context table with nPhys physical registers.
+// At least NumArch+1 are required for forward progress (the paper's
+// "minimum of 32 required to avoid deadlock" counts the architectural
+// state; one more is needed to rename anything).
+func NewTable(nPhys int) *Table { return NewTableCtx(nPhys, 1) }
+
+// NewTableCtx builds a table shared by nCtx hardware contexts. Each
+// context pins NumArch physical registers for its architectural state, so
+// nPhys must be at least nCtx*NumArch+1.
+func NewTableCtx(nPhys, nCtx int) *Table {
+	if nCtx < 1 {
+		panic(fmt.Sprintf("rename: nCtx %d < 1", nCtx))
 	}
-	t := &Table{nPhys: nPhys, ready: make([]bool, nPhys), watch: make([][]uint32, nPhys)}
+	if nPhys < nCtx*NumArch+1 || nPhys > MaxPhys {
+		panic(fmt.Sprintf("rename: nPhys %d out of range [%d,%d] for %d contexts",
+			nPhys, nCtx*NumArch+1, MaxPhys, nCtx))
+	}
+	t := &Table{
+		nPhys: nPhys,
+		nCtx:  nCtx,
+		amap:  make([]PhysReg, nCtx*NumArch),
+		ready: make([]bool, nPhys),
+		watch: make([][]uint32, nPhys),
+	}
 	t.Reset()
 	return t
 }
 
-// Reset installs the identity mapping (arch i -> phys i, all ready) and
-// frees the remainder.
+// Reset installs the identity mapping (context c's arch i -> phys
+// c*NumArch+i, all ready) and frees the remainder.
 func (t *Table) Reset() {
 	t.free = Bits{}
 	t.nFree = 0
-	for i := 0; i < NumArch; i++ {
+	for i := range t.amap {
 		t.amap[i] = PhysReg(i)
 		t.ready[i] = true
 	}
-	for p := NumArch; p < t.nPhys; p++ {
+	for p := len(t.amap); p < t.nPhys; p++ {
 		t.free.Set(PhysReg(p))
 		t.ready[p] = false
 		t.nFree++
@@ -94,13 +114,19 @@ func (t *Table) Reset() {
 // NPhys returns the file size.
 func (t *Table) NPhys() int { return t.nPhys }
 
+// NCtx returns the number of hardware contexts sharing the table.
+func (t *Table) NCtx() int { return t.nCtx }
+
 // FreeCount returns the number of free physical registers.
 func (t *Table) FreeCount() int { return t.nFree }
 
-// Map returns the physical register currently holding arch register r, or
-// (None, false) if r is unmapped (killed).
-func (t *Table) Map(r uint8) (PhysReg, bool) {
-	p := t.amap[r]
+// Map returns the physical register currently holding context 0's arch
+// register r, or (None, false) if r is unmapped (killed).
+func (t *Table) Map(r uint8) (PhysReg, bool) { return t.MapCtx(0, r) }
+
+// MapCtx is Map for hardware context ctx.
+func (t *Table) MapCtx(ctx int, r uint8) (PhysReg, bool) {
+	p := t.amap[ctx*NumArch+int(r)]
 	return p, p != None
 }
 
@@ -123,29 +149,37 @@ func (t *Table) allocate() (PhysReg, bool) {
 	return None, false
 }
 
-// Rename allocates a new physical register for a write to arch register r.
-// It returns the new mapping and the previous one (prev == None when r was
-// unmapped). ok is false when the free list is empty: the pipeline must
-// stall (this is the Figure 5 bottleneck).
-func (t *Table) Rename(r uint8) (newP, prevP PhysReg, ok bool) {
+// Rename allocates a new physical register for a write to context 0's
+// arch register r. It returns the new mapping and the previous one (prev
+// == None when r was unmapped). ok is false when the free list is empty:
+// the pipeline must stall (this is the Figure 5 bottleneck).
+func (t *Table) Rename(r uint8) (newP, prevP PhysReg, ok bool) { return t.RenameCtx(0, r) }
+
+// RenameCtx is Rename for hardware context ctx.
+func (t *Table) RenameCtx(ctx int, r uint8) (newP, prevP PhysReg, ok bool) {
 	newP, ok = t.allocate()
 	if !ok {
 		return None, None, false
 	}
-	prevP = t.amap[r]
-	t.amap[r] = newP
+	i := ctx*NumArch + int(r)
+	prevP = t.amap[i]
+	t.amap[i] = newP
 	return newP, prevP, true
 }
 
-// Unmap removes the mapping for r (a DVI kill at decode) and returns the
-// physical register it held, which the caller must keep pinned until the
-// kill commits, then Free.
-func (t *Table) Unmap(r uint8) (PhysReg, bool) {
-	p := t.amap[r]
+// Unmap removes context 0's mapping for r (a DVI kill at decode) and
+// returns the physical register it held, which the caller must keep
+// pinned until the kill commits, then Free.
+func (t *Table) Unmap(r uint8) (PhysReg, bool) { return t.UnmapCtx(0, r) }
+
+// UnmapCtx is Unmap for hardware context ctx.
+func (t *Table) UnmapCtx(ctx int, r uint8) (PhysReg, bool) {
+	i := ctx*NumArch + int(r)
+	p := t.amap[i]
 	if p == None {
 		return None, false
 	}
-	t.amap[r] = None
+	t.amap[i] = None
 	return p, true
 }
 
@@ -207,21 +241,34 @@ func (t *Table) PurgeWatchers(live func(token uint32) bool) {
 	}
 }
 
-// MapSnapshot copies the architectural mapping (taken when a mispredicted
-// branch dispatches).
-func (t *Table) MapSnapshot() [NumArch]PhysReg { return t.amap }
+// MapSnapshot copies context 0's architectural mapping (taken when a
+// mispredicted branch dispatches).
+func (t *Table) MapSnapshot() [NumArch]PhysReg { return t.MapSnapshotCtx(0) }
 
-// RestoreMap reinstates a snapshot. The free list must be rebuilt
-// afterwards with RebuildFree.
-func (t *Table) RestoreMap(m [NumArch]PhysReg) { t.amap = m }
+// MapSnapshotCtx is MapSnapshot for hardware context ctx.
+func (t *Table) MapSnapshotCtx(ctx int) (m [NumArch]PhysReg) {
+	copy(m[:], t.amap[ctx*NumArch:(ctx+1)*NumArch])
+	return m
+}
+
+// RestoreMap reinstates a context 0 snapshot. The free list must be
+// rebuilt afterwards with RebuildFree.
+func (t *Table) RestoreMap(m [NumArch]PhysReg) { t.RestoreMapCtx(0, m) }
+
+// RestoreMapCtx is RestoreMap for hardware context ctx. Other contexts'
+// maps are untouched: recovery is context-scoped.
+func (t *Table) RestoreMapCtx(ctx int, m [NumArch]PhysReg) {
+	copy(t.amap[ctx*NumArch:(ctx+1)*NumArch], m[:])
+}
 
 // RebuildFree recomputes the free list as "every register not in used".
-// The caller marks: all registers in the (restored) map, and the dest,
-// previous-mapping, and kill-victim registers of every surviving in-flight
-// instruction. This reconstruction stays correct across commits that freed
-// registers after the checkpoint was taken (see DESIGN.md).
+// The caller marks the dest, previous-mapping, and kill-victim registers
+// of every surviving in-flight instruction (across all contexts); the
+// table itself marks every register reachable from any context's
+// (restored) map. This reconstruction stays correct across commits that
+// freed registers after the checkpoint was taken (see DESIGN.md).
 func (t *Table) RebuildFree(used *Bits) {
-	for i := 0; i < NumArch; i++ {
+	for i := range t.amap {
 		if t.amap[i] != None {
 			used.Set(t.amap[i])
 		}

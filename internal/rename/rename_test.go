@@ -341,3 +341,102 @@ func TestWatchers(t *testing.T) {
 		t.Fatal("Reset kept watchers")
 	}
 }
+
+// TestMultiContextTable covers the SMT split: per-context architectural
+// maps over one shared physical file and free list.
+func TestMultiContextTable(t *testing.T) {
+	tb := NewTableCtx(96, 2)
+	if tb.NCtx() != 2 || tb.NPhys() != 96 {
+		t.Fatalf("NCtx=%d NPhys=%d", tb.NCtx(), tb.NPhys())
+	}
+	// Reset identity: context c's arch i maps to phys c*NumArch+i.
+	for c := 0; c < 2; c++ {
+		for r := uint8(0); r < NumArch; r++ {
+			p, ok := tb.MapCtx(c, r)
+			if !ok || p != PhysReg(c*NumArch+int(r)) {
+				t.Fatalf("ctx %d r%d -> %d (ok=%v)", c, r, p, ok)
+			}
+		}
+	}
+	if tb.FreeCount() != 96-2*NumArch {
+		t.Fatalf("free = %d, want %d", tb.FreeCount(), 96-2*NumArch)
+	}
+
+	// Renaming in one context leaves the other's map untouched.
+	newP, prevP, ok := tb.RenameCtx(1, 5)
+	if !ok || prevP != PhysReg(NumArch+5) {
+		t.Fatalf("rename ctx1 r5: new=%d prev=%d ok=%v", newP, prevP, ok)
+	}
+	if p, _ := tb.MapCtx(0, 5); p != PhysReg(5) {
+		t.Fatalf("ctx0 r5 disturbed: %d", p)
+	}
+	if p, _ := tb.MapCtx(1, 5); p != newP {
+		t.Fatalf("ctx1 r5 = %d, want %d", p, newP)
+	}
+
+	// Context-scoped unmap (DVI kill).
+	victim, ok := tb.UnmapCtx(0, 7)
+	if !ok || victim != PhysReg(7) {
+		t.Fatalf("unmap ctx0 r7: %d ok=%v", victim, ok)
+	}
+	if _, mapped := tb.MapCtx(0, 7); mapped {
+		t.Fatal("ctx0 r7 still mapped after unmap")
+	}
+	if _, mapped := tb.MapCtx(1, 7); !mapped {
+		t.Fatal("ctx1 r7 lost its mapping")
+	}
+}
+
+// TestMultiContextSnapshotRestoreRebuild pins context-scoped recovery:
+// restoring one context's snapshot and rebuilding the free list must
+// preserve the other context's in-flight registers.
+func TestMultiContextSnapshotRestoreRebuild(t *testing.T) {
+	tb := NewTableCtx(96, 2)
+	snap := tb.MapSnapshotCtx(0)
+
+	// Both contexts rename past the snapshot.
+	n0, _, _ := tb.RenameCtx(0, 3)
+	n1, prev1, _ := tb.RenameCtx(1, 3)
+
+	// Context 0 recovers to its snapshot; context 1's rename survives.
+	tb.RestoreMapCtx(0, snap)
+	var used Bits
+	used.Set(n1)    // ctx 1's in-flight destination
+	used.Set(prev1) // ... which pins its previous mapping until commit
+	tb.RebuildFree(&used)
+
+	if p, _ := tb.MapCtx(0, 3); p != PhysReg(3) {
+		t.Fatalf("ctx0 r3 = %d after restore, want 3", p)
+	}
+	if p, _ := tb.MapCtx(1, 3); p != n1 {
+		t.Fatalf("ctx1 r3 = %d after ctx0 recovery, want %d", p, n1)
+	}
+	if tb.free.Has(n1) {
+		t.Fatal("ctx1's in-flight register freed by ctx0's recovery")
+	}
+	if !tb.free.Has(n0) {
+		t.Fatal("ctx0's squashed register not reclaimed")
+	}
+	if want := 96 - 2*NumArch - 1; tb.FreeCount() != want {
+		t.Fatalf("free = %d, want %d", tb.FreeCount(), want)
+	}
+}
+
+// TestNewTableCtxBounds pins the per-context minimum file size.
+func TestNewTableCtxBounds(t *testing.T) {
+	for _, bad := range []struct{ nPhys, nCtx int }{
+		{96, 0}, {64, 2}, {2 * NumArch, 2}, {MaxPhys + 1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTableCtx(%d,%d) did not panic", bad.nPhys, bad.nCtx)
+				}
+			}()
+			NewTableCtx(bad.nPhys, bad.nCtx)
+		}()
+	}
+	if tb := NewTableCtx(2*NumArch+1, 2); tb.FreeCount() != 1 {
+		t.Fatalf("minimum 2-context table free = %d, want 1", tb.FreeCount())
+	}
+}

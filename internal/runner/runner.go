@@ -128,9 +128,12 @@ type Result struct {
 
 	// Timing holds ooo statistics for Timing jobs; Machine is the
 	// simulator instance itself, retained only when Job.KeepMachine is
-	// set.
-	Timing  ooo.Stats
-	Machine *ooo.Machine
+	// set. CtxStats carries the per-context breakdown for multi-context
+	// Timing jobs (nil on single-context machines, where the aggregate is
+	// the whole story).
+	Timing   ooo.Stats
+	CtxStats []ooo.Stats
+	Machine  *ooo.Machine
 
 	// Func holds emulator statistics for Functional jobs.
 	Func emu.Stats
@@ -434,12 +437,18 @@ func (e *Engine) runJob(ctx context.Context, j Job, queueWait time.Duration) (Re
 	defer kspan.End()
 	switch j.Kind {
 	case Timing:
+		if err := j.Machine.CheckContexts(); err != nil {
+			return res, err
+		}
 		m := e.getMachine(pr, img, j.Machine)
 		st, err := m.Run()
 		if err != nil {
 			return res, err
 		}
 		res.Timing = st
+		if m.Contexts() > 1 {
+			res.CtxStats = m.CtxStats()
+		}
 		if j.KeepMachine {
 			// The caller owns this instance now; it must not be pooled.
 			res.Machine = m

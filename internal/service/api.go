@@ -114,6 +114,16 @@ type SimulateRequest struct {
 	// "before-calls" (default) or "at-death".
 	Policy  string            `json:"policy,omitempty"`
 	Machine *MachineOverrides `json:"machine,omitempty"`
+	// Contexts runs N SMT hardware contexts, each executing its own copy
+	// of the program through one shared core (0 or 1 = the single-context
+	// paper machine). The server bounds N; the physical register file must
+	// hold all contexts' architectural state (phys_regs >= 32*N+1 — raise
+	// machine.phys_regs for N > 2). Incompatible with sampling.
+	Contexts int `json:"contexts,omitempty"`
+	// FetchPolicy arbitrates the one fetch access per cycle among
+	// contexts: "round-robin" (default) or "icount". Meaningful only when
+	// Contexts > 1.
+	FetchPolicy string `json:"fetch_policy,omitempty"`
 	// Sampling, when set, answers with a statistical estimate instead of
 	// an exact detailed run: checkpointed intervals are simulated on the
 	// daemon's worker pool and the response carries a confidence
@@ -191,6 +201,11 @@ type SimulateResponse struct {
 	MaxInsts uint64    `json:"max_insts"`
 	IPC      float64   `json:"ipc"`
 	Stats    ooo.Stats `json:"stats"`
+	// CtxStats is the per-context breakdown for multi-context runs
+	// (contexts > 1): entry i is hardware context i's share. Additive
+	// counts sum to the aggregate Stats; shared-structure fields (cycles,
+	// caches) mirror it. Omitted on single-context runs.
+	CtxStats []ooo.Stats `json:"ctx_stats,omitempty"`
 	// Sampled is present iff the request asked for sampling: the
 	// estimate's error bound and plan.
 	Sampled *SampledSummary `json:"sampled,omitempty"`
@@ -325,6 +340,16 @@ func parseScheme(s string) (emu.Scheme, error) {
 		return emu.ElimOff, nil
 	}
 	return 0, fmt.Errorf("unknown scheme %q (want off, lvm or lvm-stack)", s)
+}
+
+func parseFetchPolicy(s string) (ooo.FetchPolicy, error) {
+	switch s {
+	case "", "round-robin":
+		return ooo.FetchRoundRobin, nil
+	case "icount":
+		return ooo.FetchICOUNT, nil
+	}
+	return 0, fmt.Errorf("unknown fetch_policy %q (want round-robin or icount)", s)
 }
 
 func parsePolicy(s string) (rewrite.Policy, error) {

@@ -183,6 +183,24 @@ func (s *Server) prepareSimulate(req *SimulateRequest) (*preparedJob, *httpError
 	req.Machine.apply(&cfg)
 	cfg.MaxInsts = s.clampInsts(req.MaxInsts)
 
+	if req.Contexts > s.cfg.MaxContexts {
+		return nil, errf(http.StatusBadRequest,
+			"contexts %d exceeds the %d-context limit", req.Contexts, s.cfg.MaxContexts)
+	}
+	fp, err := parseFetchPolicy(req.FetchPolicy)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	cfg.Contexts = req.Contexts
+	cfg.FetchPolicy = fp
+	if err := cfg.CheckContexts(); err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	if cfg.ContextCount() > 1 && req.Sampling != nil {
+		return nil, errf(http.StatusBadRequest,
+			"sampling is single-context (contexts=%d): checkpoints restore one architectural state", req.Contexts)
+	}
+
 	var traceBuf *obs.PipeBuffer
 	traceFormat := ""
 	if req.Trace != nil {
@@ -273,6 +291,7 @@ func (s *Server) prepareSimulate(req *SimulateRequest) (*preparedJob, *httpError
 				MaxInsts: cfg.MaxInsts,
 				IPC:      st.IPC(),
 				Stats:    st,
+				CtxStats: res.CtxStats,
 			}
 			if traceBuf != nil {
 				ts, err := renderTrace(traceBuf, traceFormat)

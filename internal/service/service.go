@@ -82,6 +82,10 @@ const (
 	// defaultTraceRecords is the per-request record budget when the
 	// client enables tracing without choosing one.
 	defaultTraceRecords = 5_000
+	// DefaultMaxContexts caps the SMT hardware contexts one simulate
+	// request may ask for. Each context embeds its own emulator and
+	// fetch queue, so the bound is a memory and CPU bound.
+	DefaultMaxContexts = 8
 
 	// asmPrefix marks synthetic workload specs backed by client assembly.
 	asmPrefix = "asm:"
@@ -127,6 +131,9 @@ type Config struct {
 	// MaxTraceRecords is the per-request pipeline-trace record ceiling
 	// (0 = DefaultMaxTraceRecords).
 	MaxTraceRecords int
+	// MaxContexts is the ceiling on SMT hardware contexts per simulate
+	// request (0 = DefaultMaxContexts).
+	MaxContexts int
 }
 
 // Server implements the DVI service over HTTP. Construct with New; it is
@@ -179,6 +186,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxTraceRecords == 0 {
 		cfg.MaxTraceRecords = DefaultMaxTraceRecords
+	}
+	if cfg.MaxContexts == 0 {
+		cfg.MaxContexts = DefaultMaxContexts
 	}
 
 	s := &Server{

@@ -479,6 +479,11 @@ func TestRequestValidation(t *testing.T) {
 		{"bad scheme", "/v1/simulate", `{"workload":"li","scheme":"magic"}`, 400},
 		{"bad policy", "/v1/annotate", `{"workload":"li","policy":"never"}`, 400},
 		{"bad json", "/v1/ctxswitch", `{`, 400},
+		{"negative contexts", "/v1/simulate", `{"workload":"li","contexts":-1}`, 400},
+		{"contexts over limit", "/v1/simulate", `{"workload":"li","contexts":9}`, 400},
+		{"bad fetch policy", "/v1/simulate", `{"workload":"li","contexts":2,"fetch_policy":"priority"}`, 400},
+		{"contexts regfile too small", "/v1/simulate", `{"workload":"li","contexts":4}`, 400},
+		{"contexts with sampling", "/v1/simulate", `{"workload":"li","contexts":2,"sampling":{}}`, 400},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -500,6 +505,51 @@ func TestRequestValidation(t *testing.T) {
 	res.Body.Close()
 	if res.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET simulate: HTTP %d, want 405", res.StatusCode)
+	}
+}
+
+// TestSimulateMultiContext runs a 2-context machine over the wire and
+// pins the per-context response shape: ctx_stats carries one entry per
+// hardware context, both make progress, and additive counts sum to the
+// aggregate. A single-context run must omit the field.
+func TestSimulateMultiContext(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{}))
+	defer ts.Close()
+
+	code, body := postJSON(t, ts.URL+"/v1/simulate",
+		`{"workload":"li","max_insts":30000,"contexts":2,"fetch_policy":"icount"}`)
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", code, body)
+	}
+	var resp service.SimulateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.CtxStats) != 2 {
+		t.Fatalf("ctx_stats has %d entries, want 2", len(resp.CtxStats))
+	}
+	var committed, elim uint64
+	for i, c := range resp.CtxStats {
+		if c.Committed == 0 {
+			t.Errorf("context %d committed nothing", i)
+		}
+		committed += c.Committed
+		elim += c.ElimSaves + c.ElimRests
+	}
+	if committed != resp.Stats.Committed {
+		t.Errorf("per-context committed sums to %d, aggregate %d", committed, resp.Stats.Committed)
+	}
+	if elim != resp.Stats.ElimSaves+resp.Stats.ElimRests {
+		t.Errorf("per-context eliminations sum to %d, aggregate %d",
+			elim, resp.Stats.ElimSaves+resp.Stats.ElimRests)
+	}
+
+	code, body = postJSON(t, ts.URL+"/v1/simulate", `{"workload":"li","max_insts":30000}`)
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", code, body)
+	}
+	if strings.Contains(string(body), `"ctx_stats"`) {
+		t.Error("single-context response carries ctx_stats")
 	}
 }
 

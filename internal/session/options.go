@@ -67,6 +67,11 @@ type runSettings struct {
 	maxInsts uint64
 	maxSet   bool
 
+	contexts    int
+	contextsSet bool
+	fetchPolicy ooo.FetchPolicy
+	fetchSet    bool
+
 	edvi   *bool
 	policy rewrite.Policy
 
@@ -127,6 +132,23 @@ func WithMaxInsts(n uint64) RunOption {
 	return func(rs *runSettings) { rs.maxInsts, rs.maxSet = n, true }
 }
 
+// WithContexts sets the number of SMT hardware contexts a Simulate
+// machine runs (default: the machine config's own Contexts, usually 1 —
+// the single-context paper machine). Each context runs its own copy of
+// the workload through one shared core. The physical register file must
+// hold at least Contexts*32+1 registers (ooo.Config.CheckContexts);
+// incompatible with WithSampling (checkpointing is single-context).
+func WithContexts(n int) RunOption {
+	return func(rs *runSettings) { rs.contexts, rs.contextsSet = n, true }
+}
+
+// WithFetchPolicy selects how a multi-context machine arbitrates its one
+// fetch access per cycle among contexts (default round-robin; no effect
+// on a single-context machine).
+func WithFetchPolicy(p ooo.FetchPolicy) RunOption {
+	return func(rs *runSettings) { rs.fetchPolicy, rs.fetchSet = p, true }
+}
+
 // WithEDVI forces the binary flavour, overriding the central derivation
 // rule (BuildOptionsFor) that otherwise picks E-DVI binaries exactly for
 // full-DVI runs.
@@ -174,6 +196,12 @@ func (rs *runSettings) machineConfig() ooo.Config {
 	cfg.Emu = rs.overlayEmu(cfg.Emu)
 	if rs.maxSet {
 		cfg.MaxInsts = rs.maxInsts
+	}
+	if rs.contextsSet {
+		cfg.Contexts = rs.contexts
+	}
+	if rs.fetchSet {
+		cfg.FetchPolicy = rs.fetchPolicy
 	}
 	return cfg
 }

@@ -61,9 +61,10 @@ func (s *Session) SimulateSampled(ctx context.Context, w workload.Spec, opts ...
 // statistical sampler under so: each Timing result carries the estimate
 // on Result.Sampled and the estimate rendered as machine stats on
 // Result.Timing, so figure renderers consume it unchanged. Non-Timing
-// jobs (functional, ctx-switch, build) run exactly as in Collect, as one
-// batch. Results are in submission order; the first failure aborts
-// everything.
+// jobs (functional, ctx-switch, build) and multi-context timing jobs
+// (the sampler's checkpoints restore one architectural state) run
+// exactly as in Collect, as one batch. Results are in submission order;
+// the first failure aborts everything.
 //
 // Timing jobs are sampled one at a time — each sampled run already fans
 // its interval jobs out across the whole worker pool — so the pool stays
@@ -73,7 +74,9 @@ func (s *Session) CollectSampled(ctx context.Context, jobs []Job, so sample.Opti
 	var exact []Job
 	var exactIdx []int
 	for i, j := range jobs {
-		if j.Kind == runner.Timing {
+		// Multi-context timing jobs run exactly: checkpointed sampling is
+		// single-context (Boot restores one architectural state).
+		if j.Kind == runner.Timing && j.Machine.ContextCount() == 1 {
 			est, res, err := s.sampleJob(ctx, j, so)
 			if err != nil {
 				return nil, err

@@ -29,6 +29,7 @@ package session
 
 import (
 	"context"
+	"fmt"
 
 	"dvi/internal/ctxswitch"
 	"dvi/internal/emu"
@@ -119,7 +120,13 @@ func (s *Session) Build(ctx context.Context, w workload.Spec, opts ...RunOption)
 func (s *Session) Simulate(ctx context.Context, w workload.Spec, opts ...RunOption) (ooo.Stats, error) {
 	rs := resolve(opts)
 	cfg := rs.machineConfig()
+	if err := cfg.CheckContexts(); err != nil {
+		return ooo.Stats{}, err
+	}
 	if rs.sampling != nil {
+		if cfg.ContextCount() > 1 {
+			return ooo.Stats{}, fmt.Errorf("session: sampling is single-context (Contexts=%d)", cfg.Contexts)
+		}
 		est, _, err := s.sampleJob(ctx, Job{
 			Label:    rs.label,
 			Workload: w,
@@ -139,6 +146,32 @@ func (s *Session) Simulate(ctx context.Context, w workload.Spec, opts ...RunOpti
 		Machine:  cfg,
 	})
 	return res.Timing, err
+}
+
+// SimulateContexts is Simulate for multi-context (SMT) machines: the
+// aggregate statistics come back together with the per-context
+// breakdown (nil on a single-context machine — matching the wire
+// format, where ctx_stats is omitted). Additive counters across the
+// breakdown sum to the aggregate. Exact execution only: sampling is
+// single-context, use Simulate/SimulateSampled for it.
+func (s *Session) SimulateContexts(ctx context.Context, w workload.Spec, opts ...RunOption) (ooo.Stats, []ooo.Stats, error) {
+	rs := resolve(opts)
+	cfg := rs.machineConfig()
+	if err := cfg.CheckContexts(); err != nil {
+		return ooo.Stats{}, nil, err
+	}
+	if rs.sampling != nil {
+		return ooo.Stats{}, nil, fmt.Errorf("session: SimulateContexts is exact; sampling is single-context (use Simulate)")
+	}
+	res, err := s.one(ctx, Job{
+		Label:    rs.label,
+		Workload: w,
+		Scale:    rs.scale,
+		Build:    rs.buildOptions(cfg.Emu.DVI.Level),
+		Kind:     runner.Timing,
+		Machine:  cfg,
+	})
+	return res.Timing, res.CtxStats, err
 }
 
 // Emulate runs a workload on the functional reference emulator (drawn
