@@ -29,6 +29,7 @@ func main() {
 		bench   = flag.String("bench", "gcc", "benchmark name")
 		scale   = flag.Int("scale", 1, "workload scale")
 		noEDVI  = flag.Bool("noedvi", false, "build without kill annotations")
+		infer   = flag.Bool("infer", false, "derive kill annotations with the interprocedural inference pass instead of the compiler-assisted rewriter")
 		atDeath = flag.Bool("atdeath", false, "use the kills-at-death encoding")
 		proc    = flag.String("proc", "", "disassemble a single procedure")
 		dump    = flag.Bool("dump", false, "dump the full listing")
@@ -44,6 +45,9 @@ func main() {
 	bopts := []session.RunOption{
 		session.WithScale(*scale),
 		session.WithEDVI(!*noEDVI),
+	}
+	if *infer {
+		bopts = append(bopts, session.WithInferredDVI())
 	}
 	if *atDeath {
 		bopts = append(bopts, session.WithPolicy(rewrite.KillsAtDeath))
@@ -80,7 +84,14 @@ func main() {
 				lvld++
 			}
 		}
-		fmt.Printf("benchmark   %s (scale %d, EDVI %v)\n", spec.Name, *scale, !*noEDVI)
+		flavor := "edvi"
+		switch {
+		case *infer:
+			flavor = "infer"
+		case *noEDVI:
+			flavor = "plain"
+		}
+		fmt.Printf("benchmark   %s (scale %d, %s)\n", spec.Name, *scale, flavor)
 		fmt.Printf("procedures  %d\n", len(pr.Procs))
 		fmt.Printf("text        %d instructions (%d bytes)\n", img.TextWords(), img.TextWords()*4)
 		fmt.Printf("kills       %d static\n", kills)

@@ -237,6 +237,14 @@ type benchFigure struct {
 	MaxContexts  int      `json:"max_contexts,omitempty"`
 	CtxCommitted []uint64 `json:"ctx_committed,omitempty"`
 	CtxElim      []uint64 `json:"ctx_elim,omitempty"`
+	// Inferred-annotation aggregates (dvibench/v5, absent when the grid
+	// runs no inferred-flavour builds): the share of ElimSaves/ElimRestores
+	// above achieved by binaries whose kills the interprocedural inference
+	// pass discovered from the machine code alone, and how many of the
+	// grid's jobs ran that flavour.
+	InferJobs         int    `json:"infer_jobs,omitempty"`
+	InferElimSaves    uint64 `json:"infer_elim_saves,omitempty"`
+	InferElimRestores uint64 `json:"infer_elim_restores,omitempty"`
 
 	Tables []harness.Table `json:"tables"`
 }
@@ -289,7 +297,7 @@ func buildReport(ctx context.Context, sess *session.Session, opt harness.Options
 		selected[id] = true
 	}
 	rep := benchReport{
-		Schema:        "dvibench/v4",
+		Schema:        "dvibench/v5",
 		Workers:       sess.Workers(),
 		Scale:         opt.Scale,
 		MaxInsts:      opt.MaxInsts,
@@ -335,6 +343,17 @@ func buildReport(ctx context.Context, sess *session.Session, opt harness.Options
 			case runner.Functional:
 				bf.ElimSaves += res.Func.SavesElim
 				bf.ElimRestores += res.Func.RestoresElim
+			}
+			if res.Job.Build.Infer {
+				bf.InferJobs++
+				switch res.Job.Kind {
+				case runner.Timing:
+					bf.InferElimSaves += res.Timing.ElimSaves
+					bf.InferElimRestores += res.Timing.ElimRests
+				case runner.Functional:
+					bf.InferElimSaves += res.Func.SavesElim
+					bf.InferElimRestores += res.Func.RestoresElim
+				}
 			}
 			if n := len(res.CtxStats); n > 1 {
 				if n > bf.MaxContexts {

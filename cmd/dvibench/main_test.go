@@ -91,8 +91,8 @@ func TestEmitJSONRoundTrips(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if rep.Schema != "dvibench/v4" {
-		t.Fatalf("schema %q, want dvibench/v4", rep.Schema)
+	if rep.Schema != "dvibench/v5" {
+		t.Fatalf("schema %q, want dvibench/v5", rep.Schema)
 	}
 	if rep.Sampling != nil {
 		t.Fatalf("exact-mode report carries a sampling block: %+v", rep.Sampling)
@@ -194,5 +194,42 @@ func TestSamplingDefaultsInReport(t *testing.T) {
 	}
 	if rep.Sampling == nil || rep.Sampling.Interval == 0 || rep.Sampling.Warmup == 0 || rep.Sampling.Period == 0 {
 		t.Fatalf("sampling block %+v should carry WithDefaults values", rep.Sampling)
+	}
+}
+
+// TestJSONReportInferredElim pins the dvibench/v5 additions: the infer
+// figure's record carries the inferred-flavour elimination aggregates,
+// while figures that run no inferred builds omit the fields entirely, so
+// v4 consumers that ignore unknown fields keep working.
+func TestJSONReportInferredElim(t *testing.T) {
+	opt := testOptions()
+	sess := harness.NewSession(opt, nil)
+	rep, err := buildReport(context.Background(), sess, opt, []string{"infer", "fig9"}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Figures) != 2 {
+		t.Fatalf("%d figures, want 2", len(rep.Figures))
+	}
+	byID := map[string]benchFigure{}
+	for _, bf := range rep.Figures {
+		byID[bf.ID] = bf
+	}
+	inf := byID["infer"]
+	if inf.InferJobs != 7 { // one inferred build per benchmark
+		t.Fatalf("infer figure ran %d inferred jobs, want 7", inf.InferJobs)
+	}
+	if inf.InferElimSaves == 0 || inf.InferElimRestores == 0 {
+		t.Fatalf("inferred flavour eliminated nothing: %+v", inf)
+	}
+	if inf.InferElimSaves > inf.ElimSaves || inf.InferElimRestores > inf.ElimRestores {
+		t.Fatalf("inferred aggregates exceed the grid totals: %+v", inf)
+	}
+	fig9 := byID["fig9"]
+	if fig9.InferJobs != 0 || fig9.InferElimSaves != 0 || fig9.InferElimRestores != 0 {
+		t.Errorf("hand-annotated figure carries inferred aggregates: %+v", fig9)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("marshal: %v", err)
 	}
 }

@@ -64,6 +64,7 @@ func Figures() []Figure {
 		{ID: "fig11", Title: "cache bandwidth sensitivity", Jobs: fig11Jobs, Render: one("fig11", fig11Build)},
 		{ID: "fig12", Title: "context switch traffic reduction", Jobs: fig12Jobs, Render: one("fig12", fig12Build)},
 		{ID: "fig13", Title: "E-DVI annotation overhead", Jobs: fig13Jobs, Render: one("fig13", fig13Build)},
+		{ID: "infer", Title: "inferred vs hand-annotated save/restore elimination", Jobs: inferJobs, Render: one("infer", inferBuild)},
 		{ID: "smt", Title: "multi-context (SMT) throughput and DVI benefit", Jobs: smtJobs, Render: one("smt", smtBuild)},
 		{ID: "ablation-stack", Title: "LVM-Stack depth sweep", Jobs: ablationStackJobs, Render: one("ablation-stack", ablationStackBuild)},
 		{ID: "ablation-kills", Title: "kill placement policies", Jobs: ablationKillsJobs, Render: one("ablation-kills", ablationKillsBuild)},
@@ -933,3 +934,68 @@ func ablationWrongPathBuild(opt Options, res []runner.Result) (Table, error) {
 func AblationWrongPath(opt Options) (Table, error) {
 	return runOne("ablation-wrongpath", opt, ablationWrongPathBuild)
 }
+
+// --- Inferred-annotation study ---
+
+// inferJobs declares, per benchmark (all seven — inference must handle
+// compress's structure too, even if it eliminates little there), two
+// functional runs under the LVM-Stack scheme: the hand-annotated E-DVI
+// binary and the inferred flavour, whose kills the interprocedural
+// analysis discovers from the machine code alone.
+func inferJobs(opt Options) []runner.Job {
+	cfg := emu.Config{DVI: core.DefaultConfig(), Scheme: emu.ElimLVMStack}
+	var jobs []runner.Job
+	for _, s := range workload.All() {
+		jobs = append(jobs,
+			funcJob("infer "+s.Name+" hand", s, opt, workload.BuildOptions{EDVI: true}, cfg),
+			funcJob("infer "+s.Name+" inferred", s, opt, workload.BuildOptions{Infer: true}, cfg))
+	}
+	return jobs
+}
+
+// inferBuild renders the elimination rate each annotation engine reaches
+// (eliminated saves+restores over total save/restore instances) and the
+// recovery share: the fraction of the hand-annotated engine's
+// eliminations the inference pass recovers without any compiler hints.
+// Both flavours run the same program, so the architectural work count
+// must agree — a mismatch is a soundness bug, not a measurement.
+func inferBuild(opt Options, res []runner.Result) (Table, error) {
+	t := Table{
+		ID:    "infer",
+		Title: "Save/restore elimination: inferred annotations vs hand annotations (LVM-Stack)",
+		Header: []string{"Benchmark",
+			"Hand elim", "Inferred elim", "Hand %s/r", "Inferred %s/r", "Recovery"},
+		Notes: []string{
+			"Recovery = inferred eliminations / hand eliminations; the inference pass sees only the machine code.",
+		},
+	}
+	var aggHand, aggInf, aggRec float64
+	n := 0
+	for i := 0; i+1 < len(res); i += 2 {
+		hand, inf := res[i].Func, res[i+1].Func
+		if hand.Original() != inf.Original() {
+			return Table{}, fmt.Errorf("infer %s: architectural work differs between flavours (%d vs %d insts)",
+				res[i].Job.Workload.Name, hand.Original(), inf.Original())
+		}
+		handElim := hand.SavesElim + hand.RestoresElim
+		infElim := inf.SavesElim + inf.RestoresElim
+		frHand := ratio(handElim, hand.SavesRestores())
+		frInf := ratio(infElim, inf.SavesRestores())
+		rec := ratio(infElim, handElim)
+		t.Rows = append(t.Rows, []string{res[i].Job.Workload.Name,
+			u64(handElim), u64(infElim), pct(frHand), pct(frInf), pct(rec)})
+		aggHand += frHand
+		aggInf += frInf
+		aggRec += rec
+		n++
+	}
+	if n > 0 {
+		t.Rows = append(t.Rows, []string{"average", "", "",
+			pct(aggHand / float64(n)), pct(aggInf / float64(n)), pct(aggRec / float64(n))})
+	}
+	return t, nil
+}
+
+// InferredElimination compares the inference pass against the hand
+// annotations across the full suite.
+func InferredElimination(opt Options) (Table, error) { return runOne("infer", opt, inferBuild) }

@@ -357,3 +357,36 @@ func TestRunFiguresSubsetAndUnknown(t *testing.T) {
 		t.Error("unknown figure did not error")
 	}
 }
+
+func TestInferFigure(t *testing.T) {
+	tab, err := InferredElimination(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 { // 7 benchmarks + average
+		t.Fatalf("infer rows = %d", len(tab.Rows))
+	}
+	// The inference pass must recover a real share of the hand-annotated
+	// eliminations somewhere in the suite; the average row keeps the
+	// figure honest about how much.
+	avg := tab.Rows[len(tab.Rows)-1]
+	if avg[0] != "average" {
+		t.Fatalf("last row is %q, want average", avg[0])
+	}
+	if rec := parsePct(t, avg[5]); rec <= 0 {
+		t.Fatalf("average recovery share %.1f%%, want > 0", rec)
+	}
+	// No ordering assertion between the columns: inference may trail the
+	// hand annotations (it is conservative at anything it cannot prove)
+	// or beat them (interprocedural faint values reach kills the
+	// compiler's per-call-site liveness never sees). Soundness is what
+	// inferBuild enforces — both flavours must do identical architectural
+	// work — and what the rewrite package's differential fuzz verifies.
+	for _, row := range tab.Rows[:7] {
+		for _, col := range []int{3, 4} {
+			if v := parsePct(t, row[col]); v < 0 || v > 100 {
+				t.Errorf("%s: elimination fraction %q out of range", row[0], row[col])
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Control-flow graphs over basic blocks, and the block-level worklist
+// solver for the liveness dataflow. The per-procedure CFG is the shared
+// substrate of the rewriter: the hand-annotation path (InsertKills) and
+// the automatic inference pass (Infer) both solve their dataflow problems
+// over it, and Analyze exposes the combined live-in/live-out result so
+// callers needing both masks pay for a single fixed-point iteration.
+
+package rewrite
+
+import (
+	"dvi/internal/isa"
+	"dvi/internal/prog"
+)
+
+// Block is one basic block: a maximal straight-line instruction range.
+type Block struct {
+	Start, End int // instruction index range [Start, End)
+
+	Succs []int // successor block ids, in control-flow order
+	Preds []int // predecessor block ids
+
+	// BoundaryLive marks a block from which control can leave the
+	// procedure other than through a return or halt — an out-of-procedure
+	// jump, or falling off the end of the instruction list. The dataflow
+	// treats such exits with the conservative all-live boundary value.
+	BoundaryLive bool
+}
+
+// CFG is the control-flow graph of one procedure.
+type CFG struct {
+	Proc    *prog.Proc
+	Blocks  []Block
+	BlockOf []int // instruction index -> block id
+}
+
+// BuildCFG partitions p into basic blocks and records their edges. Block
+// leaders are the procedure entry, every branch target, and every
+// instruction following a control transfer; edges mirror succs exactly,
+// so any solver over the CFG computes the same fixpoint as one iterating
+// instruction by instruction.
+func BuildCFG(p *prog.Proc) (*CFG, error) {
+	n := len(p.Insts)
+	g := &CFG{Proc: p, BlockOf: make([]int, n)}
+	if n == 0 {
+		return g, nil
+	}
+
+	leader := make([]bool, n)
+	leader[0] = true
+	var sbuf []int
+	var err error
+	for i := 0; i < n; i++ {
+		in := p.Insts[i]
+		if !in.Op.IsBranchOrJump() && in.Op != isa.HALT {
+			continue
+		}
+		if sbuf, err = succs(p, i, sbuf); err != nil {
+			return nil, err
+		}
+		for _, s := range sbuf {
+			if s < n {
+				leader[s] = true
+			}
+		}
+		if i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			g.Blocks = append(g.Blocks, Block{Start: i})
+		}
+		g.BlockOf[i] = len(g.Blocks) - 1
+	}
+	for b := range g.Blocks {
+		if b+1 < len(g.Blocks) {
+			g.Blocks[b].End = g.Blocks[b+1].Start
+		} else {
+			g.Blocks[b].End = n
+		}
+	}
+
+	for b := range g.Blocks {
+		blk := &g.Blocks[b]
+		last := blk.End - 1
+		in := p.Insts[last]
+		if in.Op == isa.J {
+			if _, local := p.LabelAt(in.Target); !local {
+				blk.BoundaryLive = true // leaves the procedure: conservative
+			}
+		}
+		if sbuf, err = succs(p, last, sbuf); err != nil {
+			return nil, err
+		}
+		for _, s := range sbuf {
+			if s >= n {
+				// Falls off the end of the procedure (malformed but
+				// tolerated): conservative boundary.
+				blk.BoundaryLive = true
+				continue
+			}
+			blk.Succs = append(blk.Succs, g.BlockOf[s])
+		}
+	}
+	for b := range g.Blocks {
+		for _, s := range g.Blocks[b].Succs {
+			g.Blocks[s].Preds = append(g.Blocks[s].Preds, b)
+		}
+	}
+	return g, nil
+}
+
+// Analysis is the combined result of the liveness dataflow: the live-in
+// and live-out register mask of every instruction, from one solve.
+type Analysis struct {
+	In  []isa.RegMask
+	Out []isa.RegMask
+}
+
+// Analyze runs the backward liveness dataflow over p's CFG to a fixed
+// point and returns both per-instruction masks. Liveness and LivenessOut
+// are thin views over this.
+func Analyze(p *prog.Proc) (Analysis, error) {
+	g, err := BuildCFG(p)
+	if err != nil {
+		return Analysis{}, err
+	}
+	a := Analysis{
+		In:  make([]isa.RegMask, len(p.Insts)),
+		Out: make([]isa.RegMask, len(p.Insts)),
+	}
+	a.solve(g, func(i int, out isa.RegMask) (def, use isa.RegMask) {
+		return defUse(p.Insts[i])
+	})
+	return a, nil
+}
+
+// transferFunc returns the def/use masks of instruction i given its
+// current live-out mask. Transfers that inspect out (the inference pass's
+// faint-value rule) must be monotone in it: out ⊇ out' must imply
+// use(out) ⊇ use(out').
+type transferFunc func(i int, out isa.RegMask) (def, use isa.RegMask)
+
+// solve runs the block-level worklist to the least fixpoint, storing
+// per-instruction masks in a. Blocks are seeded in reverse program order
+// (a good order for a backward problem) and re-queued when a successor's
+// live-in changes.
+func (a *Analysis) solve(g *CFG, transfer transferFunc) {
+	nb := len(g.Blocks)
+	if nb == 0 {
+		return
+	}
+	queued := make([]bool, nb)
+	work := make([]int, 0, nb)
+	push := func(b int) {
+		if !queued[b] {
+			queued[b] = true
+			work = append(work, b)
+		}
+	}
+	for b := 0; b < nb; b++ {
+		push(b)
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[b] = false
+
+		blk := &g.Blocks[b]
+		var out isa.RegMask
+		if blk.BoundaryLive {
+			out = allLive
+		}
+		for _, s := range blk.Succs {
+			out |= a.In[g.Blocks[s].Start]
+		}
+		oldIn := a.In[blk.Start]
+		for i := blk.End - 1; i >= blk.Start; i-- {
+			a.Out[i] = out
+			def, use := transfer(i, out)
+			out = (out &^ def) | use
+			a.In[i] = out
+		}
+		if a.In[blk.Start] != oldIn {
+			for _, pb := range blk.Preds {
+				push(pb)
+			}
+		}
+	}
+}

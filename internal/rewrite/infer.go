@@ -1,0 +1,875 @@
+// Interprocedural dead-value inference: Infer discovers kill annotations
+// for an arbitrary program — including assembly with no hand hints — by
+// iterating per-procedure summaries over the call graph to a fixed point.
+//
+// The analysis layers, bottom to top:
+//
+//   - Frame recognition. Each procedure's stack discipline is checked
+//     against the canonical form (one `addi sp, sp, -K` prologue, saves
+//     and restores addressed off sp, `addi sp, sp, +K` before returns).
+//     Within it, every live-store is paired with the live-loads reading
+//     the same entry-relative slot. A procedure that breaks the
+//     discipline — sp copied or escaping, irregular adjustment, plain
+//     memory operations aliasing save slots — is analyzed fully
+//     conservatively, and the breach propagates to the summaries its
+//     callers see.
+//
+//   - Procedure summaries, each solved to its own fixed point over the
+//     call graph (ascending iteration handles recursion; indirect calls
+//     and calls into the middle of a procedure are conservative):
+//     maySurvive (registers whose entry value may reach a return, either
+//     untouched or through a save/restore pair), mayUse (registers whose
+//     entry value may be read, where a paired save reads its data
+//     register only if the restored value is itself live), and
+//     liveAtReturn (the union of every known call site's live-out,
+//     all-live for procedures whose callers cannot be enumerated:
+//     address-taken, tail-jumped-into, or unreachable). mayUse and
+//     liveAtReturn are solved as one joint fixed point — under faint
+//     propagation each depends on the other, because a caller reading a
+//     callee's leftover temporary makes the callee's computation of that
+//     temporary genuine.
+//
+//   - Faint-value propagation on top of liveness: a source of a pure
+//     instruction (ALU op or load, which cannot fault and has no side
+//     effect) counts as used only if the destination is live, so a value
+//     used only to compute dead values is itself dead. Stores, branches,
+//     jumps, and SYS keep genuine uses.
+//
+// Kills only become architecturally visible through save/restore
+// elimination, and the emulator's registers retain killed values, so a
+// kill of r is sound exactly when r's value can never again be observed —
+// which is what the solved liveness states. Inferred runs are therefore
+// bit-identical to unannotated runs (pinned by the differential fuzz in
+// infer_fuzz_test.go).
+package rewrite
+
+import (
+	"fmt"
+
+	"dvi/internal/isa"
+	"dvi/internal/prog"
+)
+
+// Infer analyzes pr and inserts kill annotations in place, like
+// InsertKills but with no reliance on calling-convention assumptions:
+// everything is derived from the program text. It returns the number of
+// kills inserted. Run it once per program, before linking, on a program
+// without hand annotations.
+//
+// Programs containing LVM materialize/load instructions get no
+// annotations: the LVM value those instructions move through memory
+// depends on every kill executed, so any inserted kill would change
+// architectural memory contents.
+func Infer(pr *prog.Program, opt Options) (int, error) {
+	regs := opt.Regs
+	if regs == 0 {
+		regs = isa.CalleeSaved
+	}
+	if bad := regs &^ isa.Killable; bad != 0 {
+		return 0, fmt.Errorf("rewrite: kill candidates %s are not encodable", bad)
+	}
+	inf := &inferrer{pr: pr, regs: regs, opt: opt}
+	if err := inf.scan(); err != nil {
+		return 0, err
+	}
+	if inf.hasLVMOps {
+		return 0, nil
+	}
+	inf.propagateFlags()
+	for _, pi := range inf.order {
+		inf.computeExportTrim(pi)
+	}
+	inf.solveSurvive()
+	inf.solveLiveness()
+	return inf.emit()
+}
+
+// slotOp is one live-store or live-load addressed off sp at a known
+// entry-relative frame offset.
+type slotOp struct {
+	idx int // instruction index
+	reg isa.Reg
+	off int64 // entry-sp-relative byte offset (negative inside the frame)
+}
+
+// inferProc is the per-procedure working state.
+type inferProc struct {
+	p   *prog.Proc
+	cfg *CFG
+
+	// conservative: the procedure broke a guard (irregular sp, escaping
+	// sp, aliased save slots, unresolvable control flow into it). Its
+	// liveness is all-live everywhere and its summaries maximal.
+	conservative bool
+	// foreignAccess: a plain memory access through sp reaches at or above
+	// the entry sp — the caller's frame. Sound locally, but callers can no
+	// longer assume their save slots are private.
+	foreignAccess bool
+	// frameUnsafe: this procedure or some transitive callee may touch
+	// frames above its own, so save-slot privacy fails: every save's data
+	// register is a genuine use.
+	frameUnsafe bool
+	// spReturnsClean: sp provably back at its entry value at every return.
+	spReturnsClean bool
+
+	saves, loads []slotOp
+	// pairedLoads maps a save's instruction index to the loads reading the
+	// same slot. A frame-safe save absent from the map feeds a slot that
+	// is never read.
+	pairedLoads map[int][]int
+
+	callees    []string // distinct direct-call targets that name procedures
+	hasUnknown bool     // JALR, or JAL into a local label
+	addrTaken  bool     // a data reference or tail jump names this procedure
+	hasCallers bool     // some known call site (or the entry trampoline) targets it
+
+	// exportTrim[i], for a return instruction i, holds the registers that
+	// are provably restored-to-entry-value at that return (saved from an
+	// entry-intact register to a private slot, reloaded from it, untouched
+	// since). Their live-at-return bits are identity pass-through — the
+	// caller observing them observes its own value, which the call-site
+	// transfer already models via maySurvive — so the mayUse export solve
+	// removes them from the return boundary. The full solve (kill
+	// placement, liveAtReturn propagation) keeps the whole boundary.
+	exportTrim []isa.RegMask
+}
+
+type inferrer struct {
+	pr   *prog.Program
+	regs isa.RegMask
+	opt  Options
+
+	procs     map[string]*inferProc
+	order     []*inferProc
+	hasLVMOps bool
+
+	mayUse     map[string]isa.RegMask
+	maySurvive map[string]isa.RegMask
+	liveAtRet  map[string]isa.RegMask
+}
+
+func (inf *inferrer) entryName() string {
+	if inf.pr.Entry != "" {
+		return inf.pr.Entry
+	}
+	return "main"
+}
+
+// scan builds the CFG, frame facts, and call-graph edges of every
+// procedure.
+func (inf *inferrer) scan() error {
+	inf.procs = make(map[string]*inferProc, len(inf.pr.Procs))
+	for _, p := range inf.pr.Procs {
+		g, err := BuildCFG(p)
+		if err != nil {
+			return fmt.Errorf("rewrite: %s: %w", p.Name, err)
+		}
+		pi := &inferProc{p: p, cfg: g}
+		inf.scanFrame(pi)
+		inf.procs[p.Name] = pi
+		inf.order = append(inf.order, pi)
+	}
+	// Cross-procedure references: direct calls, tail jumps, address takes.
+	for _, pi := range inf.order {
+		seen := map[string]bool{}
+		for _, in := range pi.p.Insts {
+			switch {
+			case in.Op == isa.LVMS || in.Op == isa.LVML:
+				inf.hasLVMOps = true
+			case in.Op == isa.JAL:
+				if callee, ok := inf.procs[in.Target]; ok {
+					callee.hasCallers = true
+					if !seen[in.Target] {
+						seen[in.Target] = true
+						pi.callees = append(pi.callees, in.Target)
+					}
+				} else {
+					// A call into a local label re-enters this procedure
+					// mid-body with an unknowable frame state.
+					pi.hasUnknown = true
+				}
+			case in.Op == isa.JALR:
+				pi.hasUnknown = true
+			case in.Op == isa.J:
+				if _, local := pi.p.LabelAt(in.Target); !local {
+					if t, ok := inf.procs[in.Target]; ok {
+						// Tail jump: t returns to an unknowable caller.
+						t.addrTaken = true
+					}
+				}
+			}
+			if in.Kind == prog.TargetDataHi || in.Kind == prog.TargetDataLo {
+				if t, ok := inf.procs[in.Target]; ok {
+					t.addrTaken = true // function pointer material
+				}
+			}
+		}
+	}
+	if e, ok := inf.procs[inf.entryName()]; ok {
+		e.hasCallers = true // the linker's trampoline
+	}
+	return nil
+}
+
+// scanFrame runs the forward sp-offset analysis over one procedure and
+// records its save/restore slots, checking the frame-discipline guards.
+func (inf *inferrer) scanFrame(pi *inferProc) {
+	p, g := pi.p, pi.cfg
+	n := len(p.Insts)
+	if n == 0 {
+		// Control entering here falls into the next procedure: never
+		// sp-clean, and no summary of its own worth computing.
+		pi.conservative = true
+		return
+	}
+	violate := func() { pi.conservative = true }
+
+	// Forward abstract interpretation of the sp delta (entry = 0). A
+	// block's entry delta must be unique; joins of distinct deltas, or any
+	// write to sp other than `addi sp, sp, imm`, break the discipline.
+	const unknownDelta = int64(-1) << 62
+	blockIn := make([]int64, len(g.Blocks))
+	delta := make([]int64, n)
+	for i := range blockIn {
+		blockIn[i] = unknownDelta
+	}
+	for i := range delta {
+		delta[i] = unknownDelta
+	}
+	blockIn[0] = 0
+	work := []int{0}
+	queued := make([]bool, len(g.Blocks))
+	queued[0] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[b] = false
+		blk := &g.Blocks[b]
+		d := blockIn[b]
+		for i := blk.Start; i < blk.End; i++ {
+			delta[i] = d
+			in := p.Insts[i]
+			if in.Op == isa.ADDI && in.Rd == isa.SP && in.Rs1 == isa.SP {
+				d += in.Imm
+				continue
+			}
+			if rd, ok := in.WritesReg(); ok && rd == isa.SP {
+				violate()
+				return
+			}
+		}
+		for _, s := range blk.Succs {
+			switch blockIn[s] {
+			case unknownDelta:
+				blockIn[s] = d
+				if !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			case d:
+				// agreeing join
+			default:
+				violate()
+				return
+			}
+		}
+	}
+
+	// Guard sweep with the solved deltas. Unreachable instructions (delta
+	// unknown) never execute and are skipped. A procedure that can fall
+	// off its end flows into whatever the linker placed next, so its sp
+	// state escapes unclean.
+	pi.spReturnsClean = delta[n-1] == unknownDelta || terminator(p.Insts[n-1])
+	pi.pairedLoads = make(map[int][]int)
+	var srcs [2]isa.Reg
+	for i := 0; i < n; i++ {
+		in := p.Insts[i]
+		d := delta[i]
+		if d == unknownDelta {
+			continue
+		}
+		// sp may appear as a source only in the frame adjustment and as
+		// the base of a memory access (and never as stored data).
+		for _, r := range in.AppendSrcRegs(srcs[:0]) {
+			if r != isa.SP {
+				continue
+			}
+			switch {
+			case in.Op == isa.ADDI && in.Rs1 == isa.SP && in.Rd == isa.SP:
+			case in.Op.IsMem() && in.Rs1 == isa.SP &&
+				!(in.Op.IsStore() && in.Op != isa.LVMS && in.Rs2 == isa.SP):
+			default:
+				violate()
+				return
+			}
+		}
+		switch in.Op {
+		case isa.LVST, isa.LVLD:
+			if in.Rs1 != isa.SP {
+				violate()
+				return
+			}
+			rel := d + in.Imm
+			if rel >= 0 {
+				violate() // a save slot in the caller's frame
+				return
+			}
+			if in.Op == isa.LVST {
+				pi.saves = append(pi.saves, slotOp{idx: i, reg: in.Rs2, off: rel})
+			} else {
+				pi.loads = append(pi.loads, slotOp{idx: i, reg: in.Rd, off: rel})
+			}
+		case isa.JR:
+			if in.IsReturn && d != 0 {
+				pi.spReturnsClean = false
+			}
+		case isa.J:
+			if _, local := p.LabelAt(in.Target); !local && d != 0 {
+				pi.spReturnsClean = false
+			}
+		}
+	}
+	// Plain memory accesses through sp must stay inside this frame's
+	// locals: at or above the entry sp is the caller's frame, and
+	// overlapping an own save slot would let the program observe an
+	// eliminated save.
+	for i := 0; i < n; i++ {
+		in := p.Insts[i]
+		if delta[i] == unknownDelta || in.Rs1 != isa.SP {
+			continue
+		}
+		var width int64
+		switch in.Op {
+		case isa.LD, isa.ST:
+			width = 8
+		case isa.LB, isa.SB:
+			width = 1
+		default:
+			continue
+		}
+		rel := delta[i] + in.Imm
+		if rel+width > 0 {
+			pi.foreignAccess = true
+			continue
+		}
+		for _, s := range pi.saves {
+			if rel < s.off+8 && s.off < rel+width {
+				violate()
+				return
+			}
+		}
+	}
+	for _, s := range pi.saves {
+		for _, l := range pi.loads {
+			if l.off == s.off {
+				pi.pairedLoads[s.idx] = append(pi.pairedLoads[s.idx], l.idx)
+			}
+		}
+	}
+}
+
+// propagateFlags closes the per-procedure facts over the call graph:
+// frame unsafety flows from callees to callers, and an sp-dirty callee
+// (or any dirty procedure reachable from an indirect call) invalidates
+// the caller's own frame analysis.
+func (inf *inferrer) propagateFlags() {
+	// A procedure that can fall off its end flows into the next procedure
+	// in image layout, entering it with unknowable linkage.
+	for k, pi := range inf.order {
+		n := len(pi.p.Insts)
+		fallsOff := n == 0 || !terminator(pi.p.Insts[n-1])
+		if fallsOff && !pi.spReturnsClean && k+1 < len(inf.order) {
+			inf.order[k+1].addrTaken = true
+		}
+	}
+	anyDirty := false
+	for _, pi := range inf.order {
+		if !pi.spReturnsClean {
+			anyDirty = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pi := range inf.order {
+			if !pi.conservative {
+				// The sp-delta analysis assumed calls preserve sp; a callee
+				// that provably may not (or, for calls whose callee cannot
+				// be resolved, the existence of any such procedure)
+				// invalidates the whole frame analysis of this procedure.
+				dirty := pi.hasUnknown && anyDirty
+				for _, c := range pi.callees {
+					if !inf.procs[c].spReturnsClean {
+						dirty = true
+					}
+				}
+				if dirty {
+					pi.conservative = true
+					pi.spReturnsClean = false
+					anyDirty = true
+					changed = true
+				}
+			}
+			unsafe := pi.conservative || pi.foreignAccess || pi.hasUnknown
+			for _, c := range pi.callees {
+				if inf.procs[c].frameUnsafe {
+					unsafe = true
+				}
+			}
+			if unsafe && !pi.frameUnsafe {
+				pi.frameUnsafe = true
+				changed = true
+			}
+		}
+	}
+}
+
+// solveSurvive iterates the maySurvive summaries to their least fixed
+// point: for each procedure, a forward may-analysis of the set of
+// registers still holding their own entry value, where a paired restore
+// regenerates a register the matching save captured while it still held
+// that value. May-information ascends from empty, so recursion converges
+// and the result over-approximates every concrete execution.
+func (inf *inferrer) solveSurvive() {
+	inf.maySurvive = make(map[string]isa.RegMask, len(inf.order))
+	for _, pi := range inf.order {
+		if pi.conservative {
+			inf.maySurvive[pi.p.Name] = allLive
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pi := range inf.order {
+			if pi.conservative {
+				continue
+			}
+			m := inf.surviveProc(pi)
+			if m != inf.maySurvive[pi.p.Name] {
+				inf.maySurvive[pi.p.Name] = m
+				changed = true
+			}
+		}
+	}
+}
+
+func (inf *inferrer) surviveProc(pi *inferProc) isa.RegMask {
+	p := pi.p
+	n := len(p.Insts)
+	if n == 0 {
+		return allLive // empty procedure: falls through, nothing clobbered
+	}
+	// s[i] = registers that may still hold their entry value before
+	// instruction i.
+	s := make([]isa.RegMask, n)
+	s[0] = allLive
+	reached := make([]bool, n)
+	reached[0] = true
+	// savedEntry[loadIdx]: the loaded slot may hold the entry value of the
+	// load's own destination register (recomputed each sweep from the
+	// paired saves' states).
+	surv := func(i int, cur isa.RegMask) isa.RegMask {
+		in := p.Insts[i]
+		switch {
+		case in.Op == isa.JAL:
+			if _, ok := inf.procs[in.Target]; ok {
+				cur &= inf.maySurvive[in.Target] // zero until callee solved
+			}
+			return cur &^ isa.Bit(isa.RA)
+		case in.Op == isa.JALR:
+			return cur &^ isa.Bit(in.Rd)
+		case in.Op == isa.LVLD:
+			cur &^= isa.Bit(in.Rd)
+			for _, sv := range pi.saves {
+				if sv.idx < n && sv.reg == in.Rd && reached[sv.idx] &&
+					sameSlot(pi, sv.idx, i) && s[sv.idx].Has(sv.reg) {
+					cur |= isa.Bit(in.Rd)
+				}
+			}
+			return cur
+		}
+		if rd, ok := in.WritesReg(); ok {
+			return cur &^ isa.Bit(rd)
+		}
+		return cur
+	}
+	var sbuf []int
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !reached[i] {
+				continue
+			}
+			out := surv(i, s[i])
+			sbuf, _ = succs(p, i, sbuf) // CFG construction already validated targets
+			for _, nx := range sbuf {
+				if nx >= n {
+					continue
+				}
+				if !reached[nx] {
+					reached[nx] = true
+					changed = true
+				}
+				if out&^s[nx] != 0 {
+					s[nx] |= out
+					changed = true
+				}
+			}
+		}
+	}
+	var m isa.RegMask
+	for i := 0; i < n; i++ {
+		if !reached[i] {
+			continue
+		}
+		in := p.Insts[i]
+		switch {
+		case in.Op == isa.JR: // return, or computed jump leaving the procedure
+			m |= s[i]
+		case in.Op == isa.J:
+			if _, local := p.LabelAt(in.Target); !local {
+				m |= s[i] // tail jump: the target may preserve anything
+			}
+		case i == n-1 && !terminator(in):
+			m |= surv(i, s[i]) // falls off the end
+		}
+	}
+	return m
+}
+
+// sameSlot reports whether a recorded save and load address the same
+// entry-relative slot.
+func sameSlot(pi *inferProc, saveIdx, loadIdx int) bool {
+	var so, lo *slotOp
+	for k := range pi.saves {
+		if pi.saves[k].idx == saveIdx {
+			so = &pi.saves[k]
+		}
+	}
+	for k := range pi.loads {
+		if pi.loads[k].idx == loadIdx {
+			lo = &pi.loads[k]
+		}
+	}
+	return so != nil && lo != nil && so.off == lo.off
+}
+
+// forwardMust runs a forward must-dataflow over pi's CFG: the entry block
+// starts at entryInit, joins intersect, and step transforms the mask
+// across one instruction. It returns the mask holding *before* each
+// instruction. Unreachable blocks keep the top value (all bits), which is
+// harmless: backward liveness never flows from unreachable blocks into
+// reachable ones.
+func forwardMust(pi *inferProc, entryInit isa.RegMask, step func(i int, cur isa.RegMask) isa.RegMask) []isa.RegMask {
+	g := pi.cfg
+	n := len(pi.p.Insts)
+	res := make([]isa.RegMask, n)
+	for i := range res {
+		res[i] = allLive
+	}
+	blockIn := make([]isa.RegMask, len(g.Blocks))
+	for b := range blockIn {
+		blockIn[b] = allLive
+	}
+	blockIn[0] = entryInit
+	queued := make([]bool, len(g.Blocks))
+	work := []int{0}
+	queued[0] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[b] = false
+		blk := &g.Blocks[b]
+		cur := blockIn[b]
+		for i := blk.Start; i < blk.End; i++ {
+			res[i] = cur
+			cur = step(i, cur)
+		}
+		for _, s := range blk.Succs {
+			if nv := blockIn[s] & cur; nv != blockIn[s] {
+				blockIn[s] = nv
+				if !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// computeExportTrim fills pi.exportTrim: per return, the registers whose
+// live-at-return bit is identity pass-through through a qualifying
+// save/restore pair. A save qualifies when its slot offset is unique, the
+// procedure's frame is safe, and the saved register provably still holds
+// its entry value at the save (no write, no intervening call). A restore
+// then re-establishes the entry value; the register stays trimmed until
+// the next write or call.
+func (inf *inferrer) computeExportTrim(pi *inferProc) {
+	n := len(pi.p.Insts)
+	if n == 0 || pi.conservative || pi.frameUnsafe {
+		return
+	}
+	offCount := make(map[int64]int, len(pi.saves))
+	for _, s := range pi.saves {
+		offCount[s.off]++
+	}
+
+	intact := forwardMust(pi, allLive, func(i int, cur isa.RegMask) isa.RegMask {
+		in := pi.p.Insts[i]
+		if in.Op.IsCall() {
+			return 0 // conservatively nothing is entry-intact across a call
+		}
+		if rd, ok := in.WritesReg(); ok {
+			cur &^= isa.Bit(rd)
+		}
+		return cur
+	})
+	loadRestores := make(map[int]isa.Reg)
+	for _, s := range pi.saves {
+		if offCount[s.off] != 1 || !intact[s.idx].Has(s.reg) {
+			continue
+		}
+		for _, li := range pi.pairedLoads[s.idx] {
+			loadRestores[li] = s.reg
+		}
+	}
+	if len(loadRestores) == 0 {
+		return
+	}
+	restored := forwardMust(pi, 0, func(i int, cur isa.RegMask) isa.RegMask {
+		in := pi.p.Insts[i]
+		if in.Op.IsCall() {
+			return 0
+		}
+		if r, ok := loadRestores[i]; ok {
+			return cur | isa.Bit(r)
+		}
+		if rd, ok := in.WritesReg(); ok {
+			cur &^= isa.Bit(rd)
+		}
+		return cur
+	})
+	pi.exportTrim = make([]isa.RegMask, n)
+	for i, in := range pi.p.Insts {
+		if in.Op == isa.JR && in.IsReturn {
+			pi.exportTrim[i] = restored[i]
+		}
+	}
+}
+
+// solveLiveness iterates the mayUse and liveAtReturn summaries together
+// to their joint least fixed point. They are mutually dependent and must
+// not be solved in sequence: whether a callee's read of a register is
+// genuine (vs faint) depends on what its *callers* observe after the call
+// — a caller may read a non-surviving register after a call and receive
+// the callee's leftover value, which makes the callee's computation of
+// that leftover genuine, which extends mayUse, which extends liveness in
+// the caller, and so on. Every transfer is monotone in both summaries,
+// so ascending iteration from the minimal boundaries terminates at a
+// sound over-approximation: any concrete observation chain is finite and
+// each backward link is one transfer application.
+func (inf *inferrer) solveLiveness() {
+	inf.mayUse = make(map[string]isa.RegMask, len(inf.order))
+	inf.liveAtRet = make(map[string]isa.RegMask, len(inf.order))
+	for _, pi := range inf.order {
+		if pi.conservative {
+			inf.mayUse[pi.p.Name] = allLive
+		}
+		if pi.addrTaken || (!pi.hasCallers && pi.p.Name != inf.entryName()) {
+			inf.liveAtRet[pi.p.Name] = allLive
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pi := range inf.order {
+			if len(pi.p.Insts) == 0 {
+				continue
+			}
+			a := inf.solveProc(pi, inf.liveAtRet[pi.p.Name], nil)
+			if !pi.conservative {
+				export := a
+				if pi.exportTrim != nil {
+					export = inf.solveProc(pi, inf.liveAtRet[pi.p.Name], pi.exportTrim)
+				}
+				if add := export.In[0] &^ inf.mayUse[pi.p.Name]; add != 0 {
+					inf.mayUse[pi.p.Name] |= add
+					changed = true
+				}
+			}
+			for i, in := range pi.p.Insts {
+				if in.Op != isa.JAL {
+					continue
+				}
+				if _, known := inf.procs[in.Target]; !known {
+					continue
+				}
+				if add := a.Out[i] &^ inf.liveAtRet[in.Target]; add != 0 {
+					inf.liveAtRet[in.Target] |= add
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// retBoundaryUse is what a return genuinely reads: the jump target, the
+// value-return registers a caller may consume, and the always-live set.
+var retBoundaryUse = isa.RetRegs | isa.AlwaysLive | isa.Bit(isa.RA)
+
+// solveProc runs the interprocedural, faint-aware liveness of one
+// procedure with retOut as the additional live-out mask at every return;
+// a non-nil trim removes per-return identity pass-through bits from that
+// boundary (the mayUse export solve). Paired saves' conditional uses
+// depend on liveness at their restores, a non-local (but monotone)
+// coupling: the block solve is re-run until the condition bits stabilize.
+func (inf *inferrer) solveProc(pi *inferProc, retOut isa.RegMask, trim []isa.RegMask) Analysis {
+	p := pi.p
+	n := len(p.Insts)
+	a := Analysis{In: make([]isa.RegMask, n), Out: make([]isa.RegMask, n)}
+	if pi.conservative {
+		for i := range a.In {
+			a.In[i], a.Out[i] = allLive, allLive
+		}
+		return a
+	}
+	isSave := make(map[int]bool, len(pi.saves))
+	for _, s := range pi.saves {
+		isSave[s.idx] = true
+	}
+	isLoad := make(map[int]bool, len(pi.loads))
+	for _, l := range pi.loads {
+		isLoad[l.idx] = true
+	}
+	saveDataLive := func(idx int) bool {
+		if pi.frameUnsafe {
+			return true // slot privacy unknown: genuine use
+		}
+		for _, li := range pi.pairedLoads[idx] {
+			if a.Out[li].Has(p.Insts[li].Rd) {
+				return true
+			}
+		}
+		return false
+	}
+	transfer := func(i int, out isa.RegMask) (def, use isa.RegMask) {
+		in := p.Insts[i]
+		switch {
+		case in.Op == isa.JAL:
+			if _, known := inf.procs[in.Target]; known {
+				surv := inf.maySurvive[in.Target]
+				def = ^surv | isa.Bit(isa.RA)
+				use = (inf.mayUse[in.Target] &^ isa.Bit(isa.RA)) | isa.AlwaysLive
+				return def, use
+			}
+			return 0, allLive // call into a local label: unknowable
+		case in.Op == isa.JALR:
+			return 0, allLive // indirect call: conservative
+		case in.Op == isa.JR && in.IsReturn:
+			ro := retOut
+			if trim != nil {
+				ro &^= trim[i]
+			}
+			return 0, retBoundaryUse | ro
+		case in.Op == isa.JR:
+			return 0, allLive // computed jump with unknown target
+		case in.Op == isa.KILL:
+			return 0, 0
+		case isSave[i]:
+			use = isa.Bit(in.Rs1)
+			if saveDataLive(i) {
+				use |= isa.Bit(in.Rs2)
+			}
+			return 0, use
+		case isLoad[i]:
+			return isa.Bit(in.Rd), isa.Bit(in.Rs1)
+		}
+		rd, writes := in.WritesReg()
+		if writes {
+			def = isa.Bit(rd)
+		}
+		// Faint values: a pure producer's sources are used only if its
+		// destination is live. Pure means no side effect and no fault
+		// channel: ALU (SYS publishes outputs and is excluded by its
+		// missing destination) and loads (sparse memory reads are total).
+		pure := in.Op.IsLoad() || !in.Op.IsMem() && !in.Op.IsBranchOrJump() &&
+			in.Op != isa.SYS && in.Op != isa.HALT && in.Op != isa.NOP
+		if pure && (!writes || out&def == 0) {
+			return def, 0
+		}
+		var buf [2]isa.Reg
+		for _, r := range in.AppendSrcRegs(buf[:0]) {
+			if r != isa.Zero {
+				use = use.Set(r)
+			}
+		}
+		return def, use
+	}
+	for {
+		before := make([]bool, 0, len(pi.saves))
+		for _, s := range pi.saves {
+			before = append(before, saveDataLive(s.idx))
+		}
+		a.solve(pi.cfg, transfer)
+		stable := true
+		for k, s := range pi.saves {
+			if saveDataLive(s.idx) != before[k] {
+				stable = false
+			}
+		}
+		if stable {
+			return a
+		}
+	}
+}
+
+// emit places kill annotations from the final solution, mirroring the
+// hand path's placement policies.
+func (inf *inferrer) emit() (int, error) {
+	var reach map[string]isa.RegMask
+	if !inf.opt.NoPrune {
+		reach = reachableSaves(inf.pr)
+	}
+	total := 0
+	for _, pi := range inf.order {
+		a := inf.solveProc(pi, inf.liveAtRet[pi.p.Name], nil)
+		p := pi.p
+
+		type insertion struct {
+			before int
+			mask   isa.RegMask
+		}
+		var ins []insertion
+		switch inf.opt.Policy {
+		case KillsBeforeCalls:
+			for i, in := range p.Insts {
+				if !in.Op.IsCall() {
+					continue
+				}
+				dead := inf.regs &^ a.In[i]
+				if dead == 0 {
+					continue
+				}
+				if reach != nil && in.Op == isa.JAL {
+					if saves, ok := reach[in.Target]; ok && dead&saves == 0 {
+						continue
+					}
+				}
+				ins = append(ins, insertion{before: i, mask: dead})
+			}
+		case KillsAtDeath:
+			for i, in := range p.Insts {
+				if i+1 >= len(p.Insts) || terminator(in) || in.Op == isa.KILL {
+					continue
+				}
+				dyingHere := inf.regs & a.In[i] &^ a.Out[i]
+				if dyingHere != 0 {
+					ins = append(ins, insertion{before: i + 1, mask: dyingHere})
+				}
+			}
+		}
+		for k := len(ins) - 1; k >= 0; k-- {
+			p.InsertBefore(ins[k].before, prog.Inst{Inst: isa.Inst{Op: isa.KILL, Mask: ins[k].mask}})
+		}
+		total += len(ins)
+	}
+	return total, nil
+}

@@ -1,0 +1,371 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"dvi/internal/core"
+	"dvi/internal/emu"
+	"dvi/internal/isa"
+	"dvi/internal/prog"
+)
+
+// runPlain links and runs pr with no DVI checking, as the unannotated
+// reference.
+func runPlain(t *testing.T, pr *prog.Program) *emu.Emulator {
+	t.Helper()
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := emu.New(pr, img, emu.Config{})
+	if err := e.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// runScheme links and runs pr under full DVI with the given scheme.
+func runScheme(t *testing.T, pr *prog.Program, scheme emu.Scheme) *emu.Emulator {
+	t.Helper()
+	img, err := pr.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := emu.New(pr, img, emu.Config{DVI: core.DefaultConfig(), Scheme: scheme})
+	if err := e.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestInferFigure7(t *testing.T) {
+	ref := runPlain(t, figure7())
+
+	pr := figure7()
+	n, err := Infer(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("inference inserted no kills")
+	}
+	// Context sensitivity with zero hints: caller_dead kills s0, caller_live
+	// does not.
+	foundDead := false
+	for i, in := range pr.Proc("caller_dead").Insts {
+		if in.Op == isa.KILL && in.Mask.Has(isa.S0) {
+			foundDead = true
+			if pr.Proc("caller_dead").Insts[i+1].Op != isa.JAL {
+				t.Error("caller_dead: inferred kill not immediately before the call")
+			}
+		}
+	}
+	if !foundDead {
+		t.Error("caller_dead: s0 not inferred dead at the call")
+	}
+	for _, in := range pr.Proc("caller_live").Insts {
+		if in.Op == isa.KILL && in.Mask.Has(isa.S0) {
+			t.Error("caller_live: s0 killed while live across the call")
+		}
+	}
+	e := runChecked(t, pr)
+	if e.Checksum != ref.Checksum {
+		t.Fatalf("inferred annotations changed results: %#x vs %#x", e.Checksum, ref.Checksum)
+	}
+	if e.Stats.SavesElim == 0 || e.Stats.RestoresElim == 0 {
+		t.Errorf("inferred binary eliminated %d saves / %d restores; want > 0",
+			e.Stats.SavesElim, e.Stats.RestoresElim)
+	}
+}
+
+func TestInferMatchesHandOnFib(t *testing.T) {
+	for _, policy := range []Policy{KillsBeforeCalls, KillsAtDeath} {
+		ref := runPlain(t, fibProgram(15))
+
+		pr := fibProgram(15)
+		n, err := Infer(pr, Options{Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("policy %d inferred nothing for recursive fib", policy)
+		}
+		e := runScheme(t, pr, emu.ElimLVMStack)
+		if e.Checksum != ref.Checksum {
+			t.Fatalf("policy %d: inference changed results", policy)
+		}
+		if e.Outputs[0] != 610 {
+			t.Errorf("policy %d: fib(15) = %d, want 610", policy, e.Outputs[0])
+		}
+		if e.Stats.SavesElim == 0 {
+			t.Errorf("policy %d: inference eliminated no saves", policy)
+		}
+
+		hand := fibProgram(15)
+		if _, err := InsertKills(hand, Options{Policy: policy}); err != nil {
+			t.Fatal(err)
+		}
+		h := runScheme(t, hand, emu.ElimLVMStack)
+		if e.Stats.SavesElim < h.Stats.SavesElim {
+			t.Errorf("policy %d: inference eliminated %d saves, hand path %d",
+				policy, e.Stats.SavesElim, h.Stats.SavesElim)
+		}
+	}
+}
+
+// TestInferSoundOnNonABICallee: a callee that reads a callee-saved
+// register it never saved (legal machine code, illegal ABI). The hand
+// rewriter's calling-convention assumption would kill s0 at the call; the
+// inference pass must see the callee's genuine read and keep it live.
+func TestInferSoundOnNonABICallee(t *testing.T) {
+	build := func() *prog.Program {
+		pr := prog.New()
+		m := pr.Assembler("main")
+		epi := m.Frame(0, true)
+		m.Li(isa.S0, 7)
+		m.Call("f") // f reads s0; s0 never read again in main
+		m.Li(isa.T0, 0)
+		m.Sys(isa.T0, isa.V0)
+		epi()
+		f := pr.Assembler("f")
+		f.Add(isa.V0, isa.S0, isa.S0)
+		f.Ret()
+		return pr
+	}
+	pr := build()
+	if _, err := Infer(pr, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pr.Procs {
+		for _, in := range p.Insts {
+			if in.Op == isa.KILL && in.Mask.Has(isa.S0) {
+				t.Fatalf("%s: killed s0 although the callee reads it unsaved", p.Name)
+			}
+		}
+	}
+	e := runScheme(t, pr, emu.ElimLVMStack)
+	ref := runPlain(t, build())
+	if e.Checksum != ref.Checksum {
+		t.Fatal("inference changed results on non-ABI callee")
+	}
+}
+
+// TestInferFaintValues: s0's only use after the call is computing s1,
+// which is never used. Plain liveness keeps s0 live across the call; the
+// faint-value layer sees the whole chain is dead and kills s0 before it.
+func TestInferFaintValues(t *testing.T) {
+	build := func() *prog.Program {
+		pr := prog.New()
+		m := pr.Assembler("main")
+		epi := m.Frame(0, true, isa.S0, isa.S1)
+		m.Li(isa.S0, 5)
+		m.Call("g")
+		m.Add(isa.S1, isa.S0, isa.S0) // s1 dead: this use of s0 is faint
+		m.Li(isa.T0, 0)
+		m.Sys(isa.T0, isa.V0)
+		epi()
+		g := pr.Assembler("g")
+		gepi := g.Frame(0, false, isa.S0)
+		g.Li(isa.S0, 11)
+		g.Add(isa.V0, isa.S0, isa.Zero)
+		gepi()
+		return pr
+	}
+	ref := runPlain(t, build())
+	pr := build()
+	if _, err := Infer(pr, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	m := pr.Proc("main")
+	for i, in := range m.Insts {
+		if in.Op == isa.KILL && in.Mask.Has(isa.S0) &&
+			i+1 < len(m.Insts) && m.Insts[i+1].Op == isa.JAL {
+			killed = true
+		}
+	}
+	if !killed {
+		t.Error("faint s0 not killed before the call")
+	}
+	for _, scheme := range []emu.Scheme{emu.ElimOff, emu.ElimLVM, emu.ElimLVMStack} {
+		e := runScheme(t, pr, scheme)
+		if e.Checksum != ref.Checksum {
+			t.Fatalf("scheme %v: faint kill changed results", scheme)
+		}
+	}
+}
+
+// TestInferParseAsmRoundTrip: textual assembly in, kill annotations out,
+// with zero manual hints — the /v1/annotate infer-mode contract.
+func TestInferParseAsmRoundTrip(t *testing.T) {
+	src := prog.FormatAsm(figure7())
+	pr, err := prog.ParseAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Infer(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no kills inferred from parsed assembly")
+	}
+	out := prog.FormatAsm(pr)
+	if !strings.Contains(out, "kill") {
+		t.Error("formatted assembly lacks kill annotations")
+	}
+	round, err := prog.ParseAsm(out)
+	if err != nil {
+		t.Fatalf("annotated assembly does not re-parse: %v", err)
+	}
+	if _, err := round.Link(); err != nil {
+		t.Fatalf("annotated assembly does not link: %v", err)
+	}
+}
+
+// TestInferConservativeOnSPEscape: once sp escapes into a general
+// register the frame guards must force the procedure fully conservative.
+func TestInferConservativeOnSPEscape(t *testing.T) {
+	pr := prog.New()
+	m := pr.Assembler("main")
+	epi := m.Frame(0, true, isa.S0)
+	m.Li(isa.S0, 3)
+	m.Add(isa.T0, isa.SP, isa.Zero) // sp escapes
+	m.Call("leaf")
+	m.Li(isa.T0, 0)
+	m.Sys(isa.T0, isa.V0)
+	epi()
+	l := pr.Assembler("leaf")
+	l.Li(isa.V0, 1)
+	l.Ret()
+	n, err := Infer(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range pr.Proc("main").Insts {
+		if in.Op == isa.KILL {
+			t.Fatalf("kill inserted in sp-escaping procedure (total %d)", n)
+		}
+	}
+}
+
+// TestInferIndirectCallConservative: nothing may be inferred dead at a
+// JALR, and an address-taken procedure sees all-live at its return.
+func TestInferIndirectCallConservative(t *testing.T) {
+	build := func() *prog.Program {
+		pr := prog.New()
+		m := pr.Assembler("main")
+		epi := m.Frame(0, true, isa.S0)
+		m.Li(isa.S0, 9)
+		m.LoadAddr(isa.T6, "f")
+		m.CallReg(isa.T6)
+		m.Li(isa.T0, 0)
+		m.Sys(isa.T0, isa.V0)
+		epi()
+		f := pr.Assembler("f")
+		fepi := f.Frame(0, false, isa.S0)
+		f.Li(isa.S0, 4)
+		f.Add(isa.V0, isa.S0, isa.Zero)
+		fepi()
+		return pr
+	}
+	ref := runPlain(t, build())
+	pr := build()
+	if _, err := Infer(pr, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	m := pr.Proc("main")
+	for i, in := range m.Insts {
+		if in.Op == isa.KILL && i+1 < len(m.Insts) && m.Insts[i+1].Op == isa.JALR {
+			t.Error("kill inferred before an indirect call")
+		}
+	}
+	e := runScheme(t, pr, emu.ElimLVMStack)
+	if e.Checksum != ref.Checksum {
+		t.Fatal("inference changed results around indirect call")
+	}
+}
+
+// TestInferLVMOpsDisableInference: a program moving the LVM through
+// memory would observe any kill, so inference must stand down.
+func TestInferLVMOpsDisableInference(t *testing.T) {
+	pr := fibProgram(5)
+	pr.Proc("main").InsertBefore(0, prog.Inst{Inst: isa.Inst{Op: isa.LVMS, Rs1: isa.SP}})
+	n, err := Infer(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("inserted %d kills into a program containing LVM stores", n)
+	}
+}
+
+// referenceSolve is the original per-instruction chaotic iteration the
+// block-level solver replaced; the two must agree exactly (the fixpoint
+// is unique) or exact-mode reports would change.
+func referenceSolve(t *testing.T, p *prog.Proc) (liveIn, liveOut []isa.RegMask) {
+	t.Helper()
+	n := len(p.Insts)
+	liveIn = make([]isa.RegMask, n)
+	liveOut = make([]isa.RegMask, n)
+	var sbuf []int
+	var err error
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			in := p.Insts[i]
+			var out isa.RegMask
+			if in.Op == isa.J {
+				if _, local := p.LabelAt(in.Target); !local {
+					out = allLive
+				}
+			}
+			sbuf, err = succs(p, i, sbuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range sbuf {
+				if s < n {
+					out |= liveIn[s]
+				} else {
+					out = allLive
+				}
+			}
+			def, use := defUse(in)
+			newIn := (out &^ def) | use
+			if out != liveOut[i] || newIn != liveIn[i] {
+				liveOut[i] = out
+				liveIn[i] = newIn
+				changed = true
+			}
+		}
+	}
+	return liveIn, liveOut
+}
+
+func TestBlockSolverMatchesReference(t *testing.T) {
+	programs := []*prog.Program{figure7(), fibProgram(5)}
+	{
+		pr := prog.New()
+		a := pr.Assembler("main")
+		a.Li(isa.S0, 5)
+		a.Inst(isa.Inst{Op: isa.JR, Rs1: isa.T0})
+		programs = append(programs, pr)
+	}
+	for _, pr := range programs {
+		for _, p := range pr.Procs {
+			a, err := Analyze(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refIn, refOut := referenceSolve(t, p)
+			for i := range refIn {
+				if a.In[i] != refIn[i] || a.Out[i] != refOut[i] {
+					t.Fatalf("%s inst %d: block solver (%s,%s) != reference (%s,%s)",
+						p.Name, i, a.In[i], a.Out[i], refIn[i], refOut[i])
+				}
+			}
+		}
+	}
+}

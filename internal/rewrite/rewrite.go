@@ -123,15 +123,17 @@ func reachableSaves(pr *prog.Program) map[string]isa.RegMask {
 }
 
 // Liveness returns the live-in register mask for every instruction of p.
+// Callers needing both masks should use Analyze, which solves once.
 func Liveness(p *prog.Proc) ([]isa.RegMask, error) {
-	in, _, err := solve(p)
-	return in, err
+	a, err := Analyze(p)
+	return a.In, err
 }
 
 // LivenessOut returns the live-out register mask for every instruction.
+// Callers needing both masks should use Analyze, which solves once.
 func LivenessOut(p *prog.Proc) ([]isa.RegMask, error) {
-	_, out, err := solve(p)
-	return out, err
+	a, err := Analyze(p)
+	return a.Out, err
 }
 
 // defUse returns the registers written and read by one instruction,
@@ -209,52 +211,12 @@ func succs(p *prog.Proc, i int, buf []int) ([]int, error) {
 	return buf, nil
 }
 
-// solve runs the backward dataflow to a fixpoint.
-func solve(p *prog.Proc) (liveIn, liveOut []isa.RegMask, err error) {
-	n := len(p.Insts)
-	liveIn = make([]isa.RegMask, n)
-	liveOut = make([]isa.RegMask, n)
-	var sbuf []int
-	for changed := true; changed; {
-		changed = false
-		for i := n - 1; i >= 0; i-- {
-			in := p.Insts[i]
-			var out isa.RegMask
-			if in.Op == isa.J {
-				if _, local := p.LabelAt(in.Target); !local {
-					out = allLive // leaves the procedure: be conservative
-				}
-			}
-			sbuf, err = succs(p, i, sbuf)
-			if err != nil {
-				return nil, nil, err
-			}
-			for _, s := range sbuf {
-				if s < n {
-					out |= liveIn[s]
-				} else {
-					// Falls off the end of the procedure (malformed but
-					// tolerated): conservative.
-					out = allLive
-				}
-			}
-			def, use := defUse(in)
-			newIn := (out &^ def) | use
-			if out != liveOut[i] || newIn != liveIn[i] {
-				liveOut[i] = out
-				liveIn[i] = newIn
-				changed = true
-			}
-		}
-	}
-	return liveIn, liveOut, nil
-}
-
 func rewriteProc(p *prog.Proc, policy Policy, regs isa.RegMask, reach map[string]isa.RegMask) (int, error) {
-	liveIn, liveOut, err := solve(p)
+	a, err := Analyze(p)
 	if err != nil {
 		return 0, err
 	}
+	liveIn, liveOut := a.In, a.Out
 
 	type insertion struct {
 		before int // instruction index to insert before

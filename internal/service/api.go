@@ -28,6 +28,13 @@ type AnnotateRequest struct {
 	Policy string `json:"policy,omitempty"`
 	// NoPrune disables the interprocedural kill-pruning pass.
 	NoPrune bool `json:"no_prune,omitempty"`
+	// Mode selects the annotation engine: "rewrite" (default) is the
+	// calling-convention-assisted binary rewriter (paper §2); "infer" is
+	// the interprocedural dead-value inference pass, which derives every
+	// kill from the machine code alone — no hand hints, no ABI
+	// assumptions — and is conservative wherever the program escapes its
+	// analysis (indirect calls, irregular stack discipline).
+	Mode string `json:"mode,omitempty"`
 }
 
 // ProcKills reports the static kill instructions in one procedure.
@@ -110,6 +117,12 @@ type SimulateRequest struct {
 	// EDVI forces the binary flavour; nil derives it from DVILevel the
 	// way dvi.Simulate does (annotated iff the level is full).
 	EDVI *bool `json:"edvi,omitempty"`
+	// Infer derives the kill annotations with the interprocedural
+	// inference pass instead of the compiler-assisted rewriter. Applies
+	// to workload and asm sources alike (inference needs no hints);
+	// effective only when the DVI level honours explicit annotations
+	// ("full"), mirroring the central E-DVI rule.
+	Infer bool `json:"infer,omitempty"`
 	// Policy selects the kill placement for annotated builds:
 	// "before-calls" (default) or "at-death".
 	Policy  string            `json:"policy,omitempty"`
@@ -232,7 +245,9 @@ type CtxSwitchRequest struct {
 	DVILevel string `json:"dvi_level,omitempty"`
 	Scheme   string `json:"scheme,omitempty"`
 	EDVI     *bool  `json:"edvi,omitempty"`
-	Policy   string `json:"policy,omitempty"`
+	// Infer selects inferred annotations, as in SimulateRequest.
+	Infer  bool   `json:"infer,omitempty"`
+	Policy string `json:"policy,omitempty"`
 }
 
 // CtxSwitchResponse returns the liveness sampling result.

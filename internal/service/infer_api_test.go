@@ -1,0 +1,221 @@
+package service_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dvi/internal/prog"
+	"dvi/internal/rewrite"
+	"dvi/internal/service"
+	"dvi/internal/workload"
+)
+
+// inferAsmSrc is a hand-written program with zero annotation hints: plain
+// saves, no kills, a callee that clobbers a callee-saved register the
+// caller never reads back. Inference must discover the dead values from
+// this text alone.
+const inferAsmSrc = `.entry main
+.proc main
+  addi sp, sp, -32
+  lvst s0, 16(sp)
+  lvst s1, 24(sp)
+  addi s0, zero, 7
+  addi s1, zero, 9
+  add a0, s0, s1
+  jal helper
+  sys v0, zero
+  lvld s1, 24(sp)
+  lvld s0, 16(sp)
+  addi sp, sp, 32
+  ret
+
+.proc helper
+  addi sp, sp, -16
+  lvst s0, 0(sp)
+  add s0, a0, a0
+  add v0, s0, a0
+  lvld s0, 0(sp)
+  addi sp, sp, 16
+  ret
+`
+
+// TestAnnotateInferMode checks the acceptance criterion directly: a
+// hand-written assembly program POSTed to /v1/annotate in infer mode
+// receives kill annotations with zero manual hints, and the wire result
+// matches the library pass byte for byte.
+func TestAnnotateInferMode(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{}))
+	defer ts.Close()
+	cl := service.NewClient(ts.URL, nil)
+
+	resp, err := cl.Annotate(context.Background(), service.AnnotateRequest{
+		Asm:  inferAsmSrc,
+		Mode: "infer",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Inserted == 0 || !strings.Contains(resp.Asm, "kill") {
+		t.Fatalf("infer mode inserted %d kills into hint-free asm:\n%s", resp.Inserted, resp.Asm)
+	}
+	if _, err := prog.ParseAsm(resp.Asm); err != nil {
+		t.Fatalf("inferred asm does not reparse: %v", err)
+	}
+
+	pr, err := prog.ParseAsm(inferAsmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := rewrite.Infer(pr, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != resp.Inserted {
+		t.Fatalf("service inferred %d kills, library %d", resp.Inserted, n)
+	}
+	if want := prog.FormatAsm(pr); resp.Asm != want {
+		t.Fatal("service inferred text differs from library rewrite.Infer")
+	}
+
+	// Default and explicit "rewrite" mode still run the paper's inserter.
+	if _, err := cl.Annotate(context.Background(), service.AnnotateRequest{
+		Asm:  inferAsmSrc,
+		Mode: "rewrite",
+	}); err != nil {
+		t.Fatalf("rewrite mode: %v", err)
+	}
+
+	bad := service.AnnotateRequest{Asm: inferAsmSrc, Mode: "magic"}
+	if _, err := cl.Annotate(context.Background(), bad); err == nil {
+		t.Fatal("unknown mode accepted")
+	} else if se := new(service.Error); !asService(err, &se) || se.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want 400 service error, got %v", err)
+	}
+}
+
+// TestAnnotateInferWorkload runs the inference pass over a compiled
+// benchmark through the service and checks it against the library.
+func TestAnnotateInferWorkload(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{}))
+	defer ts.Close()
+	cl := service.NewClient(ts.URL, nil)
+
+	resp, err := cl.Annotate(context.Background(), service.AnnotateRequest{
+		Workload: "li",
+		Mode:     "infer",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Inserted == 0 {
+		t.Fatal("inference found nothing in li")
+	}
+
+	spec, _ := workload.ByName("li")
+	pr, _, err := workload.CompileSpec(spec, 1, workload.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := rewrite.Infer(pr, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != resp.Inserted {
+		t.Fatalf("service inferred %d kills, library %d", resp.Inserted, n)
+	}
+}
+
+// TestSimulateInferFlavour drives a timing run on the inferred binary
+// flavour: the build key records the flavour, eliminations happen, and
+// the architectural work count matches the hand-annotated flavour
+// exactly (both run to completion under the server's default budget, so
+// Original() — committed work excluding annotation overhead — is
+// flavour-invariant).
+func TestSimulateInferFlavour(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{}))
+	defer ts.Close()
+	cl := service.NewClient(ts.URL, nil)
+
+	infer, err := cl.Simulate(context.Background(), service.SimulateRequest{
+		Workload: "li",
+		Infer:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infer.BuildKey != "li/x1/infer" {
+		t.Fatalf("build key %q, want li/x1/infer", infer.BuildKey)
+	}
+	if infer.Stats.ElimSaves == 0 || infer.Stats.ElimRests == 0 {
+		t.Fatalf("inferred run eliminated nothing: saves=%d restores=%d",
+			infer.Stats.ElimSaves, infer.Stats.ElimRests)
+	}
+
+	hand, err := cl.Simulate(context.Background(), service.SimulateRequest{
+		Workload: "li",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hand.BuildKey != "li/x1/edvi" {
+		t.Fatalf("build key %q, want li/x1/edvi", hand.BuildKey)
+	}
+	if infer.Stats.Faults != 0 || hand.Stats.Faults != 0 {
+		t.Fatalf("faults: infer %d, hand %d", infer.Stats.Faults, hand.Stats.Faults)
+	}
+	if got, want := infer.Stats.Emu.Original(), hand.Stats.Emu.Original(); got != want {
+		t.Fatalf("inferred flavour changed the architectural work: %d vs %d insts", got, want)
+	}
+
+	// Outside full DVI the infer flag is inert, like the E-DVI rule.
+	idvi, err := cl.Simulate(context.Background(), service.SimulateRequest{
+		Workload: "li",
+		Infer:    true,
+		DVILevel: "idvi",
+		MaxInsts: 200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idvi.BuildKey != "li/x1/plain" {
+		t.Fatalf("idvi+infer build key %q, want li/x1/plain", idvi.BuildKey)
+	}
+}
+
+// TestSimulateInferAsmSource checks that a client-submitted assembly
+// program can run the inferred flavour end to end: the daemon parses the
+// text, the inference pass annotates it, and the run eliminates
+// save/restore traffic the plain run keeps.
+func TestSimulateInferAsmSource(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{}))
+	defer ts.Close()
+	cl := service.NewClient(ts.URL, nil)
+
+	plain, err := cl.Simulate(context.Background(), service.SimulateRequest{
+		Asm:      inferAsmSrc,
+		MaxInsts: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := cl.Simulate(context.Background(), service.SimulateRequest{
+		Asm:      inferAsmSrc,
+		Infer:    true,
+		MaxInsts: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(inferred.BuildKey, "/infer") {
+		t.Fatalf("asm infer build key %q", inferred.BuildKey)
+	}
+	if inferred.Stats.KillsSeen == 0 {
+		t.Fatal("inferred asm run committed no kills")
+	}
+	if got, want := inferred.Stats.Emu.Original(), plain.Stats.Emu.Original(); got != want {
+		t.Fatalf("inferred asm run changed the architectural work: %d vs %d insts", got, want)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"dvi/internal/core"
 	"dvi/internal/ctxswitch"
 	"dvi/internal/emu"
 	"dvi/internal/isa"
@@ -115,11 +116,15 @@ type simSource struct {
 }
 
 // resolveSimSource validates the knobs every simulation-class request
-// carries (source, dvi_level, scheme, policy, edvi) in the wire format's
-// canonical order, and derives the binary flavour through the session
-// layer's central E-DVI rule: annotated binaries iff the DVI level is
-// full, client assembly runs as written, an explicit edvi field wins.
-func (s *Server) resolveSimSource(wl, asm string, reqScale int, dviLevel, scheme, policy string, edvi *bool) (simSource, *httpError) {
+// carries (source, dvi_level, scheme, policy, edvi, infer) in the wire
+// format's canonical order, and derives the binary flavour through the
+// session layer's central E-DVI rule: annotated binaries iff the DVI
+// level is full, client assembly runs as written, an explicit edvi field
+// wins. The infer flag swaps the annotation engine for the
+// interprocedural inference pass; it needs no compiler hints, so it
+// applies to submitted assembly too — and like E-DVI it is effective
+// only when the hardware honours explicit annotations (level full).
+func (s *Server) resolveSimSource(wl, asm string, reqScale int, dviLevel, scheme, policy string, edvi *bool, infer bool) (simSource, *httpError) {
 	spec, scale, err := s.resolveSource(wl, asm, reqScale)
 	if err != nil {
 		return simSource{}, errf(http.StatusBadRequest, "%v", err)
@@ -145,6 +150,10 @@ func (s *Server) resolveSimSource(wl, asm string, reqScale int, dviLevel, scheme
 	}
 	if edvi != nil {
 		bopt.EDVI = *edvi
+	}
+	if infer && level == core.Full {
+		bopt.Infer = true
+		bopt.EDVI = false
 	}
 	return simSource{spec: spec, scale: scale, bopt: bopt, ecfg: session.EmuConfigFor(level, sch)}, nil
 }
@@ -172,7 +181,7 @@ func renderTrace(buf *obs.PipeBuffer, format string) (*TraceSummary, error) {
 // prepareSimulate validates a timing-simulation request and freezes it
 // into an engine job.
 func (s *Server) prepareSimulate(req *SimulateRequest) (*preparedJob, *httpError) {
-	src, herr := s.resolveSimSource(req.Workload, req.Asm, req.Scale, req.DVILevel, req.Scheme, req.Policy, req.EDVI)
+	src, herr := s.resolveSimSource(req.Workload, req.Asm, req.Scale, req.DVILevel, req.Scheme, req.Policy, req.EDVI, req.Infer)
 	if herr != nil {
 		return nil, herr
 	}
@@ -311,7 +320,7 @@ func (s *Server) prepareSimulate(req *SimulateRequest) (*preparedJob, *httpError
 
 // prepareCtxSwitch validates a context-switch sampling request.
 func (s *Server) prepareCtxSwitch(req *CtxSwitchRequest) (*preparedJob, *httpError) {
-	src, herr := s.resolveSimSource(req.Workload, req.Asm, req.Scale, req.DVILevel, req.Scheme, req.Policy, req.EDVI)
+	src, herr := s.resolveSimSource(req.Workload, req.Asm, req.Scale, req.DVILevel, req.Scheme, req.Policy, req.EDVI, req.Infer)
 	if herr != nil {
 		return nil, herr
 	}
@@ -352,11 +361,24 @@ func (s *Server) prepareAnnotate(req *AnnotateRequest) (*preparedJob, *httpError
 		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
 	noPrune := req.NoPrune
+	var infer bool
+	switch req.Mode {
+	case "", "rewrite":
+	case "infer":
+		infer = true
+	default:
+		return nil, errf(http.StatusBadRequest,
+			"unknown mode %q (want rewrite or infer)", req.Mode)
+	}
 
-	// finish runs the rewriter over a private program and shapes the
-	// response; shared by both sources.
+	// finish runs the selected annotation engine over a private program
+	// and shapes the response; shared by both sources.
 	finish := func(pr *prog.Program) (*AnnotateResponse, *httpError) {
-		inserted, err := rewrite.InsertKills(pr, rewrite.Options{Policy: policy, NoPrune: noPrune})
+		annotate := rewrite.InsertKills
+		if infer {
+			annotate = rewrite.Infer
+		}
+		inserted, err := annotate(pr, rewrite.Options{Policy: policy, NoPrune: noPrune})
 		if err != nil {
 			return nil, errf(http.StatusBadRequest, "rewrite: %v", err)
 		}

@@ -513,7 +513,12 @@ func (s *Server) compileFor(base runner.CompileFunc) runner.CompileFunc {
 		if err != nil {
 			return nil, nil, err
 		}
-		if opt.EDVI {
+		switch {
+		case opt.Infer:
+			if _, err := rewrite.Infer(pr, rewrite.Options{Policy: opt.Policy}); err != nil {
+				return nil, nil, err
+			}
+		case opt.EDVI:
 			if _, err := rewrite.InsertKills(pr, rewrite.Options{Policy: opt.Policy}); err != nil {
 				return nil, nil, err
 			}

@@ -44,5 +44,11 @@ func (rs *runSettings) buildOptions(level core.Level) workload.BuildOptions {
 	if rs.edvi != nil {
 		bopt.EDVI = *rs.edvi
 	}
+	if rs.infer && level == core.Full {
+		// Inferred annotations replace the compiler-assisted ones; like
+		// the E-DVI rule, only annotation-honouring hardware gets them.
+		bopt.Infer = true
+		bopt.EDVI = false
+	}
 	return bopt
 }

@@ -73,6 +73,7 @@ type runSettings struct {
 	fetchSet    bool
 
 	edvi   *bool
+	infer  bool
 	policy rewrite.Policy
 
 	interval uint64
@@ -160,6 +161,16 @@ func WithEDVI(on bool) RunOption {
 // (default rewrite.KillsBeforeCalls).
 func WithPolicy(p rewrite.Policy) RunOption {
 	return func(rs *runSettings) { rs.policy = p }
+}
+
+// WithInferredDVI derives the kill annotations with the interprocedural
+// inference pass (rewrite.Infer) instead of the compiler's
+// liveness-assisted rewriter: the binary is built plain and every kill is
+// discovered from the machine code alone. Effective only when the run's
+// DVI level honours explicit annotations (core.Full), mirroring the
+// central E-DVI derivation rule.
+func WithInferredDVI() RunOption {
+	return func(rs *runSettings) { rs.infer = true }
 }
 
 // WithInterval sets the preemption sampling interval for MeasureCtxSwitch

@@ -84,6 +84,12 @@ func SaveRestoreActive() []Spec {
 type BuildOptions struct {
 	EDVI   bool
 	Policy rewrite.Policy
+	// Infer derives the kill annotations with the interprocedural
+	// inference pass (rewrite.Infer) instead of the compiler's
+	// liveness-assisted rewriter: the program is built plain and the
+	// analysis discovers every kill from the machine code alone. When
+	// set, EDVI is ignored.
+	Infer bool
 }
 
 // BuildKey uniquely identifies one compiled binary flavour: a benchmark
@@ -97,6 +103,7 @@ type BuildKey struct {
 	Scale  int
 	EDVI   bool
 	Policy rewrite.Policy
+	Infer  bool
 }
 
 // Key returns the build cache key for compiling s at scale with opt. The
@@ -106,13 +113,24 @@ func (s Spec) Key(scale int, opt BuildOptions) BuildKey {
 	if scale < 1 {
 		scale = 1
 	}
-	return BuildKey{Name: s.Name, Scale: scale, EDVI: opt.EDVI, Policy: opt.Policy}
+	k := BuildKey{Name: s.Name, Scale: scale, Infer: opt.Infer}
+	if !opt.Infer {
+		k.EDVI = opt.EDVI
+	}
+	k.Policy = opt.Policy
+	return k
 }
 
 // String renders the key for logs and progress labels.
 func (k BuildKey) String() string {
 	flavor := "plain"
-	if k.EDVI {
+	switch {
+	case k.Infer:
+		flavor = "infer"
+		if k.Policy == rewrite.KillsAtDeath {
+			flavor = "infer@death"
+		}
+	case k.EDVI:
 		flavor = "edvi"
 		if k.Policy == rewrite.KillsAtDeath {
 			flavor = "edvi@death"
@@ -121,15 +139,22 @@ func (k BuildKey) String() string {
 	return fmt.Sprintf("%s/x%d/%s", k.Name, k.Scale, flavor)
 }
 
-// CompileSpec builds and links one benchmark.
+// CompileSpec builds and links one benchmark. The Infer flavour compiles
+// the program plain and lets the interprocedural analysis discover the
+// kills the annotation-assisted path gets from the compiler's liveness.
 func CompileSpec(s Spec, scale int, opt BuildOptions) (*prog.Program, *prog.Image, error) {
 	if scale < 1 {
 		scale = 1
 	}
 	m := s.Build(scale)
-	pr, err := compiler.Compile(m, compiler.Options{EDVI: opt.EDVI, Policy: opt.Policy})
+	pr, err := compiler.Compile(m, compiler.Options{EDVI: opt.EDVI && !opt.Infer, Policy: opt.Policy})
 	if err != nil {
 		return nil, nil, fmt.Errorf("workload %s: %w", s.Name, err)
+	}
+	if opt.Infer {
+		if _, err := rewrite.Infer(pr, rewrite.Options{Policy: opt.Policy}); err != nil {
+			return nil, nil, fmt.Errorf("workload %s: %w", s.Name, err)
+		}
 	}
 	img, err := pr.Link()
 	if err != nil {
