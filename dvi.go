@@ -37,6 +37,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"dvi/internal/cacti"
 	"dvi/internal/core"
@@ -171,6 +172,9 @@ type (
 	ServiceConfig = service.Config
 	// ServiceClient is the typed Go client for a dvid daemon.
 	ServiceClient = service.Client
+	// ServiceClientOption configures a ServiceClient at construction;
+	// see ServiceWithRequestTimeout.
+	ServiceClientOption = service.ClientOption
 	// ServiceError is the error type the client returns for
 	// server-reported failures (carries the HTTP status).
 	ServiceError = service.Error
@@ -458,7 +462,16 @@ func ParseAsm(src string) (*Program, error) { return prog.ParseAsm(src) }
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // NewServiceClient builds a typed client for a dvid daemon at base, e.g.
-// "http://localhost:8077". A nil hc uses http.DefaultClient.
-func NewServiceClient(base string, hc *http.Client) *ServiceClient {
-	return service.NewClient(base, hc)
+// "http://localhost:8077". A nil hc uses http.DefaultClient; production
+// callers should bound calls with ServiceWithRequestTimeout (or a
+// caller-side context deadline) so a stalled daemon fails the call
+// instead of hanging it.
+func NewServiceClient(base string, hc *http.Client, opts ...ServiceClientOption) *ServiceClient {
+	return service.NewClient(base, hc, opts...)
+}
+
+// ServiceWithRequestTimeout bounds every call the client makes — one
+// deadline per method call, covering streaming calls end to end.
+func ServiceWithRequestTimeout(d time.Duration) ServiceClientOption {
+	return service.WithRequestTimeout(d)
 }

@@ -1,0 +1,179 @@
+// Package faults is a deterministic fault-injection layer for the dvid
+// fleet's tests and chaos gates. An Injector draws from a seeded PRNG,
+// so a given seed replays the same fault schedule; the HTTP middleware
+// injects connection drops, delays, 5xx rejections, hangs, and
+// mid-stream kills in front of any handler, and TamperWrite plugs into
+// store.Options to corrupt artifacts on their way to disk so the
+// quarantine path is exercised end to end.
+//
+// Nothing in this package is imported by production code paths; the
+// gateway and store only ever see its effects (reset connections,
+// corrupt bytes) through their public interfaces.
+package faults
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan sets per-request fault probabilities (each in [0, 1], applied
+// independently in the order Hang, Drop, Err5xx, KillMidStream, Delay)
+// and the parameters of each fault.
+type Plan struct {
+	Seed int64 // PRNG seed; identical seeds replay identical schedules
+
+	Hang          float64       // hold the request open until the client gives up
+	Drop          float64       // reset the connection before any response
+	Err5xx        float64       // answer 503 without invoking the handler
+	KillMidStream float64       // serve the handler, cut the stream after KillAfter bytes
+	KillAfter     int           // bytes to let through before the cut (default 16)
+	DelayProb     float64       // probability of sleeping Delay before serving
+	Delay         time.Duration // added latency when DelayProb fires
+
+	Corrupt float64 // probability TamperWrite flips payload bytes
+}
+
+// Counters report how many of each fault actually fired.
+type Counters struct {
+	Hung, Dropped, Errored, Killed, Delayed, Corrupted int64
+}
+
+// Injector draws faults from a seeded PRNG. Safe for concurrent use;
+// note that under concurrency the schedule is deterministic in
+// aggregate (the draw sequence is fixed) but its assignment to
+// requests depends on arrival order.
+type Injector struct {
+	mu   sync.Mutex
+	rnd  *rand.Rand
+	plan Plan
+
+	hung, dropped, errored, killed, delayed, corrupted atomic.Int64
+}
+
+// New builds an Injector for plan.
+func New(plan Plan) *Injector {
+	if plan.KillAfter <= 0 {
+		plan.KillAfter = 16
+	}
+	return &Injector{rnd: rand.New(rand.NewSource(plan.Seed)), plan: plan}
+}
+
+// roll draws one uniform variate under the lock.
+func (in *Injector) roll() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rnd.Float64()
+}
+
+// Counters snapshots the fired-fault counts.
+func (in *Injector) Counters() Counters {
+	return Counters{
+		Hung:      in.hung.Load(),
+		Dropped:   in.dropped.Load(),
+		Errored:   in.errored.Load(),
+		Killed:    in.killed.Load(),
+		Delayed:   in.delayed.Load(),
+		Corrupted: in.corrupted.Load(),
+	}
+}
+
+// Middleware wraps next with the injector's fault schedule.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if in.plan.Hang > 0 && in.roll() < in.plan.Hang {
+			in.hung.Add(1)
+			// Drain the body first: the HTTP server only watches for
+			// client disconnects once the request body is consumed, and
+			// a hang that never observes the abandoning client would
+			// wedge server shutdown instead of simulating a stuck peer.
+			io.Copy(io.Discard, r.Body)
+			<-r.Context().Done()
+			panic(http.ErrAbortHandler)
+		}
+		if in.plan.Drop > 0 && in.roll() < in.plan.Drop {
+			in.dropped.Add(1)
+			panic(http.ErrAbortHandler)
+		}
+		if in.plan.Err5xx > 0 && in.roll() < in.plan.Err5xx {
+			in.errored.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"injected fault"}` + "\n"))
+			return
+		}
+		if in.plan.KillMidStream > 0 && in.roll() < in.plan.KillMidStream {
+			in.killed.Add(1)
+			kw := &killWriter{ResponseWriter: w, remaining: in.plan.KillAfter}
+			next.ServeHTTP(kw, r)
+			if kw.tripped {
+				panic(http.ErrAbortHandler)
+			}
+			return
+		}
+		if in.plan.DelayProb > 0 && in.roll() < in.plan.DelayProb {
+			in.delayed.Add(1)
+			select {
+			case <-time.After(in.plan.Delay):
+			case <-r.Context().Done():
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// killWriter forwards writes until its byte allowance runs out, then
+// swallows the rest and marks itself tripped so the middleware can
+// reset the connection — the client sees a stream cut mid-line.
+type killWriter struct {
+	http.ResponseWriter
+	remaining int
+	tripped   bool
+}
+
+func (kw *killWriter) Write(p []byte) (int, error) {
+	if kw.tripped {
+		return len(p), nil
+	}
+	if len(p) > kw.remaining {
+		kw.ResponseWriter.Write(p[:kw.remaining])
+		if f, ok := kw.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		kw.remaining = 0
+		kw.tripped = true
+		return len(p), nil
+	}
+	n, err := kw.ResponseWriter.Write(p)
+	kw.remaining -= n
+	return n, err
+}
+
+func (kw *killWriter) Flush() {
+	if kw.tripped {
+		return
+	}
+	if f, ok := kw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TamperWrite is a store.Options.TamperWrite hook: with probability
+// Corrupt it flips the low bit of the last payload byte, turning a
+// good artifact into one the store's checksum must catch and
+// quarantine. The header (first line) is left intact so the corruption
+// is detected by the hash, not by a parse error.
+func (in *Injector) TamperWrite(kind, key string, data []byte) []byte {
+	if in.plan.Corrupt <= 0 || in.roll() >= in.plan.Corrupt {
+		return data
+	}
+	in.corrupted.Add(1)
+	out := append([]byte(nil), data...)
+	if len(out) > 0 {
+		out[len(out)-1] ^= 0x01
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package faults_test
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dvi/internal/faults"
+)
+
+func body(t *testing.T, hc *http.Client, url string) (string, int, error) {
+	t.Helper()
+	res, err := hc.Get(url)
+	if err != nil {
+		return "", 0, err
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	return string(b), res.StatusCode, err
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	// Two injectors with one seed draw the same schedule; a different
+	// seed draws a different one. 64 draws at p=0.5 collide with
+	// probability 2^-64.
+	draw := func(seed int64) string {
+		in := faults.New(faults.Plan{Seed: seed, Err5xx: 0.5})
+		h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		}))
+		var sb strings.Builder
+		for i := 0; i < 64; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+			if rec.Code == http.StatusServiceUnavailable {
+				sb.WriteByte('x')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		return sb.String()
+	}
+	a, b, c := draw(42), draw(42), draw(43)
+	if a != b {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", a, b)
+	}
+	if a == c {
+		t.Fatal("different seeds, same schedule")
+	}
+	if !strings.Contains(a, "x") || !strings.Contains(a, ".") {
+		t.Fatalf("degenerate schedule %s", a)
+	}
+}
+
+func TestMiddlewareDropResetsConnection(t *testing.T) {
+	in := faults.New(faults.Plan{Seed: 1, Drop: 1.0})
+	ts := httptest.NewServer(in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("handler ran behind a drop fault")
+	})))
+	defer ts.Close()
+	if _, _, err := body(t, ts.Client(), ts.URL); err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if in.Counters().Dropped != 1 {
+		t.Fatalf("counters: %+v", in.Counters())
+	}
+}
+
+func TestMiddlewareErr5xx(t *testing.T) {
+	in := faults.New(faults.Plan{Seed: 1, Err5xx: 1.0})
+	ts := httptest.NewServer(in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("handler ran behind a 5xx fault")
+	})))
+	defer ts.Close()
+	b, code, err := body(t, ts.Client(), ts.URL)
+	if err != nil || code != http.StatusServiceUnavailable {
+		t.Fatalf("got (%d, %v)", code, err)
+	}
+	if !strings.Contains(b, "injected fault") {
+		t.Fatalf("body %q", b)
+	}
+}
+
+func TestMiddlewareKillMidStream(t *testing.T) {
+	in := faults.New(faults.Plan{Seed: 1, KillMidStream: 1.0, KillAfter: 10})
+	ts := httptest.NewServer(in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(strings.Repeat("z", 100)))
+	})))
+	defer ts.Close()
+	b, _, err := body(t, ts.Client(), ts.URL)
+	// The stream must cut after exactly KillAfter bytes with a transport
+	// error — a truncated-but-clean EOF would let clients mistake a dead
+	// backend for a complete response.
+	if err == nil {
+		t.Fatalf("stream ended cleanly with %d bytes", len(b))
+	}
+	if len(b) > 10 {
+		t.Fatalf("%d bytes escaped past the kill point", len(b))
+	}
+	if in.Counters().Killed != 1 {
+		t.Fatalf("counters: %+v", in.Counters())
+	}
+}
+
+func TestMiddlewareHangHonorsClientTimeout(t *testing.T) {
+	in := faults.New(faults.Plan{Seed: 1, Hang: 1.0})
+	ts := httptest.NewServer(in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("handler ran behind a hang fault")
+	})))
+	defer ts.Close()
+	hc := &http.Client{Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	_, _, err := body(t, hc, ts.URL)
+	if err == nil {
+		t.Fatal("hung request succeeded")
+	}
+	var ne net_Error
+	if errors.As(err, &ne) && !ne.Timeout() {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang outlived the client deadline")
+	}
+}
+
+// net_Error avoids importing net just for the interface assertion.
+type net_Error interface {
+	error
+	Timeout() bool
+}
+
+func TestMiddlewareDelay(t *testing.T) {
+	in := faults.New(faults.Plan{Seed: 1, DelayProb: 1.0, Delay: 50 * time.Millisecond})
+	ts := httptest.NewServer(in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer ts.Close()
+	start := time.Now()
+	if _, code, err := body(t, ts.Client(), ts.URL); err != nil || code != http.StatusOK {
+		t.Fatalf("got (%d, %v)", code, err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("request finished in %v, before the injected delay", d)
+	}
+	if in.Counters().Delayed != 1 {
+		t.Fatalf("counters: %+v", in.Counters())
+	}
+}

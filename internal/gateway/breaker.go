@@ -1,0 +1,91 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker states, exported on /metrics as dvid_breaker_state.
+const (
+	breakerClosed   = 0 // normal: requests flow
+	breakerHalfOpen = 1 // cooldown expired: exactly one probe in flight
+	breakerOpen     = 2 // tripped: requests blocked until cooldown
+)
+
+// breaker is a per-backend circuit breaker. threshold consecutive
+// failures trip it open; after cooldown it admits exactly one probe
+// (half-open); the probe's outcome either closes it or re-opens it for
+// another cooldown. It keeps a flapping backend from eating a retry
+// budget on every request while the health checker's slower loop
+// catches up.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     int
+	failures  int
+	openedAt  time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may proceed now. In half-open state
+// the first caller wins the probe slot; everyone else is rejected until
+// the probe reports. Callers that receive true MUST report the
+// outcome via success or failure — an unreported half-open probe would
+// wedge the breaker.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: probe already in flight
+		return false
+	}
+}
+
+// closed reports whether the breaker is in its normal state, without
+// consuming a half-open probe slot (hedge selection uses this: a hedge
+// must not burn the probe).
+func (b *breaker) closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerClosed
+}
+
+// currentState returns the state constant for metrics.
+func (b *breaker) currentState() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// success reports a completed request: closes the breaker and resets
+// the failure count.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+}
+
+// failure reports a failed request; threshold consecutive failures (or
+// a failed half-open probe) open the breaker.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}

@@ -1,0 +1,423 @@
+package gateway_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dvi/internal/faults"
+	"dvi/internal/gateway"
+	"dvi/internal/service"
+	"dvi/internal/store"
+)
+
+// fastConfig keeps the recovery ladder's timers test-sized.
+func fastConfig(backends []string, local *service.Server) gateway.Config {
+	return gateway.Config{
+		Backends:        backends,
+		Local:           local,
+		RequestTimeout:  5 * time.Second,
+		HedgeAfter:      50 * time.Millisecond,
+		Retries:         3,
+		BackoffBase:     5 * time.Millisecond,
+		BackoffCap:      50 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerCooldown: 200 * time.Millisecond,
+		HealthInterval:  time.Second,
+		Seed:            1,
+	}
+}
+
+func post(t *testing.T, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	res, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return res.StatusCode, res.Header, b
+}
+
+// mixedBatch builds an n-job batch over every job kind and several
+// workloads; deterministic content so responses are comparable across
+// topologies.
+func mixedBatch(n int) string {
+	var jobs []string
+	workloads := []string{"compress", "li", "go", "gcc"}
+	for i := 0; i < n; i++ {
+		w := workloads[i%len(workloads)]
+		switch i % 3 {
+		case 0:
+			jobs = append(jobs, fmt.Sprintf(
+				`{"kind":"simulate","simulate":{"workload":%q,"max_insts":%d}}`, w, 30000+1000*(i%5)))
+		case 1:
+			jobs = append(jobs, fmt.Sprintf(
+				`{"kind":"annotate","annotate":{"workload":%q}}`, w))
+		default:
+			jobs = append(jobs, fmt.Sprintf(
+				`{"kind":"ctxswitch","ctxswitch":{"workload":%q,"interval":97,"max_insts":50000}}`, w))
+		}
+	}
+	return `{"jobs":[` + strings.Join(jobs, ",") + `]}`
+}
+
+// singleNodeBytes runs batch against a plain single-node daemon — the
+// byte-identity reference for every gateway topology.
+func singleNodeBytes(t *testing.T, batch string) []byte {
+	t.Helper()
+	ts := httptest.NewServer(service.New(service.Config{}))
+	defer ts.Close()
+	code, _, body := post(t, ts.URL+"/v2/jobs", batch)
+	if code != http.StatusOK {
+		t.Fatalf("reference batch: HTTP %d: %s", code, body)
+	}
+	return body
+}
+
+func gatewayMetric(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	b, _ := io.ReadAll(res.Body)
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`).FindSubmatch(b)
+	if m == nil {
+		t.Fatalf("series %s missing from gateway /metrics:\n%s", name, b)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestGatewayBatchMatchesSingleNode is the healthy-path contract: a /v2
+// batch through a two-backend gateway streams exactly the bytes a
+// single-node daemon would, in order, with no degraded marker.
+func TestGatewayBatchMatchesSingleNode(t *testing.T) {
+	b1 := httptest.NewServer(service.New(service.Config{}))
+	defer b1.Close()
+	b2 := httptest.NewServer(service.New(service.Config{}))
+	defer b2.Close()
+	local := service.New(service.Config{})
+	gw, err := gateway.New(fastConfig([]string{b1.URL, b2.URL}, local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+
+	batch := mixedBatch(16)
+	want := singleNodeBytes(t, batch)
+	code, hdr, got := post(t, gts.URL+"/v2/jobs", batch)
+	if code != http.StatusOK {
+		t.Fatalf("gateway batch: HTTP %d: %s", code, got)
+	}
+	if hdr.Get(gateway.DegradedHeader) != "" {
+		t.Fatal("healthy fleet answered with the degraded header")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("gateway bytes differ from single node:\ngot:  %s\nwant: %s", got, want)
+	}
+
+	// Validation parity: a bad job rejects the whole batch with the
+	// same 400 body a single-node daemon produces.
+	bad := `{"jobs":[{"kind":"simulate","simulate":{"workload":"compress"}},{"kind":"simulate","simulate":{"workload":"nope"}}]}`
+	sn := httptest.NewServer(service.New(service.Config{}))
+	defer sn.Close()
+	wantCode, _, wantBody := post(t, sn.URL+"/v2/jobs", bad)
+	gotCode, _, gotBody := post(t, gts.URL+"/v2/jobs", bad)
+	if gotCode != wantCode || !bytes.Equal(gotBody, wantBody) {
+		t.Fatalf("validation parity: gateway (%d, %s) vs single node (%d, %s)",
+			gotCode, gotBody, wantCode, wantBody)
+	}
+}
+
+// TestGatewayProxyV1MatchesSingleNode covers the /v1 passthrough and
+// its local fallback: both healthy and fleet-down answers must be
+// byte-identical to a single-node daemon's.
+func TestGatewayProxyV1MatchesSingleNode(t *testing.T) {
+	req := `{"workload":"compress","max_insts":50000}`
+	sn := httptest.NewServer(service.New(service.Config{}))
+	defer sn.Close()
+	_, _, want := post(t, sn.URL+"/v1/simulate", req)
+
+	backend := httptest.NewServer(service.New(service.Config{}))
+	local := service.New(service.Config{})
+	gw, err := gateway.New(fastConfig([]string{backend.URL}, local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+
+	code, hdr, got := post(t, gts.URL+"/v1/simulate", req)
+	if code != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("proxied /v1: HTTP %d\ngot:  %s\nwant: %s", code, got, want)
+	}
+	if hdr.Get(gateway.DegradedHeader) != "" {
+		t.Fatal("healthy proxy answered degraded")
+	}
+
+	// Kill the backend: the same request must fall back locally with
+	// identical bytes and the degraded marker.
+	backend.Close()
+	gw.CheckNow(context.Background())
+	code, hdr, got = post(t, gts.URL+"/v1/simulate", req)
+	if code != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("fallback /v1: HTTP %d\ngot:  %s\nwant: %s", code, got, want)
+	}
+	if hdr.Get(gateway.DegradedHeader) != "local" {
+		t.Fatalf("fallback missing degraded header, got %q", hdr.Get(gateway.DegradedHeader))
+	}
+	if gatewayMetric(t, gts, "dvid_gateway_fallback_local_total") == 0 {
+		t.Fatal("local fallback not counted")
+	}
+}
+
+// TestGatewayAllBackendsDownDegradesGracefully: with every backend
+// dead, a /v2 batch still completes on the embedded session,
+// byte-identical, marked degraded.
+func TestGatewayAllBackendsDownDegradesGracefully(t *testing.T) {
+	dead1 := httptest.NewServer(http.NotFoundHandler())
+	dead2 := httptest.NewServer(http.NotFoundHandler())
+	urls := []string{dead1.URL, dead2.URL}
+	dead1.Close()
+	dead2.Close()
+
+	local := service.New(service.Config{})
+	gw, err := gateway.New(fastConfig(urls, local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.CheckNow(context.Background())
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+
+	batch := mixedBatch(8)
+	want := singleNodeBytes(t, batch)
+	code, hdr, got := post(t, gts.URL+"/v2/jobs", batch)
+	if code != http.StatusOK {
+		t.Fatalf("degraded batch: HTTP %d: %s", code, got)
+	}
+	if hdr.Get(gateway.DegradedHeader) != "local" {
+		t.Fatalf("degraded header %q, want local", hdr.Get(gateway.DegradedHeader))
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("degraded bytes differ from single node:\ngot:  %s\nwant: %s", got, want)
+	}
+	if gatewayMetric(t, gts, "dvid_gateway_fallback_local_total") == 0 {
+		t.Fatal("local fallbacks not counted")
+	}
+
+	// The gateway's own health endpoint reports the degradation.
+	res, err := http.Get(gts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), `"status":"degraded"`) {
+		t.Fatalf("gateway healthz: %s", body)
+	}
+}
+
+// TestGatewayRetriesTransientFailures: a backend that 5xxes
+// intermittently is retried (or hedged around) until the batch
+// completes byte-identically; the recovery counters prove the ladder
+// fired.
+func TestGatewayRetriesTransientFailures(t *testing.T) {
+	inj := faults.New(faults.Plan{Seed: 11, Err5xx: 0.4})
+	flaky := httptest.NewServer(inj.Middleware(service.New(service.Config{})))
+	defer flaky.Close()
+	steady := httptest.NewServer(service.New(service.Config{}))
+	defer steady.Close()
+
+	local := service.New(service.Config{})
+	gw, err := gateway.New(fastConfig([]string{flaky.URL, steady.URL}, local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+
+	batch := mixedBatch(24)
+	want := singleNodeBytes(t, batch)
+	code, _, got := post(t, gts.URL+"/v2/jobs", batch)
+	if code != http.StatusOK {
+		t.Fatalf("flaky batch: HTTP %d", code)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("flaky-fleet bytes differ from single node:\ngot:  %s\nwant: %s", got, want)
+	}
+	if inj.Counters().Errored == 0 {
+		t.Fatal("fault injector never fired — test proved nothing")
+	}
+	retries := gatewayMetric(t, gts, "dvid_retries_total")
+	fallbacks := gatewayMetric(t, gts, "dvid_gateway_fallback_local_total")
+	if retries == 0 && fallbacks == 0 {
+		t.Fatal("no retries and no fallbacks despite injected 5xx faults")
+	}
+}
+
+// TestGatewayHedgesSlowBackend: with one backend answering slowly, the
+// hedge budget sends duplicates to the fast replica and wins.
+func TestGatewayHedgesSlowBackend(t *testing.T) {
+	inj := faults.New(faults.Plan{Seed: 3, DelayProb: 1.0, Delay: 400 * time.Millisecond})
+	slow := httptest.NewServer(inj.Middleware(service.New(service.Config{})))
+	defer slow.Close()
+	fast := httptest.NewServer(service.New(service.Config{}))
+	defer fast.Close()
+
+	local := service.New(service.Config{})
+	gw, err := gateway.New(fastConfig([]string{slow.URL, fast.URL}, local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+
+	batch := mixedBatch(12)
+	want := singleNodeBytes(t, batch)
+	code, _, got := post(t, gts.URL+"/v2/jobs", batch)
+	if code != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("hedged batch: HTTP %d, identical=%v", code, bytes.Equal(got, want))
+	}
+	if gatewayMetric(t, gts, "dvid_hedges_total") == 0 {
+		t.Fatal("no hedges launched against a uniformly slow backend")
+	}
+	if gatewayMetric(t, gts, "dvid_hedge_wins_total") == 0 {
+		t.Fatal("hedges launched but none won against a 400ms-slower primary")
+	}
+}
+
+// TestGatewayEjectsDrainingBackend: a backend in graceful shutdown
+// reports "draining" on /healthz; the health checker must pull it from
+// rotation while it still answers requests.
+func TestGatewayEjectsDrainingBackend(t *testing.T) {
+	svc := service.New(service.Config{})
+	backend := httptest.NewServer(svc)
+	defer backend.Close()
+
+	local := service.New(service.Config{})
+	gw, err := gateway.New(fastConfig([]string{backend.URL}, local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	gw.CheckNow(ctx)
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+
+	if got := gatewayMetric(t, gts, fmt.Sprintf("dvid_backend_healthy{backend=%q}", backend.URL)); got != 1 {
+		t.Fatalf("serving backend unhealthy: %v", got)
+	}
+
+	svc.BeginDrain()
+	gw.CheckNow(ctx)
+	if got := gatewayMetric(t, gts, fmt.Sprintf("dvid_backend_healthy{backend=%q}", backend.URL)); got != 0 {
+		t.Fatalf("draining backend still in rotation: %v", got)
+	}
+
+	// Traffic keeps flowing — locally, marked degraded.
+	code, hdr, _ := post(t, gts.URL+"/v1/simulate", `{"workload":"compress","max_insts":30000}`)
+	if code != http.StatusOK || hdr.Get(gateway.DegradedHeader) != "local" {
+		t.Fatalf("draining fleet: HTTP %d, degraded=%q", code, hdr.Get(gateway.DegradedHeader))
+	}
+}
+
+// TestGatewayChaos is the chaos gate from the acceptance criteria: a
+// 64-job /v2 batch through a three-backend fleet where one backend is
+// killed mid-batch, one hangs requests, and every backend corrupts 5%
+// of its artifact-store writes — and the response must still be
+// byte-identical to a fault-free single-node daemon's.
+func TestGatewayChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos gate is not short")
+	}
+	batch := mixedBatch(64)
+	want := singleNodeBytes(t, batch)
+
+	// Three backends, each persisting artifacts through a 5%-corrupting
+	// tamper hook (the store's checksums must catch every one).
+	corrupt := faults.New(faults.Plan{Seed: 99, Corrupt: 0.05})
+	newBackend := func(mw func(http.Handler) http.Handler) *httptest.Server {
+		st, err := store.Open(store.Options{Dir: t.TempDir(), TamperWrite: corrupt.TamperWrite})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h http.Handler = service.New(service.Config{Store: st})
+		if mw != nil {
+			h = mw(h)
+		}
+		return httptest.NewServer(h)
+	}
+	hang := faults.New(faults.Plan{Seed: 17, Hang: 0.5})
+	victim := newBackend(nil)             // killed mid-batch
+	hanger := newBackend(hang.Middleware) // hangs half its requests
+	steady := newBackend(nil)
+	defer hanger.Close()
+	defer steady.Close()
+
+	local := service.New(service.Config{})
+	cfg := fastConfig([]string{victim.URL, hanger.URL, steady.URL}, local)
+	cfg.RequestTimeout = 2 * time.Second // hangs must not stall the batch
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+
+	// Kill one backend mid-batch: first cut every live connection, then
+	// close the listener so later dials fail outright.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(300 * time.Millisecond)
+		victim.CloseClientConnections()
+		victim.Close()
+	}()
+
+	code, _, got := post(t, gts.URL+"/v2/jobs", batch)
+	<-killed
+	if code != http.StatusOK {
+		t.Fatalf("chaos batch: HTTP %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chaos bytes differ from fault-free single node (%d vs %d bytes):\ngot:  %.2000s\nwant: %.2000s",
+			len(got), len(want), got, want)
+	}
+	if hang.Counters().Hung == 0 {
+		t.Error("hang fault never fired — weaken the seed check")
+	}
+	// The 5% corruption rate over a couple dozen store writes fires only
+	// on some schedules; the deterministic corruption-never-served proof
+	// lives in the store and service suites, so here it is informational.
+	if corrupt.Counters().Corrupted == 0 {
+		t.Log("note: 5% corruption drew zero fires this schedule")
+	}
+	retries := gatewayMetric(t, gts, "dvid_retries_total")
+	hedges := gatewayMetric(t, gts, "dvid_hedges_total")
+	if retries == 0 && hedges == 0 {
+		t.Error("chaos run exercised no recovery paths")
+	}
+	t.Logf("chaos: retries=%v hedges=%v hedge_wins=%v local_fallbacks=%v hung=%d corrupted=%d",
+		retries, hedges, gatewayMetric(t, gts, "dvid_hedge_wins_total"),
+		gatewayMetric(t, gts, "dvid_gateway_fallback_local_total"),
+		hang.Counters().Hung, corrupt.Counters().Corrupted)
+}

@@ -1,0 +1,140 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// probeHealth asks one backend's /healthz whether it should receive
+// traffic. Healthy means HTTP 200 with status "ok": a draining daemon
+// answers 503/"draining", so the checker ejects it from rotation before
+// its listener closes and requests would start failing.
+func (g *Gateway) probeHealth(ctx context.Context, b *backend) bool {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.HealthInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	res, err := g.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(res.Body, 4096))
+		return false
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(io.LimitReader(res.Body, 64<<10)).Decode(&h); err != nil {
+		return false
+	}
+	return h.Status == "ok"
+}
+
+// CheckNow probes every backend once, synchronously, and updates
+// routing state. Tests (and Start's first iteration) use it to avoid
+// racing the periodic loop.
+func (g *Gateway) CheckNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ok := g.probeHealth(ctx, b)
+			was := b.healthy.Swap(ok)
+			if was != ok {
+				g.log.Info("gateway: backend health changed", "backend", b.url, "healthy", ok)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// Start launches the active health-check loop. Backends begin
+// optimistically healthy (so startup order does not matter); the first
+// probe round runs immediately. Close (or cancelling ctx) stops the
+// loop.
+func (g *Gateway) Start(ctx context.Context) {
+	ctx, g.stop = context.WithCancel(ctx)
+	g.checkerD = make(chan struct{})
+	go func() {
+		defer close(g.checkerD)
+		g.CheckNow(ctx)
+		t := time.NewTicker(g.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				g.CheckNow(ctx)
+			}
+		}
+	}()
+}
+
+// Close stops the health-check loop started by Start. Safe to call when
+// Start was never called.
+func (g *Gateway) Close() {
+	if g.stop != nil {
+		g.stop()
+		<-g.checkerD
+	}
+}
+
+// BackendHealth is one backend's entry in the gateway's /healthz body.
+type BackendHealth struct {
+	URL          string `json:"url"`
+	Healthy      bool   `json:"healthy"`
+	BreakerState string `json:"breaker_state"`
+	Failures     int64  `json:"failures"`
+}
+
+// GatewayHealth is the gateway's /healthz body. Status is "ok" while at
+// least one backend is routable and "degraded" when traffic would run
+// on the embedded local session.
+type GatewayHealth struct {
+	Status        string          `json:"status"`
+	Backends      []BackendHealth `json:"backends"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+}
+
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// handleHealth is the gateway's GET /healthz.
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := GatewayHealth{
+		Status:        "ok",
+		UptimeSeconds: time.Since(g.start).Seconds(),
+	}
+	for _, b := range g.backends {
+		h.Backends = append(h.Backends, BackendHealth{
+			URL:          b.url,
+			Healthy:      b.healthy.Load(),
+			BreakerState: breakerStateName(b.br.currentState()),
+			Failures:     b.fails.Load(),
+		})
+	}
+	if g.available() == 0 {
+		h.Status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(h)
+}

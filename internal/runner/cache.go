@@ -5,7 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dvi/internal/obs"
 	"dvi/internal/prog"
+	"dvi/internal/store"
 	"dvi/internal/workload"
 )
 
@@ -31,6 +33,7 @@ type CompileFunc func(s workload.Spec, scale int, opt workload.BuildOptions) (*p
 type BuildCache struct {
 	compile  CompileFunc
 	capacity int // 0 = unbounded
+	store    *store.Store
 
 	mu      sync.Mutex
 	entries map[workload.BuildKey]*buildEntry
@@ -40,6 +43,8 @@ type BuildCache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	compiles  atomic.Int64
+	storeHits atomic.Int64
 }
 
 // buildEntry is one in-flight or completed build. ready is closed when
@@ -65,14 +70,27 @@ func NewBuildCache(compile CompileFunc) *BuildCache {
 // LRU eviction; capacity <= 0 means unbounded. A nil compile uses
 // workload.CompileSpec.
 func NewBuildCacheLRU(compile CompileFunc, capacity int) *BuildCache {
+	return NewBuildCacheStore(compile, capacity, nil)
+}
+
+// NewBuildCacheStore builds a bounded cache backed by an on-disk
+// artifact store: memory misses first try the store (a verified
+// artifact is decoded instead of compiled), and fresh compiles are
+// persisted back, so a warm restart on the same store directory fills
+// the whole cache without invoking the compiler once. A nil store
+// degrades to the purely in-memory cache.
+func NewBuildCacheStore(compile CompileFunc, capacity int, st *store.Store) *BuildCache {
 	if compile == nil {
 		compile = workload.CompileSpec
 	}
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &BuildCache{compile: compile, capacity: capacity, entries: map[workload.BuildKey]*buildEntry{}}
+	return &BuildCache{compile: compile, capacity: capacity, store: st, entries: map[workload.BuildKey]*buildEntry{}}
 }
+
+// Store returns the backing artifact store (nil when purely in-memory).
+func (c *BuildCache) Store() *store.Store { return c.store }
 
 // unlink removes e from the LRU list. Caller holds mu.
 func (c *BuildCache) unlink(e *buildEntry) {
@@ -145,7 +163,7 @@ func (c *BuildCache) Get(ctx context.Context, s workload.Spec, scale int, opt wo
 	c.mu.Unlock()
 
 	c.misses.Add(1)
-	ent.pr, ent.img, ent.err = c.compile(s, scale, opt)
+	ent.pr, ent.img, ent.err = c.fill(ctx, s, scale, opt, key)
 	c.mu.Lock()
 	ent.done = true
 	c.enforceCapacity()
@@ -154,12 +172,57 @@ func (c *BuildCache) Get(ctx context.Context, s workload.Spec, scale int, opt wo
 	return ent.pr, ent.img, ent.err
 }
 
+// fill resolves a memory miss: a verified store artifact decodes
+// straight into the cache, anything else compiles (and, on success,
+// persists the artifact for the next process).
+func (c *BuildCache) fill(ctx context.Context, s workload.Spec, scale int, opt workload.BuildOptions, key workload.BuildKey) (*prog.Program, *prog.Image, error) {
+	if c.store != nil {
+		if payload, ok := c.store.Get(store.BuildKind, key.String()); ok {
+			_, span := obs.StartSpan(ctx, "store-decode")
+			pr, img, err := store.DecodeProgram(payload)
+			if span != nil {
+				span.SetAttr("key", key.String())
+				span.SetAttr("ok", err == nil)
+				span.End()
+			}
+			if err == nil {
+				c.storeHits.Add(1)
+				return pr, img, nil
+			}
+			// Checksum passed but the grammar moved on: recompile.
+		}
+	}
+	_, span := obs.StartSpan(ctx, "compile")
+	pr, img, err := c.compile(s, scale, opt)
+	if span != nil {
+		span.SetAttr("key", key.String())
+		span.End()
+	}
+	c.compiles.Add(1)
+	if err == nil && c.store != nil {
+		if perr := c.store.Put(store.BuildKind, key.String(), store.EncodeProgram(pr)); perr != nil {
+			// Persistence is best-effort; the store counts its errors.
+			_ = perr
+		}
+	}
+	return pr, img, err
+}
+
 // Stats reports cache traffic: hits is the number of Get calls served
-// from a completed or in-flight build, misses the number of actual
-// compiles performed.
+// from a completed or in-flight in-memory build, misses the number of
+// fills (store decodes plus compiles).
 func (c *BuildCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// Compiles returns how many times the compile function actually ran —
+// with a warm artifact store this stays at zero across a restart even
+// as misses count store decodes.
+func (c *BuildCache) Compiles() int64 { return c.compiles.Load() }
+
+// StoreHits returns how many memory misses were served by decoding a
+// verified on-disk artifact instead of compiling.
+func (c *BuildCache) StoreHits() int64 { return c.storeHits.Load() }
 
 // Evictions returns how many completed entries the LRU bound has dropped.
 func (c *BuildCache) Evictions() int64 { return c.evictions.Load() }

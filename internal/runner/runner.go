@@ -26,6 +26,7 @@ import (
 	"dvi/internal/ooo"
 	"dvi/internal/prog"
 	"dvi/internal/sample"
+	"dvi/internal/store"
 	"dvi/internal/workload"
 )
 
@@ -206,6 +207,12 @@ type Options struct {
 	// unbounded; long-lived daemons accepting arbitrary user assembly
 	// should set a bound.
 	CacheCapacity int
+	// Store, when non-nil, backs the build cache with an on-disk
+	// artifact store: cache misses decode persisted artifacts instead
+	// of compiling, and fresh compiles are written through, so restarts
+	// on the same directory skip every compile. Sampled runs persist
+	// their interval-result sets through the same store.
+	Store *store.Store
 }
 
 // Engine executes job batches. One engine owns one build cache, so every
@@ -268,7 +275,7 @@ func New(opt Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: w, progress: opt.Progress, cache: NewBuildCacheLRU(opt.Compile, opt.CacheCapacity)}
+	return &Engine{workers: w, progress: opt.Progress, cache: NewBuildCacheStore(opt.Compile, opt.CacheCapacity, opt.Store)}
 }
 
 // Workers returns the configured pool size.
@@ -276,6 +283,10 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Cache exposes the engine's build cache (hit/miss accounting).
 func (e *Engine) Cache() *BuildCache { return e.cache }
+
+// Store exposes the artifact store backing the build cache (nil when
+// the engine is purely in-memory).
+func (e *Engine) Store() *store.Store { return e.cache.Store() }
 
 func (e *Engine) emit(ev Event) {
 	if e.progress != nil {

@@ -300,6 +300,9 @@ type WorkloadInfo struct {
 
 // Health is the /healthz body.
 type Health struct {
+	// Status is "ok" for a serving daemon and "draining" once graceful
+	// shutdown has begun (the response is then a 503, so readiness
+	// checks eject the backend before its listener closes).
 	Status         string  `json:"status"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	Workers        int     `json:"workers"`
@@ -310,6 +313,24 @@ type Health struct {
 	CacheHits      int64   `json:"cache_hits"`
 	CacheMisses    int64   `json:"cache_misses"`
 	CacheEvictions int64   `json:"cache_evictions"`
+	// CacheCompiles counts actual compile invocations — with a warm
+	// artifact store it stays at zero across a restart even as misses
+	// count store decodes.
+	CacheCompiles int64 `json:"cache_compiles"`
+	// Store reports the on-disk artifact store; absent when the daemon
+	// runs purely in memory.
+	Store *StoreHealth `json:"store,omitempty"`
+}
+
+// StoreHealth is the artifact-store block of the /healthz body.
+type StoreHealth struct {
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Puts        int64 `json:"puts"`
+	Evictions   int64 `json:"evictions"`
+	Quarantined int64 `json:"quarantined"`
 }
 
 // Error is the JSON error body every non-2xx response carries, and the

@@ -9,23 +9,54 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // Client is the typed Go client for a dvid daemon. The zero value is not
 // usable; construct with NewClient. Methods are safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+}
+
+// ClientOption configures a Client at construction time.
+type ClientOption func(*Client)
+
+// WithRequestTimeout bounds every request the client makes: each method
+// call derives a context with this deadline on top of the caller's, so
+// a hung daemon fails the call instead of blocking it forever. It
+// applies to streaming calls too — RunJobs must finish the whole stream
+// inside the budget — which is why it is a per-request option here
+// rather than http.Client.Timeout semantics the caller might not have
+// set. Zero or negative disables the bound (the caller's ctx still
+// applies).
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
 }
 
 // NewClient builds a client for the daemon at base (e.g.
 // "http://localhost:8077"). A nil hc uses http.DefaultClient; pass a
-// client with a Timeout for production callers.
-func NewClient(base string, hc *http.Client) *Client {
+// client with a Timeout, or WithRequestTimeout, for production callers.
+func NewClient(base string, hc *http.Client, opts ...ClientOption) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// reqContext applies the client's per-request timeout to ctx. The
+// returned cancel must be held until the response — body included — has
+// been consumed.
+func (c *Client) reqContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(ctx, c.timeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // Annotate runs the binary-rewriting DVI inserter server-side.
@@ -60,6 +91,8 @@ func (c *Client) RunJobs(ctx context.Context, jobs []JobRequest, fn func(JobResu
 	if err != nil {
 		return fmt.Errorf("dvid client: encode /v2/jobs request: %w", err)
 	}
+	ctx, cancel := c.reqContext(ctx)
+	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/jobs", bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("dvid client: %w", err)
@@ -115,6 +148,8 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	if err != nil {
 		return fmt.Errorf("dvid client: encode %s request: %w", path, err)
 	}
+	ctx, cancel := c.reqContext(ctx)
+	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("dvid client: %w", err)
@@ -124,6 +159,8 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 }
 
 func (c *Client) get(ctx context.Context, path string, resp any) error {
+	ctx, cancel := c.reqContext(ctx)
+	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return fmt.Errorf("dvid client: %w", err)

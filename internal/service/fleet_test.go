@@ -1,0 +1,351 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dvi/internal/prog"
+	"dvi/internal/service"
+	"dvi/internal/store"
+	"dvi/internal/workload"
+)
+
+// TestClientRequestTimeout is the satellite regression test: against a
+// deliberately stalled daemon, a client built with WithRequestTimeout
+// fails every method — unary and streaming — within its budget instead
+// of hanging for as long as the server feels like.
+func TestClientRequestTimeout(t *testing.T) {
+	// The stalled handler drains the body first: the HTTP server only
+	// watches for client disconnects once the request body is consumed,
+	// and without that the stalled goroutines would outlive the test.
+	// The 10s floor keeps the stall far beyond the client budget while
+	// letting the server close down afterwards.
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	defer stall.Close()
+
+	c := service.NewClient(stall.URL, nil, service.WithRequestTimeout(100*time.Millisecond))
+	ctx := context.Background()
+
+	cases := map[string]func() error{
+		"simulate": func() error {
+			_, err := c.Simulate(ctx, service.SimulateRequest{Workload: "compress"})
+			return err
+		},
+		"health": func() error {
+			_, err := c.Health(ctx)
+			return err
+		},
+		"runjobs": func() error {
+			return c.RunJobs(ctx, []service.JobRequest{
+				{Kind: "simulate", Simulate: &service.SimulateRequest{Workload: "compress"}},
+			}, func(service.JobResult) error { return nil })
+		},
+	}
+	for name, call := range cases {
+		start := time.Now()
+		err := call()
+		if err == nil {
+			t.Errorf("%s: stalled call returned nil error", name)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Errorf("%s: took %v against a 100ms request timeout", name, d)
+		}
+	}
+
+	// The timeout must also cover stream consumption, not just the
+	// first byte: a server that sends one line then stalls mid-stream
+	// must fail RunJobs too.
+	line, _ := json.Marshal(service.JobResult{Kind: "simulate", Error: "x"})
+	drip := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		w.Write(append(line, '\n'))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	defer drip.Close()
+	c2 := service.NewClient(drip.URL, nil, service.WithRequestTimeout(100*time.Millisecond))
+	start := time.Now()
+	err := c2.RunJobs(ctx, make([]service.JobRequest, 2), func(service.JobResult) error { return nil })
+	if err == nil {
+		t.Error("mid-stream stall returned nil error")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("mid-stream stall took %v", d)
+	}
+
+	// And without the option the caller's context still rules: a
+	// cancelled ctx fails fast.
+	c3 := service.NewClient(stall.URL, nil)
+	cctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if _, err := c3.Health(cctx); err == nil {
+		t.Error("cancelled context returned nil error")
+	}
+}
+
+// TestHealthzDrainingAndStore covers the readiness-aware /healthz: the
+// store and compile counters appear while serving, and BeginDrain flips
+// the endpoint to 503/"draining" so a gateway ejects the backend before
+// its listener closes.
+func TestHealthzDrainingAndStore(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Store: st})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	if code, body := postJSON(t, ts.URL+"/v1/simulate", `{"workload":"compress","max_insts":50000}`); code != http.StatusOK {
+		t.Fatalf("simulate: HTTP %d: %s", code, body)
+	}
+
+	getHealth := func(wantCode int) service.Health {
+		t.Helper()
+		res, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != wantCode {
+			t.Fatalf("healthz: HTTP %d, want %d", res.StatusCode, wantCode)
+		}
+		var h service.Health
+		if err := json.NewDecoder(res.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := getHealth(http.StatusOK)
+	if h.Status != "ok" {
+		t.Fatalf("status %q, want ok", h.Status)
+	}
+	if h.CacheCompiles != 1 {
+		t.Fatalf("cache_compiles %d, want 1", h.CacheCompiles)
+	}
+	if h.Store == nil {
+		t.Fatal("store block missing with a store configured")
+	}
+	if h.Store.Entries != 1 || h.Store.Puts != 1 {
+		t.Fatalf("store block %+v, want 1 entry from 1 put", h.Store)
+	}
+
+	svc.BeginDrain()
+	h = getHealth(http.StatusServiceUnavailable)
+	if h.Status != "draining" {
+		t.Fatalf("status %q after BeginDrain, want draining", h.Status)
+	}
+	// Draining only changes readiness: the daemon still serves work
+	// while the listener lives.
+	if code, _ := postJSON(t, ts.URL+"/v1/simulate", `{"workload":"compress","max_insts":50000}`); code != http.StatusOK {
+		t.Fatalf("simulate while draining: HTTP %d", code)
+	}
+}
+
+// fetchMetrics returns the /metrics exposition body.
+func fetchMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestAdmissionQueueChurn is the satellite accounting fix's regression
+// test: clients that give up while queued — including ones that race
+// the slot grant — must leave dvid_queue_depth and
+// dvid_inflight_requests at zero once the storm passes, and admission
+// must still work afterwards.
+func TestAdmissionQueueChurn(t *testing.T) {
+	gate := make(chan struct{})
+	var gated atomic.Bool
+	svc := service.New(service.Config{
+		Workers:       2,
+		MaxConcurrent: 1,
+		MaxQueue:      256,
+		Compile: func(s workload.Spec, scale int, opt workload.BuildOptions) (*prog.Program, *prog.Image, error) {
+			if gated.Load() {
+				<-gate
+			}
+			return workload.CompileSpec(s, scale, opt)
+		},
+	})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	// Occupy the single execution slot with a gated request.
+	gated.Store(true)
+	holderDone := make(chan int, 1)
+	go func() {
+		code, _ := postJSON(t, ts.URL+"/v1/simulate", `{"workload":"go","max_insts":50000}`)
+		holderDone <- code
+	}()
+	waitFor(t, "holder in flight", func() bool { return svc.Inflight() == 1 })
+
+	// Storm: queued clients that all disconnect before getting a slot.
+	const churn = 64
+	var wg sync.WaitGroup
+	for i := 0; i < churn; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i%20)*time.Millisecond)
+			defer cancel()
+			body := bytes.NewReader([]byte(`{"workload":"compress","max_insts":50000}`))
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/simulate", body)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			res, err := http.DefaultClient.Do(req)
+			if err == nil {
+				res.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Every abandoned client must have released its queue slot even if
+	// it won the semaphore race after cancelling.
+	waitFor(t, "queue drained", func() bool { return svc.QueueDepth() == 0 })
+	if v := metricValue(t, fetchMetrics(t, ts), "dvid_queue_depth"); v != 0 {
+		t.Fatalf("dvid_queue_depth %v after churn, want 0", v)
+	}
+
+	gated.Store(false)
+	close(gate)
+	if code := <-holderDone; code != http.StatusOK {
+		t.Fatalf("holder: HTTP %d", code)
+	}
+	waitFor(t, "inflight drained", func() bool { return svc.Inflight() == 0 })
+	if v := metricValue(t, fetchMetrics(t, ts), "dvid_inflight_requests"); v != 0 {
+		t.Fatalf("dvid_inflight_requests %v after churn, want 0", v)
+	}
+
+	// Admission still grants slots: the gauge accounting did not wedge.
+	if code, body := postJSON(t, ts.URL+"/v1/simulate", `{"workload":"compress","max_insts":50000}`); code != http.StatusOK {
+		t.Fatalf("post-churn simulate: HTTP %d: %s", code, body)
+	}
+}
+
+// fleetBatch is the /v2 batch the crash-recovery tests replay: every
+// job kind, plus a sampled simulation, over two workloads.
+const fleetBatch = `{"jobs":[
+  {"kind":"simulate","simulate":{"workload":"compress","max_insts":50000}},
+  {"kind":"annotate","annotate":{"workload":"li"}},
+  {"kind":"ctxswitch","ctxswitch":{"workload":"li","interval":97,"max_insts":100000}},
+  {"kind":"simulate","simulate":{"workload":"go","max_insts":120000,"sampling":{"interval":4000,"warmup":1000}}}
+]}`
+
+// TestRestartOnStoreDirZeroRecompiles is the in-process version of the
+// CI crash-recovery smoke: a daemon restarted over the same store
+// directory answers the same /v2 batch byte-identically with zero
+// compiler invocations and zero sampled scans — everything fills from
+// disk artifacts.
+func TestRestartOnStoreDirZeroRecompiles(t *testing.T) {
+	dir := t.TempDir()
+	runBatch := func() (*service.Server, []byte) {
+		t.Helper()
+		st, err := store.Open(store.Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := service.New(service.Config{Store: st})
+		ts := httptest.NewServer(svc)
+		defer ts.Close()
+		code, body := postJSON(t, ts.URL+"/v2/jobs", fleetBatch)
+		if code != http.StatusOK {
+			t.Fatalf("batch: HTTP %d: %s", code, body)
+		}
+		return svc, body
+	}
+
+	svc1, cold := runBatch()
+	if n := svc1.Engine().Cache().Compiles(); n == 0 {
+		t.Fatal("cold run compiled nothing?")
+	}
+
+	svc2, warm := runBatch()
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("restarted batch differs:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if n := svc2.Engine().Cache().Compiles(); n != 0 {
+		t.Fatalf("restarted daemon compiled %d times, want 0", n)
+	}
+	if n := svc2.Engine().Cache().StoreHits(); n == 0 {
+		t.Fatal("restarted daemon never hit the artifact store")
+	}
+	if s := svc2.Engine().Store().Stats(); s.Hits == 0 || s.Puts != 0 {
+		t.Fatalf("restarted store stats: %+v", s)
+	}
+}
+
+// TestStoreCorruptionFallsBackToCompile drives the quarantine path end
+// to end at the service layer: with every artifact write corrupted by
+// the fault injector, a restarted daemon detects the bad checksums,
+// quarantines the artifacts, recompiles, and still answers the batch
+// byte-identically.
+func TestStoreCorruptionFallsBackToCompile(t *testing.T) {
+	dir := t.TempDir()
+	run := func(tamper func(kind, key string, data []byte) []byte) (*service.Server, []byte) {
+		t.Helper()
+		st, err := store.Open(store.Options{Dir: dir, TamperWrite: tamper})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := service.New(service.Config{Store: st})
+		ts := httptest.NewServer(svc)
+		defer ts.Close()
+		code, body := postJSON(t, ts.URL+"/v2/jobs", fleetBatch)
+		if code != http.StatusOK {
+			t.Fatalf("batch: HTTP %d: %s", code, body)
+		}
+		return svc, body
+	}
+
+	corrupt := func(kind, key string, data []byte) []byte {
+		out := append([]byte(nil), data...)
+		out[len(out)-1] ^= 1
+		return out
+	}
+	_, cold := run(corrupt)
+	svc2, warm := run(nil)
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("corrupted-store restart changed the batch bytes")
+	}
+	if n := svc2.Engine().Cache().Compiles(); n == 0 {
+		t.Fatal("corrupt artifacts were served instead of recompiled")
+	}
+	if s := svc2.Engine().Store().Stats(); s.Quarantined == 0 {
+		t.Fatalf("nothing quarantined: %+v", s)
+	}
+}

@@ -484,6 +484,50 @@ func (s *Server) executeOne(ctx context.Context, pj *preparedJob) (*JobResult, e
 	return &line, nil
 }
 
+// ValidateJob runs one /v2 batch entry through the same prepare step
+// the daemon's own handlers use, without executing it. The gateway uses
+// it to validate whole batches up front with exactly the error messages
+// a single-node daemon would produce. A non-nil error always maps to a
+// 400-class rejection.
+func (s *Server) ValidateJob(jr JobRequest) error {
+	if _, herr := s.prepareJob(jr); herr != nil {
+		return herr
+	}
+	return nil
+}
+
+// ExecuteJob validates and runs one job on the local session, returning
+// the same line /v2/jobs would stream for it (Index is left zero; the
+// caller owns stream positions). Failures — validation or execution —
+// travel on the line's error field, mirroring /v2's per-job error
+// isolation. The gateway uses this for degraded-mode local fallback
+// when every backend for a key is down.
+func (s *Server) ExecuteJob(ctx context.Context, jr JobRequest) JobResult {
+	pj, herr := s.prepareJob(jr)
+	if herr != nil {
+		return JobResult{Kind: jr.Kind, Error: herr.msg}
+	}
+	line := JobResult{Kind: pj.kind}
+	if !pj.engineBacked() {
+		if herr := pj.inline(ctx, &line); herr != nil {
+			line.Error = herr.msg
+		}
+		return line
+	}
+	err := s.sess.Run(ctx, []runner.Job{pj.job}, func(res runner.Result) error {
+		if res.Err != nil {
+			line.Error = res.Err.Error()
+			return nil
+		}
+		pj.render(res, &line)
+		return nil
+	})
+	if err != nil && line.Error == "" {
+		line.Error = err.Error()
+	}
+	return line
+}
+
 // handleJobs is POST /v2/jobs: a heterogeneous job batch answered as an
 // NDJSON stream in submission order. The whole batch is validated before
 // the first byte of the response (any invalid job rejects the batch with

@@ -318,6 +318,7 @@ func TestMetricsGoldenShape(t *testing.T) {
 		"dvid_queue_depth", "dvid_queue_capacity",
 		"dvid_build_cache_hits_total", "dvid_build_cache_misses_total",
 		"dvid_build_cache_evictions_total", "dvid_build_cache_entries",
+		"dvid_build_compiles_total",
 		"dvid_machine_pool_reuse_total", "dvid_machine_pool_fresh_total",
 		"dvid_emulator_pool_reuse_total", "dvid_emulator_pool_fresh_total",
 		"dvid_checkpoint_pool_reuse_total", "dvid_checkpoint_pool_fresh_total",
@@ -330,7 +331,7 @@ func TestMetricsGoldenShape(t *testing.T) {
 		"dvid_sampled_runs_total", "dvid_sampled_rel_ci",
 	)
 	want = append(want, histogram("dvid_request_duration_seconds", `endpoint="simulate"`)...)
-	for _, phase := range []string{"aggregate", "build", "execute", "interval", "job",
+	for _, phase := range []string{"aggregate", "build", "compile", "execute", "interval", "job",
 		"queue-wait", "render", "sample", "scan", "timing"} {
 		want = append(want, histogram("dvid_phase_duration_seconds", `phase="`+phase+`"`)...)
 	}

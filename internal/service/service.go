@@ -52,6 +52,7 @@ import (
 	"dvi/internal/rewrite"
 	"dvi/internal/runner"
 	"dvi/internal/session"
+	"dvi/internal/store"
 	"dvi/internal/workload"
 )
 
@@ -134,22 +135,27 @@ type Config struct {
 	// MaxContexts is the ceiling on SMT hardware contexts per simulate
 	// request (0 = DefaultMaxContexts).
 	MaxContexts int
+	// Store, when non-nil, backs the build cache with an on-disk
+	// artifact store (compiled binaries and sampled-run records survive
+	// restarts and are shared across processes on the same directory).
+	Store *store.Store
 }
 
 // Server implements the DVI service over HTTP. Construct with New; it is
 // an http.Handler, ready to mount on any http.Server or mux.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	sess    *session.Session
-	eng     *runner.Engine // the session's engine (cache accounting)
-	met     *metrics
-	adm     *admission
-	start   time.Time
-	compile runner.CompileFunc // resolved Config.Compile (benchmark specs)
-	log     *slog.Logger
-	rec     *obs.Recorder // recent request span trees (may be nil)
-	reqID   atomic.Uint64 // request-ID counter for generated X-Request-Id values
+	cfg      Config
+	mux      *http.ServeMux
+	sess     *session.Session
+	eng      *runner.Engine // the session's engine (cache accounting)
+	met      *metrics
+	adm      *admission
+	start    time.Time
+	compile  runner.CompileFunc // resolved Config.Compile (benchmark specs)
+	log      *slog.Logger
+	rec      *obs.Recorder // recent request span trees (may be nil)
+	reqID    atomic.Uint64 // request-ID counter for generated X-Request-Id values
+	draining atomic.Bool   // graceful shutdown has begun; /healthz answers 503
 }
 
 // New builds a Server, resolving zero Config fields to defaults.
@@ -219,6 +225,7 @@ func New(cfg Config) *Server {
 		session.WithWorkers(cfg.Workers),
 		session.WithCacheCapacity(cfg.CacheCapacity),
 		session.WithCompile(s.compileFor(s.compile)),
+		session.WithStore(cfg.Store),
 	)
 	s.eng = s.sess.Engine()
 
@@ -259,6 +266,18 @@ func (s *Server) Inflight() int64 { return s.adm.inflight.Load() }
 // QueueDepth returns the number of requests waiting for a slot.
 func (s *Server) QueueDepth() int64 { return s.adm.waiting.Load() }
 
+// BeginDrain marks the server as draining: /healthz flips to
+// "draining" with a 503 so readiness checks (the gateway's health
+// checker, load balancers) eject this backend before its listener
+// closes. Call it when graceful shutdown starts, before
+// http.Server.Shutdown. Request handling is otherwise unaffected —
+// in-flight and freshly arriving work still completes while the
+// listener lives.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // --- admission control ---
 
 // errBusy reports a full admission queue.
@@ -295,6 +314,15 @@ func (a *admission) acquire(ctx context.Context) error {
 	defer a.waiting.Add(-1)
 	select {
 	case a.sem <- struct{}{}:
+		// Both arms can be ready at once and select picks randomly: a
+		// client that disconnected while queued may still win the slot.
+		// Hand it back instead of running work nobody will read — under
+		// churn, leaked slots here would strand inflight/queue gauges
+		// and eventually wedge admission entirely.
+		if err := ctx.Err(); err != nil {
+			<-a.sem
+			return err
+		}
 		a.inflight.Add(1)
 		return nil
 	case <-ctx.Done():
@@ -615,7 +643,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.eng.Cache().Stats()
-	s.writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status:         "ok",
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Workers:        s.eng.Workers(),
@@ -626,13 +654,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		CacheHits:      hits,
 		CacheMisses:    misses,
 		CacheEvictions: s.eng.Cache().Evictions(),
-	})
+		CacheCompiles:  s.eng.Cache().Compiles(),
+	}
+	if st := s.eng.Store(); st != nil {
+		sst := st.Stats()
+		h.Store = &StoreHealth{
+			Entries:     sst.Entries,
+			Bytes:       sst.Bytes,
+			Hits:        sst.Hits,
+			Misses:      sst.Misses,
+			Puts:        sst.Puts,
+			Evictions:   sst.Evictions,
+			Quarantined: sst.Quarantined,
+		}
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		// Still answering requests, but readiness checks must stop
+		// routing fresh work here: the listener is about to close.
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.eng.Cache().Stats()
 	pool := s.eng.PoolStats()
-	body := s.met.render([]gauge{
+	gauges := []gauge{
 		{name: "dvid_uptime_seconds", help: "Seconds since the server started.", value: time.Since(s.start).Seconds()},
 		{name: "dvid_inflight_requests", help: "Requests currently executing.", value: float64(s.adm.inflight.Load())},
 		{name: "dvid_queue_depth", help: "Requests waiting for an execution slot.", value: float64(s.adm.waiting.Load())},
@@ -647,7 +696,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{name: "dvid_emulator_pool_fresh_total", help: "Functional/ctxswitch jobs that had to construct a fresh emulator.", value: float64(pool.EmuFresh), counter: true},
 		{name: "dvid_checkpoint_pool_reuse_total", help: "Sampling checkpoints served from the recycled-checkpoint pool.", value: float64(pool.CheckpointReuse), counter: true},
 		{name: "dvid_checkpoint_pool_fresh_total", help: "Sampling checkpoints that had to be freshly allocated.", value: float64(pool.CheckpointFresh), counter: true},
-	})
+		{name: "dvid_build_compiles_total", help: "Compile invocations (stays zero across a restart served from a warm artifact store).", value: float64(s.eng.Cache().Compiles()), counter: true},
+	}
+	if st := s.eng.Store(); st != nil {
+		sst := st.Stats()
+		gauges = append(gauges,
+			gauge{name: "dvid_store_hits_total", help: "Artifact-store reads served from a checksum-verified entry.", value: float64(sst.Hits), counter: true},
+			gauge{name: "dvid_store_misses_total", help: "Artifact-store reads with no servable entry.", value: float64(sst.Misses), counter: true},
+			gauge{name: "dvid_store_puts_total", help: "Artifacts persisted.", value: float64(sst.Puts), counter: true},
+			gauge{name: "dvid_store_evictions_total", help: "Artifacts evicted by the disk byte budget.", value: float64(sst.Evictions), counter: true},
+			gauge{name: "dvid_store_quarantined_total", help: "Corrupt artifacts quarantined on read (never served).", value: float64(sst.Quarantined), counter: true},
+			gauge{name: "dvid_store_entries", help: "Live artifacts on disk.", value: float64(sst.Entries)},
+			gauge{name: "dvid_store_bytes", help: "Bytes held by live artifacts.", value: float64(sst.Bytes)},
+		)
+	}
+	body := s.met.render(gauges)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(body))
 }

@@ -7,6 +7,7 @@ import (
 	"dvi/internal/rewrite"
 	"dvi/internal/runner"
 	"dvi/internal/sample"
+	"dvi/internal/store"
 )
 
 // Option configures a Session at construction time.
@@ -44,6 +45,14 @@ func WithProgress(fn runner.ProgressFunc) Option {
 // tests substitute counting or failing variants.
 func WithCompile(fn runner.CompileFunc) Option {
 	return func(c *config) { c.opts.Compile = fn }
+}
+
+// WithStore backs the session's build cache with an on-disk artifact
+// store: compiled binaries and sampled-run results persist across
+// restarts, so a warm session skips compiles and sampled re-scans
+// entirely. Nil keeps everything in memory.
+func WithStore(st *store.Store) Option {
+	return func(c *config) { c.opts.Store = st }
 }
 
 // RunOption configures one Session call (Build, Simulate, Emulate,

@@ -1,0 +1,36 @@
+package store
+
+import (
+	"fmt"
+
+	"dvi/internal/prog"
+)
+
+// Build artifacts persist as the textual assembly format: FormatAsm and
+// ParseAsm are exact inverses (parsing a rendered program yields a
+// Program whose linked image is byte-identical to the original's — the
+// round-trip is pinned by prog's tests), which makes the text the ideal
+// crash-safe serialization: human-inspectable, versioned by its own
+// grammar, and carrying every kill annotation the compile or inference
+// pass inserted, so a decoded artifact needs no re-annotation.
+
+// EncodeProgram renders a linked program for persistence.
+func EncodeProgram(pr *prog.Program) []byte {
+	return []byte(prog.FormatAsm(pr))
+}
+
+// DecodeProgram parses a persisted artifact and relinks it. The caller
+// verified the payload checksum already; a parse or link failure here
+// means the artifact predates a grammar change — treat it as a miss and
+// recompile.
+func DecodeProgram(payload []byte) (*prog.Program, *prog.Image, error) {
+	pr, err := prog.ParseAsm(string(payload))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: decode artifact: %w", err)
+	}
+	img, err := pr.Link()
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: relink artifact: %w", err)
+	}
+	return pr, img, nil
+}

@@ -1,0 +1,404 @@
+// Package store is a content-addressed on-disk artifact store: compiled
+// build images keyed by workload.BuildKey and sampled interval-result
+// sets keyed by plan hash survive daemon restarts and are shared across
+// processes pointed at the same directory.
+//
+// Every entry is one flat file whose first line is a header carrying a
+// magic, the artifact kind, the payload's sha256 and length, and the
+// logical key; the payload follows verbatim. Writes are crash-safe
+// (temp file in the same directory, fsync, rename); reads re-hash the
+// payload and compare against the header — an entry that fails the
+// checksum, has a malformed header, or answers for the wrong key is
+// moved into a quarantine/ subdirectory and reported as a miss, never
+// served. A byte budget evicts least-recently-used entries (recency is
+// file mtime, bumped on hit, so LRU order survives restarts too).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Artifact kinds. Kinds namespace keys: a build image and a sampled
+// record for the same workload never collide.
+const (
+	BuildKind   = "build"   // annotated assembly text of a linked program
+	SampledKind = "sampled" // interval-result set for one sampling plan
+)
+
+const (
+	magic         = "dvistore1"
+	fileExt       = ".art"
+	quarantineDir = "quarantine"
+)
+
+// Options configure Open.
+type Options struct {
+	// Dir is the store directory; created if missing.
+	Dir string
+	// Budget bounds the total payload bytes kept on disk; <= 0 means
+	// unbounded. A single entry larger than the whole budget is kept
+	// anyway — a budget that cannot hold one artifact would make the
+	// store useless rather than small.
+	Budget int64
+	// TamperWrite, when non-nil, may mutate the encoded file bytes
+	// before they hit disk. It exists ONLY for fault injection in
+	// tests (internal/faults corrupts payloads to exercise the
+	// quarantine path); production code must leave it nil.
+	TamperWrite func(kind, key string, data []byte) []byte
+}
+
+// Store is a concurrency-safe handle on one store directory. Multiple
+// processes may share a directory: writes are atomic renames and reads
+// verify checksums, so the worst cross-process race is a redundant
+// fill, never a torn artifact.
+type Store struct {
+	dir    string
+	budget int64
+	tamper func(kind, key string, data []byte) []byte
+
+	mu      sync.Mutex
+	entries map[string]*entry // file stem -> entry
+	// Doubly-linked LRU list; head is most recently used.
+	head, tail *entry
+	bytes      int64
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	puts        atomic.Int64
+	evictions   atomic.Int64
+	quarantined atomic.Int64
+	errors      atomic.Int64
+}
+
+// entry is one on-disk artifact tracked in the LRU index.
+type entry struct {
+	id         string // file stem: kind-hash
+	kind, key  string
+	size       int64 // full file size, header included
+	prev, next *entry
+}
+
+// Stats is a snapshot of store traffic counters.
+type Stats struct {
+	Hits        int64 // Get calls served from a verified entry
+	Misses      int64 // Get calls with no (servable) entry
+	Puts        int64 // successful writes
+	Evictions   int64 // entries dropped by the byte budget
+	Quarantined int64 // corrupt entries moved aside, never served
+	Errors      int64 // I/O failures (best-effort paths)
+	Entries     int   // live entries
+	Bytes       int64 // bytes held by live entries
+}
+
+// id derives the file stem for (kind, key): content addressing over the
+// key keeps arbitrary key strings (quoted asm hashes, plan hashes) out
+// of filenames.
+func id(kind, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return kind + "-" + hex.EncodeToString(sum[:12])
+}
+
+// Open scans dir (creating it if needed) and rebuilds the LRU index
+// from file mtimes. Files with unreadable headers are quarantined
+// immediately; payloads are verified lazily on Get.
+func Open(opt Options) (*Store, error) {
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(opt.Dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st := &Store{
+		dir:     opt.Dir,
+		budget:  opt.Budget,
+		tamper:  opt.TamperWrite,
+		entries: map[string]*entry{},
+	}
+	names, err := filepath.Glob(filepath.Join(opt.Dir, "*"+fileExt))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	type scanned struct {
+		e     *entry
+		mtime time.Time
+	}
+	var found []scanned
+	for _, name := range names {
+		fi, err := os.Stat(name)
+		if err != nil || fi.IsDir() {
+			continue
+		}
+		kind, key, _, _, err := readHeader(name)
+		if err != nil {
+			st.quarantine(name)
+			continue
+		}
+		stem := strings.TrimSuffix(filepath.Base(name), fileExt)
+		found = append(found, scanned{
+			e:     &entry{id: stem, kind: kind, key: key, size: fi.Size()},
+			mtime: fi.ModTime(),
+		})
+	}
+	// Oldest first so the most recently used entry ends up at the head.
+	sort.Slice(found, func(i, j int) bool {
+		if !found[i].mtime.Equal(found[j].mtime) {
+			return found[i].mtime.Before(found[j].mtime)
+		}
+		return found[i].e.id < found[j].e.id
+	})
+	for _, s := range found {
+		st.entries[s.e.id] = s.e
+		st.pushFront(s.e)
+		st.bytes += s.e.size
+	}
+	st.enforceBudget()
+	return st, nil
+}
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+// header is "dvistore1 <kind> <sha256hex> <payloadLen> <quotedKey>\n".
+func header(kind, key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	return []byte(fmt.Sprintf("%s %s %s %d %s\n",
+		magic, kind, hex.EncodeToString(sum[:]), len(payload), strconv.Quote(key)))
+}
+
+// readHeader parses just the header line of an entry file.
+func readHeader(name string) (kind, key, sum string, plen int, err error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return "", "", "", 0, err
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+	n, _ := f.Read(buf)
+	line, _, ok := strings.Cut(string(buf[:n]), "\n")
+	if !ok {
+		return "", "", "", 0, fmt.Errorf("store: no header line")
+	}
+	return parseHeader(line)
+}
+
+func parseHeader(line string) (kind, key, sum string, plen int, err error) {
+	fields := strings.SplitN(line, " ", 5)
+	if len(fields) != 5 || fields[0] != magic {
+		return "", "", "", 0, fmt.Errorf("store: malformed header")
+	}
+	plen, err = strconv.Atoi(fields[3])
+	if err != nil || plen < 0 {
+		return "", "", "", 0, fmt.Errorf("store: bad payload length")
+	}
+	key, err = strconv.Unquote(fields[4])
+	if err != nil {
+		return "", "", "", 0, fmt.Errorf("store: bad key")
+	}
+	return fields[1], key, fields[2], plen, nil
+}
+
+// Get returns the verified payload for (kind, key). A missing entry is
+// a plain miss; an entry that fails verification is quarantined and
+// reported as a miss — a corrupt artifact is never served.
+func (st *Store) Get(kind, key string) ([]byte, bool) {
+	stem := id(kind, key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[stem]
+	if !ok {
+		st.misses.Add(1)
+		return nil, false
+	}
+	name := filepath.Join(st.dir, stem+fileExt)
+	data, err := os.ReadFile(name)
+	if err != nil {
+		st.dropLocked(e)
+		st.misses.Add(1)
+		st.errors.Add(1)
+		return nil, false
+	}
+	payload, err := verify(data, kind, key)
+	if err != nil {
+		st.quarantine(name)
+		st.dropLocked(e)
+		st.quarantined.Add(1)
+		st.misses.Add(1)
+		return nil, false
+	}
+	st.unlink(e)
+	st.pushFront(e)
+	now := time.Now()
+	if err := os.Chtimes(name, now, now); err != nil {
+		st.errors.Add(1) // recency bump is best-effort
+	}
+	st.hits.Add(1)
+	return payload, true
+}
+
+// verify checks the header against the actual bytes and returns the
+// payload.
+func verify(data []byte, kind, key string) ([]byte, error) {
+	line, rest, ok := strings.Cut(string(data), "\n")
+	if !ok {
+		return nil, fmt.Errorf("store: no header line")
+	}
+	hkind, hkey, hsum, plen, err := parseHeader(line)
+	if err != nil {
+		return nil, err
+	}
+	if hkind != kind || hkey != key {
+		return nil, fmt.Errorf("store: entry answers for %s/%q, want %s/%q", hkind, hkey, kind, key)
+	}
+	if len(rest) != plen {
+		return nil, fmt.Errorf("store: payload length %d, header says %d", len(rest), plen)
+	}
+	sum := sha256.Sum256([]byte(rest))
+	if hex.EncodeToString(sum[:]) != hsum {
+		return nil, fmt.Errorf("store: checksum mismatch")
+	}
+	return []byte(rest), nil
+}
+
+// Put writes (kind, key, payload) atomically: temp file in the store
+// directory, fsync, rename. An existing entry for the key is replaced.
+func (st *Store) Put(kind, key string, payload []byte) error {
+	stem := id(kind, key)
+	data := append(header(kind, key, payload), payload...)
+	if st.tamper != nil {
+		data = st.tamper(kind, key, data)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	name := filepath.Join(st.dir, stem+fileExt)
+	tmp, err := os.CreateTemp(st.dir, "tmp-*")
+	if err != nil {
+		st.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		st.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		st.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		st.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), name); err != nil {
+		st.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if old, ok := st.entries[stem]; ok {
+		st.unlink(old)
+		delete(st.entries, stem)
+		st.bytes -= old.size
+	}
+	e := &entry{id: stem, kind: kind, key: key, size: int64(len(data))}
+	st.entries[stem] = e
+	st.pushFront(e)
+	st.bytes += e.size
+	st.puts.Add(1)
+	st.enforceBudget()
+	return nil
+}
+
+// dropLocked forgets e without touching its file. Caller holds mu.
+func (st *Store) dropLocked(e *entry) {
+	st.unlink(e)
+	delete(st.entries, e.id)
+	st.bytes -= e.size
+}
+
+// quarantine moves a corrupt or unreadable file into quarantine/ for
+// post-mortem inspection; it is never served again.
+func (st *Store) quarantine(name string) {
+	dst := filepath.Join(st.dir, quarantineDir, filepath.Base(name))
+	if err := os.Rename(name, dst); err != nil {
+		// Removing beats serving corruption if the rename fails.
+		os.Remove(name)
+	}
+}
+
+// enforceBudget evicts least-recently-used entries until the store fits
+// its byte budget, always keeping at least one entry. Caller holds mu.
+func (st *Store) enforceBudget() {
+	if st.budget <= 0 {
+		return
+	}
+	for st.bytes > st.budget && len(st.entries) > 1 {
+		e := st.tail
+		if e == nil {
+			return
+		}
+		os.Remove(filepath.Join(st.dir, e.id+fileExt))
+		st.dropLocked(e)
+		st.evictions.Add(1)
+	}
+}
+
+// unlink removes e from the LRU list. Caller holds mu.
+func (st *Store) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if st.head == e {
+		st.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if st.tail == e {
+		st.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry. Caller holds mu.
+func (st *Store) pushFront(e *entry) {
+	e.prev, e.next = nil, st.head
+	if st.head != nil {
+		st.head.prev = e
+	}
+	st.head = e
+	if st.tail == nil {
+		st.tail = e
+	}
+}
+
+// Stats returns a snapshot of the store's counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	entries, bytes := len(st.entries), st.bytes
+	st.mu.Unlock()
+	return Stats{
+		Hits:        st.hits.Load(),
+		Misses:      st.misses.Load(),
+		Puts:        st.puts.Load(),
+		Evictions:   st.evictions.Load(),
+		Quarantined: st.quarantined.Load(),
+		Errors:      st.errors.Load(),
+		Entries:     entries,
+		Bytes:       bytes,
+	}
+}
+
+// Len returns the number of live entries.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}
