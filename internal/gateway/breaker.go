@@ -53,6 +53,20 @@ func (b *breaker) allow(now time.Time) bool {
 	}
 }
 
+// abandon reports that a request admitted by allow was cancelled before
+// the backend produced a verdict — it lost a hedge race, or the client
+// went away. It is neither a success nor a failure: a half-open probe
+// slot is returned (the breaker re-enters open with its original
+// deadline, so the cooldown is already elapsed and the next allow may
+// probe immediately); in other states nothing changes.
+func (b *breaker) abandon() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+	}
+}
+
 // closed reports whether the breaker is in its normal state, without
 // consuming a half-open probe slot (hedge selection uses this: a hedge
 // must not burn the probe).

@@ -56,6 +56,10 @@ const (
 	DefaultHealthInterval  = 2 * time.Second
 	DefaultVirtualNodes    = 64
 	DefaultMaxInflight     = 16
+	// DefaultMaxResponseBytes is deliberately far above the request
+	// limit: simulate responses carrying a full trace routinely dwarf
+	// the request that asked for them.
+	DefaultMaxResponseBytes = 256 << 20
 )
 
 // Config parameterizes a Gateway.
@@ -96,6 +100,12 @@ type Config struct {
 	// MaxRequestBytes bounds request bodies
 	// (0 = service.DefaultMaxRequestBytes).
 	MaxRequestBytes int64
+	// MaxResponseBytes bounds buffered backend response bodies
+	// (0 = DefaultMaxResponseBytes). A larger answer is an error —
+	// retried elsewhere or served by the local fallback — never
+	// silently truncated: a clipped body forwarded as a 200 would break
+	// the byte-identical-to-single-node contract.
+	MaxResponseBytes int64
 	// MaxJobs caps jobs per /v2 batch (0 = service.DefaultMaxJobs).
 	MaxJobs int
 	// Seed seeds the backoff jitter; fault-injection tests pin it for
@@ -183,6 +193,9 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if cfg.MaxRequestBytes <= 0 {
 		cfg.MaxRequestBytes = service.DefaultMaxRequestBytes
+	}
+	if cfg.MaxResponseBytes <= 0 {
+		cfg.MaxResponseBytes = DefaultMaxResponseBytes
 	}
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = service.DefaultMaxJobs
@@ -290,11 +303,16 @@ func (g *Gateway) pick(key string, attempt int) (primary, hedge *backend) {
 	return primary, hedge
 }
 
-// available counts backends currently considered routable.
+// available counts backends currently considered routable: actively
+// healthy with a fully closed breaker. Half-open does not count — at
+// most one probe passes through it, so with every breaker open or
+// half-open nearly all traffic runs on the local fallback, and /healthz
+// plus the degraded header must say so rather than report a healthy
+// fleet.
 func (g *Gateway) available() int {
 	n := 0
 	for _, b := range g.backends {
-		if b.healthy.Load() && b.br.currentState() != breakerOpen {
+		if b.healthy.Load() && b.br.closed() {
 			n++
 		}
 	}
@@ -303,6 +321,20 @@ func (g *Gateway) available() int {
 
 // errNoBackends reports that no backend was available for a dispatch.
 var errNoBackends = errors.New("gateway: no backend available")
+
+// readBody buffers a backend response body in full, erroring — so the
+// dispatch ladder retries elsewhere or falls back locally — when it
+// exceeds the response budget, instead of silently truncating it.
+func (g *Gateway) readBody(r io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, g.cfg.MaxResponseBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > g.cfg.MaxResponseBytes {
+		return nil, fmt.Errorf("gateway: backend response exceeds %d bytes", g.cfg.MaxResponseBytes)
+	}
+	return data, nil
+}
 
 // backoff returns the jittered delay before retry number attempt
 // (capped exponential, uniform jitter in [50%, 100%]).
@@ -356,8 +388,7 @@ func dispatch[T any](g *Gateway, ctx context.Context, key string, send func(cont
 
 // hedged runs send on primary and, if it has not answered within
 // HedgeAfter, duplicates it on hedge; the first success wins and the
-// loser is cancelled. Breaker and failure accounting happen here, per
-// backend actually tried.
+// loser is cancelled.
 func hedged[T any](g *Gateway, ctx context.Context, primary, hedge *backend, send func(context.Context, *backend) (T, error)) (T, *backend, error) {
 	type outcome struct {
 		v   T
@@ -367,9 +398,26 @@ func hedged[T any](g *Gateway, ctx context.Context, primary, hedge *backend, sen
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch := make(chan outcome, 2)
+	// Breaker and failure accounting happen inside the send goroutine,
+	// not the select loop below: when the other attempt wins the race
+	// (or the caller abandons both), hedged returns without draining ch,
+	// and the loser must still settle its breaker — in particular a
+	// half-open probe slot consumed by pick, which would otherwise wedge
+	// the breaker half-open and eject the backend from rotation forever.
+	// A send that failed only because hctx was cancelled is abandoned
+	// rather than counted: losing the race is not the backend's fault.
 	launch := func(b *backend) {
 		go func() {
 			v, err := send(hctx, b)
+			switch {
+			case err == nil:
+				b.br.success()
+			case hctx.Err() != nil:
+				b.br.abandon()
+			default:
+				b.br.failure(time.Now())
+				b.fails.Add(1)
+			}
 			ch <- outcome{v, b, err}
 		}()
 	}
@@ -388,14 +436,11 @@ func hedged[T any](g *Gateway, ctx context.Context, primary, hedge *backend, sen
 		case o := <-ch:
 			inflight--
 			if o.err == nil {
-				o.b.br.success()
 				if o.b == hedge {
 					g.met.hedgeWins.Add(1)
 				}
 				return o.v, o.b, nil
 			}
-			o.b.br.failure(time.Now())
-			o.b.fails.Add(1)
 			if firstErr == nil {
 				firstErr = o.err
 			}
@@ -481,7 +526,7 @@ func (g *Gateway) sendJob(ctx context.Context, b *backend, body []byte) (rawLine
 		io.Copy(io.Discard, io.LimitReader(res.Body, 4096))
 		return rawLine{}, fmt.Errorf("gateway: backend %s: status %d", b.url, res.StatusCode)
 	}
-	data, err := io.ReadAll(io.LimitReader(res.Body, g.cfg.MaxRequestBytes))
+	data, err := g.readBody(res.Body)
 	if err != nil {
 		return rawLine{}, err
 	}
@@ -707,7 +752,7 @@ func (g *Gateway) sendProxy(ctx context.Context, b *backend, path string, body [
 		io.Copy(io.Discard, io.LimitReader(res.Body, 4096))
 		return proxyResp{}, fmt.Errorf("gateway: backend %s: status %d", b.url, res.StatusCode)
 	}
-	data, err := io.ReadAll(io.LimitReader(res.Body, g.cfg.MaxRequestBytes))
+	data, err := g.readBody(res.Body)
 	if err != nil {
 		return proxyResp{}, err
 	}
@@ -837,7 +882,7 @@ func (g *Gateway) sendProxyGet(ctx context.Context, b *backend, path string) (pr
 		io.Copy(io.Discard, io.LimitReader(res.Body, 4096))
 		return proxyResp{}, fmt.Errorf("gateway: backend %s: status %d", b.url, res.StatusCode)
 	}
-	data, err := io.ReadAll(io.LimitReader(res.Body, g.cfg.MaxRequestBytes))
+	data, err := g.readBody(res.Body)
 	if err != nil {
 		return proxyResp{}, err
 	}

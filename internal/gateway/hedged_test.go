@@ -1,0 +1,94 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dvi/internal/service"
+)
+
+func TestBreakerAbandonReleasesProbe(t *testing.T) {
+	b := newBreaker(2, 50*time.Millisecond)
+	now := time.Unix(1000, 0)
+	b.failure(now)
+	b.failure(now)
+	if b.currentState() != breakerOpen {
+		t.Fatal("threshold failures did not open the breaker")
+	}
+
+	probeAt := now.Add(60 * time.Millisecond)
+	if !b.allow(probeAt) {
+		t.Fatal("cooldown expiry did not admit the half-open probe")
+	}
+	b.abandon()
+	if b.currentState() == breakerHalfOpen {
+		t.Fatal("abandon left the breaker half-open with no probe in flight")
+	}
+	// The slot is free again: the cooldown already elapsed, so the very
+	// next caller may probe.
+	if !b.allow(probeAt) {
+		t.Fatal("abandoned probe slot was not released")
+	}
+
+	// abandon in other states is a no-op.
+	b.success()
+	b.abandon()
+	if b.currentState() != breakerClosed {
+		t.Fatal("abandon changed a closed breaker")
+	}
+}
+
+// TestHedgedSettlesLoserBreaker pins the recovering-backend-loses-the-
+// hedge-race scenario: the primary holds a half-open probe slot, the
+// hedge answers first, and the primary's send is cancelled. The
+// abandoned probe must release the slot — not wedge the breaker
+// half-open forever — and the cancellation must not count as a backend
+// failure.
+func TestHedgedSettlesLoserBreaker(t *testing.T) {
+	g, err := New(Config{
+		Backends:        []string{"http://a:1", "http://b:1"},
+		Local:           service.New(service.Config{}),
+		HedgeAfter:      5 * time.Millisecond,
+		BreakerFailures: 2,
+		BreakerCooldown: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, hedge := g.backends[0], g.backends[1]
+
+	// Trip the primary's breaker and consume its half-open probe slot,
+	// exactly as pick() does via allow.
+	now := time.Now()
+	primary.br.failure(now)
+	primary.br.failure(now)
+	if !primary.br.allow(now.Add(25 * time.Millisecond)) {
+		t.Fatal("setup: probe slot not admitted")
+	}
+
+	send := func(ctx context.Context, b *backend) (int, error) {
+		if b == primary {
+			<-ctx.Done() // the probe hangs until the hedge win cancels it
+			return 0, ctx.Err()
+		}
+		return 42, nil
+	}
+	v, winner, err := hedged(g, context.Background(), primary, hedge, send)
+	if err != nil || v != 42 || winner != hedge {
+		t.Fatalf("hedged: (%v, %v, %v), want hedge win", v, winner, err)
+	}
+
+	// The loser's goroutine settles asynchronously after the cancel:
+	// eventually the probe slot must be admissible again.
+	deadline := time.Now().Add(2 * time.Second)
+	for !primary.br.allow(time.Now()) {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker wedged half-open: abandoned probe never released its slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if primary.fails.Load() != 0 {
+		t.Fatalf("losing a hedge race counted as %d backend failures", primary.fails.Load())
+	}
+}

@@ -15,9 +15,11 @@
 package store
 
 import (
+	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -39,6 +41,11 @@ const (
 	magic         = "dvistore1"
 	fileExt       = ".art"
 	quarantineDir = "quarantine"
+	// maxHeaderBytes caps how far readHeader scans for the header's
+	// newline — far beyond any legitimate header (magic, kind, a sha256,
+	// a length, and a quoted key), so hitting it means the file is not
+	// an entry.
+	maxHeaderBytes = 64 << 10
 )
 
 // Options configure Open.
@@ -161,7 +168,12 @@ func Open(opt Options) (*Store, error) {
 		st.pushFront(s.e)
 		st.bytes += s.e.size
 	}
-	st.enforceBudget()
+	st.mu.Lock()
+	victims := st.evictLocked()
+	st.mu.Unlock()
+	for _, v := range victims {
+		os.Remove(filepath.Join(opt.Dir, v+fileExt))
+	}
 	return st, nil
 }
 
@@ -182,13 +194,14 @@ func readHeader(name string) (kind, key, sum string, plen int, err error) {
 		return "", "", "", 0, err
 	}
 	defer f.Close()
-	buf := make([]byte, 4096)
-	n, _ := f.Read(buf)
-	line, _, ok := strings.Cut(string(buf[:n]), "\n")
-	if !ok {
+	// Read until the newline, not a single Read call: a short read that
+	// stops before the delimiter must not make a valid entry look
+	// header-less and get it quarantined.
+	line, err := bufio.NewReader(io.LimitReader(f, maxHeaderBytes)).ReadString('\n')
+	if err != nil {
 		return "", "", "", 0, fmt.Errorf("store: no header line")
 	}
-	return parseHeader(line)
+	return parseHeader(strings.TrimSuffix(line, "\n"))
 }
 
 func parseHeader(line string) (kind, key, sum string, plen int, err error) {
@@ -213,36 +226,66 @@ func parseHeader(line string) (kind, key, sum string, plen int, err error) {
 func (st *Store) Get(kind, key string) ([]byte, bool) {
 	stem := id(kind, key)
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	e, ok := st.entries[stem]
+	st.mu.Unlock()
 	if !ok {
 		st.misses.Add(1)
 		return nil, false
 	}
+	// All disk I/O happens outside the lock so one slow read never
+	// serializes unrelated lookups (or Stats) behind it; the index is
+	// re-checked before every mutation because the entry may have been
+	// evicted or replaced by a concurrent Put meanwhile — the same
+	// benign redundant-fill race the package already accepts across
+	// processes.
 	name := filepath.Join(st.dir, stem+fileExt)
 	data, err := os.ReadFile(name)
 	if err != nil {
-		st.dropLocked(e)
+		// Count an I/O error only when e was still indexed — a file
+		// removed by a concurrent eviction is a plain miss, not a fault.
+		if st.dropIfCurrent(e) {
+			st.errors.Add(1)
+		}
 		st.misses.Add(1)
-		st.errors.Add(1)
 		return nil, false
 	}
 	payload, err := verify(data, kind, key)
 	if err != nil {
-		st.quarantine(name)
-		st.dropLocked(e)
-		st.quarantined.Add(1)
+		// Quarantine only while e is still the indexed entry: if a Put
+		// replaced it since the read, the file on disk is the fresh one,
+		// not the corrupt bytes just examined.
+		if st.dropIfCurrent(e) {
+			st.quarantine(name)
+			st.quarantined.Add(1)
+		}
 		st.misses.Add(1)
 		return nil, false
 	}
-	st.unlink(e)
-	st.pushFront(e)
+	st.mu.Lock()
+	if st.entries[stem] == e {
+		st.unlink(e)
+		st.pushFront(e)
+	}
+	st.mu.Unlock()
 	now := time.Now()
 	if err := os.Chtimes(name, now, now); err != nil {
 		st.errors.Add(1) // recency bump is best-effort
 	}
 	st.hits.Add(1)
 	return payload, true
+}
+
+// dropIfCurrent forgets e if it is still the indexed entry for its id,
+// reporting whether it was; a stale pointer (the entry was evicted or
+// replaced concurrently) is left alone so byte accounting stays exact.
+func (st *Store) dropIfCurrent(e *entry) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.entries[e.id] != e {
+		return false
+	}
+	st.dropLocked(e)
+	return true
 }
 
 // verify checks the header against the actual bytes and returns the
@@ -277,8 +320,10 @@ func (st *Store) Put(kind, key string, payload []byte) error {
 	if st.tamper != nil {
 		data = st.tamper(kind, key, data)
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	// The write happens entirely outside the lock: the rename is atomic
+	// and readers verify checksums, so concurrent fills for one key race
+	// benignly (last rename wins) while the lock covers only the index
+	// update below.
 	name := filepath.Join(st.dir, stem+fileExt)
 	tmp, err := os.CreateTemp(st.dir, "tmp-*")
 	if err != nil {
@@ -304,6 +349,7 @@ func (st *Store) Put(kind, key string, payload []byte) error {
 		st.errors.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
+	st.mu.Lock()
 	if old, ok := st.entries[stem]; ok {
 		st.unlink(old)
 		delete(st.entries, stem)
@@ -313,8 +359,12 @@ func (st *Store) Put(kind, key string, payload []byte) error {
 	st.entries[stem] = e
 	st.pushFront(e)
 	st.bytes += e.size
+	victims := st.evictLocked()
+	st.mu.Unlock()
 	st.puts.Add(1)
-	st.enforceBudget()
+	for _, v := range victims {
+		os.Remove(filepath.Join(st.dir, v+fileExt))
+	}
 	return nil
 }
 
@@ -335,21 +385,25 @@ func (st *Store) quarantine(name string) {
 	}
 }
 
-// enforceBudget evicts least-recently-used entries until the store fits
-// its byte budget, always keeping at least one entry. Caller holds mu.
-func (st *Store) enforceBudget() {
+// evictLocked forgets least-recently-used entries until the store fits
+// its byte budget, always keeping at least one entry, and returns the
+// evicted ids. Caller holds mu and removes the victims' files after
+// unlocking — file removal is disk I/O that must not run under the
+// lock.
+func (st *Store) evictLocked() (victims []string) {
 	if st.budget <= 0 {
-		return
+		return nil
 	}
 	for st.bytes > st.budget && len(st.entries) > 1 {
 		e := st.tail
 		if e == nil {
-			return
+			break
 		}
-		os.Remove(filepath.Join(st.dir, e.id+fileExt))
+		victims = append(victims, e.id)
 		st.dropLocked(e)
 		st.evictions.Add(1)
 	}
+	return victims
 }
 
 // unlink removes e from the LRU list. Caller holds mu.

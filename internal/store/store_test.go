@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -163,6 +164,65 @@ func TestStoreBudgetEvictsLRU(t *testing.T) {
 	}
 	if _, ok := st2.Get(store.BuildKind, "c"); !ok {
 		t.Fatal("recently used entry evicted")
+	}
+}
+
+// TestStoreLongKeySurvivesReopen: a header line longer than any single
+// Read is likely to return (a multi-KB key) must still parse on the
+// Open scan — a short read must never make a valid entry look
+// header-less and quarantine it.
+func TestStoreLongKeySurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir, 0)
+	key := strings.Repeat("k", 8192)
+	if err := st.Put(store.BuildKind, key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	st2 := open(t, dir, 0)
+	if got, ok := st2.Get(store.BuildKind, key); !ok || string(got) != "payload" {
+		t.Fatalf("after reopen: got (%q, %v)", got, ok)
+	}
+	if q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*.art")); len(q) != 0 {
+		t.Fatalf("valid long-key entry quarantined: %v", q)
+	}
+}
+
+// TestStoreConcurrentChurn hammers Get/Put/Stats from many goroutines
+// (run under -race in CI): disk I/O now happens outside the index lock,
+// and the benign refill races that allows must never corrupt the byte
+// accounting or serve a wrong payload.
+func TestStoreConcurrentChurn(t *testing.T) {
+	st := open(t, t.TempDir(), 4<<10)
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := keys[(w+i)%len(keys)]
+				want := bytes.Repeat([]byte(k), 100)
+				if err := st.Put(store.BuildKind, k, want); err != nil {
+					t.Errorf("put %s: %v", k, err)
+					return
+				}
+				if got, ok := st.Get(store.BuildKind, k); ok && !bytes.Equal(got, want) {
+					t.Errorf("get %s: wrong payload (%d bytes)", k, len(got))
+					return
+				}
+				st.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := st.Stats()
+	if s.Entries == 0 || s.Bytes <= 0 {
+		t.Fatalf("stats after churn: %+v", s)
+	}
+	// The index must agree with what a fresh scan of the directory sees.
+	st2 := open(t, st.Dir(), 0)
+	if st2.Len() != s.Entries {
+		t.Fatalf("index has %d entries, disk has %d", s.Entries, st2.Len())
 	}
 }
 
